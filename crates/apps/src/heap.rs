@@ -1,0 +1,293 @@
+//! A malloc living inside simulated memory.
+//!
+//! The allocator's bookkeeping (free list, block headers) is stored in
+//! the simulated address space itself and manipulated through kernel
+//! memory accesses — so heap structure survives checkpoint/restore with
+//! no help from the driver code, exactly like a real process's heap.
+//!
+//! Layout:
+//!
+//! ```text
+//! region+0   magic (u64)
+//! region+8   free-list head (u64 sim address; 0 = empty)
+//! region+16  first block
+//! block:     size (u64, includes the 16-byte header)
+//!            next-free (u64) when free / USED marker when allocated
+//!            payload...
+//! ```
+//!
+//! First-fit with block splitting; no coalescing (deliberately simple —
+//! fragmentation is not under test here).
+
+use aurora_posix::{Kernel, Pid};
+use aurora_sim::error::{Error, Result};
+
+const HEAP_MAGIC: u64 = 0x4155_5248_4541_5031; // "AURHEAP1"
+const USED: u64 = 0xA110_CA7E_D000_0000;
+const HDR: u64 = 16;
+/// Minimum payload worth splitting a block for.
+const MIN_SPLIT: u64 = 32;
+
+/// Driver handle for a heap region in a process's address space.
+///
+/// The handle holds only the region address — everything else lives in
+/// simulated memory, so a handle can be re-derived after restore from a
+/// register (see [`SimHeap::attach`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SimHeap {
+    /// Owning process.
+    pub pid: Pid,
+    /// Region base address.
+    pub base: u64,
+}
+
+fn read_u64(k: &mut Kernel, pid: Pid, addr: u64) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    k.mem_read(pid, addr, &mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_u64(k: &mut Kernel, pid: Pid, addr: u64, v: u64) -> Result<()> {
+    k.mem_write(pid, addr, &v.to_le_bytes())
+}
+
+impl SimHeap {
+    /// Creates a heap inside a fresh anonymous mapping of `bytes`.
+    pub fn create(k: &mut Kernel, pid: Pid, bytes: u64) -> Result<SimHeap> {
+        let base = k.mmap_anon(pid, bytes, false)?;
+        write_u64(k, pid, base, HEAP_MAGIC)?;
+        // One big free block spanning the rest of the region.
+        let first = base + HDR;
+        write_u64(k, pid, base + 8, first)?;
+        write_u64(k, pid, first, bytes - HDR)?;
+        write_u64(k, pid, first + 8, 0)?;
+        Ok(SimHeap { pid, base })
+    }
+
+    /// Formats a heap inside an *existing* region (e.g. System V shared
+    /// memory attached with `shmat`), so several processes can share one
+    /// allocator.
+    pub fn init_at(k: &mut Kernel, pid: Pid, base: u64, bytes: u64) -> Result<SimHeap> {
+        write_u64(k, pid, base, HEAP_MAGIC)?;
+        let first = base + HDR;
+        write_u64(k, pid, base + 8, first)?;
+        write_u64(k, pid, first, bytes - HDR)?;
+        write_u64(k, pid, first + 8, 0)?;
+        Ok(SimHeap { pid, base })
+    }
+
+    /// Re-attaches to an existing heap (e.g. after restore, with the
+    /// base address recovered from a register).
+    pub fn attach(k: &mut Kernel, pid: Pid, base: u64) -> Result<SimHeap> {
+        if read_u64(k, pid, base)? != HEAP_MAGIC {
+            return Err(Error::corrupt(format!("no heap at {base:#x}")));
+        }
+        Ok(SimHeap { pid, base })
+    }
+
+    /// Allocates `size` bytes; returns the simulated address.
+    pub fn alloc(&self, k: &mut Kernel, size: u64) -> Result<u64> {
+        let need = size.max(8) + HDR;
+        let mut prev = self.base + 8; // Address holding the link to cur.
+        let mut cur = read_u64(k, self.pid, prev)?;
+        while cur != 0 {
+            let block_size = read_u64(k, self.pid, cur)?;
+            let next = read_u64(k, self.pid, cur + 8)?;
+            if block_size >= need {
+                if block_size >= need + HDR + MIN_SPLIT {
+                    // Split: the tail remains free.
+                    let rest = cur + need;
+                    write_u64(k, self.pid, rest, block_size - need)?;
+                    write_u64(k, self.pid, rest + 8, next)?;
+                    write_u64(k, self.pid, prev, rest)?;
+                    write_u64(k, self.pid, cur, need)?;
+                } else {
+                    write_u64(k, self.pid, prev, next)?;
+                }
+                write_u64(k, self.pid, cur + 8, USED)?;
+                return Ok(cur + HDR);
+            }
+            prev = cur + 8;
+            cur = next;
+        }
+        Err(Error::no_memory(format!("sim heap exhausted for {size}B")))
+    }
+
+    /// Frees an allocation returned by [`SimHeap::alloc`].
+    pub fn free(&self, k: &mut Kernel, ptr: u64) -> Result<()> {
+        let block = ptr - HDR;
+        if read_u64(k, self.pid, block + 8)? != USED {
+            return Err(Error::corrupt(format!("double free at {ptr:#x}")));
+        }
+        let head = read_u64(k, self.pid, self.base + 8)?;
+        write_u64(k, self.pid, block + 8, head)?;
+        write_u64(k, self.pid, self.base + 8, block)?;
+        Ok(())
+    }
+
+    /// Copies bytes into an allocation.
+    pub fn store(&self, k: &mut Kernel, ptr: u64, data: &[u8]) -> Result<()> {
+        k.mem_write(self.pid, ptr, data)
+    }
+
+    /// Reads bytes from an allocation.
+    pub fn load(&self, k: &mut Kernel, ptr: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        k.mem_read(self.pid, ptr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Total free bytes (walks the free list; for tests).
+    pub fn free_bytes(&self, k: &mut Kernel) -> Result<u64> {
+        let mut total = 0;
+        let mut cur = read_u64(k, self.pid, self.base + 8)?;
+        while cur != 0 {
+            total += read_u64(k, self.pid, cur)?;
+            cur = read_u64(k, self.pid, cur + 8)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_sim::SimClock;
+
+    fn setup() -> (Kernel, Pid, SimHeap) {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let pid = k.spawn("heapuser");
+        let heap = SimHeap::create(&mut k, pid, 1 << 20).unwrap();
+        (k, pid, heap)
+    }
+
+    #[test]
+    fn alloc_store_load() {
+        let (mut k, _pid, heap) = setup();
+        let a = heap.alloc(&mut k, 100).unwrap();
+        let b = heap.alloc(&mut k, 200).unwrap();
+        assert_ne!(a, b);
+        heap.store(&mut k, a, b"hello heap").unwrap();
+        heap.store(&mut k, b, &[7u8; 200]).unwrap();
+        assert_eq!(heap.load(&mut k, a, 10).unwrap(), b"hello heap");
+        assert_eq!(heap.load(&mut k, b, 200).unwrap(), vec![7u8; 200]);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let (mut k, _pid, heap) = setup();
+        let before = heap.free_bytes(&mut k).unwrap();
+        let ptrs: Vec<u64> = (0..10).map(|_| heap.alloc(&mut k, 64).unwrap()).collect();
+        assert!(heap.free_bytes(&mut k).unwrap() < before);
+        for p in &ptrs {
+            heap.free(&mut k, *p).unwrap();
+        }
+        assert_eq!(heap.free_bytes(&mut k).unwrap(), before);
+        // Double free detected.
+        assert!(heap.free(&mut k, ptrs[0]).is_err());
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let pid = k.spawn("small");
+        let heap = SimHeap::create(&mut k, pid, 4096).unwrap();
+        assert!(heap.alloc(&mut k, 2048).is_ok());
+        assert!(heap.alloc(&mut k, 4096).is_err());
+    }
+
+    #[test]
+    fn attach_rejects_garbage() {
+        let (mut k, pid, heap) = setup();
+        assert!(SimHeap::attach(&mut k, pid, heap.base).is_ok());
+        let other = k.mmap_anon(pid, 4096, false).unwrap();
+        assert!(SimHeap::attach(&mut k, pid, other).is_err());
+    }
+
+    #[test]
+    fn many_allocations_have_disjoint_ranges() {
+        let (mut k, _pid, heap) = setup();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for i in 0..200u64 {
+            let size = 16 + (i % 64);
+            let p = heap.alloc(&mut k, size).unwrap();
+            for &(s, e) in &ranges {
+                assert!(p + size <= s || p >= e, "overlap at {p:#x}");
+            }
+            ranges.push((p, p + size));
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use aurora_sim::SimClock;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone)]
+    enum HeapOp {
+        Alloc { size: u16, fill: u8 },
+        Free { slot: u8 },
+        Check { slot: u8 },
+    }
+
+    fn op() -> impl Strategy<Value = HeapOp> {
+        prop_oneof![
+            3 => (8u16..512, any::<u8>()).prop_map(|(size, fill)| HeapOp::Alloc { size, fill }),
+            2 => any::<u8>().prop_map(|slot| HeapOp::Free { slot }),
+            2 => any::<u8>().prop_map(|slot| HeapOp::Check { slot }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random alloc/free/check sequences: live allocations always
+        /// hold exactly their bytes; freeing returns space; the free
+        /// list never loses bytes permanently.
+        #[test]
+        fn allocator_never_corrupts_live_data(ops in proptest::collection::vec(op(), 1..120)) {
+            let mut k = Kernel::boot(SimClock::new(), "t");
+            let pid = k.spawn("heap");
+            let heap = SimHeap::create(&mut k, pid, 1 << 20).unwrap();
+            let budget = heap.free_bytes(&mut k).unwrap();
+
+            let mut live: HashMap<u8, (u64, u16, u8)> = HashMap::new();
+            let mut next_slot = 0u8;
+            for op in ops {
+                match op {
+                    HeapOp::Alloc { size, fill } => {
+                        if let Ok(ptr) = heap.alloc(&mut k, size as u64) {
+                            heap.store(&mut k, ptr, &vec![fill; size as usize]).unwrap();
+                            live.insert(next_slot, (ptr, size, fill));
+                            next_slot = next_slot.wrapping_add(1);
+                        }
+                    }
+                    HeapOp::Free { slot } => {
+                        if let Some((ptr, _, _)) = live.remove(&(slot % next_slot.max(1))) {
+                            heap.free(&mut k, ptr).unwrap();
+                        }
+                    }
+                    HeapOp::Check { slot } => {
+                        if let Some(&(ptr, size, fill)) = live.get(&(slot % next_slot.max(1))) {
+                            let data = heap.load(&mut k, ptr, size as usize).unwrap();
+                            prop_assert!(data.iter().all(|&b| b == fill),
+                                "allocation at {ptr:#x} corrupted");
+                        }
+                    }
+                }
+            }
+            // Verify every surviving allocation, then free everything.
+            for (_, &(ptr, size, fill)) in live.iter() {
+                let data = heap.load(&mut k, ptr, size as usize).unwrap();
+                prop_assert!(data.iter().all(|&b| b == fill));
+            }
+            for (_, (ptr, _, _)) in live.drain() {
+                heap.free(&mut k, ptr).unwrap();
+            }
+            prop_assert_eq!(heap.free_bytes(&mut k).unwrap(), budget, "bytes leaked");
+        }
+    }
+}

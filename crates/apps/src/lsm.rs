@@ -1,0 +1,339 @@
+//! A RocksDB-flavoured LSM tree over SLSFS.
+//!
+//! Writes land in a memtable and a durability log; full memtables flush
+//! to sorted-run files; reads check the memtable then runs newest-first;
+//! compaction merges runs. Two log strategies, mirroring §4's RocksDB
+//! port:
+//!
+//! * [`LsmLog::WalFsync`] — a write-ahead log file fsync'd per batch
+//!   (the stock design).
+//! * [`LsmLog::Aurora`] — `sls_ntflush` replaces the WAL: cheaper
+//!   synchronous durability and none of the fsync-ordering subtleties
+//!   the paper's bug citations are about.
+//!
+//! The driver-side memtable is an explicit simplification: unlike the
+//! KV server, the LSM is exercised through its *API-port* persistence
+//! only (recovery = manifest + runs + log replay), not through
+//! transparent memory checkpointing.
+
+use aurora_core::{GroupId, Host};
+use aurora_posix::{Fd, Pid};
+use aurora_sim::codec::{Decoder, Encoder};
+use aurora_sim::error::{Error, Result};
+use std::collections::BTreeMap;
+
+use crate::kv::KvOp;
+
+/// Durability-log strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsmLog {
+    /// Stock WAL + fsync.
+    WalFsync,
+    /// Aurora persistent log (`sls_ntflush`).
+    Aurora,
+}
+
+/// Directory holding the tree's files.
+pub const LSM_DIR: &str = "/sls/lsm";
+
+/// The LSM tree.
+pub struct LsmTree {
+    /// Owning process.
+    pub pid: Pid,
+    /// Persistence group (Aurora log mode).
+    pub gid: Option<GroupId>,
+    log: LsmLog,
+    memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    memtable_bytes: usize,
+    /// Flush threshold in bytes.
+    pub memtable_limit: usize,
+    /// Sorted-run file names, oldest first.
+    runs: Vec<String>,
+    next_run: u64,
+    wal_fd: Option<Fd>,
+    ntlog_fd: Option<Fd>,
+    /// Sorted runs written over the tree's lifetime.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+}
+
+fn manifest_path() -> String {
+    format!("{LSM_DIR}/MANIFEST")
+}
+
+impl LsmTree {
+    /// Creates a fresh tree.
+    pub fn create(host: &mut Host, log: LsmLog, memtable_limit: usize) -> Result<LsmTree> {
+        let pid = host.kernel.spawn("lsm");
+        // mkdir -p /sls/lsm
+        let (parent, name) = host.kernel.vfs.resolve_parent(LSM_DIR)?;
+        let _ = host.kernel.vfs.fs(parent.mount).mkdir(parent.node, &name);
+        let mut tree = LsmTree {
+            pid,
+            gid: None,
+            log,
+            memtable: BTreeMap::new(),
+            memtable_bytes: 0,
+            memtable_limit,
+            runs: Vec::new(),
+            next_run: 1,
+            wal_fd: None,
+            ntlog_fd: None,
+            flushes: 0,
+            compactions: 0,
+        };
+        match log {
+            LsmLog::WalFsync => {
+                let fd = host.kernel.open(pid, &format!("{LSM_DIR}/wal"), true)?;
+                host.kernel.set_append(pid, fd)?;
+                tree.wal_fd = Some(fd);
+            }
+            LsmLog::Aurora => {
+                let gid = host.persist("lsm", pid)?;
+                let (fd, _) = host.ntlog_create(gid, pid)?;
+                tree.gid = Some(gid);
+                tree.ntlog_fd = Some(fd);
+            }
+        }
+        tree.write_manifest(host)?;
+        Ok(tree)
+    }
+
+    fn write_manifest(&self, host: &mut Host) -> Result<()> {
+        let mut e = Encoder::new();
+        e.u64(self.next_run);
+        e.seq(&self.runs, |e, r| e.str(r));
+        let fd = host.kernel.open(self.pid, &manifest_path(), true)?;
+        host.kernel.lseek(self.pid, fd, 0)?;
+        host.kernel.write(self.pid, fd, &e.into_vec())?;
+        host.kernel.close(self.pid, fd)?;
+        // Stage the filesystem metadata so the next durability commit
+        // (ntflush mini-commit or WAL fsync) carries it.
+        let mount = host.sls.slsfs_mount;
+        host.kernel.vfs.fs(mount).sync()?;
+        Ok(())
+    }
+
+    fn log_record(&mut self, host: &mut Host, op: &KvOp) -> Result<()> {
+        match self.log {
+            LsmLog::WalFsync => {
+                let fd = self.wal_fd.ok_or_else(|| Error::internal("no wal"))?;
+                host.kernel.write(self.pid, fd, &op.encode())?;
+                // fsync: ordered data barrier, then metadata commit.
+                let mount = host.sls.slsfs_mount;
+                host.kernel.vfs.fs(mount).sync()?;
+                host.sls.primary.borrow_mut().barrier_flush()?;
+                let (_, durable) = host.sls.primary.borrow_mut().commit(None)?;
+                host.clock.advance_to(durable);
+            }
+            LsmLog::Aurora => {
+                let gid = self.gid.ok_or_else(|| Error::internal("no group"))?;
+                let fd = self.ntlog_fd.ok_or_else(|| Error::internal("no ntlog"))?;
+                host.sls_ntflush(gid, self.pid, fd, &op.encode())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts or replaces a key.
+    pub fn put(&mut self, host: &mut Host, key: &[u8], value: &[u8]) -> Result<()> {
+        self.log_record(host, &KvOp::Set(key.to_vec(), value.to_vec()))?;
+        self.memtable_bytes += key.len() + value.len();
+        self.memtable.insert(key.to_vec(), Some(value.to_vec()));
+        if self.memtable_bytes >= self.memtable_limit {
+            self.flush(host)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes a key (tombstone).
+    pub fn delete(&mut self, host: &mut Host, key: &[u8]) -> Result<()> {
+        self.log_record(host, &KvOp::Del(key.to_vec()))?;
+        self.memtable_bytes += key.len();
+        self.memtable.insert(key.to_vec(), None);
+        if self.memtable_bytes >= self.memtable_limit {
+            self.flush(host)?;
+        }
+        Ok(())
+    }
+
+    /// Looks a key up: memtable, then runs newest-first.
+    pub fn get(&mut self, host: &mut Host, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if let Some(v) = self.memtable.get(key) {
+            return Ok(v.clone());
+        }
+        for run in self.runs.iter().rev() {
+            let entries = read_run(host, self.pid, run)?;
+            if let Some((_, v)) = entries.iter().find(|(k, _)| k == key) {
+                return Ok(v.clone());
+            }
+        }
+        Ok(None)
+    }
+
+    /// Flushes the memtable into a new sorted run and truncates the log.
+    pub fn flush(&mut self, host: &mut Host) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let run_name = format!("{LSM_DIR}/run-{:06}", self.next_run);
+        self.next_run += 1;
+        write_run(host, self.pid, &run_name, self.memtable.iter())?;
+        self.runs.push(run_name);
+        self.memtable.clear();
+        self.memtable_bytes = 0;
+        self.flushes += 1;
+        self.write_manifest(host)?;
+        // The run + manifest now carry the data: truncate the log.
+        match self.log {
+            LsmLog::WalFsync => {
+                let fd = self.wal_fd.ok_or_else(|| Error::internal("no wal"))?;
+                host.kernel.close(self.pid, fd)?;
+                host.kernel.unlink_path(self.pid, &format!("{LSM_DIR}/wal"))?;
+                let fd = host.kernel.open(self.pid, &format!("{LSM_DIR}/wal"), true)?;
+                host.kernel.set_append(self.pid, fd)?;
+                self.wal_fd = Some(fd);
+                let mount = host.sls.slsfs_mount;
+                host.kernel.vfs.fs(mount).sync()?;
+                let (_, durable) = host.sls.primary.borrow_mut().commit(None)?;
+                host.clock.advance_to(durable);
+            }
+            LsmLog::Aurora => {
+                let gid = self.gid.ok_or_else(|| Error::internal("no group"))?;
+                let fd = self.ntlog_fd.ok_or_else(|| Error::internal("no ntlog"))?;
+                host.ntlog_truncate(gid, self.pid, fd)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges every run into one (full compaction).
+    pub fn compact(&mut self, host: &mut Host) -> Result<()> {
+        if self.runs.len() < 2 {
+            return Ok(());
+        }
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for run in &self.runs {
+            for (k, v) in read_run(host, self.pid, run)? {
+                merged.insert(k, v); // Newer runs overwrite older.
+            }
+        }
+        // Tombstones drop out at the bottom level.
+        merged.retain(|_, v| v.is_some());
+        let run_name = format!("{LSM_DIR}/run-{:06}", self.next_run);
+        self.next_run += 1;
+        write_run(host, self.pid, &run_name, merged.iter())?;
+        for old in self.runs.drain(..) {
+            let _ = host.kernel.unlink_path(self.pid, &old);
+        }
+        self.runs.push(run_name);
+        self.compactions += 1;
+        self.write_manifest(host)
+    }
+
+    /// Recovers after a crash: manifest + runs + durability-log replay.
+    pub fn recover(host: &mut Host, log: LsmLog, memtable_limit: usize) -> Result<LsmTree> {
+        let pid = host.kernel.spawn("lsm");
+        let fd = host.kernel.open(pid, &manifest_path(), false)?;
+        let size = host.kernel.fstat(pid, fd)?.size as usize;
+        let bytes = host.kernel.read(pid, fd, size)?;
+        host.kernel.close(pid, fd)?;
+        let mut d = Decoder::new(&bytes);
+        let next_run = d.u64()?;
+        let runs = d.seq(|d| d.str().map(str::to_string))?;
+
+        let mut tree = LsmTree {
+            pid,
+            gid: None,
+            log,
+            memtable: BTreeMap::new(),
+            memtable_bytes: 0,
+            memtable_limit,
+            runs,
+            next_run,
+            wal_fd: None,
+            ntlog_fd: None,
+            flushes: 0,
+            compactions: 0,
+        };
+        // Replay the durability log into the memtable.
+        let log_bytes = match log {
+            LsmLog::WalFsync => {
+                let fd = host.kernel.open(pid, &format!("{LSM_DIR}/wal"), true)?;
+                let size = host.kernel.fstat(pid, fd)?.size as usize;
+                host.kernel.lseek(pid, fd, 0)?;
+                let bytes = host.kernel.read(pid, fd, size)?;
+                host.kernel.set_append(pid, fd)?;
+                tree.wal_fd = Some(fd);
+                bytes
+            }
+            LsmLog::Aurora => {
+                let gid = host.persist("lsm", pid)?;
+                tree.gid = Some(gid);
+                // Log id 1 is the tree's log; reopen a descriptor.
+                let fd = host.install_ntlog_fd(pid, 1)?;
+                tree.ntlog_fd = Some(fd);
+                host.ntlog_read(gid, pid, fd)?
+            }
+        };
+        let mut off = 0;
+        while off < log_bytes.len() {
+            let (op, used) = KvOp::decode(&log_bytes[off..])?;
+            match op {
+                KvOp::Set(k, v) => {
+                    tree.memtable_bytes += k.len() + v.len();
+                    tree.memtable.insert(k, Some(v));
+                }
+                KvOp::Del(k) => {
+                    tree.memtable_bytes += k.len();
+                    tree.memtable.insert(k, None);
+                }
+                KvOp::Get(_) => {}
+            }
+            off += used;
+        }
+        Ok(tree)
+    }
+
+    /// Live sorted runs (tests).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+fn write_run<'a>(
+    host: &mut Host,
+    pid: Pid,
+    path: &str,
+    entries: impl Iterator<Item = (&'a Vec<u8>, &'a Option<Vec<u8>>)>,
+) -> Result<()> {
+    let mut e = Encoder::new();
+    let list: Vec<_> = entries.collect();
+    e.varint(list.len() as u64);
+    for (k, v) in list {
+        e.bytes(k);
+        e.option(v.as_ref(), |e, v| e.bytes(v));
+    }
+    let fd = host.kernel.open(pid, path, true)?;
+    host.kernel.write(pid, fd, &e.into_vec())?;
+    host.kernel.close(pid, fd)?;
+    Ok(())
+}
+
+#[allow(clippy::type_complexity)]
+fn read_run(host: &mut Host, pid: Pid, path: &str) -> Result<Vec<(Vec<u8>, Option<Vec<u8>>)>> {
+    let fd = host.kernel.open(pid, path, false)?;
+    let size = host.kernel.fstat(pid, fd)?.size as usize;
+    let bytes = host.kernel.read(pid, fd, size)?;
+    host.kernel.close(pid, fd)?;
+    let mut d = Decoder::new(&bytes);
+    let n = d.varint()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = d.bytes()?.to_vec();
+        let v = d.option(|d| d.bytes().map(<[u8]>::to_vec))?;
+        out.push((k, v));
+    }
+    Ok(out)
+}

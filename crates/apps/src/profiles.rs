@@ -1,0 +1,170 @@
+//! Synthetic process profiles matching the paper's workloads.
+//!
+//! Tables 3 and 4 measure a Redis instance with a 2 GiB working set and
+//! a hello-world serverless function. The *shape* of those numbers is
+//! set by each process's composition — how many address-space entries,
+//! kernel objects and resident pages it has — so these builders recreate
+//! processes with realistic inventories:
+//!
+//! * [`redis_profile`] — one large data heap plus the dozens of mappings a
+//!   dynamically linked server carries (text/data/bss per library,
+//!   stacks, guard pages), a listening socket with a fleet of client
+//!   connections, and a handful of open files.
+//! * [`serverless_profile`] — a small function runtime: fewer, smaller
+//!   mappings and a moderate descriptor table.
+
+use aurora_core::Host;
+use aurora_posix::Pid;
+use aurora_sim::error::Result;
+
+/// Composition of a synthetic process.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Name of the process.
+    pub name: &'static str,
+    /// Main data region (bytes, seeded pages, fully resident).
+    pub data_bytes: u64,
+    /// Number of library-like auxiliary mappings.
+    pub aux_mappings: u32,
+    /// Pages per auxiliary mapping.
+    pub aux_pages: u64,
+    /// Resident (touched) pages per auxiliary mapping.
+    pub aux_resident: u64,
+    /// Client TCP connections to the server.
+    pub connections: u32,
+    /// Open SLSFS files.
+    pub files: u32,
+}
+
+/// The paper's Redis-with-2-GiB-working-set profile.
+pub fn redis_profile(data_bytes: u64) -> Profile {
+    Profile {
+        name: "redis-sim",
+        data_bytes,
+        aux_mappings: 59,
+        aux_pages: 16,
+        aux_resident: 3,
+        connections: 16,
+        files: 6,
+    }
+}
+
+/// The hello-world serverless-function profile.
+pub fn serverless_profile() -> Profile {
+    Profile {
+        name: "hello-fn",
+        data_bytes: 1 << 20, // 1 MiB of function state
+        aux_mappings: 17,
+        aux_pages: 8,
+        aux_resident: 2,
+        connections: 2,
+        files: 8,
+    }
+}
+
+/// Builds a process matching `profile`; returns `(server pid, client pid)`.
+///
+/// The client process owns the far ends of the server's connections and
+/// stays *outside* any persistence group (so replies to it exercise
+/// external consistency).
+pub fn build(host: &mut Host, profile: &Profile, port: u16) -> Result<(Pid, Pid)> {
+    let pid = host.kernel.spawn(profile.name);
+
+    // Main data region, fully resident with deterministic contents.
+    let data = host.kernel.mmap_anon(pid, profile.data_bytes, false)?;
+    host.kernel
+        .mem_touch_seeded(pid, data, profile.data_bytes, 0xDA7A ^ profile.data_bytes)?;
+    host.kernel.set_reg(pid, 0, data)?;
+
+    // Library-like mappings with a few resident pages each.
+    for i in 0..profile.aux_mappings {
+        let len = profile.aux_pages * 4096;
+        let addr = host.kernel.mmap_anon(pid, len, false)?;
+        let touched = profile.aux_resident.min(profile.aux_pages) * 4096;
+        if touched > 0 {
+            host.kernel
+                .mem_touch_seeded(pid, addr, touched, 0x11B0 + i as u64)?;
+        }
+    }
+
+    // Open files on SLSFS.
+    for i in 0..profile.files {
+        let fd = host
+            .kernel
+            .open(pid, &format!("/sls/{}-{i}.dat", profile.name), true)?;
+        host.kernel
+            .write(pid, fd, format!("data file {i}").as_bytes())?;
+    }
+
+    // Listening socket + client connections from an external process.
+    let client = host.kernel.spawn("external-client");
+    let lfd = host.kernel.tcp_listen(pid, port)?;
+    for _ in 0..profile.connections {
+        let _cfd = host.kernel.tcp_connect(client, port)?;
+        host.kernel.tcp_accept(pid, lfd)?;
+    }
+    Ok((pid, client))
+}
+
+/// Dirties `fraction` of the main data region (steady-state write load
+/// between incremental checkpoints).
+pub fn dirty_data(host: &mut Host, pid: Pid, profile: &Profile, fraction: f64) -> Result<u64> {
+    let data = host.kernel.get_reg(pid, 0)?;
+    let total_pages = profile.data_bytes / 4096;
+    let dirty = ((total_pages as f64 * fraction) as u64).max(1);
+    // Touch an evenly spaced subset, rewriting contents (new seeds).
+    let stride = (total_pages / dirty).max(1);
+    let mut touched = 0;
+    let mut page = 0;
+    while touched < dirty && page < total_pages {
+        host.kernel
+            .mem_touch_seeded(pid, data + page * 4096, 4096, 0xD1127 + page)?;
+        touched += 1;
+        page += stride;
+    }
+    Ok(touched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_hw::ModelDev;
+    use aurora_objstore::StoreConfig;
+    use aurora_sim::SimClock;
+
+    fn host() -> Host {
+        let clock = SimClock::new();
+        let dev = Box::new(ModelDev::nvme(clock, "nvme0", 512 * 1024));
+        Host::boot("h", dev, StoreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn redis_profile_builds_with_expected_inventory() {
+        let mut h = host();
+        let profile = redis_profile(8 << 20); // 8 MiB for the test
+        let (pid, _client) = build(&mut h, &profile, 6379).unwrap();
+        let proc = h.kernel.proc_ref(pid).unwrap();
+        assert_eq!(proc.map.len() as u32, 1 + profile.aux_mappings);
+        assert_eq!(
+            proc.fds.len() as u32,
+            profile.files + 1 + profile.connections
+        );
+        // The data region is fully resident.
+        let entry_pages: u64 = proc.map.total_pages();
+        assert!(entry_pages >= (8 << 20) / 4096);
+    }
+
+    #[test]
+    fn dirty_data_touches_requested_fraction() {
+        let mut h = host();
+        let profile = redis_profile(4 << 20);
+        let (pid, _) = build(&mut h, &profile, 6379).unwrap();
+        let gid = h.persist("p", pid).unwrap();
+        h.checkpoint(gid, true, None).unwrap();
+        let touched = dirty_data(&mut h, pid, &profile, 0.25).unwrap();
+        let bd = h.checkpoint(gid, false, None).unwrap();
+        assert_eq!(bd.pages, touched);
+        let total_pages = (4 << 20) / 4096;
+        assert!((touched as f64) < total_pages as f64 * 0.3);
+    }
+}

@@ -1,0 +1,327 @@
+//! An open-addressing hash table stored in simulated memory.
+//!
+//! The KV server's entire dataset lives here: the bucket array and every
+//! key/value payload are allocations in a [`crate::SimHeap`]. After a
+//! checkpoint/restore the table is byte-identical, so a restored server
+//! answers queries from the persisted bytes — the single-level-store
+//! promise made concrete.
+//!
+//! Layout (all little-endian u64 unless noted):
+//!
+//! ```text
+//! header: magic, capacity, count
+//! bucket: state (0 empty / 1 used / 2 tombstone),
+//!         key ptr, key len, val ptr, val len      (40 bytes)
+//! ```
+
+use aurora_posix::{Kernel, Pid};
+use aurora_sim::error::{Error, Result};
+use aurora_sim::hash::fnv64;
+
+use crate::heap::SimHeap;
+
+const MAP_MAGIC: u64 = 0x4155_524D_4150_5631; // "AURMAPV1"
+const HDR: u64 = 24;
+const BUCKET: u64 = 40;
+const EMPTY: u64 = 0;
+const USED: u64 = 1;
+const TOMB: u64 = 2;
+
+/// Driver handle for a hash table in simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct SimMap {
+    /// Owning process.
+    pub pid: Pid,
+    /// Table header address.
+    pub base: u64,
+    heap: SimHeap,
+    capacity: u64,
+}
+
+fn read_u64(k: &mut Kernel, pid: Pid, addr: u64) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    k.mem_read(pid, addr, &mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_u64(k: &mut Kernel, pid: Pid, addr: u64, v: u64) -> Result<()> {
+    k.mem_write(pid, addr, &v.to_le_bytes())
+}
+
+impl SimMap {
+    /// Creates a table with `capacity` buckets (rounded up to a power of
+    /// two) inside `heap`.
+    pub fn create(k: &mut Kernel, heap: SimHeap, capacity: u64) -> Result<SimMap> {
+        let capacity = capacity.next_power_of_two().max(8);
+        let base = heap.alloc(k, HDR + capacity * BUCKET)?;
+        write_u64(k, heap.pid, base, MAP_MAGIC)?;
+        write_u64(k, heap.pid, base + 8, capacity)?;
+        write_u64(k, heap.pid, base + 16, 0)?;
+        // Zero the bucket states.
+        let zeros = vec![0u8; (capacity * BUCKET) as usize];
+        k.mem_write(heap.pid, base + HDR, &zeros)?;
+        Ok(SimMap {
+            pid: heap.pid,
+            base,
+            heap,
+            capacity,
+        })
+    }
+
+    /// Re-attaches to an existing table after restore.
+    pub fn attach(k: &mut Kernel, heap: SimHeap, base: u64) -> Result<SimMap> {
+        if read_u64(k, heap.pid, base)? != MAP_MAGIC {
+            return Err(Error::corrupt(format!("no map at {base:#x}")));
+        }
+        let capacity = read_u64(k, heap.pid, base + 8)?;
+        Ok(SimMap {
+            pid: heap.pid,
+            base,
+            heap,
+            capacity,
+        })
+    }
+
+    fn bucket_addr(&self, i: u64) -> u64 {
+        self.base + HDR + (i & (self.capacity - 1)) * BUCKET
+    }
+
+    /// Number of live entries.
+    pub fn len(&self, k: &mut Kernel) -> Result<u64> {
+        read_u64(k, self.pid, self.base + 16)
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self, k: &mut Kernel) -> Result<bool> {
+        Ok(self.len(k)? == 0)
+    }
+
+    fn bucket_key(&self, k: &mut Kernel, b: u64) -> Result<Vec<u8>> {
+        let kptr = read_u64(k, self.pid, b + 8)?;
+        let klen = read_u64(k, self.pid, b + 16)?;
+        self.heap.load(k, kptr, klen as usize)
+    }
+
+    /// Inserts or replaces a key.
+    pub fn put(&self, k: &mut Kernel, key: &[u8], value: &[u8]) -> Result<()> {
+        let h = fnv64(key);
+        let mut first_tomb: Option<u64> = None;
+        for probe in 0..self.capacity {
+            let b = self.bucket_addr(h.wrapping_add(probe));
+            match read_u64(k, self.pid, b)? {
+                EMPTY => {
+                    let slot = first_tomb.unwrap_or(b);
+                    return self.fill_bucket(k, slot, key, value, true);
+                }
+                TOMB => {
+                    if first_tomb.is_none() {
+                        first_tomb = Some(b);
+                    }
+                }
+                _ => {
+                    if self.bucket_key(k, b)? == key {
+                        // Replace the value in place.
+                        let old_vptr = read_u64(k, self.pid, b + 24)?;
+                        self.heap.free(k, old_vptr)?;
+                        let vptr = self.heap.alloc(k, value.len().max(1) as u64)?;
+                        self.heap.store(k, vptr, value)?;
+                        write_u64(k, self.pid, b + 24, vptr)?;
+                        write_u64(k, self.pid, b + 32, value.len() as u64)?;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        if let Some(slot) = first_tomb {
+            return self.fill_bucket(k, slot, key, value, true);
+        }
+        Err(Error::no_space("hash table full"))
+    }
+
+    fn fill_bucket(
+        &self,
+        k: &mut Kernel,
+        b: u64,
+        key: &[u8],
+        value: &[u8],
+        bump_count: bool,
+    ) -> Result<()> {
+        let kptr = self.heap.alloc(k, key.len().max(1) as u64)?;
+        self.heap.store(k, kptr, key)?;
+        let vptr = self.heap.alloc(k, value.len().max(1) as u64)?;
+        self.heap.store(k, vptr, value)?;
+        write_u64(k, self.pid, b, USED)?;
+        write_u64(k, self.pid, b + 8, kptr)?;
+        write_u64(k, self.pid, b + 16, key.len() as u64)?;
+        write_u64(k, self.pid, b + 24, vptr)?;
+        write_u64(k, self.pid, b + 32, value.len() as u64)?;
+        if bump_count {
+            let count = read_u64(k, self.pid, self.base + 16)?;
+            write_u64(k, self.pid, self.base + 16, count + 1)?;
+        }
+        Ok(())
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, k: &mut Kernel, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let h = fnv64(key);
+        for probe in 0..self.capacity {
+            let b = self.bucket_addr(h.wrapping_add(probe));
+            match read_u64(k, self.pid, b)? {
+                EMPTY => return Ok(None),
+                TOMB => continue,
+                _ => {
+                    if self.bucket_key(k, b)? == key {
+                        let vptr = read_u64(k, self.pid, b + 24)?;
+                        let vlen = read_u64(k, self.pid, b + 32)?;
+                        return Ok(Some(self.heap.load(k, vptr, vlen as usize)?));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Deletes a key; returns whether it existed.
+    pub fn del(&self, k: &mut Kernel, key: &[u8]) -> Result<bool> {
+        let h = fnv64(key);
+        for probe in 0..self.capacity {
+            let b = self.bucket_addr(h.wrapping_add(probe));
+            match read_u64(k, self.pid, b)? {
+                EMPTY => return Ok(false),
+                TOMB => continue,
+                _ => {
+                    if self.bucket_key(k, b)? == key {
+                        let kptr = read_u64(k, self.pid, b + 8)?;
+                        let vptr = read_u64(k, self.pid, b + 24)?;
+                        self.heap.free(k, kptr)?;
+                        self.heap.free(k, vptr)?;
+                        write_u64(k, self.pid, b, TOMB)?;
+                        let count = read_u64(k, self.pid, self.base + 16)?;
+                        write_u64(k, self.pid, self.base + 16, count - 1)?;
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Dumps every entry (snapshot serialization path).
+    pub fn entries(&self, k: &mut Kernel) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for i in 0..self.capacity {
+            let b = self.bucket_addr(i);
+            if read_u64(k, self.pid, b)? == USED {
+                let key = self.bucket_key(k, b)?;
+                let vptr = read_u64(k, self.pid, b + 24)?;
+                let vlen = read_u64(k, self.pid, b + 32)?;
+                out.push((key, self.heap.load(k, vptr, vlen as usize)?));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_sim::SimClock;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn setup() -> (Kernel, SimMap) {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let pid = k.spawn("mapuser");
+        let heap = SimHeap::create(&mut k, pid, 4 << 20).unwrap();
+        let map = SimMap::create(&mut k, heap, 256).unwrap();
+        (k, map)
+    }
+
+    #[test]
+    fn put_get_del() {
+        let (mut k, map) = setup();
+        map.put(&mut k, b"alpha", b"1").unwrap();
+        map.put(&mut k, b"beta", b"2").unwrap();
+        assert_eq!(map.get(&mut k, b"alpha").unwrap().unwrap(), b"1");
+        assert_eq!(map.get(&mut k, b"beta").unwrap().unwrap(), b"2");
+        assert_eq!(map.get(&mut k, b"gamma").unwrap(), None);
+        assert_eq!(map.len(&mut k).unwrap(), 2);
+
+        map.put(&mut k, b"alpha", b"replaced").unwrap();
+        assert_eq!(map.get(&mut k, b"alpha").unwrap().unwrap(), b"replaced");
+        assert_eq!(map.len(&mut k).unwrap(), 2);
+
+        assert!(map.del(&mut k, b"alpha").unwrap());
+        assert!(!map.del(&mut k, b"alpha").unwrap());
+        assert_eq!(map.get(&mut k, b"alpha").unwrap(), None);
+        assert_eq!(map.len(&mut k).unwrap(), 1);
+    }
+
+    #[test]
+    fn tombstone_probing_keeps_collisions_reachable() {
+        let (mut k, map) = setup();
+        // Insert enough keys to force probe chains, delete every other,
+        // then verify the rest.
+        for i in 0..100u32 {
+            map.put(&mut k, format!("key{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        for i in (0..100u32).step_by(2) {
+            assert!(map.del(&mut k, format!("key{i}").as_bytes()).unwrap());
+        }
+        for i in (1..100u32).step_by(2) {
+            let v = map.get(&mut k, format!("key{i}").as_bytes()).unwrap();
+            assert_eq!(v.unwrap(), i.to_le_bytes());
+        }
+        // Tombstones are reused by new inserts.
+        for i in 0..50u32 {
+            map.put(&mut k, format!("new{i}").as_bytes(), b"x").unwrap();
+        }
+        assert_eq!(map.len(&mut k).unwrap(), 100);
+    }
+
+    #[test]
+    fn entries_dump_matches() {
+        let (mut k, map) = setup();
+        map.put(&mut k, b"a", b"1").unwrap();
+        map.put(&mut k, b"b", b"22").unwrap();
+        let mut entries = map.entries(&mut k).unwrap();
+        entries.sort();
+        assert_eq!(
+            entries,
+            vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"22".to_vec())]
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// SimMap behaves exactly like std HashMap on random workloads.
+        #[test]
+        fn matches_std_hashmap(ops in proptest::collection::vec(
+            (0u8..3, 0u16..40, proptest::collection::vec(any::<u8>(), 0..24)), 1..120)
+        ) {
+            let (mut k, map) = setup();
+            let mut reference: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+            for (op, keyn, value) in ops {
+                let key = format!("k{keyn}").into_bytes();
+                match op {
+                    0 => {
+                        map.put(&mut k, &key, &value).unwrap();
+                        reference.insert(key, value);
+                    }
+                    1 => {
+                        let got = map.get(&mut k, &key).unwrap();
+                        prop_assert_eq!(got.as_ref(), reference.get(&key));
+                    }
+                    _ => {
+                        let got = map.del(&mut k, &key).unwrap();
+                        prop_assert_eq!(got, reference.remove(&key).is_some());
+                    }
+                }
+            }
+            prop_assert_eq!(map.len(&mut k).unwrap() as usize, reference.len());
+        }
+    }
+}

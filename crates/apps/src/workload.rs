@@ -1,0 +1,159 @@
+//! Deterministic workload generators.
+//!
+//! Key popularity follows either a uniform or a Zipfian distribution
+//! (the standard skewed-access model for KV benchmarks); both are
+//! seeded, so every experiment replays identically.
+
+use aurora_sim::rng::Xoshiro256;
+
+use crate::kv::KvOp;
+
+/// Key-popularity distributions.
+#[derive(Debug, Clone, Copy)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with exponent `theta` (0.99 is the YCSB default).
+    Zipfian {
+        /// Skew exponent.
+        theta: f64,
+    },
+}
+
+/// A deterministic op-stream generator.
+pub struct Workload {
+    rng: Xoshiro256,
+    keys: u64,
+    value_len: usize,
+    /// Probability that an op is a read.
+    read_fraction: f64,
+    dist: KeyDist,
+    /// Precomputed Zipf normalization constant.
+    zeta: f64,
+    theta: f64,
+}
+
+impl Workload {
+    /// Creates a generator over `keys` keys with `value_len`-byte values.
+    pub fn new(seed: u64, keys: u64, value_len: usize, read_fraction: f64, dist: KeyDist) -> Self {
+        let theta = match dist {
+            KeyDist::Zipfian { theta } => theta,
+            KeyDist::Uniform => 0.0,
+        };
+        let zeta = match dist {
+            KeyDist::Zipfian { theta } => (1..=keys).map(|i| 1.0 / (i as f64).powf(theta)).sum(),
+            KeyDist::Uniform => 0.0,
+        };
+        Workload {
+            rng: Xoshiro256::seed_from(seed),
+            keys,
+            value_len,
+            read_fraction,
+            dist,
+            zeta,
+            theta,
+        }
+    }
+
+    /// Draws the next key index.
+    pub fn next_key(&mut self) -> u64 {
+        match self.dist {
+            KeyDist::Uniform => self.rng.next_below(self.keys),
+            KeyDist::Zipfian { .. } => {
+                // Inverse-CDF walk; fine for the key counts used here.
+                let target = self.rng.next_f64() * self.zeta;
+                let mut acc = 0.0;
+                for i in 1..=self.keys {
+                    acc += 1.0 / (i as f64).powf(self.theta);
+                    if acc >= target {
+                        return i - 1;
+                    }
+                }
+                self.keys - 1
+            }
+        }
+    }
+
+    /// Key bytes for an index.
+    pub fn key_bytes(&self, idx: u64) -> Vec<u8> {
+        format!("key{idx:012}").into_bytes()
+    }
+
+    /// A deterministic value for `(key, version)`.
+    pub fn value_bytes(&mut self) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_len];
+        self.rng.fill_bytes(&mut v);
+        v
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        let idx = self.next_key();
+        let key = self.key_bytes(idx);
+        if self.rng.chance(self.read_fraction) {
+            KvOp::Get(key)
+        } else {
+            let v = self.value_bytes();
+            KvOp::Set(key, v)
+        }
+    }
+
+    /// Preload ops covering every key once (bulk load phase).
+    pub fn load_ops(&mut self) -> Vec<KvOp> {
+        (0..self.keys)
+            .map(|i| {
+                let k = self.key_bytes(i);
+                let v = self.value_bytes();
+                KvOp::Set(k, v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Workload::new(7, 100, 16, 0.5, KeyDist::Uniform);
+        let mut b = Workload::new(7, 100, 16, 0.5, KeyDist::Uniform);
+        for _ in 0..50 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut w = Workload::new(3, 1000, 8, 1.0, KeyDist::Zipfian { theta: 0.99 });
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..5000 {
+            counts[w.next_key() as usize] += 1;
+        }
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[500..510].iter().sum();
+        assert!(
+            head > tail * 5,
+            "hot keys should dominate: head {head} tail {tail}"
+        );
+    }
+
+    #[test]
+    fn uniform_covers_the_space() {
+        let mut w = Workload::new(9, 64, 8, 0.0, KeyDist::Uniform);
+        let mut seen = [false; 64];
+        for _ in 0..2000 {
+            seen[w.next_key() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let mut w = Workload::new(11, 10, 8, 0.9, KeyDist::Uniform);
+        let reads = (0..1000)
+            .filter(|_| matches!(w.next_op(), KvOp::Get(_)))
+            .count();
+        assert!((800..=980).contains(&reads), "got {reads} reads");
+    }
+}

@@ -1,0 +1,71 @@
+//! # Aurora — a single level store, in simulation
+//!
+//! A from-scratch Rust reproduction of *"The Aurora Operating System:
+//! Revisiting the Single Level Store"* (HotOS '21): an operating system
+//! that transparently and continuously persists entire applications —
+//! CPU state, kernel objects, and memory — up to 100 times per second.
+//!
+//! The paper's prototype is ~19k SLOC of FreeBSD kernel changes on real
+//! Optane hardware; this reproduction rebuilds the whole architecture as
+//! a deterministic user-space simulator with a virtual clock and
+//! calibrated device models, so every published experiment can be re-run
+//! and extended on a laptop. See `DESIGN.md` for the substitution map
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`sim`] | virtual clock, cost model, codec, deterministic RNG |
+//! | [`hw`] | NVMe/NVDIMM/ramdisk/network device models + fault injection |
+//! | [`vm`] | Mach-style VM: shadow chains, Aurora's checkpoint COW, clock pageout |
+//! | [`posix`] | processes, descriptors, pipes, sockets, SysV/POSIX IPC, VFS |
+//! | [`objstore`] | COW object store: commits, dedup, in-place GC, recovery |
+//! | [`slsfs`] | the Aurora file system over the object store |
+//! | [`core`] | **the SLS**: orchestrator, libsls API, restore, migration |
+//! | [`apps`] | in-simulator Redis/RocksDB-like stores, serverless runtime |
+//! | [`cli`] | the `sls` command-line tool |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aurora::core::{Host, restore::RestoreMode};
+//! use aurora::hw::ModelDev;
+//! use aurora::objstore::StoreConfig;
+//! use aurora::sim::SimClock;
+//!
+//! // Boot a machine with an NVMe-backed store.
+//! let clock = SimClock::new();
+//! let dev = Box::new(ModelDev::nvme(clock, "nvme0", 64 * 1024));
+//! let mut host = Host::boot("demo", dev, StoreConfig::default()).unwrap();
+//!
+//! // An application: all state in simulated memory + registers.
+//! let pid = host.kernel.spawn("app");
+//! let addr = host.kernel.mmap_anon(pid, 4096, false).unwrap();
+//! host.kernel.mem_write(pid, addr, b"survives crashes").unwrap();
+//!
+//! // Transparent persistence: one call, no application code.
+//! let gid = host.persist("app", pid).unwrap();
+//! let bd = host.checkpoint(gid, true, Some("snap")).unwrap();
+//! host.clock.advance_to(bd.durable_at);
+//!
+//! // The machine dies; the store recovers; the app comes back.
+//! let mut host = host.crash_and_reboot().unwrap();
+//! let store = host.sls.primary.clone();
+//! let head = store.borrow().head().unwrap();
+//! let r = host.restore(&store, head, RestoreMode::Eager).unwrap();
+//! let pid = r.root_pid().unwrap();
+//! let mut buf = [0u8; 16];
+//! host.kernel.mem_read(pid, addr, &mut buf).unwrap();
+//! assert_eq!(&buf, b"survives crashes");
+//! ```
+
+pub use aurora_apps as apps;
+pub use aurora_cli as cli;
+pub use aurora_core as core;
+pub use aurora_hw as hw;
+pub use aurora_objstore as objstore;
+pub use aurora_posix as posix;
+pub use aurora_sim as sim;
+pub use aurora_slsfs as slsfs;
+pub use aurora_vm as vm;

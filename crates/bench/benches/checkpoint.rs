@@ -1,0 +1,48 @@
+//! Criterion: host-time cost of the checkpoint path (simulator
+//! throughput — virtual-time numbers come from the `tables` binary).
+
+use aurora_apps::profiles;
+use aurora_bench::bench_host;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+
+    // Full checkpoint of a 16 MiB Redis-class process.
+    group.bench_function("full_16MiB", |b| {
+        b.iter_batched(
+            || {
+                let mut host = bench_host(256 * 1024);
+                let profile = profiles::redis_profile(16 << 20);
+                let (pid, _) = profiles::build(&mut host, &profile, 6379).unwrap();
+                let gid = host.persist("redis", pid).unwrap();
+                (host, gid)
+            },
+            |(mut host, gid)| host.checkpoint(gid, true, None).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Steady-state incremental with a 10% dirty set.
+    group.bench_function("incremental_16MiB_10pct", |b| {
+        b.iter_batched(
+            || {
+                let mut host = bench_host(256 * 1024);
+                let profile = profiles::redis_profile(16 << 20);
+                let (pid, _) = profiles::build(&mut host, &profile, 6379).unwrap();
+                let gid = host.persist("redis", pid).unwrap();
+                host.checkpoint(gid, true, None).unwrap();
+                profiles::dirty_data(&mut host, pid, &profile, 0.1).unwrap();
+                (host, gid)
+            },
+            |(mut host, gid)| host.checkpoint(gid, false, None).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: KV-server operation costs under each persistence mode
+//! (host time; virtual-time comparisons come from `tables kvports`).
+
+use aurora_apps::kv::{KvServer, PersistMode};
+use aurora_apps::workload::{KeyDist, Workload};
+use aurora_bench::bench_host;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv");
+    group.sample_size(10);
+
+    for (name, mode) in [
+        ("none", PersistMode::None),
+        ("wal_fsync", PersistMode::WalFsync),
+        ("aurora_port", PersistMode::AuroraPort),
+    ] {
+        group.bench_function(format!("set_64x_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut host = bench_host(256 * 1024);
+                    let server = KvServer::start(&mut host, mode, 16 << 20, 4096).unwrap();
+                    let w = Workload::new(3, 1024, 64, 0.0, KeyDist::Uniform);
+                    (host, server, w)
+                },
+                |(mut host, mut server, mut w)| {
+                    for _ in 0..64 {
+                        let op = w.next_op();
+                        server.exec(&mut host, &op).unwrap();
+                    }
+                    (host, server)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion: object-store primitive costs (host time).
+
+use aurora_hw::ModelDev;
+use aurora_objstore::{ObjId, ObjectStore, StoreConfig};
+use aurora_sim::SimClock;
+use aurora_vm::PageData;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn fresh_store() -> ObjectStore {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", 128 * 1024));
+    ObjectStore::format(dev, StoreConfig::default()).unwrap()
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objstore");
+
+    group.bench_function("write_page_unique", |b| {
+        b.iter_batched(
+            || {
+                let mut s = fresh_store();
+                s.create_object(ObjId(1), 1 << 20).unwrap();
+                (s, 0u64)
+            },
+            |(mut s, mut i)| {
+                for _ in 0..64 {
+                    s.write_page(ObjId(1), i, &PageData::Seeded(i)).unwrap();
+                    i += 1;
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("write_page_dedup_hit", |b| {
+        b.iter_batched(
+            || {
+                let mut s = fresh_store();
+                s.create_object(ObjId(1), 1 << 20).unwrap();
+                s.write_page(ObjId(1), 0, &PageData::Seeded(7)).unwrap();
+                s
+            },
+            |mut s| {
+                for i in 1..65u64 {
+                    s.write_page(ObjId(1), i, &PageData::Seeded(7)).unwrap();
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("commit_64_pages", |b| {
+        b.iter_batched(
+            || {
+                let mut s = fresh_store();
+                s.create_object(ObjId(1), 1 << 20).unwrap();
+                for i in 0..64u64 {
+                    s.write_page(ObjId(1), i, &PageData::Seeded(i)).unwrap();
+                }
+                s
+            },
+            |mut s| {
+                s.commit(None).unwrap();
+                s
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: host-time cost of the restore path.
+
+use aurora_apps::profiles;
+use aurora_bench::bench_host;
+use aurora_core::restore::RestoreMode;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restore");
+    group.sample_size(10);
+
+    for (name, mode) in [
+        ("lazy_16MiB", RestoreMode::Lazy),
+        ("prefetch_16MiB", RestoreMode::LazyPrefetch),
+        ("eager_16MiB", RestoreMode::Eager),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut host = bench_host(256 * 1024);
+                    let profile = profiles::redis_profile(16 << 20);
+                    let (pid, _) = profiles::build(&mut host, &profile, 6379).unwrap();
+                    let gid = host.persist("redis", pid).unwrap();
+                    let bd = host.checkpoint(gid, true, None).unwrap();
+                    host.clock.advance_to(bd.durable_at);
+                    (host, bd.ckpt.unwrap())
+                },
+                |(mut host, ckpt)| {
+                    let store = host.sls.primary.clone();
+                    host.restore(&store, ckpt, mode).unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restore);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! The `sls` command-line tool.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match aurora_cli::run(&args.iter().map(String::as_str).collect::<Vec<_>>()) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("sls: {e}");
+            std::process::exit(1);
+        }
+    }
+}

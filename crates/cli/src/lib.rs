@@ -1,0 +1,545 @@
+//! The `sls` command-line tool (Table 1).
+//!
+//! `sls` operates on a *world*: a directory whose `disk.img` file backs
+//! the primary object store (with real page bytes), so applications
+//! genuinely persist across invocations of the binary — each command
+//! boots a fresh simulated machine, restores state from the store,
+//! operates, and checkpoints back.
+//!
+//! | Paper command    | Here                                            |
+//! |------------------|-------------------------------------------------|
+//! | `sls persist`    | start a demo app and register it for persistence|
+//! | `sls attach`     | attach an additional file-backed backend        |
+//! | `sls detach`     | detach a backend                                |
+//! | `sls checkpoint` | take a (named) checkpoint                       |
+//! | `sls restore`    | restore an application and show its state       |
+//! | `sls ps`         | list applications and their checkpoints         |
+//! | `sls send`       | export a checkpoint to a file                   |
+//! | `sls recv`       | import a checkpoint from a file                 |
+//!
+//! Extra commands: `init`, `run` (advance an app and checkpoint), `info`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use aurora_apps::hello::HelloApp;
+use aurora_apps::kv::{KvOp, KvServer, PersistMode};
+use aurora_core::restore::RestoreMode;
+use aurora_core::serialize::ManifestRec;
+use aurora_core::{BackendKind, GroupId, Host};
+use aurora_hw::file_dev::FileDev;
+use aurora_objstore::{CkptId, ObjectStore, StoreConfig};
+use aurora_posix::Pid;
+use aurora_sim::error::{Error, Result};
+use aurora_sim::SimClock;
+
+/// Default world directory.
+pub const DEFAULT_WORLD: &str = "./aurora-world";
+
+/// Default world size in blocks (256 MiB).
+const DEFAULT_BLOCKS: u64 = 64 * 1024;
+
+const HELP: &str = "\
+sls — the Aurora single level store control tool
+
+USAGE: sls [--world DIR] <command> [options]
+
+COMMANDS (Table 1 of the paper):
+  persist <name> --app hello|kv   Add an application to a persistence group
+  attach <name>                   Attach an additional (file-backed) backend
+  detach <name> --index N         Detach a backend
+  checkpoint <name> [--tag TAG]   Checkpoint an application
+  restore <name> [--tag TAG]      Restore an application from an image
+  ps                              List applications in Aurora
+  send <name> --out FILE          Send an application (export a checkpoint)
+  recv --in FILE                  Receive an application (import a checkpoint)
+
+WORLD MANAGEMENT:
+  init [--blocks N]               Create a new world
+  run <name> [--steps N]          Advance an application, then checkpoint it
+  info                            Show object-store statistics
+";
+
+/// Runs one `sls` invocation; returns what should be printed.
+pub fn run(args: &[&str]) -> Result<String> {
+    let mut world = PathBuf::from(DEFAULT_WORLD);
+    let mut rest: Vec<&str> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(&a) = it.next() {
+        if a == "--world" {
+            let dir = it
+                .next()
+                .ok_or_else(|| Error::invalid("--world needs a directory"))?;
+            world = PathBuf::from(dir);
+        } else {
+            rest.push(a);
+        }
+    }
+    let Some(&cmd) = rest.first() else {
+        return Ok(HELP.to_string());
+    };
+    let opts = &rest[1..];
+    match cmd {
+        "--help" | "-h" | "help" => Ok(HELP.to_string()),
+        "init" => cmd_init(&world, opts),
+        "persist" => cmd_persist(&world, opts),
+        "run" => cmd_run(&world, opts),
+        "checkpoint" => cmd_checkpoint(&world, opts),
+        "restore" => cmd_restore(&world, opts),
+        "ps" => cmd_ps(&world),
+        "attach" => cmd_attach(&world, opts),
+        "detach" => cmd_detach(&world, opts),
+        "send" => cmd_send(&world, opts),
+        "recv" => cmd_recv(&world, opts),
+        "info" => cmd_info(&world),
+        other => Err(Error::invalid(format!("unknown command {other}; try --help"))),
+    }
+}
+
+fn flag_value<'a>(opts: &[&'a str], flag: &str) -> Option<&'a str> {
+    opts.iter()
+        .position(|&o| o == flag)
+        .and_then(|i| opts.get(i + 1).copied())
+}
+
+fn disk_path(world: &Path) -> PathBuf {
+    world.join("disk.img")
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        journal_blocks: 2048,
+        dedup: true,
+        materialize_data: true,
+    }
+}
+
+fn open_host(world: &Path) -> Result<Host> {
+    let path = disk_path(world);
+    if !path.exists() {
+        return Err(Error::not_found(format!(
+            "no world at {} (run `sls init` first)",
+            world.display()
+        )));
+    }
+    let clock = SimClock::new();
+    let blocks = std::fs::metadata(&path)
+        .map_err(|e| Error::io(e.to_string()))?
+        .len()
+        / 4096;
+    let dev = Box::new(FileDev::open(clock, &path, blocks)?);
+    Host::boot_existing("sls-world", dev, store_config())
+}
+
+fn cmd_init(world: &Path, opts: &[&str]) -> Result<String> {
+    let blocks: u64 = flag_value(opts, "--blocks")
+        .map(|v| v.parse().map_err(|_| Error::invalid("bad --blocks")))
+        .transpose()?
+        .unwrap_or(DEFAULT_BLOCKS);
+    std::fs::create_dir_all(world).map_err(|e| Error::io(e.to_string()))?;
+    let path = disk_path(world);
+    if path.exists() {
+        return Err(Error::already_exists(format!("{}", path.display())));
+    }
+    let clock = SimClock::new();
+    let dev = Box::new(FileDev::open(clock, &path, blocks)?);
+    let host = Host::boot("sls-world", dev, store_config())?;
+    drop(host);
+    Ok(format!(
+        "initialized world at {} ({} blocks)\n",
+        world.display(),
+        blocks
+    ))
+}
+
+/// Finds the newest checkpoint whose manifest carries `name`.
+fn find_app(host: &mut Host, name: &str) -> Result<(CkptId, ManifestRec)> {
+    let store = host.sls.primary.clone();
+    let mut st = store.borrow_mut();
+    let ids: Vec<CkptId> = st.checkpoints().iter().map(|c| c.id).collect();
+    for id in ids.into_iter().rev() {
+        // Only the manifest this checkpoint's group committed (nearest in
+        // the chain) — restoring at `id` resurrects that group.
+        if let Some(key) = st.nearest_blob_key(id, "/manifest") {
+            if let Some(blob) = st.get_blob(id, &key)? {
+                if let Ok(m) = ManifestRec::decode(&blob) {
+                    if m.name == name {
+                        return Ok((id, m));
+                    }
+                }
+            }
+        }
+    }
+    Err(Error::not_found(format!("application {name}")))
+}
+
+/// Starts a demo app by kind; returns its root pid.
+fn start_app(host: &mut Host, app: &str) -> Result<Pid> {
+    match app {
+        "hello" => Ok(HelloApp::start(host)?.pid),
+        "kv" => Ok(KvServer::start(host, PersistMode::None, 8 << 20, 1024)?.pid),
+        other => Err(Error::invalid(format!("unknown app {other} (hello|kv)"))),
+    }
+}
+
+/// Describes an app process's state for display.
+fn describe(host: &mut Host, pid: Pid) -> String {
+    let name = host
+        .kernel
+        .proc_ref(pid)
+        .map(|p| p.name.clone())
+        .unwrap_or_default();
+    match name.as_str() {
+        "hello" => match HelloApp::attach(host, pid) {
+            Ok(app) => app
+                .greeting(host)
+                .map(|g| format!("greeting: {g:?}"))
+                .unwrap_or_else(|e| format!("unreadable: {e}")),
+            Err(e) => format!("unreadable: {e}"),
+        },
+        "kv-server" => match KvServer::attach(host, pid, PersistMode::None) {
+            Ok(server) => {
+                let len = server.len(host).unwrap_or(0);
+                format!("keys: {len}, ops executed: {}", server.ops_executed(host))
+            }
+            Err(e) => format!("unreadable: {e}"),
+        },
+        other => format!("process {other}"),
+    }
+}
+
+/// Advances an app deterministically by `steps`.
+fn advance(host: &mut Host, pid: Pid, steps: u64) -> Result<String> {
+    let name = host.kernel.proc_ref(pid)?.name.clone();
+    match name.as_str() {
+        "hello" => {
+            let app = HelloApp::attach(host, pid)?;
+            let mut last = 0;
+            for _ in 0..steps {
+                last = app.step(host)?;
+            }
+            Ok(format!("stepped to #{last}"))
+        }
+        "kv-server" => {
+            let mut server = KvServer::attach(host, pid, PersistMode::None)?;
+            let base = server.ops_executed(host);
+            for i in 0..steps {
+                let n = base + i;
+                server.exec(
+                    host,
+                    &KvOp::Set(
+                        format!("auto:{}", n % 512).into_bytes(),
+                        format!("value at op {n}").into_bytes(),
+                    ),
+                )?;
+            }
+            Ok(format!("executed {steps} mutations"))
+        }
+        other => Err(Error::unsupported(format!("cannot advance {other}"))),
+    }
+}
+
+/// Restores the newest image of `name` into the booted kernel and
+/// re-registers it as a persistence group (with any extra backends).
+fn revive(host: &mut Host, world: &Path, name: &str) -> Result<(GroupId, Pid)> {
+    let (ckpt, manifest) = find_app(host, name)?;
+    let store = host.sls.primary.clone();
+    let r = host.restore(&store, ckpt, RestoreMode::Eager)?;
+    let pid = r
+        .root_pid()
+        .ok_or_else(|| Error::bad_image("image restored no process"))?;
+    let gid = host.persist(name, pid)?;
+    // Remember the incarnation this revival supersedes; pruned after the
+    // new group's first checkpoint lands (see the callers).
+    host.sls.group_mut(gid)?.supersedes = Some(manifest.gid);
+    for path in backend_list(world, name)? {
+        let clock = host.clock.clone();
+        let blocks = std::fs::metadata(&path)
+            .map_err(|e| Error::io(e.to_string()))?
+            .len()
+            / 4096;
+        let dev = Box::new(FileDev::open(clock, &path, blocks)?);
+        let store = ObjectStore::open(dev, store_config())
+            .or_else(|_| {
+                let clock = host.clock.clone();
+                let dev = Box::new(FileDev::open(clock, &path, blocks)?);
+                ObjectStore::format(dev, store_config())
+            })?;
+        host.attach_backend(
+            gid,
+            BackendKind::Disk,
+            std::rc::Rc::new(std::cell::RefCell::new(store)),
+        )?;
+    }
+    Ok((gid, pid))
+}
+
+fn backends_file(world: &Path, name: &str) -> PathBuf {
+    world.join(format!("backends-{name}.txt"))
+}
+
+fn backend_list(world: &Path, name: &str) -> Result<Vec<PathBuf>> {
+    let path = backends_file(world, name);
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| Error::io(e.to_string()))?;
+    Ok(text.lines().map(PathBuf::from).collect())
+}
+
+fn cmd_persist(world: &Path, opts: &[&str]) -> Result<String> {
+    let name = opts
+        .first()
+        .filter(|n| !n.starts_with("--"))
+        .ok_or_else(|| Error::invalid("persist needs a name"))?;
+    let app = flag_value(opts, "--app").unwrap_or("hello");
+    let mut host = open_host(world)?;
+    if find_app(&mut host, name).is_ok() {
+        return Err(Error::already_exists(format!("application {name}")));
+    }
+    let pid = start_app(&mut host, app)?;
+    let gid = host.persist(name, pid)?;
+    let bd = host.checkpoint(gid, true, Some(name))?;
+    host.wait_durable(gid)?;
+    Ok(format!(
+        "persisted {name} (app {app}, pid {}): checkpoint {} durable, stop time {}\n",
+        pid.0,
+        bd.ckpt.map(|c| c.0).unwrap_or(0),
+        bd.stop_time,
+    ))
+}
+
+fn cmd_run(world: &Path, opts: &[&str]) -> Result<String> {
+    let name = opts
+        .first()
+        .filter(|n| !n.starts_with("--"))
+        .ok_or_else(|| Error::invalid("run needs a name"))?;
+    let steps: u64 = flag_value(opts, "--steps")
+        .map(|v| v.parse().map_err(|_| Error::invalid("bad --steps")))
+        .transpose()?
+        .unwrap_or(10);
+    let mut host = open_host(world)?;
+    let (gid, pid) = revive(&mut host, world, name)?;
+    let report = advance(&mut host, pid, steps)?;
+    let bd = host.checkpoint(gid, false, None)?;
+    host.wait_durable(gid)?;
+    if let Some(old) = host.sls.group_ref(gid)?.supersedes {
+        host.prune_incarnation(old)?;
+    }
+    Ok(format!(
+        "{name}: {report}; checkpoint {} ({} pages, stop {})\n  state: {}\n",
+        bd.ckpt.map(|c| c.0).unwrap_or(0),
+        bd.pages,
+        bd.stop_time,
+        describe(&mut host, pid),
+    ))
+}
+
+fn cmd_checkpoint(world: &Path, opts: &[&str]) -> Result<String> {
+    let name = opts
+        .first()
+        .filter(|n| !n.starts_with("--"))
+        .ok_or_else(|| Error::invalid("checkpoint needs a name"))?;
+    let tag = flag_value(opts, "--tag");
+    let mut host = open_host(world)?;
+    let (gid, _pid) = revive(&mut host, world, name)?;
+    let bd = host.checkpoint(gid, false, tag)?;
+    host.wait_durable(gid)?;
+    if let Some(old) = host.sls.group_ref(gid)?.supersedes {
+        host.prune_incarnation(old)?;
+    }
+    Ok(format!(
+        "checkpointed {name}: id {}{}, metadata {}, stop {}\n",
+        bd.ckpt.map(|c| c.0).unwrap_or(0),
+        tag.map(|t| format!(" (tag {t})")).unwrap_or_default(),
+        bd.metadata_copy,
+        bd.stop_time,
+    ))
+}
+
+fn cmd_restore(world: &Path, opts: &[&str]) -> Result<String> {
+    let name = opts
+        .first()
+        .filter(|n| !n.starts_with("--"))
+        .ok_or_else(|| Error::invalid("restore needs a name"))?;
+    let mut host = open_host(world)?;
+    let ckpt = match flag_value(opts, "--tag") {
+        Some(tag) => host
+            .sls
+            .primary
+            .borrow()
+            .checkpoint_by_name(tag)
+            .map(|c| c.id)
+            .ok_or_else(|| Error::not_found(format!("tag {tag}")))?,
+        None => find_app(&mut host, name)?.0,
+    };
+    let store = host.sls.primary.clone();
+    let r = host.restore(&store, ckpt, RestoreMode::Eager)?;
+    let pid = r
+        .root_pid()
+        .ok_or_else(|| Error::bad_image("image restored no process"))?;
+    Ok(format!(
+        "restored {name} from checkpoint {} in {} (read {}, memory {}, metadata {})\n  state: {}\n",
+        ckpt.0,
+        r.total,
+        r.objstore_read,
+        r.memory_state,
+        r.metadata_state,
+        describe(&mut host, pid),
+    ))
+}
+
+fn cmd_ps(world: &Path) -> Result<String> {
+    let host = open_host(world)?;
+    let store = host.sls.primary.clone();
+    let mut out = String::new();
+    writeln!(out, "{:<12} {:<8} {:<10} OBJECTS", "NAME", "CKPT", "TAG").ok();
+    let mut seen = std::collections::BTreeSet::new();
+    let infos: Vec<(CkptId, Option<String>)> = {
+        let st = store.borrow();
+        st.checkpoints()
+            .iter()
+            .map(|c| (c.id, c.name.clone()))
+            .collect()
+    };
+    for (id, tag) in infos {
+        let mut st = store.borrow_mut();
+        let keys = st.blob_keys_at(id, "g");
+        for key in keys.into_iter().filter(|k| k.ends_with("/manifest")) {
+            if let Some(blob) = st.get_blob(id, &key)? {
+                if let Ok(m) = ManifestRec::decode(&blob) {
+                    if seen.insert((m.name.clone(), id.0)) {
+                        writeln!(
+                            out,
+                            "{:<12} {:<8} {:<10} {} procs, {} vmos, {} files",
+                            m.name,
+                            id.0,
+                            tag.clone().unwrap_or_default(),
+                            m.pids.len(),
+                            m.vmos.len(),
+                            m.files.len(),
+                        )
+                        .ok();
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_attach(world: &Path, opts: &[&str]) -> Result<String> {
+    let name = opts
+        .first()
+        .filter(|n| !n.starts_with("--"))
+        .ok_or_else(|| Error::invalid("attach needs a name"))?;
+    let mut host = open_host(world)?;
+    find_app(&mut host, name)?;
+    let existing = backend_list(world, name)?;
+    let path = world.join(format!("backend-{name}-{}.img", existing.len() + 1));
+    // Pre-create and format the backend image.
+    {
+        let clock = SimClock::new();
+        let dev = Box::new(FileDev::open(clock, &path, DEFAULT_BLOCKS)?);
+        ObjectStore::format(dev, store_config())?;
+    }
+    let mut list = existing;
+    list.push(path.clone());
+    let text: String = list
+        .iter()
+        .map(|p| format!("{}\n", p.display()))
+        .collect();
+    std::fs::write(backends_file(world, name), text).map_err(|e| Error::io(e.to_string()))?;
+    Ok(format!(
+        "attached backend {} to {name} ({} total); the next checkpoint replicates to it\n",
+        path.display(),
+        list.len() + 1,
+    ))
+}
+
+fn cmd_detach(world: &Path, opts: &[&str]) -> Result<String> {
+    let name = opts
+        .first()
+        .filter(|n| !n.starts_with("--"))
+        .ok_or_else(|| Error::invalid("detach needs a name"))?;
+    let index: usize = flag_value(opts, "--index")
+        .ok_or_else(|| Error::invalid("detach needs --index"))?
+        .parse()
+        .map_err(|_| Error::invalid("bad --index"))?;
+    let mut list = backend_list(world, name)?;
+    if index == 0 || index > list.len() {
+        return Err(Error::not_found(format!(
+            "backend {index} of {name} ({} attached)",
+            list.len()
+        )));
+    }
+    let removed = list.remove(index - 1);
+    let text: String = list
+        .iter()
+        .map(|p| format!("{}\n", p.display()))
+        .collect();
+    std::fs::write(backends_file(world, name), text).map_err(|e| Error::io(e.to_string()))?;
+    Ok(format!("detached backend {}\n", removed.display()))
+}
+
+fn cmd_send(world: &Path, opts: &[&str]) -> Result<String> {
+    let name = opts
+        .first()
+        .filter(|n| !n.starts_with("--"))
+        .ok_or_else(|| Error::invalid("send needs a name"))?;
+    let out_path = flag_value(opts, "--out").ok_or_else(|| Error::invalid("send needs --out"))?;
+    let mut host = open_host(world)?;
+    let (ckpt, manifest) = find_app(&mut host, name)?;
+    // Ship exactly this application's namespace (its group's objects and
+    // records), not the world's whole history.
+    let ns = (0x100 + manifest.gid as u64) << 48;
+    let prefix = format!("g{}/", manifest.gid);
+    let stream = host.sls.primary.borrow_mut().export_checkpoint_filtered(
+        ckpt,
+        |oid| oid & !0xFFFF_FFFF_FFFF == ns,
+        |key| key.starts_with(&prefix),
+    )?;
+    std::fs::write(out_path, &stream).map_err(|e| Error::io(e.to_string()))?;
+    Ok(format!(
+        "sent {name} (checkpoint {}) to {out_path}: {} bytes\n",
+        ckpt.0,
+        stream.len()
+    ))
+}
+
+fn cmd_recv(world: &Path, opts: &[&str]) -> Result<String> {
+    let in_path = flag_value(opts, "--in").ok_or_else(|| Error::invalid("recv needs --in"))?;
+    let stream = std::fs::read(in_path).map_err(|e| Error::io(e.to_string()))?;
+    let host = open_host(world)?;
+    let (ckpt, durable) = host.sls.primary.borrow_mut().import_stream(&stream)?;
+    host.clock.advance_to(durable);
+    Ok(format!(
+        "received checkpoint {} from {in_path} ({} bytes); `sls ps` to inspect, `sls restore` to run\n",
+        ckpt.0,
+        stream.len()
+    ))
+}
+
+fn cmd_info(world: &Path) -> Result<String> {
+    let host = open_host(world)?;
+    let store = host.sls.primary.borrow();
+    let stats = &store.stats;
+    let problems = store.fsck();
+    let health = if problems.is_empty() {
+        "healthy".to_string()
+    } else {
+        format!("{} problems: {:?}", problems.len(), problems)
+    };
+    Ok(format!(
+        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n",
+        world.display(),
+        store.checkpoints().len(),
+        store.blocks_in_use(),
+        stats.pages_written,
+        stats.dedup_hits,
+        stats.commits,
+        stats.compactions,
+        stats.gc_runs,
+        health,
+    ))
+}

@@ -1,0 +1,82 @@
+//! The `libsls` developer API (Table 2).
+//!
+//! | Paper function     | Here                                          |
+//! |--------------------|-----------------------------------------------|
+//! | `sls_checkpoint()` | [`Host::sls_checkpoint`]                      |
+//! | `sls_restore()`    | [`Host::sls_restore`]                         |
+//! | `sls_rollback()`   | [`Host::sls_rollback`]                        |
+//! | `sls_ntflush()`    | [`Host::sls_ntflush`] (see [`crate::ntlog`])  |
+//! | `sls_barrier()`    | [`Host::sls_barrier`]                         |
+//! | `sls_mctl()`       | [`Host::sls_mctl`]                            |
+//! | `sls_fdctl()`      | [`Host::sls_fdctl`]                           |
+
+use aurora_objstore::CkptId;
+use aurora_posix::{Fd, Pid};
+use aurora_sim::error::Result;
+use aurora_slsfs::StoreHandle;
+use aurora_vm::SlsPolicy;
+
+use crate::metrics::{CheckpointBreakdown, RestoreBreakdown};
+use crate::restore::RestoreMode;
+use crate::{GroupId, Host};
+
+impl Host {
+    /// `sls_checkpoint()`: creates an image of the group now. Named
+    /// checkpoints pin a point in time for later restore.
+    pub fn sls_checkpoint(
+        &mut self,
+        gid: GroupId,
+        name: Option<&str>,
+    ) -> Result<CheckpointBreakdown> {
+        self.checkpoint(gid, false, name)
+    }
+
+    /// `sls_restore()`: restores a checkpoint into fresh processes.
+    pub fn sls_restore(
+        &mut self,
+        store: &StoreHandle,
+        ckpt: CkptId,
+        mode: RestoreMode,
+    ) -> Result<RestoreBreakdown> {
+        self.restore(store, ckpt, mode)
+    }
+
+    /// `sls_rollback()`: rolls the live group back to a checkpoint
+    /// (the latest when `ckpt` is `None`).
+    pub fn sls_rollback(
+        &mut self,
+        gid: GroupId,
+        ckpt: Option<CkptId>,
+    ) -> Result<RestoreBreakdown> {
+        self.rollback(gid, ckpt)
+    }
+
+    /// `sls_barrier()`: blocks (advances virtual time) until every
+    /// checkpoint taken so far is durable, releasing held output.
+    pub fn sls_barrier(&mut self, gid: GroupId) -> Result<()> {
+        self.wait_durable(gid)
+    }
+
+    /// `sls_mctl()`: include/exclude a memory region from checkpoints and
+    /// set its lazy-restore hint.
+    pub fn sls_mctl(&mut self, pid: Pid, addr: u64, policy: SlsPolicy) -> Result<()> {
+        let proc = self
+            .kernel
+            .procs
+            .get_mut(&pid)
+            .ok_or_else(|| aurora_sim::error::Error::not_found(format!("pid {}", pid.0)))?;
+        self.kernel.vm.set_policy(&mut proc.map, addr, policy)
+    }
+
+    /// `sls_fdctl()`: enable/disable external consistency per descriptor.
+    pub fn sls_fdctl(&mut self, pid: Pid, fd: Fd, external_consistency: bool) -> Result<()> {
+        self.kernel
+            .fdctl_external_consistency(pid, fd, external_consistency)
+    }
+
+    /// Consumes the rollback notification for a process (the speculation
+    /// API's signal that state was reverted; see [`crate::spec`]).
+    pub fn sls_rollback_pending(&mut self, pid: Pid) -> bool {
+        self.sls.rolled_back.remove(&pid)
+    }
+}

@@ -1,0 +1,724 @@
+//! The checkpoint path: serialization barrier, object capture, COW
+//! arming, asynchronous flush.
+//!
+//! The phase structure reproduces Table 3's breakdown:
+//!
+//! * **Metadata copy** — while the group is stopped, every reachable
+//!   kernel object serializes itself into an independent record.
+//! * **Lazy data copy** — dirty pages are *armed* for checkpoint COW
+//!   (one page-table manipulation each); no data moves at the barrier.
+//! * **Application stop time** — barrier entry + the two phases above +
+//!   resume.
+//!
+//! After the processes resume, the frozen pages and metadata records are
+//! flushed to every attached backend and committed; the commit returns
+//! the durable instant, which gates external-consistency release.
+
+use std::collections::{BTreeSet, HashSet};
+
+use aurora_objstore::ObjId;
+use aurora_posix::fd::FileKind;
+use aurora_posix::inet::IsockState;
+use aurora_posix::unix::UsockState;
+use aurora_posix::{FileId, Kernel, Pid};
+use aurora_sim::clock::Stopwatch;
+use aurora_sim::error::{Error, Result};
+use aurora_sim::time::SimTime;
+use aurora_vm::cow::{self, Capture};
+use aurora_vm::VmoId;
+
+use crate::group::{Group, GroupId};
+use crate::metrics::CheckpointBreakdown;
+use crate::serialize::*;
+use crate::{Host, Sls};
+
+/// Everything captured at the barrier, ready to flush.
+pub(crate) struct CapturedState {
+    pub manifest: ManifestRec,
+    pub blobs: Vec<(String, Vec<u8>)>,
+    /// Armed pages to write to the backends.
+    pub plan: cow::EpochPlan,
+    /// VM object → store object for this capture.
+    pub vmo_oid: Vec<(VmoId, ObjId)>,
+}
+
+impl Host {
+    /// Takes a checkpoint of a persistence group.
+    ///
+    /// `full` captures every resident page; otherwise only pages dirtied
+    /// since the previous checkpoint are captured (incremental). A
+    /// freshly attached backend forces the next checkpoint to be full.
+    pub fn checkpoint(
+        &mut self,
+        gid: GroupId,
+        full: bool,
+        name: Option<&str>,
+    ) -> Result<CheckpointBreakdown> {
+        let members = self.group_members(gid);
+        if members.is_empty() {
+            return Err(Error::invalid(format!(
+                "persistence group {} has no live members",
+                gid.0
+            )));
+        }
+        let full = full
+            || self
+                .sls
+                .group_ref(gid)?
+                .backends
+                .iter()
+                .any(|b| b.needs_full);
+
+        let mut breakdown = CheckpointBreakdown {
+            full,
+            ..CheckpointBreakdown::default()
+        };
+
+        // Full checkpoints consolidate lazily-restored images: every
+        // pager-backed page is faulted in *before* the barrier (off the
+        // stop-time path) so the capture sees the whole working set.
+        // Dedup makes the subsequent store writes free for unchanged
+        // pages.
+        if full {
+            self.consolidate_images(&members)?;
+        }
+
+        let mut sw = Stopwatch::start(&self.clock);
+
+        // --- Barrier: stop every member. ----------------------------------
+        for &pid in &members {
+            self.kernel.stop_process(pid)?;
+        }
+        let ec_seq = self.kernel.ec_advance_pending(gid.0);
+        let barrier_entry = sw.lap();
+
+        // --- Phase 1: metadata copy. ---------------------------------------
+        let mut captured = capture_metadata(
+            &mut self.kernel,
+            &mut self.sls,
+            gid,
+            &members,
+            ec_seq,
+            full,
+        )?;
+        breakdown.metadata_copy = sw.lap();
+        breakdown.metadata_bytes = captured.blobs.iter().map(|(_, b)| b.len() as u64).sum();
+
+        // --- Phase 2: lazy data copy (COW arming). --------------------------
+        {
+            let since = self.sls.group_ref(gid)?.since_epoch;
+            let capture = if full {
+                Capture::Full
+            } else {
+                Capture::DirtySince(since)
+            };
+            let maps: Vec<&aurora_vm::VmMap> = members
+                .iter()
+                .map(|pid| &self.kernel.procs.get(pid).expect("member exists").map)
+                .collect();
+            captured.plan = cow::begin_epoch(&mut self.kernel.vm, &maps, capture);
+        }
+        breakdown.lazy_data_copy = sw.lap();
+        self.sls.group_mut(gid)?.since_epoch = captured.plan.epoch + 1;
+        breakdown.pages = captured.plan.armed_pages;
+
+        // --- Resume. ---------------------------------------------------------
+        for &pid in &members {
+            self.kernel.resume_process(pid)?;
+        }
+        let resume = sw.lap();
+        breakdown.stop_time =
+            barrier_entry + breakdown.metadata_copy + breakdown.lazy_data_copy + resume;
+
+        // --- Background flush to every backend. ------------------------------
+        let durable = flush_capture(&mut self.kernel, &mut self.sls, gid, &captured, full, name)?;
+        breakdown.flush_bytes = captured.plan.flush_bytes();
+        breakdown.durable_at = durable;
+        breakdown.ckpt = self.sls.group_ref(gid)?.last_checkpoint();
+
+        // Release the frozen frames: their contents now live in the
+        // stores' page tables.
+        cow::release_flushed(&mut self.kernel.vm, &captured.plan);
+
+        let group = self.sls.group_mut(gid)?;
+        group.ec_outstanding.push_back((ec_seq, durable));
+        self.sls.stats.checkpoints += 1;
+        self.sls.stats.flushed_bytes += breakdown.flush_bytes;
+
+        // History-window GC on every backend, then release holds whose
+        // checkpoints already became durable.
+        gc_history(&mut self.sls, gid)?;
+        self.poll_durability();
+        Ok(breakdown)
+    }
+
+    /// Faults in every pager-backed page of the members' objects (image
+    /// consolidation before a full checkpoint).
+    fn consolidate_images(&mut self, members: &[Pid]) -> Result<()> {
+        use aurora_vm::object::ResidentPage;
+        // Collect (object, pager, key) bindings reachable from members.
+        let mut bindings: Vec<(VmoId, aurora_vm::PagerId, u64)> = Vec::new();
+        let mut seen: HashSet<VmoId> = HashSet::new();
+        for &pid in members {
+            for entry in self.kernel.proc_ref(pid)?.map.entries() {
+                let mut cur = Some(entry.object);
+                while let Some(v) = cur {
+                    if !seen.insert(v) {
+                        break;
+                    }
+                    let obj = self.kernel.vm.object(v);
+                    if let Some((pager, key)) = obj.pager {
+                        bindings.push((v, pager, key));
+                    }
+                    cur = obj.backing.map(|(b, _)| b);
+                }
+            }
+        }
+        for (v, pager, key) in bindings {
+            let size = self.kernel.vm.object(v).size_pages;
+            // Walk the image's pages; the pager knows which exist.
+            // (Ask the store for the page list through the pager's own
+            // has_page; sizes are bounded by the object's page count.)
+            let resident: HashSet<u64> = self
+                .kernel
+                .vm
+                .object(v)
+                .pages
+                .keys()
+                .copied()
+                .collect();
+            for idx in 0..size.min(1 << 22) {
+                if resident.contains(&idx) {
+                    continue;
+                }
+                if !self.kernel.vm.pager_mut(pager).has_page(key, idx) {
+                    continue;
+                }
+                let data = self.kernel.vm.pager_mut(pager).page_in(key, idx)?;
+                let frame = self.kernel.vm.frames.alloc(data);
+                let epoch = self.kernel.vm.epoch;
+                self.kernel.vm.object_mut(v).insert_page(
+                    idx,
+                    ResidentPage {
+                        frame,
+                        write_epoch: epoch,
+                        cow_protected: false,
+                        referenced: false,
+                        heat: 0,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Periodic driver: checkpoints when the group's period elapsed.
+    /// Returns `None` when not yet due.
+    pub fn checkpoint_tick(&mut self, gid: GroupId) -> Result<Option<CheckpointBreakdown>> {
+        let now = self.clock.now();
+        let due = {
+            let group = self.sls.group_ref(gid)?;
+            now >= group.next_due
+        };
+        if !due {
+            self.poll_durability();
+            return Ok(None);
+        }
+        let breakdown = self.checkpoint(gid, false, None)?;
+        let group = self.sls.group_mut(gid)?;
+        group.next_due = now + group.period;
+        Ok(Some(breakdown))
+    }
+}
+
+/// Serializes every kernel object reachable from the group members.
+fn capture_metadata(
+    kernel: &mut Kernel,
+    sls: &mut Sls,
+    gid: GroupId,
+    members: &[Pid],
+    ec_seq: u64,
+    full: bool,
+) -> Result<CapturedState> {
+    let slsfs_mount = sls.slsfs_mount;
+    let group: &mut Group = sls
+        .groups
+        .get_mut(&gid.0)
+        .ok_or_else(|| Error::not_found(format!("persistence group {}", gid.0)))?;
+
+    let mut manifest = ManifestRec {
+        gid: gid.0,
+        ec_seq,
+        ..ManifestRec::default()
+    };
+    let mut blobs: Vec<(String, Vec<u8>)> = Vec::new();
+
+    // Discover reachable open-file descriptions, transitively through
+    // SCM_RIGHTS messages parked in Unix sockets.
+    let mut files: BTreeSet<u32> = BTreeSet::new();
+    let mut usocks: BTreeSet<u32> = BTreeSet::new();
+    let mut isocks: BTreeSet<u32> = BTreeSet::new();
+    let mut pipes: BTreeSet<u32> = BTreeSet::new();
+    let mut pshms: BTreeSet<String> = BTreeSet::new();
+    let mut ntlogs: BTreeSet<u64> = BTreeSet::new();
+    let mut queue: Vec<FileId> = Vec::new();
+    for &pid in members {
+        for (_, fid) in kernel.proc_ref(pid)?.fds.iter() {
+            queue.push(fid);
+        }
+    }
+    while let Some(fid) = queue.pop() {
+        if !files.insert(fid.0) {
+            continue;
+        }
+        let file = kernel
+            .files
+            .get(fid.0)
+            .ok_or_else(|| Error::internal(format!("dangling file id {}", fid.0)))?;
+        match &file.kind {
+            FileKind::Vnode(vref) => {
+                if vref.mount != slsfs_mount {
+                    return Err(Error::unsupported(format!(
+                        "persisted process holds a vnode on {} (only {} persists)",
+                        kernel.vfs.fs_ref(vref.mount).fs_name(),
+                        crate::SLSFS_MOUNT,
+                    )));
+                }
+            }
+            FileKind::PipeRead(p) | FileKind::PipeWrite(p) => {
+                pipes.insert(p.0);
+            }
+            FileKind::UnixSock(s) => {
+                usocks.insert(s.0);
+                if let Some(sock) = kernel.usocks.get(s.0) {
+                    if let UsockState::Connected(peer) = sock.state {
+                        usocks.insert(peer.0);
+                        if let Some(psock) = kernel.usocks.get(peer.0) {
+                            for msg in &psock.recv {
+                                queue.extend(msg.fds.iter().copied());
+                            }
+                        }
+                    }
+                    for msg in &sock.recv {
+                        queue.extend(msg.fds.iter().copied());
+                    }
+                }
+            }
+            FileKind::InetSock(s) => {
+                isocks.insert(s.0);
+                if let Some(sock) = kernel.isocks.get(s.0) {
+                    if let IsockState::Connected(peer) = sock.state {
+                        // Capture the peer only when it belongs to the
+                        // group; external peers restore disconnected.
+                        let peer_owner = kernel.isocks.get(peer.0).map(|p| p.owner);
+                        if let Some(po) = peer_owner {
+                            if kernel.proc_ref(po).ok().and_then(|p| p.persist_group)
+                                == Some(gid.0)
+                            {
+                                isocks.insert(peer.0);
+                            }
+                        }
+                    }
+                }
+            }
+            FileKind::PosixShm(name) => {
+                pshms.insert(name.clone());
+            }
+            FileKind::NtLog(id) => {
+                ntlogs.insert(*id);
+            }
+        }
+    }
+
+    // Memory: the VM objects reachable from member maps (whole shadow
+    // chains, visited once).
+    let mut vmo_ids: Vec<VmoId> = Vec::new();
+    let mut seen: HashSet<VmoId> = HashSet::new();
+    for &pid in members {
+        for entry in kernel.proc_ref(pid)?.map.entries() {
+            if entry.policy.exclude {
+                continue;
+            }
+            let mut cur = Some(entry.object);
+            while let Some(oid) = cur {
+                if !seen.insert(oid) {
+                    break;
+                }
+                vmo_ids.push(oid);
+                cur = kernel.vm.object(oid).backing.map(|(b, _)| b);
+            }
+        }
+    }
+
+    // Assign store ids; prune mappings (and store objects) of dead VMs.
+    let mut vmo_oid: Vec<(VmoId, ObjId)> = Vec::new();
+    let mut live_uids: HashSet<u64> = HashSet::new();
+    for &v in &vmo_ids {
+        let uid = kernel.vm.object(v).uid;
+        live_uids.insert(uid);
+        vmo_oid.push((v, group.oid_for_vmo(uid)));
+    }
+    let dead: Vec<(u64, u64)> = group
+        .vmo_oids
+        .iter()
+        .filter(|(uid, _)| !live_uids.contains(uid))
+        .map(|(u, o)| (*u, *o))
+        .collect();
+    for (uid, oid) in dead {
+        group.vmo_oids.remove(&uid);
+        for backend in &group.backends {
+            let _ = backend.store.borrow_mut().delete_object(ObjId(oid));
+        }
+    }
+
+    // SysV/POSIX shm segments whose object the group maps.
+    let shm_keys: Vec<i32> = kernel
+        .sysv_shms
+        .iter()
+        .filter(|(_, seg)| seen.contains(&seg.object))
+        .map(|(k, _)| *k)
+        .collect();
+    for (name, shm) in kernel.posix_shms.iter() {
+        if seen.contains(&shm.object) {
+            pshms.insert(name.clone());
+        }
+    }
+    let msgq_keys: Vec<i32> = group.msgq_keys.clone();
+
+    // --- Serialize VM objects. ---------------------------------------------
+    for &(v, oid) in &vmo_oid {
+        let obj = kernel.vm.object(v);
+        let backing = obj.backing.map(|(b, off)| {
+            let buid = kernel.vm.object(b).uid;
+            let boid = group
+                .vmo_oids
+                .get(&buid)
+                .copied()
+                .expect("backing captured in the same walk");
+            (boid, off)
+        });
+        let hot = kernel.vm.hottest_pages(v, 32);
+        let rec = VmoRec {
+            oid: oid.0,
+            size_pages: obj.size_pages,
+            kind: match obj.kind {
+                aurora_vm::VmoKind::Anonymous => 0,
+                aurora_vm::VmoKind::Shadow => 1,
+                aurora_vm::VmoKind::SharedMem => 2,
+                aurora_vm::VmoKind::Vnode { .. } => 3,
+            },
+            backing,
+            hot,
+            resident: if full { obj.resident() as u64 } else { 0 },
+        };
+        blobs.push((key_vmo(gid.0, oid.0), rec.encode()));
+        manifest.vmos.push(oid.0);
+    }
+
+    // --- Serialize processes. ------------------------------------------------
+    for &pid in members {
+        let proc = kernel.proc_ref(pid)?;
+        let rec = ProcRec {
+            pid: pid.0,
+            ppid: if members.contains(&proc.ppid) {
+                proc.ppid.0
+            } else {
+                0
+            },
+            name: proc.name.clone(),
+            cwd: proc.cwd.clone(),
+            uid: proc.cred.uid,
+            gid: proc.cred.gid,
+            sig_pending: proc.sig.pending,
+            sig_blocked: proc.sig.blocked,
+            sig_actions: proc
+                .sig
+                .actions
+                .iter()
+                .map(|a| match a {
+                    aurora_posix::types::SigAction::Default => (0u8, 0u64),
+                    aurora_posix::types::SigAction::Ignore => (1, 0),
+                    aurora_posix::types::SigAction::Handler(addr) => (2, *addr),
+                })
+                .collect(),
+            threads: proc
+                .threads
+                .iter()
+                .map(|t| (t.tid.0, t.cpu.clone()))
+                .collect(),
+            fds: proc.fds.iter().map(|(fd, fid)| (fd.0, fid.0)).collect(),
+            map: proc
+                .map
+                .entries()
+                .map(|e| {
+                    let uid = kernel.vm.object(e.object).uid;
+                    MapEntryRec {
+                        start: e.start,
+                        end: e.end,
+                        oid: group.vmo_oids.get(&uid).copied().unwrap_or(0),
+                        offset_pages: e.offset_pages,
+                        read: e.prot.read,
+                        write: e.prot.write,
+                        shared: e.shared,
+                        needs_copy: e.needs_copy,
+                        exclude: e.policy.exclude,
+                        restore_hint: match e.policy.restore {
+                            aurora_vm::map::RestoreHint::Auto => 0,
+                            aurora_vm::map::RestoreHint::Eager => 1,
+                            aurora_vm::map::RestoreHint::Lazy => 2,
+                        },
+                    }
+                })
+                .collect(),
+        };
+        blobs.push((key_proc(gid.0, pid.0), rec.encode()));
+        manifest.pids.push(pid.0);
+    }
+
+    // --- Serialize open-file descriptions. -----------------------------------
+    for &fid in &files {
+        let file = kernel.files.get(fid).expect("checked during discovery");
+        let kind = match &file.kind {
+            FileKind::Vnode(vref) => FileKindRec::Vnode(vref.node),
+            FileKind::PipeRead(p) => FileKindRec::PipeRead(p.0),
+            FileKind::PipeWrite(p) => FileKindRec::PipeWrite(p.0),
+            FileKind::UnixSock(s) => FileKindRec::UnixSock(s.0),
+            FileKind::InetSock(s) => FileKindRec::InetSock(s.0),
+            FileKind::PosixShm(n) => FileKindRec::PosixShm(n.clone()),
+            FileKind::NtLog(id) => FileKindRec::NtLog(*id),
+        };
+        let rec = FileRec {
+            id: fid,
+            kind,
+            offset: file.offset,
+            flags: file.flags,
+            ec: file.external_consistency,
+        };
+        blobs.push((key_file(gid.0, fid), rec.encode()));
+        manifest.files.push(fid);
+    }
+
+    // --- Pipes. ---------------------------------------------------------------
+    for &pid_ in &pipes {
+        let pipe = kernel
+            .pipes
+            .get(pid_)
+            .ok_or_else(|| Error::internal("dangling pipe id"))?;
+        let rec = PipeRec {
+            id: pid_,
+            buf: pipe.buf.iter().copied().collect(),
+            read_open: pipe.read_open,
+            write_open: pipe.write_open,
+        };
+        blobs.push((key_pipe(gid.0, pid_), rec.encode()));
+        manifest.pipes.push(pid_);
+    }
+
+    // --- Unix sockets (with in-flight descriptors). ----------------------------
+    for &sid in &usocks {
+        let sock = kernel
+            .usocks
+            .get(sid)
+            .ok_or_else(|| Error::internal("dangling usock id"))?;
+        let state = match sock.state {
+            UsockState::Unbound => SockStateRec::Unbound,
+            UsockState::Listening => SockStateRec::Listening,
+            UsockState::Connected(p) => SockStateRec::Connected(p.0),
+            UsockState::Disconnected => SockStateRec::Disconnected,
+        };
+        let rec = UsockRec {
+            id: sid,
+            state,
+            bound_path: sock.bound_path.clone(),
+            recv: sock
+                .recv
+                .iter()
+                .map(|m| (m.bytes.clone(), m.fds.iter().map(|f| f.0).collect()))
+                .collect(),
+            backlog: sock.backlog.iter().map(|b| b.0).collect(),
+        };
+        blobs.push((key_usock(gid.0, sid), rec.encode()));
+        manifest.usocks.push(sid);
+    }
+
+    // --- TCP sockets (held output intentionally dropped). -----------------------
+    for &sid in &isocks {
+        let sock = kernel
+            .isocks
+            .get(sid)
+            .ok_or_else(|| Error::internal("dangling isock id"))?;
+        let state = match sock.state {
+            IsockState::Unbound => SockStateRec::Unbound,
+            IsockState::Listening => SockStateRec::Listening,
+            IsockState::Connected(p) => {
+                if isocks.contains(&p.0) {
+                    SockStateRec::Connected(p.0)
+                } else {
+                    SockStateRec::Disconnected
+                }
+            }
+            IsockState::Disconnected => SockStateRec::Disconnected,
+        };
+        let rec = IsockRec {
+            id: sid,
+            state,
+            port: sock.local_port,
+            owner: sock.owner.0,
+            recv: sock.recv.iter().copied().collect(),
+            backlog: sock.backlog.iter().map(|b| b.0).collect(),
+        };
+        blobs.push((key_isock(gid.0, sid), rec.encode()));
+        manifest.isocks.push(sid);
+    }
+
+    // --- System V shared memory. -------------------------------------------------
+    for key in shm_keys {
+        let seg = kernel.sysv_shms.get(&key).expect("key listed above");
+        let uid = kernel.vm.object(seg.object).uid;
+        let rec = ShmRec {
+            key,
+            size: seg.size,
+            oid: group.vmo_oids.get(&uid).copied().unwrap_or(0),
+            removed: seg.removed,
+        };
+        blobs.push((key_shm(gid.0, key), rec.encode()));
+        manifest.shms.push(key);
+    }
+
+    // --- POSIX shared memory. ------------------------------------------------------
+    for name in &pshms {
+        let shm = kernel
+            .posix_shms
+            .get(name)
+            .ok_or_else(|| Error::internal("dangling posix shm"))?;
+        let uid = kernel.vm.object(shm.object).uid;
+        let rec = PshmRec {
+            name: name.clone(),
+            size: shm.size,
+            oid: group.vmo_oids.get(&uid).copied().unwrap_or(0),
+            unlinked: shm.unlinked,
+            open_refs: shm.open_refs,
+        };
+        blobs.push((key_pshm(gid.0, name), rec.encode()));
+        manifest.pshms.push(name.clone());
+    }
+
+    // --- Message queues registered with the group. ----------------------------------
+    for key in msgq_keys {
+        if let Some(q) = kernel.msgqs.get(&key) {
+            let rec = MsgqRec {
+                key,
+                msgs: q.msgs.iter().map(|m| (m.mtype, m.data.clone())).collect(),
+            };
+            blobs.push((key_msgq(gid.0, key), rec.encode()));
+            manifest.msgqs.push(key);
+        }
+    }
+
+    manifest.ntlogs = ntlogs.iter().copied().collect();
+
+    if let Some(ct) = kernel.proc_ref(group.root).ok().and_then(|p| p.container) {
+        if let Some(c) = kernel.containers.get(ct.0) {
+            manifest.container = Some((c.name.clone(), c.root.clone()));
+        }
+    }
+
+    manifest.name = group.name.clone();
+    manifest.root = group.root.0;
+    manifest.next_oid = group.next_oid;
+
+    // Charge the serialization cost of every record.
+    for (_, bytes) in &blobs {
+        kernel
+            .clock
+            .charge(aurora_sim::cost::meta_serialize(bytes.len()));
+    }
+
+    // File-system metadata commits with the same checkpoint.
+    kernel.vfs.fs(slsfs_mount).sync()?;
+
+    Ok(CapturedState {
+        manifest,
+        blobs,
+        plan: cow::EpochPlan::default(),
+        vmo_oid,
+    })
+}
+
+/// Writes captured pages and records to every backend and commits;
+/// returns the instant at which all backends are durable.
+fn flush_capture(
+    kernel: &mut Kernel,
+    sls: &mut Sls,
+    gid: GroupId,
+    captured: &CapturedState,
+    full: bool,
+    name: Option<&str>,
+) -> Result<SimTime> {
+    let next_group = sls.next_group_value();
+    let group = sls
+        .groups
+        .get_mut(&gid.0)
+        .ok_or_else(|| Error::not_found(format!("persistence group {}", gid.0)))?;
+    let mut durable = SimTime::ZERO;
+    for backend in group.backends.iter_mut() {
+        let mut store = backend.store.borrow_mut();
+        for &(v, oid) in &captured.vmo_oid {
+            if !store.object_exists(oid) {
+                store.create_object(oid, kernel.vm.object(v).size_pages)?;
+            }
+        }
+        for fp in &captured.plan.flush {
+            let oid = captured
+                .vmo_oid
+                .iter()
+                .find(|(v, _)| *v == fp.object)
+                .map(|(_, o)| *o)
+                .ok_or_else(|| Error::internal("flush page of uncaptured object"))?;
+            let data = kernel.vm.frames.data(fp.frame).clone();
+            store.write_page(oid, fp.page_idx, &data)?;
+        }
+        for (key, bytes) in &captured.blobs {
+            store.put_blob(key, bytes.clone());
+        }
+        store.put_blob(&key_manifest(gid.0), captured.manifest.encode());
+        // Host-level durable state: the group-id allocator. Group ids
+        // must never be reused across reboots — a fresh group with a
+        // recycled id would share the old incarnation's store-object
+        // namespace, and colliding object ids would leak stale pages
+        // through the checkpoint chain.
+        store.put_blob("sls/host", sls_host_blob(next_group));
+        let (ckpt, backend_durable) = store.commit(name)?;
+        backend.history.push(ckpt);
+        if full {
+            backend.needs_full = false;
+        }
+        durable = durable.max(backend_durable);
+    }
+    group.history = group.backends[0].history.clone();
+    Ok(durable)
+}
+
+/// Encodes the durable host state blob.
+fn sls_host_blob(next_group: u32) -> Vec<u8> {
+    let mut e = aurora_sim::codec::Encoder::new();
+    e.u32(next_group);
+    e.into_vec()
+}
+
+/// Trims each backend's history to the group's window (in-place GC).
+fn gc_history(sls: &mut Sls, gid: GroupId) -> Result<()> {
+    let group = sls
+        .groups
+        .get_mut(&gid.0)
+        .ok_or_else(|| Error::not_found(format!("persistence group {}", gid.0)))?;
+    let window = group.history_window;
+    for backend in group.backends.iter_mut() {
+        while backend.history.len() > window {
+            let victim = backend.history.remove(0);
+            backend.store.borrow_mut().delete_checkpoint(victim)?;
+        }
+    }
+    group.history = group.backends[0].history.clone();
+    Ok(())
+}

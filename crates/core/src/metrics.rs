@@ -1,0 +1,62 @@
+//! Phase breakdowns matching the paper's tables.
+
+use aurora_sim::time::{SimDuration, SimTime};
+
+/// Stop-time breakdown of one checkpoint (the rows of Table 3).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointBreakdown {
+    /// Whether this was a full or incremental checkpoint.
+    pub full: bool,
+    /// "Metadata copy": serializing every kernel object at the barrier.
+    pub metadata_copy: SimDuration,
+    /// "Lazy data copy": arming checkpoint COW via page-table
+    /// manipulation (no data is copied at the barrier).
+    pub lazy_data_copy: SimDuration,
+    /// "Application stop time": barrier entry + metadata + COW arming +
+    /// resume — the full pause observed by the application.
+    pub stop_time: SimDuration,
+    /// Pages armed (and queued for background flush).
+    pub pages: u64,
+    /// Metadata bytes serialized.
+    pub metadata_bytes: u64,
+    /// Bytes handed to the flusher.
+    pub flush_bytes: u64,
+    /// Instant at which the checkpoint is durable on every backend.
+    pub durable_at: SimTime,
+    /// Checkpoint id on the primary backend.
+    pub ckpt: Option<aurora_objstore::CkptId>,
+}
+
+/// Restore-time breakdown (the rows of Table 4).
+#[derive(Debug, Clone, Default)]
+pub struct RestoreBreakdown {
+    /// "Object Store Read": fetching the manifest and metadata records
+    /// from the backend.
+    pub objstore_read: SimDuration,
+    /// "Memory state": recreating the address spaces (map entries and VM
+    /// objects; pages are shared COW / faulted lazily — never copied).
+    pub memory_state: SimDuration,
+    /// "Metadata state": recreating processes, descriptors and IPC.
+    pub metadata_state: SimDuration,
+    /// "Total latency".
+    pub total: SimDuration,
+    /// Pages eagerly paged in (prefetch/eager modes).
+    pub pages_prefetched: u64,
+    /// The pid map: original pid -> restored pid.
+    pub pid_map: Vec<(u32, u32)>,
+}
+
+impl RestoreBreakdown {
+    /// The restored pid of original `pid`, if present.
+    pub fn restored_pid(&self, original: u32) -> Option<aurora_posix::Pid> {
+        self.pid_map
+            .iter()
+            .find(|(o, _)| *o == original)
+            .map(|(_, n)| aurora_posix::Pid(*n))
+    }
+
+    /// The single restored root pid (convenience for one-process groups).
+    pub fn root_pid(&self) -> Option<aurora_posix::Pid> {
+        self.pid_map.first().map(|(_, n)| aurora_posix::Pid(*n))
+    }
+}

@@ -1,0 +1,151 @@
+//! `sls send` / `sls recv` and live migration.
+//!
+//! Checkpoints are self-contained, so sharing or migrating an
+//! application is just moving bytes: [`Host::send_checkpoint`] exports a
+//! chain-merged stream (pipe it to a file, hand it to another user) and
+//! [`Host::recv_checkpoint`] imports it. [`live_migrate`] implements the
+//! classic iterative pre-copy loop on top of incremental checkpoints:
+//! ship a full image while the application keeps running, then ship
+//! shrinking deltas, and only stop the source for the final round.
+
+use aurora_hw::LinkModel;
+use aurora_objstore::CkptId;
+use aurora_sim::error::{Error, Result};
+
+use crate::metrics::RestoreBreakdown;
+use crate::restore::RestoreMode;
+use crate::{GroupId, Host};
+
+/// Statistics of one live migration.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationStats {
+    /// Pre-copy rounds performed (including the final stop round).
+    pub rounds: u32,
+    /// Bytes shipped per round.
+    pub round_bytes: Vec<u64>,
+    /// Total bytes over the wire.
+    pub total_bytes: u64,
+    /// Source downtime (virtual) for the final stop-and-copy round.
+    pub downtime: aurora_sim::time::SimDuration,
+    /// Restore breakdown on the destination.
+    pub restore: RestoreBreakdown,
+}
+
+impl Host {
+    /// Exports a checkpoint (the latest when `ckpt` is `None`) as a
+    /// self-contained byte stream (`sls send`).
+    ///
+    /// The stream carries exactly the sending group's namespace —
+    /// its memory objects, persistent logs and metadata records — not
+    /// the whole machine's history, so the receiver sees one
+    /// unambiguous application.
+    pub fn send_checkpoint(&mut self, gid: GroupId, ckpt: Option<CkptId>) -> Result<Vec<u8>> {
+        let (store, ckpt, ns) = {
+            let group = self.sls.group_ref(gid)?;
+            let ckpt = match ckpt {
+                Some(c) => c,
+                None => group
+                    .last_checkpoint()
+                    .ok_or_else(|| Error::invalid("group has no checkpoints"))?,
+            };
+            (group.backends[0].store.clone(), ckpt, group.ns())
+        };
+        let prefix = format!("g{}/", gid.0);
+        let stream = store.borrow_mut().export_checkpoint_filtered(
+            ckpt,
+            |oid| oid & !0xFFFF_FFFF_FFFF == ns,
+            |key| key.starts_with(&prefix),
+        );
+        stream
+    }
+
+    /// Imports a checkpoint stream into this host's primary store
+    /// (`sls recv`); returns the new checkpoint id, ready to restore.
+    pub fn recv_checkpoint(&mut self, stream: &[u8]) -> Result<CkptId> {
+        let (ckpt, durable) = self.sls.primary.borrow_mut().import_stream(stream)?;
+        self.clock.advance_to(durable);
+        Ok(ckpt)
+    }
+}
+
+/// Live-migrates a persistence group from `src` to `dst` over `link`.
+///
+/// Pre-copy rounds continue until the delta stops shrinking (or
+/// `max_rounds`); the final round stops the source, ships the last delta,
+/// restores on the destination, and kills the source incarnation.
+pub fn live_migrate(
+    src: &mut Host,
+    dst: &mut Host,
+    gid: GroupId,
+    link: &mut LinkModel,
+    max_rounds: u32,
+) -> Result<MigrationStats> {
+    let mut stats = MigrationStats::default();
+    let store = src.sls.group_ref(gid)?.backends[0].store.clone();
+
+    // Round 1: full image while the application runs.
+    let breakdown = src.checkpoint(gid, true, Some("migrate-base"))?;
+    let base = breakdown.ckpt.ok_or_else(|| Error::internal("no ckpt id"))?;
+    let full_stream = store.borrow_mut().export_checkpoint(base)?;
+    // Charge the wire for the logical image size (pages are encoded
+    // compactly in the stream, but a real migration moves real bytes).
+    let full_logical = store.borrow().logical_size(base)?;
+    link.transfer_sync(full_logical.max(full_stream.len() as u64));
+    let (_, durable) = dst.sls.primary.borrow_mut().import_stream(&full_stream)?;
+    dst.clock.advance_to(durable);
+    stats.rounds = 1;
+    stats.round_bytes.push(full_logical.max(full_stream.len() as u64));
+    stats.total_bytes += full_logical.max(full_stream.len() as u64);
+
+    // Iterative pre-copy: ship deltas while they shrink.
+    let mut last_len = full_logical.max(full_stream.len() as u64) as usize;
+    for _ in 1..max_rounds.max(2) - 1 {
+        let breakdown = src.checkpoint(gid, false, None)?;
+        let ckpt = breakdown.ckpt.ok_or_else(|| Error::internal("no ckpt id"))?;
+        let delta = store.borrow_mut().export_delta(ckpt)?;
+        let logical = store
+            .borrow()
+            .delta_logical_size(ckpt)?
+            .max(delta.len() as u64);
+        link.transfer_sync(logical);
+        let (_, durable) = dst.sls.primary.borrow_mut().import_delta(&delta)?;
+        dst.clock.advance_to(durable);
+        stats.rounds += 1;
+        stats.round_bytes.push(logical);
+        stats.total_bytes += logical;
+        if logical as usize >= last_len || logical < 4096 {
+            break; // Converged (or not converging: stop copying).
+        }
+        last_len = logical as usize;
+    }
+
+    // Final round: stop the source, ship the last delta, switch over.
+    let t0 = src.clock.now();
+    let members = src.group_members(gid);
+    for &pid in &members {
+        src.kernel.stop_process(pid)?;
+    }
+    let breakdown = src.checkpoint(gid, false, Some("migrate-final"))?;
+    let final_ckpt = breakdown.ckpt.ok_or_else(|| Error::internal("no ckpt id"))?;
+    let delta = store.borrow_mut().export_delta(final_ckpt)?;
+    let logical = store
+        .borrow()
+        .delta_logical_size(final_ckpt)?
+        .max(delta.len() as u64);
+    link.transfer_sync(logical);
+    let (dst_ckpt, durable) = dst.sls.primary.borrow_mut().import_delta(&delta)?;
+    dst.clock.advance_to(durable);
+    stats.rounds += 1;
+    stats.round_bytes.push(logical);
+    stats.total_bytes += logical;
+
+    // Restore on the destination, then retire the source incarnation.
+    let primary = dst.sls.primary.clone();
+    stats.restore = dst.restore(&primary, dst_ckpt, RestoreMode::LazyPrefetch)?;
+    for pid in members {
+        let _ = src.kernel.exit(pid, 0);
+        src.kernel.procs.remove(&pid);
+    }
+    stats.downtime = src.clock.now().since(t0);
+    Ok(stats)
+}

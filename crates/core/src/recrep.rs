@@ -1,0 +1,138 @@
+//! Record/replay integration.
+//!
+//! Aurora does not implement a record/replay engine itself; it *bounds*
+//! one: because checkpoints are cheap, the nondeterminism log only needs
+//! to cover the window since the last checkpoint. On a failure, the
+//! application is rolled back to that checkpoint and the log replayed,
+//! letting a developer "witness the last seconds before a crash" with a
+//! small constant overhead.
+//!
+//! [`RecordLog`] is that bounded log. Applications route every
+//! nondeterministic input (client requests, timers, random draws) through
+//! [`RecordLog::record`]; the SLS truncates the log at each checkpoint
+//! via [`RecordLog::on_checkpoint`]. After a rollback,
+//! [`RecordLog::begin_replay`] replays the inputs deterministically.
+
+use aurora_objstore::CkptId;
+
+/// A bounded nondeterminism log tied to the checkpoint cycle.
+#[derive(Debug, Default)]
+pub struct RecordLog {
+    /// Inputs since the last checkpoint, in order.
+    events: Vec<Vec<u8>>,
+    /// The checkpoint this log is relative to.
+    base: Option<CkptId>,
+    /// Replay cursor, when replaying.
+    cursor: Option<usize>,
+    /// Total bytes recorded over the log's lifetime (statistics).
+    pub total_recorded: u64,
+    /// Times the log was truncated by a checkpoint.
+    pub truncations: u64,
+    /// High-water mark of the log length (events) between checkpoints.
+    pub peak_len: usize,
+}
+
+impl RecordLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RecordLog::default()
+    }
+
+    /// Routes one nondeterministic input through the log.
+    ///
+    /// Recording mode: appends and returns the input unchanged.
+    /// Replay mode: returns the next recorded input instead (and falls
+    /// back to live input when the log is exhausted, switching back to
+    /// recording).
+    pub fn record(&mut self, input: Vec<u8>) -> Vec<u8> {
+        if let Some(cursor) = self.cursor {
+            if cursor < self.events.len() {
+                self.cursor = Some(cursor + 1);
+                return self.events[cursor].clone();
+            }
+            // Log exhausted: back to live recording.
+            self.cursor = None;
+        }
+        self.total_recorded += input.len() as u64;
+        self.events.push(input.clone());
+        self.peak_len = self.peak_len.max(self.events.len());
+        input
+    }
+
+    /// Truncates the log: everything before `ckpt` is now covered by the
+    /// checkpoint itself.
+    pub fn on_checkpoint(&mut self, ckpt: CkptId) {
+        self.events.clear();
+        self.base = Some(ckpt);
+        self.cursor = None;
+        self.truncations += 1;
+    }
+
+    /// Begins replaying from the last checkpoint.
+    ///
+    /// The application must first be rolled back to [`RecordLog::base`].
+    pub fn begin_replay(&mut self) {
+        self.cursor = Some(0);
+    }
+
+    /// The checkpoint the log is relative to.
+    pub fn base(&self) -> Option<CkptId> {
+        self.base
+    }
+
+    /// Events currently in the log.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True while replaying.
+    pub fn replaying(&self) -> bool {
+        self.cursor.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_reproduces_inputs() {
+        let mut log = RecordLog::new();
+        log.on_checkpoint(CkptId(1));
+        let inputs = [b"set a 1".to_vec(), b"set b 2".to_vec(), b"del a".to_vec()];
+        for input in &inputs {
+            assert_eq!(log.record(input.clone()), *input);
+        }
+        assert_eq!(log.len(), 3);
+
+        log.begin_replay();
+        assert!(log.replaying());
+        for input in &inputs {
+            // Replay ignores the live input and returns the recording.
+            assert_eq!(log.record(b"live noise".to_vec()), *input);
+        }
+        // Exhausted: falls back to live.
+        assert_eq!(log.record(b"fresh".to_vec()), b"fresh".to_vec());
+        assert!(!log.replaying());
+    }
+
+    #[test]
+    fn checkpoint_bounds_the_log() {
+        let mut log = RecordLog::new();
+        for i in 0..100u32 {
+            log.record(i.to_le_bytes().to_vec());
+            if i % 10 == 9 {
+                log.on_checkpoint(CkptId(i as u64));
+            }
+        }
+        assert!(log.len() <= 10, "log bounded by checkpoint interval");
+        assert_eq!(log.truncations, 10);
+        assert_eq!(log.peak_len, 10);
+        assert_eq!(log.base(), Some(CkptId(99)));
+    }
+}

@@ -1,0 +1,729 @@
+//! The restore path: rebuilding an application from a checkpoint.
+//!
+//! Phases match Table 4's rows:
+//!
+//! * **Object Store Read** — fetching the manifest and every metadata
+//!   record from the backend (the only phase that differs between
+//!   memory-backend and disk-backend restores).
+//! * **Memory state** — recreating the VM object hierarchy and address
+//!   spaces. No page data is copied: objects are bound to a pager over
+//!   the checkpoint image, and pages arrive on demand (lazy restore),
+//!   shared COW between the image and — via the image cache — every
+//!   other instance restored from the same checkpoint.
+//! * **Metadata state** — recreating processes, descriptor tables,
+//!   pipes, sockets (including in-flight SCM_RIGHTS descriptors), shared
+//!   memory and message queues, with every identifier remapped into the
+//!   destination kernel.
+//!
+//! Lazy restore optionally *prefetches* the hottest pages recorded in
+//! the image (the clock algorithm's heat ranking) to absorb the
+//! post-restore fault storm — the paper's serverless warm start.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use aurora_objstore::{CkptId, ObjId};
+use aurora_posix::fd::{FileId, FileKind, OpenFile};
+use aurora_posix::inet::{InetSocket, IsockState};
+use aurora_posix::pipe::{Pipe, PipeId};
+use aurora_posix::types::Tid;
+use aurora_posix::unix::{UnixMsg, UnixSocket, UsockState};
+use aurora_posix::{Fd, IsockId, Pid, UsockId, VnodeRef};
+use aurora_sim::clock::Stopwatch;
+use aurora_sim::cost;
+use aurora_sim::error::{Error, Result};
+use aurora_sim::time::SimDuration;
+use aurora_slsfs::StoreHandle;
+use aurora_vm::map::RestoreHint;
+use aurora_vm::object::ResidentPage;
+use aurora_vm::{MapEntry, Pager, PageData, Prot, SlsPolicy, VmoId, VmoKind};
+
+use crate::metrics::RestoreBreakdown;
+use crate::serialize::*;
+use crate::Host;
+
+/// How memory is brought back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreMode {
+    /// Page everything in during restore (no post-restore faults).
+    Eager,
+    /// Pure lazy: restore only the skeleton; fault pages on demand.
+    Lazy,
+    /// Lazy plus eager page-in of the recorded hottest pages.
+    LazyPrefetch,
+}
+
+/// A pager that feeds pages from a checkpoint image in an object store.
+///
+/// One pager is shared by every instance restored from the same image
+/// (see the pager cache in [`Host::restore`]), which is what lets their
+/// faulted-in frames be shared through the VM image cache. Because it is
+/// shared, it is strictly read-only: eviction never writes dirty pages
+/// back through it (see `aurora-vm`'s pageout policy) — dirty image
+/// pages stay resident until a checkpoint captures them.
+pub struct StorePager {
+    store: StoreHandle,
+    at: CkptId,
+}
+
+impl StorePager {
+    /// Creates a pager over `store` at checkpoint `at`.
+    pub fn new(store: StoreHandle, at: CkptId) -> Self {
+        StorePager { store, at }
+    }
+}
+
+impl Pager for StorePager {
+    fn page_in(&mut self, key: u64, idx: u64) -> aurora_sim::error::Result<PageData> {
+        Ok(self
+            .store
+            .borrow_mut()
+            .read_page_at(self.at, ObjId(key), idx)?
+            .unwrap_or(PageData::Zero))
+    }
+
+    fn page_out(&mut self, _key: u64, _idx: u64, _data: &PageData) -> aurora_sim::error::Result<()> {
+        Err(Error::unsupported(
+            "checkpoint-image pagers are shared and read-only; dirty pages stay resident",
+        ))
+    }
+
+    fn has_page(&self, key: u64, idx: u64) -> bool {
+        self.store.borrow().has_page_at(self.at, ObjId(key), idx)
+    }
+
+    fn shared(&self) -> bool {
+        true
+    }
+}
+
+impl Host {
+    /// Restores an application from checkpoint `ckpt` in `store`.
+    ///
+    /// Returns the phase breakdown including the pid remapping. The
+    /// restored processes are *not* automatically persisted; call
+    /// [`Host::persist`] on the new root to resume transparent
+    /// persistence.
+    pub fn restore(
+        &mut self,
+        store: &StoreHandle,
+        ckpt: CkptId,
+        mode: RestoreMode,
+    ) -> Result<RestoreBreakdown> {
+        let mut breakdown = RestoreBreakdown::default();
+        let clock = self.clock.clone();
+        let mut sw = Stopwatch::start(&clock);
+
+        // --- Phase 1: object store read. -----------------------------------
+        let (manifest, vmo_recs, proc_recs, file_recs, pipe_recs, usock_recs, isock_recs, shm_recs, msgq_recs, pshm_recs) =
+            fetch_records(store, ckpt)?;
+        breakdown.objstore_read = sw.lap();
+        // High-latency backend reads implicitly perform part of the
+        // parsing work; discount the later phases accordingly (the
+        // paper's observation on disk restores).
+        let discount: u64 = if breakdown.objstore_read.as_micros() > 100 {
+            cost::RESTORE_DISK_DISCOUNT_PCT
+        } else {
+            100
+        };
+        let scaled = |ns: u64| SimDuration::from_nanos(ns * discount / 100);
+
+        // --- Phase 2: memory state. ----------------------------------------
+        // One pager per (store, checkpoint): instances restored from the
+        // same image share it, so their faults share frames through the
+        // VM image cache (the paper's mutual warm-up).
+        let cache_key = (Rc::as_ptr(store) as usize, ckpt.0);
+        let pager_id = match self.sls.pager_cache.get(&cache_key) {
+            Some(&p) => p,
+            None => {
+                let p = self
+                    .kernel
+                    .vm
+                    .register_pager(Box::new(StorePager::new(store.clone(), ckpt)));
+                self.sls.pager_cache.insert(cache_key, p);
+                p
+            }
+        };
+        // Create the object shells, oldest first so backings exist.
+        let mut oid_vmo: HashMap<u64, VmoId> = HashMap::new();
+        for rec in &vmo_recs {
+            let kind = match rec.kind {
+                1 => VmoKind::Shadow,
+                2 => VmoKind::SharedMem,
+                3 => VmoKind::Vnode { file_id: rec.oid },
+                _ => VmoKind::Anonymous,
+            };
+            let v = self.kernel.vm.create_object(kind, rec.size_pages);
+            self.kernel.vm.object_mut(v).pager = Some((pager_id, rec.oid));
+            oid_vmo.insert(rec.oid, v);
+            self.clock.charge(scaled(cost::RESTORE_VMO_NS));
+        }
+        // Wire shadow-chain backings (the backing reference is the
+        // chain's ownership; also drop the pager on shadowed levels? No:
+        // every level keeps its own image pages).
+        for rec in &vmo_recs {
+            if let Some((boid, off)) = rec.backing {
+                let v = oid_vmo[&rec.oid];
+                let b = *oid_vmo
+                    .get(&boid)
+                    .ok_or_else(|| Error::bad_image(format!("missing backing object {boid}")))?;
+                self.kernel.vm.ref_object(b);
+                self.kernel.vm.object_mut(v).backing = Some((b, off));
+            }
+        }
+
+        // Recreate processes and their address spaces.
+        let mut pid_map: HashMap<u32, Pid> = HashMap::new();
+        for rec in &proc_recs {
+            let new_pid = self.kernel.spawn(&rec.name);
+            pid_map.insert(rec.pid, new_pid);
+            for m in &rec.map {
+                let v = *oid_vmo
+                    .get(&m.oid)
+                    .ok_or_else(|| Error::bad_image(format!("map entry on unknown object {}", m.oid)))?;
+                self.kernel.vm.ref_object(v);
+                let entry = MapEntry {
+                    start: m.start,
+                    end: m.end,
+                    object: v,
+                    offset_pages: m.offset_pages,
+                    prot: Prot {
+                        read: m.read,
+                        write: m.write,
+                    },
+                    shared: m.shared,
+                    needs_copy: m.needs_copy,
+                    policy: SlsPolicy {
+                        exclude: m.exclude,
+                        restore: match m.restore_hint {
+                            1 => RestoreHint::Eager,
+                            2 => RestoreHint::Lazy,
+                            _ => RestoreHint::Auto,
+                        },
+                    },
+                };
+                self.kernel
+                    .proc_mut(new_pid)?
+                    .map
+                    .install_entry(entry);
+                self.clock.charge(scaled(cost::RESTORE_MAP_ENTRY_NS));
+            }
+        }
+
+        // Region policy from `sls_mctl` restore hints: objects mapped by
+        // an Eager-hinted entry page in fully even under lazy restore;
+        // Lazy-hinted ones are excluded from hot-set prefetch.
+        let mut force_eager: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut force_lazy: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for rec in &proc_recs {
+            for m in &rec.map {
+                match m.restore_hint {
+                    1 => {
+                        force_eager.insert(m.oid);
+                    }
+                    2 => {
+                        force_lazy.insert(m.oid);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Eager/prefetch page-in.
+        for rec in &vmo_recs {
+            let v = oid_vmo[&rec.oid];
+            let eager = match mode {
+                RestoreMode::Eager => !force_lazy.contains(&rec.oid),
+                _ => force_eager.contains(&rec.oid),
+            };
+            if eager {
+                let map = store.borrow_mut().object_map_at(ckpt, ObjId(rec.oid));
+                for (idx, _) in map {
+                    breakdown.pages_prefetched += self.page_in_image(v, pager_id, rec.oid, idx)?;
+                }
+            } else if mode == RestoreMode::LazyPrefetch && !force_lazy.contains(&rec.oid) {
+                for &idx in &rec.hot {
+                    breakdown.pages_prefetched += self.page_in_image(v, pager_id, rec.oid, idx)?;
+                }
+            }
+        }
+        breakdown.memory_state = sw.lap();
+
+        // --- Phase 3: metadata state. ----------------------------------------
+        // Pipes first (no dependencies).
+        let mut pipe_map: HashMap<u32, PipeId> = HashMap::new();
+        for rec in &pipe_recs {
+            let mut pipe = Pipe::new();
+            pipe.buf = rec.buf.iter().copied().collect();
+            pipe.read_open = rec.read_open;
+            pipe.write_open = rec.write_open;
+            pipe_map.insert(rec.id, PipeId(self.kernel.pipes.insert(pipe)));
+        }
+        // Socket shells (peers wired after).
+        let mut usock_map: HashMap<u32, UsockId> = HashMap::new();
+        for rec in &usock_recs {
+            usock_map.insert(rec.id, UsockId(self.kernel.usocks.insert(UnixSocket::new())));
+        }
+        let mut isock_map: HashMap<u32, IsockId> = HashMap::new();
+        for rec in &isock_recs {
+            let owner = pid_map
+                .get(&rec.owner)
+                .copied()
+                .unwrap_or(aurora_posix::Pid(0));
+            let sock = InetSocket {
+                state: IsockState::Unbound,
+                local_port: None,
+                owner,
+                recv: rec.recv.iter().copied().collect(),
+                backlog: Default::default(),
+                held: Default::default(),
+            };
+            isock_map.insert(rec.id, IsockId(self.kernel.isocks.insert(sock)));
+        }
+
+        // Open-file descriptions (need pipe/sock maps).
+        let mut file_map: HashMap<u32, FileId> = HashMap::new();
+        for rec in &file_recs {
+            let kind = match &rec.kind {
+                FileKindRec::Vnode(node) => FileKind::Vnode(VnodeRef {
+                    mount: self.sls.slsfs_mount,
+                    node: *node,
+                }),
+                FileKindRec::PipeRead(p) => FileKind::PipeRead(
+                    *pipe_map
+                        .get(p)
+                        .ok_or_else(|| Error::bad_image("file references unknown pipe"))?,
+                ),
+                FileKindRec::PipeWrite(p) => FileKind::PipeWrite(
+                    *pipe_map
+                        .get(p)
+                        .ok_or_else(|| Error::bad_image("file references unknown pipe"))?,
+                ),
+                FileKindRec::UnixSock(s) => FileKind::UnixSock(
+                    *usock_map
+                        .get(s)
+                        .ok_or_else(|| Error::bad_image("file references unknown usock"))?,
+                ),
+                FileKindRec::InetSock(s) => FileKind::InetSock(
+                    *isock_map
+                        .get(s)
+                        .ok_or_else(|| Error::bad_image("file references unknown isock"))?,
+                ),
+                FileKindRec::PosixShm(n) => FileKind::PosixShm(n.clone()),
+                FileKindRec::NtLog(id) => FileKind::NtLog(*id),
+            };
+            // Restored with zero references; each install adds one.
+            let mut file = OpenFile::new(kind);
+            file.offset = rec.offset;
+            file.flags = rec.flags;
+            file.external_consistency = rec.ec;
+            file.refs = 0;
+            let fid = FileId(self.kernel.files.insert(file));
+            file_map.insert(rec.id, fid);
+            // Vnodes re-acquire their on-disk open reference.
+            if let FileKindRec::Vnode(node) = &rec.kind {
+                self.kernel.vfs.fs(self.sls.slsfs_mount).open_ref(*node, 1)?;
+            }
+        }
+
+        // Wire socket state, queues and bindings.
+        for rec in &usock_recs {
+            let sid = usock_map[&rec.id];
+            let state = match &rec.state {
+                SockStateRec::Unbound => UsockState::Unbound,
+                SockStateRec::Listening => UsockState::Listening,
+                SockStateRec::Connected(p) => match usock_map.get(p) {
+                    Some(np) => UsockState::Connected(*np),
+                    None => UsockState::Disconnected,
+                },
+                SockStateRec::Disconnected => UsockState::Disconnected,
+            };
+            let recv = rec
+                .recv
+                .iter()
+                .map(|(bytes, fds)| {
+                    let fds = fds
+                        .iter()
+                        .filter_map(|f| file_map.get(f).copied())
+                        .collect::<Vec<_>>();
+                    // In-flight descriptors hold references.
+                    UnixMsg {
+                        bytes: bytes.clone(),
+                        fds,
+                    }
+                })
+                .collect::<Vec<_>>();
+            for msg in &recv {
+                for f in &msg.fds {
+                    if let Some(file) = self.kernel.files.get_mut(f.0) {
+                        file.refs += 1;
+                    }
+                }
+            }
+            let backlog = rec
+                .backlog
+                .iter()
+                .filter_map(|b| usock_map.get(b).copied())
+                .collect();
+            let bound_path = match &rec.bound_path {
+                Some(path) if !self.kernel.usock_binds.contains_key(path) => {
+                    self.kernel.usock_binds.insert(path.clone(), sid);
+                    Some(path.clone())
+                }
+                other => other.clone(),
+            };
+            let sock = self
+                .kernel
+                .usocks
+                .get_mut(sid.0)
+                .expect("socket shell created above");
+            sock.state = state;
+            sock.recv = recv.into();
+            sock.backlog = backlog;
+            sock.bound_path = bound_path;
+        }
+        for rec in &isock_recs {
+            let sid = isock_map[&rec.id];
+            let state = match &rec.state {
+                SockStateRec::Unbound => IsockState::Unbound,
+                SockStateRec::Listening => IsockState::Listening,
+                SockStateRec::Connected(p) => match isock_map.get(p) {
+                    Some(np) => IsockState::Connected(*np),
+                    None => IsockState::Disconnected,
+                },
+                SockStateRec::Disconnected => IsockState::Disconnected,
+            };
+            let backlog = rec
+                .backlog
+                .iter()
+                .filter_map(|b| isock_map.get(b).copied())
+                .collect();
+            // Rebind the port when free; otherwise the socket restores
+            // degraded (listening without a port registration).
+            let port = match rec.port {
+                Some(p) if !self.kernel.ports.contains_key(&p) => {
+                    self.kernel.ports.insert(p, sid);
+                    Some(p)
+                }
+                other => other,
+            };
+            let sock = self
+                .kernel
+                .isocks
+                .get_mut(sid.0)
+                .expect("socket shell created above");
+            sock.state = state;
+            sock.backlog = backlog;
+            sock.local_port = port;
+        }
+
+        // Descriptor tables, threads, credentials, signals, parenthood.
+        for rec in &proc_recs {
+            let new_pid = pid_map[&rec.pid];
+            {
+                let proc = self.kernel.proc_mut(new_pid)?;
+                proc.cwd = rec.cwd.clone();
+                proc.cred.uid = rec.uid;
+                proc.cred.gid = rec.gid;
+                proc.sig.pending = rec.sig_pending;
+                proc.sig.blocked = rec.sig_blocked;
+                proc.sig.actions = rec.sig_actions_array();
+                proc.threads.clear();
+                for (tid, cpu) in &rec.threads {
+                    proc.threads.push(aurora_posix::types::Thread {
+                        tid: Tid(*tid),
+                        cpu: cpu.clone(),
+                    });
+                }
+                if let Some(&parent) = pid_map.get(&rec.ppid) {
+                    proc.ppid = parent;
+                }
+            }
+            for (fd, old_fid) in &rec.fds {
+                let fid = *file_map
+                    .get(old_fid)
+                    .ok_or_else(|| Error::bad_image("fd references unknown file"))?;
+                self.kernel
+                    .proc_mut(new_pid)?
+                    .fds
+                    .install_at(Fd(*fd), fid)?;
+                if let Some(file) = self.kernel.files.get_mut(fid.0) {
+                    file.refs += 1;
+                }
+            }
+            if let Some(&parent) = pid_map.get(&rec.ppid) {
+                self.kernel.proc_mut(parent)?.children.push(new_pid);
+            }
+        }
+
+        // SysV shared memory.
+        for rec in &shm_recs {
+            let v = *oid_vmo
+                .get(&rec.oid)
+                .ok_or_else(|| Error::bad_image("shm references unknown object"))?;
+            if self.kernel.sysv_shms.contains_key(&rec.key) {
+                continue; // Restored alongside a live segment: keep live.
+            }
+            self.kernel.vm.ref_object(v);
+            self.kernel.sysv_shms.insert(
+                rec.key,
+                aurora_posix::SysvShm {
+                    key: rec.key,
+                    size: rec.size,
+                    object: v,
+                    nattch: 0,
+                    removed: rec.removed,
+                },
+            );
+        }
+        // POSIX shared memory.
+        for rec in &pshm_recs {
+            let v = *oid_vmo
+                .get(&rec.oid)
+                .ok_or_else(|| Error::bad_image("pshm references unknown object"))?;
+            if self.kernel.posix_shms.contains_key(&rec.name) {
+                continue;
+            }
+            self.kernel.vm.ref_object(v);
+            self.kernel.posix_shms.insert(
+                rec.name.clone(),
+                aurora_posix::PosixShm {
+                    object: v,
+                    size: rec.size,
+                    unlinked: rec.unlinked,
+                    open_refs: rec.open_refs,
+                },
+            );
+        }
+        // Message queues.
+        for rec in &msgq_recs {
+            let q = self.kernel.msgqs.entry(rec.key).or_default();
+            if q.capacity == 0 {
+                q.capacity = aurora_posix::sysv::MSGMNB;
+            }
+            q.msgs = rec
+                .msgs
+                .iter()
+                .map(|(t, data)| aurora_posix::sysv::SysvMsg {
+                    mtype: *t,
+                    data: data.clone(),
+                })
+                .collect();
+        }
+        // Container.
+        if let Some((name, root)) = &manifest.container {
+            let ct = self.kernel.container_create(name, root);
+            for (_, &new_pid) in pid_map.iter() {
+                self.kernel.container_add(ct, new_pid)?;
+            }
+        }
+
+        // Charge the recreation cost: a fixed orchestration component
+        // plus one parse/wire cost per record.
+        self.clock.charge(scaled(cost::RESTORE_GROUP_FIXED_NS));
+        for bytes in proc_recs.iter().map(|r| r.encode().len()) {
+            self.clock
+                .charge(scaled(cost::meta_restore(bytes).as_nanos()));
+        }
+        for n in [
+            file_recs.len(),
+            pipe_recs.len(),
+            usock_recs.len(),
+            isock_recs.len(),
+            shm_recs.len(),
+            msgq_recs.len(),
+            pshm_recs.len(),
+        ] {
+            for _ in 0..n {
+                self.clock
+                    .charge(scaled(cost::meta_restore(96).as_nanos()));
+            }
+        }
+
+        // Drop the pager-less object references we created above: each
+        // object was born with one reference that nothing owns.
+        for (_, &v) in oid_vmo.iter() {
+            self.kernel.vm.unref_object(v);
+        }
+
+        breakdown.metadata_state = sw.lap();
+        breakdown.total =
+            breakdown.objstore_read + breakdown.memory_state + breakdown.metadata_state;
+        let mut pid_pairs: Vec<(u32, u32)> = pid_map.iter().map(|(o, n)| (*o, n.0)).collect();
+        pid_pairs.sort();
+        breakdown.pid_map = pid_pairs;
+        self.sls.stats.restores += 1;
+        Ok(breakdown)
+    }
+
+    /// Pages one image page into an object, counting it when resident
+    /// work actually happened.
+    fn page_in_image(
+        &mut self,
+        v: VmoId,
+        pager: aurora_vm::PagerId,
+        oid: u64,
+        idx: u64,
+    ) -> Result<u64> {
+        if self.kernel.vm.object(v).page(idx).is_some() {
+            return Ok(0);
+        }
+        // Shared image frame: wire it; otherwise fetch from the store.
+        if let Some(frame) = self
+            .kernel
+            .vm
+            .image_cache_get(pager, oid, idx)
+            .filter(|f| self.kernel.vm.frames.exists(*f))
+        {
+            self.kernel.vm.frames.ref_frame(frame);
+            self.kernel.vm.object_mut(v).insert_page(
+                idx,
+                ResidentPage {
+                    frame,
+                    write_epoch: 0,
+                    cow_protected: false,
+                    referenced: true,
+                    heat: 1,
+                },
+            );
+            self.clock
+                .charge(SimDuration::from_nanos(cost::RESTORE_PAGE_WIRE_NS));
+            return Ok(1);
+        }
+        let data = self.kernel.vm.pager_mut(pager).page_in(oid, idx)?;
+        let frame = self.kernel.vm.frames.alloc(data);
+        self.kernel.vm.image_cache_put(pager, oid, idx, frame);
+        self.kernel.vm.object_mut(v).insert_page(
+            idx,
+            ResidentPage {
+                frame,
+                write_epoch: 0,
+                cow_protected: false,
+                referenced: true,
+                heat: 1,
+            },
+        );
+        Ok(1)
+    }
+
+    /// Rolls a live persistence group back to a checkpoint
+    /// (`sls_rollback`): the current members are killed and the group is
+    /// re-created from the image. Pending speculation flags are raised
+    /// for the restored processes.
+    pub fn rollback(
+        &mut self,
+        gid: crate::GroupId,
+        ckpt: Option<CkptId>,
+    ) -> Result<RestoreBreakdown> {
+        let (store, ckpt) = {
+            let group = self.sls.group_ref(gid)?;
+            let ckpt = match ckpt {
+                Some(c) => c,
+                None => group
+                    .last_checkpoint()
+                    .ok_or_else(|| Error::invalid("group has no checkpoints"))?,
+            };
+            (group.backends[0].store.clone(), ckpt)
+        };
+        // Kill the current incarnation.
+        let members = self.group_members(gid);
+        for pid in &members {
+            let _ = self.kernel.exit(*pid, 128);
+            self.kernel.procs.remove(pid);
+        }
+        let breakdown = self.restore(&store, ckpt, RestoreMode::LazyPrefetch)?;
+        // Re-register the restored tree under the SAME group so periodic
+        // checkpointing and history continue seamlessly.
+        for (_, new) in &breakdown.pid_map {
+            self.kernel.proc_mut(Pid(*new))?.persist_group = Some(gid.0);
+            self.sls.rolled_back.insert(Pid(*new));
+        }
+        if let Some(root) = breakdown.root_pid() {
+            let group = self.sls.group_mut(gid)?;
+            group.root = root;
+            // The restored incarnation's memory is new VM objects; the
+            // next checkpoint must be full (with image consolidation).
+            for backend in group.backends.iter_mut() {
+                backend.needs_full = true;
+            }
+        }
+        self.sls.stats.rollbacks += 1;
+        Ok(breakdown)
+    }
+}
+
+/// Fetches and parses every record of a checkpoint. All device read
+/// charges happen here (the "Object Store Read" phase).
+#[allow(clippy::type_complexity)]
+fn fetch_records(
+    store: &StoreHandle,
+    ckpt: CkptId,
+) -> Result<(
+    ManifestRec,
+    Vec<VmoRec>,
+    Vec<ProcRec>,
+    Vec<FileRec>,
+    Vec<PipeRec>,
+    Vec<UsockRec>,
+    Vec<IsockRec>,
+    Vec<ShmRec>,
+    Vec<MsgqRec>,
+    Vec<PshmRec>,
+)> {
+    let mut st = store.borrow_mut();
+    // The manifest key embeds the group id. Several groups can share a
+    // store, so take the manifest written nearest to this checkpoint in
+    // its chain — that is the group the checkpoint belongs to.
+    let manifest_key = st
+        .nearest_blob_key(ckpt, "/manifest")
+        .ok_or_else(|| Error::bad_image("checkpoint has no manifest"))?;
+    let manifest = ManifestRec::decode(
+        &st.get_blob(ckpt, &manifest_key)?
+            .ok_or_else(|| Error::bad_image("manifest unreadable"))?,
+    )?;
+    let gid = manifest.gid;
+
+    let mut fetch = |key: String| -> Result<Vec<u8>> {
+        st.get_blob(ckpt, &key)?
+            .ok_or_else(|| Error::bad_image(format!("missing record {key}")))
+    };
+    let mut vmos = Vec::new();
+    for oid in &manifest.vmos {
+        vmos.push(VmoRec::decode(&fetch(key_vmo(gid, *oid))?)?);
+    }
+    let mut procs = Vec::new();
+    for pid in &manifest.pids {
+        procs.push(ProcRec::decode(&fetch(key_proc(gid, *pid))?)?);
+    }
+    let mut files = Vec::new();
+    for id in &manifest.files {
+        files.push(FileRec::decode(&fetch(key_file(gid, *id))?)?);
+    }
+    let mut pipes = Vec::new();
+    for id in &manifest.pipes {
+        pipes.push(PipeRec::decode(&fetch(key_pipe(gid, *id))?)?);
+    }
+    let mut usocks = Vec::new();
+    for id in &manifest.usocks {
+        usocks.push(UsockRec::decode(&fetch(key_usock(gid, *id))?)?);
+    }
+    let mut isocks = Vec::new();
+    for id in &manifest.isocks {
+        isocks.push(IsockRec::decode(&fetch(key_isock(gid, *id))?)?);
+    }
+    let mut shms = Vec::new();
+    for key in &manifest.shms {
+        shms.push(ShmRec::decode(&fetch(key_shm(gid, *key))?)?);
+    }
+    let mut msgqs = Vec::new();
+    for key in &manifest.msgqs {
+        msgqs.push(MsgqRec::decode(&fetch(key_msgq(gid, *key))?)?);
+    }
+    let mut pshms = Vec::new();
+    for name in &manifest.pshms {
+        pshms.push(PshmRec::decode(&fetch(key_pshm(gid, name))?)?);
+    }
+    Ok((
+        manifest, vmos, procs, files, pipes, usocks, isocks, shms, msgqs, pshms,
+    ))
+}

@@ -1,0 +1,951 @@
+//! Per-object serializers.
+//!
+//! Every kernel primitive serializes into its own versioned record —
+//! the design that distinguishes Aurora from CRIU-style checkpointers:
+//! objects are captured "as seen by the kernel", independently, with
+//! cross-references expressed through stable identifiers (original
+//! kernel ids for files/pipes/sockets, store object ids for memory).
+//! The restore path re-materializes the graph in a fresh kernel,
+//! remapping identifiers as it goes.
+//!
+//! Blob keys on the store are `g<gid>/<kind>/<id>`, plus one
+//! `g<gid>/manifest` index per checkpoint.
+
+use aurora_posix::types::{CpuState, SigAction, NSIG};
+use aurora_sim::codec::{Decoder, Encoder};
+use aurora_sim::error::{Error, Result};
+
+/// Record format version (bumped on layout changes).
+pub const RECORD_VERSION: u16 = 1;
+
+/// Blob key helpers.
+pub fn key_manifest(gid: u32) -> String {
+    format!("g{gid}/manifest")
+}
+pub fn key_proc(gid: u32, pid: u32) -> String {
+    format!("g{gid}/proc/{pid}")
+}
+pub fn key_file(gid: u32, id: u32) -> String {
+    format!("g{gid}/file/{id}")
+}
+pub fn key_pipe(gid: u32, id: u32) -> String {
+    format!("g{gid}/pipe/{id}")
+}
+pub fn key_usock(gid: u32, id: u32) -> String {
+    format!("g{gid}/usock/{id}")
+}
+pub fn key_isock(gid: u32, id: u32) -> String {
+    format!("g{gid}/isock/{id}")
+}
+pub fn key_shm(gid: u32, key: i32) -> String {
+    format!("g{gid}/shm/{key}")
+}
+pub fn key_msgq(gid: u32, key: i32) -> String {
+    format!("g{gid}/msgq/{key}")
+}
+pub fn key_pshm(gid: u32, name: &str) -> String {
+    format!("g{gid}/pshm/{name}")
+}
+pub fn key_vmo(gid: u32, oid: u64) -> String {
+    format!("g{gid}/vmo/{oid}")
+}
+pub fn key_ntlog(gid: u32, id: u64) -> String {
+    format!("g{gid}/ntlog/{id}")
+}
+
+/// The checkpoint index: which records exist and group bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ManifestRec {
+    /// Group id at capture time.
+    pub gid: u32,
+    /// Group name.
+    pub name: String,
+    /// Root pid at capture time.
+    pub root: u32,
+    /// Member pids in tree order.
+    pub pids: Vec<u32>,
+    /// Open-file description ids captured.
+    pub files: Vec<u32>,
+    /// Pipes captured.
+    pub pipes: Vec<u32>,
+    /// Unix sockets captured.
+    pub usocks: Vec<u32>,
+    /// TCP sockets captured.
+    pub isocks: Vec<u32>,
+    /// SysV shm keys captured.
+    pub shms: Vec<i32>,
+    /// SysV msg queue keys captured.
+    pub msgqs: Vec<i32>,
+    /// POSIX shm names captured.
+    pub pshms: Vec<String>,
+    /// Store objects holding memory, in creation order.
+    pub vmos: Vec<u64>,
+    /// Persistent logs of the group.
+    pub ntlogs: Vec<u64>,
+    /// External-consistency epoch this checkpoint covers.
+    pub ec_seq: u64,
+    /// Object-id allocator state.
+    pub next_oid: u64,
+    /// Container name + root, when the group is a container.
+    pub container: Option<(String, String)>,
+}
+
+impl ManifestRec {
+    /// Encodes the manifest.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.u32(self.gid);
+        e.str(&self.name);
+        e.u32(self.root);
+        e.seq(&self.pids, |e, v| e.u32(*v));
+        e.seq(&self.files, |e, v| e.u32(*v));
+        e.seq(&self.pipes, |e, v| e.u32(*v));
+        e.seq(&self.usocks, |e, v| e.u32(*v));
+        e.seq(&self.isocks, |e, v| e.u32(*v));
+        e.seq(&self.shms, |e, v| e.i64(*v as i64));
+        e.seq(&self.msgqs, |e, v| e.i64(*v as i64));
+        e.seq(&self.pshms, |e, v| e.str(v));
+        e.seq(&self.vmos, |e, v| e.u64(*v));
+        e.seq(&self.ntlogs, |e, v| e.u64(*v));
+        e.u64(self.ec_seq);
+        e.u64(self.next_oid);
+        e.option(self.container.as_ref(), |e, (n, r)| {
+            e.str(n);
+            e.str(r);
+        });
+        e.into_vec()
+    }
+
+    /// Decodes a manifest.
+    pub fn decode(bytes: &[u8]) -> Result<ManifestRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("manifest version {version}")));
+        }
+        Ok(ManifestRec {
+            gid: d.u32()?,
+            name: d.str()?.to_string(),
+            root: d.u32()?,
+            pids: d.seq(|d| d.u32())?,
+            files: d.seq(|d| d.u32())?,
+            pipes: d.seq(|d| d.u32())?,
+            usocks: d.seq(|d| d.u32())?,
+            isocks: d.seq(|d| d.u32())?,
+            shms: d.seq(|d| d.i64().map(|v| v as i32))?,
+            msgqs: d.seq(|d| d.i64().map(|v| v as i32))?,
+            pshms: d.seq(|d| d.str().map(str::to_string))?,
+            vmos: d.seq(|d| d.u64())?,
+            ntlogs: d.seq(|d| d.u64())?,
+            ec_seq: d.u64()?,
+            next_oid: d.u64()?,
+            container: d.option(|d| {
+                let n = d.str()?.to_string();
+                let r = d.str()?.to_string();
+                Ok((n, r))
+            })?,
+        })
+    }
+}
+
+fn encode_cpu(e: &mut Encoder, cpu: &CpuState) {
+    for r in cpu.regs {
+        e.u64(r);
+    }
+    e.u64(cpu.pc);
+    e.u64(cpu.sp);
+    e.u64(cpu.rflags);
+    e.u64(cpu.fsbase);
+}
+
+fn decode_cpu(d: &mut Decoder<'_>) -> Result<CpuState> {
+    let mut regs = [0u64; 16];
+    for r in regs.iter_mut() {
+        *r = d.u64()?;
+    }
+    Ok(CpuState {
+        regs,
+        pc: d.u64()?,
+        sp: d.u64()?,
+        rflags: d.u64()?,
+        fsbase: d.u64()?,
+    })
+}
+
+/// One address-space map entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapEntryRec {
+    /// Virtual range.
+    pub start: u64,
+    /// End of the range.
+    pub end: u64,
+    /// Store object backing the mapped VM object.
+    pub oid: u64,
+    /// Page offset into the object.
+    pub offset_pages: u64,
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Shared mapping.
+    pub shared: bool,
+    /// Fork-COW pending.
+    pub needs_copy: bool,
+    /// Excluded from checkpoints (`sls_mctl`).
+    pub exclude: bool,
+    /// Restore hint: 0 auto, 1 eager, 2 lazy.
+    pub restore_hint: u8,
+}
+
+/// A process record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcRec {
+    /// Original pid.
+    pub pid: u32,
+    /// Original parent pid (0 when the parent is outside the group).
+    pub ppid: u32,
+    /// Command name.
+    pub name: String,
+    /// Working directory.
+    pub cwd: String,
+    /// uid/gid.
+    pub uid: u32,
+    /// Group id.
+    pub gid: u32,
+    /// Pending signal mask.
+    pub sig_pending: u32,
+    /// Blocked signal mask.
+    pub sig_blocked: u32,
+    /// Signal actions: `(0)` default, `(1)` ignore, `(2, addr)` handler.
+    pub sig_actions: Vec<(u8, u64)>,
+    /// Threads with their CPU state.
+    pub threads: Vec<(u32, CpuState)>,
+    /// Descriptor table: `(fd, file id)`.
+    pub fds: Vec<(u32, u32)>,
+    /// Address-space entries.
+    pub map: Vec<MapEntryRec>,
+}
+
+impl ProcRec {
+    /// Encodes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.u32(self.pid);
+        e.u32(self.ppid);
+        e.str(&self.name);
+        e.str(&self.cwd);
+        e.u32(self.uid);
+        e.u32(self.gid);
+        e.u32(self.sig_pending);
+        e.u32(self.sig_blocked);
+        e.seq(&self.sig_actions, |e, (tag, addr)| {
+            e.u8(*tag);
+            e.u64(*addr);
+        });
+        e.seq(&self.threads, |e, (tid, cpu)| {
+            e.u32(*tid);
+            encode_cpu(e, cpu);
+        });
+        e.seq(&self.fds, |e, (fd, file)| {
+            e.u32(*fd);
+            e.u32(*file);
+        });
+        e.seq(&self.map, |e, m| {
+            e.u64(m.start);
+            e.u64(m.end);
+            e.u64(m.oid);
+            e.u64(m.offset_pages);
+            e.bool(m.read);
+            e.bool(m.write);
+            e.bool(m.shared);
+            e.bool(m.needs_copy);
+            e.bool(m.exclude);
+            e.u8(m.restore_hint);
+        });
+        e.into_vec()
+    }
+
+    /// Decodes the record.
+    pub fn decode(bytes: &[u8]) -> Result<ProcRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("proc record version {version}")));
+        }
+        Ok(ProcRec {
+            pid: d.u32()?,
+            ppid: d.u32()?,
+            name: d.str()?.to_string(),
+            cwd: d.str()?.to_string(),
+            uid: d.u32()?,
+            gid: d.u32()?,
+            sig_pending: d.u32()?,
+            sig_blocked: d.u32()?,
+            sig_actions: d.seq(|d| {
+                let tag = d.u8()?;
+                let addr = d.u64()?;
+                Ok((tag, addr))
+            })?,
+            threads: d.seq(|d| {
+                let tid = d.u32()?;
+                let cpu = decode_cpu(d)?;
+                Ok((tid, cpu))
+            })?,
+            fds: d.seq(|d| {
+                let fd = d.u32()?;
+                let file = d.u32()?;
+                Ok((fd, file))
+            })?,
+            map: d.seq(|d| {
+                Ok(MapEntryRec {
+                    start: d.u64()?,
+                    end: d.u64()?,
+                    oid: d.u64()?,
+                    offset_pages: d.u64()?,
+                    read: d.bool()?,
+                    write: d.bool()?,
+                    shared: d.bool()?,
+                    needs_copy: d.bool()?,
+                    exclude: d.bool()?,
+                    restore_hint: d.u8()?,
+                })
+            })?,
+        })
+    }
+
+    /// Converts signal actions to the kernel representation.
+    pub fn sig_actions_array(&self) -> [SigAction; NSIG] {
+        let mut actions = [SigAction::Default; NSIG];
+        for (i, (tag, addr)) in self.sig_actions.iter().enumerate().take(NSIG) {
+            actions[i] = match tag {
+                1 => SigAction::Ignore,
+                2 => SigAction::Handler(*addr),
+                _ => SigAction::Default,
+            };
+        }
+        actions
+    }
+}
+
+/// Open-file description kinds on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileKindRec {
+    /// SLSFS vnode (node id within the mount).
+    Vnode(u64),
+    /// Pipe read end.
+    PipeRead(u32),
+    /// Pipe write end.
+    PipeWrite(u32),
+    /// Unix socket.
+    UnixSock(u32),
+    /// TCP socket.
+    InetSock(u32),
+    /// POSIX shared memory object.
+    PosixShm(String),
+    /// Aurora persistent log.
+    NtLog(u64),
+}
+
+/// An open-file description record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileRec {
+    /// Original description id.
+    pub id: u32,
+    /// Kind + referent.
+    pub kind: FileKindRec,
+    /// Shared offset.
+    pub offset: u64,
+    /// Flags.
+    pub flags: u32,
+    /// External consistency enabled.
+    pub ec: bool,
+}
+
+impl FileRec {
+    /// Encodes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.u32(self.id);
+        match &self.kind {
+            FileKindRec::Vnode(n) => {
+                e.u8(0);
+                e.u64(*n);
+            }
+            FileKindRec::PipeRead(p) => {
+                e.u8(1);
+                e.u32(*p);
+            }
+            FileKindRec::PipeWrite(p) => {
+                e.u8(2);
+                e.u32(*p);
+            }
+            FileKindRec::UnixSock(s) => {
+                e.u8(3);
+                e.u32(*s);
+            }
+            FileKindRec::InetSock(s) => {
+                e.u8(4);
+                e.u32(*s);
+            }
+            FileKindRec::PosixShm(n) => {
+                e.u8(5);
+                e.str(n);
+            }
+            FileKindRec::NtLog(id) => {
+                e.u8(6);
+                e.u64(*id);
+            }
+        }
+        e.u64(self.offset);
+        e.u32(self.flags);
+        e.bool(self.ec);
+        e.into_vec()
+    }
+
+    /// Decodes the record.
+    pub fn decode(bytes: &[u8]) -> Result<FileRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("file record version {version}")));
+        }
+        let id = d.u32()?;
+        let kind = match d.u8()? {
+            0 => FileKindRec::Vnode(d.u64()?),
+            1 => FileKindRec::PipeRead(d.u32()?),
+            2 => FileKindRec::PipeWrite(d.u32()?),
+            3 => FileKindRec::UnixSock(d.u32()?),
+            4 => FileKindRec::InetSock(d.u32()?),
+            5 => FileKindRec::PosixShm(d.str()?.to_string()),
+            6 => FileKindRec::NtLog(d.u64()?),
+            t => return Err(Error::corrupt(format!("bad file kind {t}"))),
+        };
+        Ok(FileRec {
+            id,
+            kind,
+            offset: d.u64()?,
+            flags: d.u32()?,
+            ec: d.bool()?,
+        })
+    }
+}
+
+/// A pipe record (buffered bytes included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipeRec {
+    /// Original pipe id.
+    pub id: u32,
+    /// Buffered-but-unread bytes.
+    pub buf: Vec<u8>,
+    /// Read end open.
+    pub read_open: bool,
+    /// Write end open.
+    pub write_open: bool,
+}
+
+impl PipeRec {
+    /// Encodes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.u32(self.id);
+        e.bytes(&self.buf);
+        e.bool(self.read_open);
+        e.bool(self.write_open);
+        e.into_vec()
+    }
+
+    /// Decodes the record.
+    pub fn decode(bytes: &[u8]) -> Result<PipeRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("pipe record version {version}")));
+        }
+        Ok(PipeRec {
+            id: d.u32()?,
+            buf: d.bytes()?.to_vec(),
+            read_open: d.bool()?,
+            write_open: d.bool()?,
+        })
+    }
+}
+
+/// Unix-socket connection state on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SockStateRec {
+    /// Not connected.
+    Unbound,
+    /// Listening.
+    Listening,
+    /// Connected to peer id.
+    Connected(u32),
+    /// Peer gone.
+    Disconnected,
+}
+
+fn encode_sock_state(e: &mut Encoder, s: &SockStateRec) {
+    match s {
+        SockStateRec::Unbound => e.u8(0),
+        SockStateRec::Listening => e.u8(1),
+        SockStateRec::Connected(p) => {
+            e.u8(2);
+            e.u32(*p);
+        }
+        SockStateRec::Disconnected => e.u8(3),
+    }
+}
+
+fn decode_sock_state(d: &mut Decoder<'_>) -> Result<SockStateRec> {
+    Ok(match d.u8()? {
+        0 => SockStateRec::Unbound,
+        1 => SockStateRec::Listening,
+        2 => SockStateRec::Connected(d.u32()?),
+        3 => SockStateRec::Disconnected,
+        t => return Err(Error::corrupt(format!("bad sock state {t}"))),
+    })
+}
+
+/// A Unix-domain socket record, including in-flight descriptor-bearing
+/// messages (the CRIU-took-7-years case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsockRec {
+    /// Original socket id.
+    pub id: u32,
+    /// Connection state.
+    pub state: SockStateRec,
+    /// Bound pathname.
+    pub bound_path: Option<String>,
+    /// Queued messages: `(bytes, file ids in flight)`.
+    pub recv: Vec<(Vec<u8>, Vec<u32>)>,
+    /// Pending connections.
+    pub backlog: Vec<u32>,
+}
+
+impl UsockRec {
+    /// Encodes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.u32(self.id);
+        encode_sock_state(&mut e, &self.state);
+        e.option(self.bound_path.as_ref(), |e, p| e.str(p));
+        e.seq(&self.recv, |e, (bytes, fds)| {
+            e.bytes(bytes);
+            e.seq(fds, |e, f| e.u32(*f));
+        });
+        e.seq(&self.backlog, |e, b| e.u32(*b));
+        e.into_vec()
+    }
+
+    /// Decodes the record.
+    pub fn decode(bytes: &[u8]) -> Result<UsockRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("usock record version {version}")));
+        }
+        Ok(UsockRec {
+            id: d.u32()?,
+            state: decode_sock_state(&mut d)?,
+            bound_path: d.option(|d| d.str().map(str::to_string))?,
+            recv: d.seq(|d| {
+                let bytes = d.bytes()?.to_vec();
+                let fds = d.seq(|d| d.u32())?;
+                Ok((bytes, fds))
+            })?,
+            backlog: d.seq(|d| d.u32())?,
+        })
+    }
+}
+
+/// A TCP socket record. Held (externally unreleased) output is *not*
+/// serialized: external consistency guarantees nobody has seen it, so a
+/// restore legitimately rolls it back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsockRec {
+    /// Original socket id.
+    pub id: u32,
+    /// Connection state.
+    pub state: SockStateRec,
+    /// Bound local port.
+    pub port: Option<u16>,
+    /// Original owner pid.
+    pub owner: u32,
+    /// Buffered received bytes.
+    pub recv: Vec<u8>,
+    /// Pending connections.
+    pub backlog: Vec<u32>,
+}
+
+impl IsockRec {
+    /// Encodes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.u32(self.id);
+        encode_sock_state(&mut e, &self.state);
+        e.option(self.port.as_ref(), |e, p| e.u16(*p));
+        e.u32(self.owner);
+        e.bytes(&self.recv);
+        e.seq(&self.backlog, |e, b| e.u32(*b));
+        e.into_vec()
+    }
+
+    /// Decodes the record.
+    pub fn decode(bytes: &[u8]) -> Result<IsockRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("isock record version {version}")));
+        }
+        Ok(IsockRec {
+            id: d.u32()?,
+            state: decode_sock_state(&mut d)?,
+            port: d.option(|d| d.u16())?,
+            owner: d.u32()?,
+            recv: d.bytes()?.to_vec(),
+            backlog: d.seq(|d| d.u32())?,
+        })
+    }
+}
+
+/// A SysV shared-memory record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShmRec {
+    /// Segment key.
+    pub key: i32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Store object holding the pages.
+    pub oid: u64,
+    /// IPC_RMID pending.
+    pub removed: bool,
+}
+
+impl ShmRec {
+    /// Encodes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.i64(self.key as i64);
+        e.u64(self.size);
+        e.u64(self.oid);
+        e.bool(self.removed);
+        e.into_vec()
+    }
+
+    /// Decodes the record.
+    pub fn decode(bytes: &[u8]) -> Result<ShmRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("shm record version {version}")));
+        }
+        Ok(ShmRec {
+            key: d.i64()? as i32,
+            size: d.u64()?,
+            oid: d.u64()?,
+            removed: d.bool()?,
+        })
+    }
+}
+
+/// A SysV message-queue record with its queued messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgqRec {
+    /// Queue key.
+    pub key: i32,
+    /// Messages in order: `(mtype, payload)`.
+    pub msgs: Vec<(i64, Vec<u8>)>,
+}
+
+impl MsgqRec {
+    /// Encodes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.i64(self.key as i64);
+        e.seq(&self.msgs, |e, (t, data)| {
+            e.i64(*t);
+            e.bytes(data);
+        });
+        e.into_vec()
+    }
+
+    /// Decodes the record.
+    pub fn decode(bytes: &[u8]) -> Result<MsgqRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("msgq record version {version}")));
+        }
+        Ok(MsgqRec {
+            key: d.i64()? as i32,
+            msgs: d.seq(|d| {
+                let t = d.i64()?;
+                let data = d.bytes()?.to_vec();
+                Ok((t, data))
+            })?,
+        })
+    }
+}
+
+/// A POSIX shared-memory record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PshmRec {
+    /// Object name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Store object holding the pages.
+    pub oid: u64,
+    /// Unlinked but open.
+    pub unlinked: bool,
+    /// Open references.
+    pub open_refs: u32,
+}
+
+impl PshmRec {
+    /// Encodes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.str(&self.name);
+        e.u64(self.size);
+        e.u64(self.oid);
+        e.bool(self.unlinked);
+        e.u32(self.open_refs);
+        e.into_vec()
+    }
+
+    /// Decodes the record.
+    pub fn decode(bytes: &[u8]) -> Result<PshmRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("pshm record version {version}")));
+        }
+        Ok(PshmRec {
+            name: d.str()?.to_string(),
+            size: d.u64()?,
+            oid: d.u64()?,
+            unlinked: d.bool()?,
+            open_refs: d.u32()?,
+        })
+    }
+}
+
+/// A VM-object record: how to rebuild one node of the memory hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmoRec {
+    /// Store object id (also the identity in map entries).
+    pub oid: u64,
+    /// Size in pages.
+    pub size_pages: u64,
+    /// Kind: 0 anonymous, 1 shadow, 2 shared-mem, 3 vnode.
+    pub kind: u8,
+    /// Backing object (shadow chains), as `(oid, page offset)`.
+    pub backing: Option<(u64, u64)>,
+    /// Hottest page indices at capture (restore prefetch order).
+    pub hot: Vec<u64>,
+    /// Resident pages at capture (statistics / eager restore sizing).
+    pub resident: u64,
+}
+
+impl VmoRec {
+    /// Encodes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(RECORD_VERSION);
+        e.u64(self.oid);
+        e.u64(self.size_pages);
+        e.u8(self.kind);
+        e.option(self.backing.as_ref(), |e, (oid, off)| {
+            e.u64(*oid);
+            e.u64(*off);
+        });
+        e.seq(&self.hot, |e, h| e.varint(*h));
+        e.u64(self.resident);
+        e.into_vec()
+    }
+
+    /// Decodes the record.
+    pub fn decode(bytes: &[u8]) -> Result<VmoRec> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u16()?;
+        if version != RECORD_VERSION {
+            return Err(Error::bad_image(format!("vmo record version {version}")));
+        }
+        Ok(VmoRec {
+            oid: d.u64()?,
+            size_pages: d.u64()?,
+            kind: d.u8()?,
+            backing: d.option(|d| {
+                let oid = d.u64()?;
+                let off = d.u64()?;
+                Ok((oid, off))
+            })?,
+            hot: d.seq(|d| d.varint())?,
+            resident: d.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = ManifestRec {
+            gid: 3,
+            name: "redis".into(),
+            root: 7,
+            pids: vec![7, 8, 9],
+            files: vec![1, 4],
+            pipes: vec![0],
+            usocks: vec![2],
+            isocks: vec![5, 6],
+            shms: vec![100, -3],
+            msgqs: vec![9],
+            pshms: vec!["/cache".into()],
+            vmos: vec![11, 12],
+            ntlogs: vec![1],
+            ec_seq: 42,
+            next_oid: 13,
+            container: Some(("fn0".into(), "/ct/fn0".into())),
+        };
+        assert_eq!(ManifestRec::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn proc_roundtrip() {
+        let mut cpu = CpuState::default();
+        cpu.regs[0] = 0xAA;
+        cpu.pc = 0x1000;
+        let p = ProcRec {
+            pid: 5,
+            ppid: 1,
+            name: "kv".into(),
+            cwd: "/sls".into(),
+            uid: 1000,
+            gid: 1000,
+            sig_pending: 0b100,
+            sig_blocked: 0b10,
+            sig_actions: vec![(0, 0), (1, 0), (2, 0xF00)],
+            threads: vec![(1, cpu)],
+            fds: vec![(0, 3), (5, 9)],
+            map: vec![MapEntryRec {
+                start: 0x10000,
+                end: 0x20000,
+                oid: 99,
+                offset_pages: 0,
+                read: true,
+                write: true,
+                shared: false,
+                needs_copy: true,
+                exclude: false,
+                restore_hint: 2,
+            }],
+        };
+        assert_eq!(ProcRec::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn file_kinds_roundtrip() {
+        for kind in [
+            FileKindRec::Vnode(9),
+            FileKindRec::PipeRead(1),
+            FileKindRec::PipeWrite(1),
+            FileKindRec::UnixSock(2),
+            FileKindRec::InetSock(3),
+            FileKindRec::PosixShm("/x".into()),
+            FileKindRec::NtLog(7),
+        ] {
+            let f = FileRec {
+                id: 12,
+                kind: kind.clone(),
+                offset: 1024,
+                flags: 1,
+                ec: false,
+            };
+            assert_eq!(FileRec::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn ipc_records_roundtrip() {
+        let p = PipeRec {
+            id: 3,
+            buf: b"buffered".to_vec(),
+            read_open: true,
+            write_open: false,
+        };
+        assert_eq!(PipeRec::decode(&p.encode()).unwrap(), p);
+
+        let u = UsockRec {
+            id: 1,
+            state: SockStateRec::Connected(2),
+            bound_path: Some("/run/x".into()),
+            recv: vec![(b"msg".to_vec(), vec![4, 5])],
+            backlog: vec![9],
+        };
+        assert_eq!(UsockRec::decode(&u.encode()).unwrap(), u);
+
+        let i = IsockRec {
+            id: 8,
+            state: SockStateRec::Listening,
+            port: Some(6379),
+            owner: 3,
+            recv: b"stream".to_vec(),
+            backlog: vec![1, 2],
+        };
+        assert_eq!(IsockRec::decode(&i.encode()).unwrap(), i);
+
+        let s = ShmRec {
+            key: -5,
+            size: 8192,
+            oid: 77,
+            removed: true,
+        };
+        assert_eq!(ShmRec::decode(&s.encode()).unwrap(), s);
+
+        let q = MsgqRec {
+            key: 2,
+            msgs: vec![(1, b"a".to_vec()), (9, b"bb".to_vec())],
+        };
+        assert_eq!(MsgqRec::decode(&q.encode()).unwrap(), q);
+
+        let ps = PshmRec {
+            name: "/cache".into(),
+            size: 4096,
+            oid: 13,
+            unlinked: true,
+            open_refs: 2,
+        };
+        assert_eq!(PshmRec::decode(&ps.encode()).unwrap(), ps);
+
+        let v = VmoRec {
+            oid: 50,
+            size_pages: 512,
+            kind: 1,
+            backing: Some((49, 0)),
+            hot: vec![5, 1, 9],
+            resident: 100,
+        };
+        assert_eq!(VmoRec::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn corrupt_records_rejected() {
+        let m = ManifestRec::default().encode();
+        assert!(ManifestRec::decode(&m[..m.len() - 1]).is_err());
+        let mut bad = m.clone();
+        bad[0] = 0xFF; // version
+        assert!(ManifestRec::decode(&bad).is_err());
+    }
+}

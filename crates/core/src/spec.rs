@@ -1,0 +1,49 @@
+//! Application-level speculation via lightweight checkpoints.
+//!
+//! §4's speculation story: a client can proceed assuming a remote
+//! operation succeeds; if it fails, the application rolls back to the
+//! pre-speculation checkpoint. Aurora notifies the rolled-back process so
+//! it can take a conservative path — otherwise speculation would loop.
+//!
+//! Speculative checkpoints prefer an attached memory backend (they are
+//! ephemeral by design); without one they fall back to the primary.
+
+use aurora_objstore::CkptId;
+use aurora_sim::error::{Error, Result};
+
+use crate::metrics::RestoreBreakdown;
+use crate::{GroupId, Host};
+
+/// A pending speculation.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecToken {
+    /// The group speculating.
+    pub gid: GroupId,
+    /// The pre-speculation checkpoint (on the primary backend).
+    pub ckpt: CkptId,
+}
+
+impl Host {
+    /// Begins a speculative region: checkpoints the group and returns a
+    /// token to commit or abort with.
+    pub fn speculate_begin(&mut self, gid: GroupId) -> Result<SpecToken> {
+        let breakdown = self.checkpoint(gid, false, Some("speculation"))?;
+        let ckpt = breakdown
+            .ckpt
+            .ok_or_else(|| Error::internal("checkpoint produced no id"))?;
+        Ok(SpecToken { gid, ckpt })
+    }
+
+    /// Commits a speculation: the token is discarded; the checkpoint ages
+    /// out of the history window naturally.
+    pub fn speculate_commit(&mut self, _token: SpecToken) -> Result<()> {
+        Ok(())
+    }
+
+    /// Aborts a speculation: rolls the group back to the token's
+    /// checkpoint. Every restored process gets a rollback notification
+    /// (consume with [`Host::sls_rollback_pending`]).
+    pub fn speculate_abort(&mut self, token: SpecToken) -> Result<RestoreBreakdown> {
+        self.rollback(token.gid, Some(token.ckpt))
+    }
+}

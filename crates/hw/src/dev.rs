@@ -1,0 +1,623 @@
+//! The block-device model.
+//!
+//! A [`ModelDev`] charges `access latency + bytes/bandwidth` per request
+//! against a single service queue (`busy_until`): back-to-back requests
+//! pipeline behind one another the way a real NVMe submission queue does.
+//!
+//! Durability semantics mirror real hardware:
+//!
+//! * Devices with a **volatile write cache** (NVMe flash) acknowledge
+//!   writes when they reach the cache; the data only becomes
+//!   power-loss-safe once a subsequent `flush` *completes*.
+//! * Devices in the **persistence domain** (NVDIMM, battery-backed) make
+//!   writes durable at their completion instant; `flush` is a no-op
+//!   barrier.
+//! * Volatile devices (ramdisk) never persist across power failure; they
+//!   model the paper's in-memory ephemeral checkpoint backend.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aurora_sim::cost::dev as costdev;
+use aurora_sim::error::{Error, Result};
+use aurora_sim::time::{SimDuration, SimTime};
+use aurora_sim::SimClock;
+
+use crate::fault::{FaultAction, FaultPlan};
+use crate::BLOCK_SIZE;
+
+/// Static device description.
+#[derive(Debug, Clone)]
+pub struct DevInfo {
+    /// Human-readable device name (`nvme0`, `nvd0`, ...).
+    pub name: String,
+    /// Capacity in blocks.
+    pub blocks: u64,
+    /// Whether data survives power failure at all.
+    pub persistent: bool,
+    /// Whether completed-but-unflushed writes survive power failure.
+    pub persistence_domain: bool,
+}
+
+/// Operation counters for a device.
+#[derive(Debug, Default, Clone)]
+pub struct DevStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Flush barriers issued.
+    pub flushes: u64,
+}
+
+/// Cost model for a device.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Per-request access latency (ns).
+    pub latency_ns: u64,
+    /// Read bandwidth (bytes/sec).
+    pub read_bw: u64,
+    /// Write bandwidth (bytes/sec).
+    pub write_bw: u64,
+}
+
+/// The block-device interface used by the object store and backends.
+pub trait BlockDev {
+    /// Device description.
+    fn info(&self) -> &DevInfo;
+
+    /// Operation counters.
+    fn stats(&self) -> &DevStats;
+
+    /// Synchronously reads `buf.len()` bytes starting at block `lba`.
+    ///
+    /// Advances the virtual clock to the request's completion.
+    fn read(&mut self, lba: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Submits a write without waiting; returns its completion instant.
+    ///
+    /// The caller's clock is *not* advanced — this is how checkpoint data
+    /// is flushed in the background while the application keeps running.
+    fn submit_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime>;
+
+    /// Synchronously writes and waits for completion (not durability).
+    fn write(&mut self, lba: u64, data: &[u8]) -> Result<()>;
+
+    /// Issues a flush barrier; returns the instant at which every write
+    /// submitted so far is durable. Does not advance the caller's clock.
+    fn flush(&mut self) -> Result<SimTime>;
+
+    /// Submits a *timing-only* write of `nbytes`: occupies the device
+    /// queue and returns the completion instant, but stores no data.
+    ///
+    /// The object store uses this for bulk page payloads whose
+    /// authoritative contents it tracks itself in a compact
+    /// representation (see `aurora-objstore`); metadata records always go
+    /// through the real [`BlockDev::submit_write`]. Keeping gigabyte
+    /// working sets out of the device's byte store is what lets the
+    /// paper-scale benchmarks run on laptop memory.
+    fn submit_write_timing(&mut self, nbytes: u64) -> Result<SimTime>;
+
+    /// Charges a timing-only read of `nbytes`, advancing the clock to its
+    /// completion.
+    fn charge_read_timing(&mut self, nbytes: u64) -> Result<()>;
+
+    /// Cuts power: loses the volatile cache (torn interrupted write) and
+    /// makes the device fail until [`BlockDev::power_on`].
+    fn power_fail(&mut self);
+
+    /// Restores power after a failure.
+    fn power_on(&mut self);
+
+    /// Whether the device is currently powered.
+    fn powered(&self) -> bool;
+
+    /// The virtual clock this device charges.
+    fn clock(&self) -> &Arc<SimClock>;
+
+    /// Installs a fault-injection plan, if the device supports one.
+    ///
+    /// Default: ignored. [`ModelDev`] honours it; see [`crate::fault`].
+    fn install_fault_plan(&mut self, _plan: FaultPlan) {}
+}
+
+/// Queue depth assumed for bulk asynchronous writes: per-request access
+/// latency is amortized across this many in-flight submissions.
+const WRITE_QUEUE_DEPTH: u64 = 16;
+
+/// A pending cached write (acknowledged, not yet durable).
+#[derive(Debug, Clone)]
+struct CachedWrite {
+    lba: u64,
+    data: Vec<u8>,
+}
+
+/// The standard modelled device. See module docs for semantics.
+pub struct ModelDev {
+    info: DevInfo,
+    model: CostModel,
+    clock: Arc<SimClock>,
+    busy_until: SimTime,
+    /// Durable contents, by block number. Sparse: absent blocks read zero.
+    stable: HashMap<u64, Vec<u8>>,
+    /// Writes acknowledged but not yet flushed (volatile-cache devices).
+    cache: Vec<CachedWrite>,
+    powered: bool,
+    stats: DevStats,
+    fault: Option<FaultPlan>,
+    writes_seen: u64,
+}
+
+impl ModelDev {
+    /// Creates a device with an explicit model.
+    pub fn new(clock: Arc<SimClock>, info: DevInfo, model: CostModel) -> Self {
+        ModelDev {
+            info,
+            model,
+            clock,
+            busy_until: SimTime::ZERO,
+            stable: HashMap::new(),
+            cache: Vec::new(),
+            powered: true,
+            stats: DevStats::default(),
+            fault: None,
+            writes_seen: 0,
+        }
+    }
+
+    /// An Optane 900P-class NVMe flash device (volatile write cache).
+    pub fn nvme(clock: Arc<SimClock>, name: &str, blocks: u64) -> Self {
+        ModelDev::new(
+            clock,
+            DevInfo {
+                name: name.to_string(),
+                blocks,
+                persistent: true,
+                persistence_domain: false,
+            },
+            CostModel {
+                latency_ns: costdev::NVME_LAT_NS,
+                read_bw: costdev::NVME_READ_BW,
+                write_bw: costdev::NVME_WRITE_BW,
+            },
+        )
+    }
+
+    /// An NVDIMM: byte-class latency, writes durable at completion.
+    pub fn nvdimm(clock: Arc<SimClock>, name: &str, blocks: u64) -> Self {
+        ModelDev::new(
+            clock,
+            DevInfo {
+                name: name.to_string(),
+                blocks,
+                persistent: true,
+                persistence_domain: true,
+            },
+            CostModel {
+                latency_ns: costdev::NVDIMM_LAT_NS,
+                read_bw: costdev::NVDIMM_BW,
+                write_bw: costdev::NVDIMM_BW,
+            },
+        )
+    }
+
+    /// A DRAM-backed ephemeral device (lost on power failure).
+    pub fn ramdisk(clock: Arc<SimClock>, name: &str, blocks: u64) -> Self {
+        ModelDev::new(
+            clock,
+            DevInfo {
+                name: name.to_string(),
+                blocks,
+                persistent: false,
+                persistence_domain: false,
+            },
+            CostModel {
+                latency_ns: costdev::RAM_LAT_NS,
+                read_bw: costdev::RAM_BW,
+                write_bw: costdev::RAM_BW,
+            },
+        )
+    }
+
+    /// Installs a fault-injection plan. Write counting restarts at the
+    /// installation point, so `power_cut(1)` hits the next write.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+        self.writes_seen = 0;
+    }
+
+    fn check_powered(&self) -> Result<()> {
+        if self.powered {
+            Ok(())
+        } else {
+            Err(Error::device_dead(self.info.name.clone()))
+        }
+    }
+
+    fn check_range(&self, lba: u64, len: usize) -> Result<()> {
+        if !len.is_multiple_of(BLOCK_SIZE) {
+            return Err(Error::invalid(format!(
+                "unaligned i/o length {len} on {}",
+                self.info.name
+            )));
+        }
+        let nblocks = (len / BLOCK_SIZE) as u64;
+        if lba + nblocks > self.info.blocks {
+            return Err(Error::no_space(format!(
+                "i/o beyond device end: lba {lba} + {nblocks} > {}",
+                self.info.blocks
+            )));
+        }
+        Ok(())
+    }
+
+    /// Computes a request's completion instant and occupies the queue.
+    fn service(&mut self, bytes: u64, bw: u64) -> SimTime {
+        let start = self.clock.now().max(self.busy_until);
+        let dur = SimDuration::from_nanos(self.model.latency_ns) + SimDuration::for_bytes(bytes, bw);
+        self.busy_until = start + dur;
+        self.busy_until
+    }
+
+    /// Applies a write directly to stable storage, possibly torn at
+    /// `torn_at` bytes (the prefix is applied, the rest keeps old data).
+    fn apply_stable(&mut self, lba: u64, data: &[u8], torn_at: Option<usize>) {
+        let limit = torn_at.unwrap_or(data.len());
+        for (i, chunk) in data.chunks(BLOCK_SIZE).enumerate() {
+            let block_off = i * BLOCK_SIZE;
+            if block_off >= limit {
+                break;
+            }
+            let entry = self
+                .stable
+                .entry(lba + i as u64)
+                .or_insert_with(|| vec![0u8; BLOCK_SIZE]);
+            let n = (limit - block_off).min(BLOCK_SIZE);
+            entry[..n].copy_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Checks the fault plan before a write; returns the fault action.
+    fn fault_action(&mut self) -> FaultAction {
+        self.writes_seen += 1;
+        match &self.fault {
+            Some(plan) => plan.action_for_write(self.writes_seen),
+            None => FaultAction::None,
+        }
+    }
+
+    fn drain_cache_to_stable(&mut self) {
+        let cache = core::mem::take(&mut self.cache);
+        for w in cache {
+            self.apply_stable(w.lba, &w.data, None);
+        }
+    }
+
+    /// Test/introspection hook: bytes currently sitting in the volatile
+    /// write cache.
+    pub fn cached_bytes(&self) -> usize {
+        self.cache.iter().map(|w| w.data.len()).sum()
+    }
+}
+
+impl BlockDev for ModelDev {
+    fn info(&self) -> &DevInfo {
+        &self.info
+    }
+
+    fn stats(&self) -> &DevStats {
+        &self.stats
+    }
+
+    fn read(&mut self, lba: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_powered()?;
+        self.check_range(lba, buf.len())?;
+        let done = self.service(buf.len() as u64, self.model.read_bw);
+        self.clock.advance_to(done);
+        // Cache hits: a read must observe acknowledged writes even before
+        // they are flushed (the device returns cached data).
+        for (i, chunk) in buf.chunks_mut(BLOCK_SIZE).enumerate() {
+            let block = lba + i as u64;
+            match self.stable.get(&block) {
+                Some(data) => chunk.copy_from_slice(data),
+                None => chunk.fill(0),
+            }
+        }
+        // Newer cached writes overwrite stable data (apply in order).
+        for w in &self.cache {
+            let wblocks = w.data.len() / BLOCK_SIZE;
+            for wi in 0..wblocks {
+                let block = w.lba + wi as u64;
+                if block >= lba && block < lba + (buf.len() / BLOCK_SIZE) as u64 {
+                    let dst = ((block - lba) as usize) * BLOCK_SIZE;
+                    buf[dst..dst + BLOCK_SIZE]
+                        .copy_from_slice(&w.data[wi * BLOCK_SIZE..(wi + 1) * BLOCK_SIZE]);
+                }
+            }
+        }
+        self.stats.reads += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    fn submit_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime> {
+        self.check_powered()?;
+        self.check_range(lba, data.len())?;
+        match self.fault_action() {
+            FaultAction::None => {}
+            FaultAction::PowerCut { torn_bytes } => {
+                // The interrupted write lands torn directly in stable
+                // storage (it raced the capacitors), then power dies.
+                let torn = torn_bytes.min(data.len());
+                if self.info.persistent {
+                    self.apply_stable(lba, data, Some(torn));
+                }
+                self.power_fail();
+                return Err(Error::device_dead(format!(
+                    "{}: power cut during write",
+                    self.info.name
+                )));
+            }
+            FaultAction::CorruptBit { byte, bit } => {
+                let mut corrupted = data.to_vec();
+                let idx = byte % corrupted.len().max(1);
+                corrupted[idx] ^= 1 << (bit % 8);
+                let done = self.service(data.len() as u64, self.model.write_bw);
+                if self.info.persistence_domain {
+                    self.apply_stable(lba, &corrupted, None);
+                } else {
+                    self.cache.push(CachedWrite {
+                        lba,
+                        data: corrupted,
+                    });
+                }
+                self.stats.writes += 1;
+                self.stats.bytes_written += data.len() as u64;
+                return Ok(done);
+            }
+        }
+        let done = self.service(data.len() as u64, self.model.write_bw);
+        if self.info.persistence_domain {
+            // Persistence-domain devices are durable at completion.
+            self.apply_stable(lba, data, None);
+        } else {
+            self.cache.push(CachedWrite {
+                lba,
+                data: data.to_vec(),
+            });
+        }
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(done)
+    }
+
+    fn write(&mut self, lba: u64, data: &[u8]) -> Result<()> {
+        let done = self.submit_write(lba, data)?;
+        self.clock.advance_to(done);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<SimTime> {
+        self.check_powered()?;
+        self.stats.flushes += 1;
+        // A flush is a barrier behind everything queued, plus one access
+        // latency for the cache drain itself.
+        let start = self.clock.now().max(self.busy_until);
+        let done = start + SimDuration::from_nanos(self.model.latency_ns);
+        self.busy_until = done;
+        self.drain_cache_to_stable();
+        Ok(done)
+    }
+
+    fn submit_write_timing(&mut self, nbytes: u64) -> Result<SimTime> {
+        self.check_powered()?;
+        // Bulk asynchronous writes ride deep submission queues: access
+        // latency pipelines across in-flight requests instead of
+        // serializing per request (unlike the synchronous read path,
+        // where dependent requests genuinely wait it out).
+        let start = self.clock.now().max(self.busy_until);
+        let dur = SimDuration::from_nanos(self.model.latency_ns / WRITE_QUEUE_DEPTH)
+            + SimDuration::for_bytes(nbytes, self.model.write_bw);
+        self.busy_until = start + dur;
+        self.stats.writes += 1;
+        self.stats.bytes_written += nbytes;
+        Ok(self.busy_until)
+    }
+
+    fn charge_read_timing(&mut self, nbytes: u64) -> Result<()> {
+        self.check_powered()?;
+        let done = self.service(nbytes, self.model.read_bw);
+        self.clock.advance_to(done);
+        self.stats.reads += 1;
+        self.stats.bytes_read += nbytes;
+        Ok(())
+    }
+
+    fn power_fail(&mut self) {
+        // Everything in the volatile cache is lost. The interrupted write,
+        // if any, was handled by the fault path. Completed-but-cached
+        // writes whose completion lies in the future never happened.
+        self.cache.clear();
+        if !self.info.persistent {
+            self.stable.clear();
+        }
+        self.powered = false;
+        self.busy_until = SimTime::ZERO;
+    }
+
+    fn power_on(&mut self) {
+        self.powered = true;
+        self.writes_seen = 0;
+    }
+
+    fn powered(&self) -> bool {
+        self.powered
+    }
+
+    fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.set_fault_plan(plan);
+    }
+}
+
+impl core::fmt::Debug for ModelDev {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ModelDev")
+            .field("name", &self.info.name)
+            .field("blocks", &self.info.blocks)
+            .field("powered", &self.powered)
+            .field("cached", &self.cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(fill: u8) -> Vec<u8> {
+        vec![fill; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        d.write(3, &block(0xAA)).unwrap();
+        let mut buf = block(0);
+        d.read(3, &mut buf).unwrap();
+        assert_eq!(buf, block(0xAA));
+        // Unwritten blocks read zero.
+        d.read(4, &mut buf).unwrap();
+        assert_eq!(buf, block(0));
+    }
+
+    #[test]
+    fn read_charges_latency_and_bandwidth() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock.clone(), "nvme0", 128);
+        let before = clock.now();
+        let mut buf = block(0);
+        d.read(0, &mut buf).unwrap();
+        let elapsed = clock.now().since(before);
+        // At least the 10us access latency.
+        assert!(elapsed.as_micros() >= 10);
+    }
+
+    #[test]
+    fn submitted_writes_do_not_advance_clock() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock.clone(), "nvme0", 128);
+        let before = clock.now();
+        let done = d.submit_write(0, &block(1)).unwrap();
+        assert_eq!(clock.now(), before);
+        assert!(done > before);
+    }
+
+    #[test]
+    fn queueing_serializes_requests() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        let first = d.submit_write(0, &block(1)).unwrap();
+        let second = d.submit_write(1, &block(2)).unwrap();
+        assert!(second > first, "second request queues behind the first");
+    }
+
+    #[test]
+    fn unflushed_writes_lost_on_power_failure() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        d.write(0, &block(0x11)).unwrap();
+        let flush_done = d.flush().unwrap();
+        d.clock().advance_to(flush_done);
+        d.write(1, &block(0x22)).unwrap(); // never flushed
+        d.power_fail();
+        d.power_on();
+        let mut buf = block(0);
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(buf, block(0x11), "flushed block survives");
+        d.read(1, &mut buf).unwrap();
+        assert_eq!(buf, block(0), "unflushed block lost");
+    }
+
+    #[test]
+    fn nvdimm_durable_without_flush() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvdimm(clock, "nvd0", 128);
+        d.write(0, &block(0x33)).unwrap();
+        d.power_fail();
+        d.power_on();
+        let mut buf = block(0);
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(buf, block(0x33));
+    }
+
+    #[test]
+    fn ramdisk_loses_everything() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::ramdisk(clock, "md0", 128);
+        d.write(0, &block(0x44)).unwrap();
+        let done = d.flush().unwrap();
+        d.clock().advance_to(done);
+        d.power_fail();
+        d.power_on();
+        let mut buf = block(9);
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(buf, block(0));
+    }
+
+    #[test]
+    fn reads_see_cached_writes() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        d.write(5, &block(0x55)).unwrap(); // still in cache, no flush
+        let mut buf = block(0);
+        d.read(5, &mut buf).unwrap();
+        assert_eq!(buf, block(0x55));
+    }
+
+    #[test]
+    fn out_of_range_and_unaligned_rejected() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 4);
+        assert!(d.write(4, &block(0)).is_err());
+        assert!(d.write(0, &[0u8; 100]).is_err());
+        let mut small = [0u8; 7];
+        assert!(d.read(0, &mut small).is_err());
+    }
+
+    #[test]
+    fn dead_device_errors() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 4);
+        d.power_fail();
+        assert!(d.write(0, &block(0)).is_err());
+        let mut buf = block(0);
+        assert!(d.read(0, &mut buf).is_err());
+        assert!(d.flush().is_err());
+        d.power_on();
+        assert!(d.write(0, &block(0)).is_ok());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 16);
+        d.write(0, &block(1)).unwrap();
+        d.write(1, &block(2)).unwrap();
+        let mut buf = block(0);
+        d.read(0, &mut buf).unwrap();
+        d.flush().unwrap();
+        assert_eq!(d.stats().writes, 2);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().flushes, 1);
+        assert_eq!(d.stats().bytes_written, 2 * BLOCK_SIZE as u64);
+    }
+}

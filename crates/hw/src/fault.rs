@@ -1,0 +1,144 @@
+//! Fault-injection plans for crash-consistency testing.
+//!
+//! The object store's recovery path (dual superblocks, CRC-protected
+//! journal records, torn-tail tolerance) and SLSFS's open-unlinked
+//! reference counts only earn trust if they are exercised against real
+//! failures. A [`FaultPlan`] is installed on a device and decides, per
+//! write, whether power is cut (optionally tearing the interrupted write)
+//! or a bit is silently corrupted.
+
+/// What happens to a particular write request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The write proceeds normally.
+    None,
+    /// Power is cut during this write; only `torn_bytes` of it land.
+    PowerCut {
+        /// Bytes of the interrupted write that reach stable media.
+        torn_bytes: usize,
+    },
+    /// A single bit of the written data is flipped silently.
+    CorruptBit {
+        /// Byte offset (taken modulo the write length).
+        byte: usize,
+        /// Bit index within the byte (taken modulo 8).
+        bit: u8,
+    },
+}
+
+/// A deterministic fault-injection plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Cut power on the Nth write (1-based) after installation.
+    pub power_cut_on_write: Option<u64>,
+    /// Bytes of the interrupted write that land (torn write). Only
+    /// meaningful with `power_cut_on_write`.
+    pub torn_bytes: usize,
+    /// Corrupt one bit of the Nth write (1-based).
+    pub corrupt_on_write: Option<(u64, usize, u8)>,
+}
+
+impl FaultPlan {
+    /// A plan that cuts power cleanly (no torn data) on write `n`.
+    pub fn power_cut(n: u64) -> Self {
+        FaultPlan {
+            power_cut_on_write: Some(n),
+            torn_bytes: 0,
+            corrupt_on_write: None,
+        }
+    }
+
+    /// A plan that cuts power on write `n`, landing only `torn` bytes.
+    pub fn torn_write(n: u64, torn: usize) -> Self {
+        FaultPlan {
+            power_cut_on_write: Some(n),
+            torn_bytes: torn,
+            corrupt_on_write: None,
+        }
+    }
+
+    /// A plan that flips bit `bit` of byte `byte` in write `n`.
+    pub fn corrupt(n: u64, byte: usize, bit: u8) -> Self {
+        FaultPlan {
+            power_cut_on_write: None,
+            torn_bytes: 0,
+            corrupt_on_write: Some((n, byte, bit)),
+        }
+    }
+
+    /// Resolves the action for the `nth` write (1-based).
+    pub fn action_for_write(&self, nth: u64) -> FaultAction {
+        if let Some(cut) = self.power_cut_on_write {
+            if nth == cut {
+                return FaultAction::PowerCut {
+                    torn_bytes: self.torn_bytes,
+                };
+            }
+        }
+        if let Some((n, byte, bit)) = self.corrupt_on_write {
+            if nth == n {
+                return FaultAction::CorruptBit { byte, bit };
+            }
+        }
+        FaultAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dev::{BlockDev, ModelDev};
+    use crate::BLOCK_SIZE;
+    use aurora_sim::SimClock;
+
+    #[test]
+    fn power_cut_triggers_on_exact_write() {
+        let plan = FaultPlan::power_cut(3);
+        assert_eq!(plan.action_for_write(1), FaultAction::None);
+        assert_eq!(plan.action_for_write(2), FaultAction::None);
+        assert_eq!(
+            plan.action_for_write(3),
+            FaultAction::PowerCut { torn_bytes: 0 }
+        );
+    }
+
+    #[test]
+    fn device_dies_at_planned_write() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 64);
+        d.set_fault_plan(FaultPlan::power_cut(2));
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        assert!(d.write(1, &vec![2u8; BLOCK_SIZE]).is_err());
+        assert!(!d.powered());
+    }
+
+    #[test]
+    fn torn_write_lands_prefix_only() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 64);
+        // First write flushed to make it durable, then a torn second write.
+        d.write(0, &vec![0xAAu8; BLOCK_SIZE]).unwrap();
+        let done = d.flush().unwrap();
+        d.clock().advance_to(done);
+        d.set_fault_plan(FaultPlan::torn_write(1, 100));
+        assert!(d.write(0, &vec![0xBBu8; BLOCK_SIZE]).is_err());
+        d.power_on();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        d.read(0, &mut buf).unwrap();
+        assert!(buf[..100].iter().all(|&b| b == 0xBB), "prefix landed");
+        assert!(buf[100..].iter().all(|&b| b == 0xAA), "suffix is old data");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 64);
+        d.set_fault_plan(FaultPlan::corrupt(1, 10, 3));
+        d.write(0, &vec![0u8; BLOCK_SIZE]).unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        d.read(0, &mut buf).unwrap();
+        let flipped: Vec<usize> = buf.iter().enumerate().filter(|(_, &b)| b != 0).map(|(i, _)| i).collect();
+        assert_eq!(flipped, vec![10]);
+        assert_eq!(buf[10], 1 << 3);
+    }
+}

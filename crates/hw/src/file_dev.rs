@@ -1,0 +1,203 @@
+//! A block device backed by a real host file.
+//!
+//! The `sls` command-line tool needs state that genuinely survives between
+//! invocations of the binary — the whole point of a single level store.
+//! [`FileDev`] stores blocks in an ordinary file on the host filesystem
+//! while still charging NVMe-calibrated virtual costs, so the CLI world is
+//! durable *and* its reported timings agree with the simulation.
+//!
+//! Durability here is intentionally simple: writes go straight to the
+//! file (no simulated volatile cache), and `flush` maps to the host file
+//! sync. Crash-consistency experiments use [`crate::dev::ModelDev`] with
+//! fault plans instead.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use aurora_sim::cost::dev as costdev;
+use aurora_sim::error::{Error, Result};
+use aurora_sim::time::{SimDuration, SimTime};
+use aurora_sim::SimClock;
+
+use crate::dev::{BlockDev, DevInfo, DevStats};
+use crate::BLOCK_SIZE;
+
+/// A host-file-backed block device with NVMe-like virtual costs.
+pub struct FileDev {
+    info: DevInfo,
+    clock: Arc<SimClock>,
+    file: File,
+    stats: DevStats,
+    busy_until: SimTime,
+}
+
+impl FileDev {
+    /// Opens (creating if needed) a file-backed device of `blocks` blocks.
+    pub fn open(clock: Arc<SimClock>, path: &Path, blocks: u64) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| Error::io(format!("open {}: {e}", path.display())))?;
+        file.set_len(blocks * BLOCK_SIZE as u64)
+            .map_err(|e| Error::io(format!("set_len {}: {e}", path.display())))?;
+        Ok(FileDev {
+            info: DevInfo {
+                name: format!("file:{}", path.display()),
+                blocks,
+                persistent: true,
+                persistence_domain: true,
+            },
+            clock,
+            file,
+            stats: DevStats::default(),
+            busy_until: SimTime::ZERO,
+        })
+    }
+
+    fn check_range(&self, lba: u64, len: usize) -> Result<()> {
+        if !len.is_multiple_of(BLOCK_SIZE) {
+            return Err(Error::invalid(format!("unaligned i/o length {len}")));
+        }
+        let nblocks = (len / BLOCK_SIZE) as u64;
+        if lba + nblocks > self.info.blocks {
+            return Err(Error::no_space(format!(
+                "i/o beyond device end: lba {lba} + {nblocks} > {}",
+                self.info.blocks
+            )));
+        }
+        Ok(())
+    }
+
+    fn service(&mut self, bytes: u64, bw: u64) -> SimTime {
+        let start = self.clock.now().max(self.busy_until);
+        let dur =
+            SimDuration::from_nanos(costdev::NVME_LAT_NS) + SimDuration::for_bytes(bytes, bw);
+        self.busy_until = start + dur;
+        self.busy_until
+    }
+}
+
+impl BlockDev for FileDev {
+    fn info(&self) -> &DevInfo {
+        &self.info
+    }
+
+    fn stats(&self) -> &DevStats {
+        &self.stats
+    }
+
+    fn read(&mut self, lba: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_range(lba, buf.len())?;
+        let done = self.service(buf.len() as u64, costdev::NVME_READ_BW);
+        self.clock.advance_to(done);
+        self.file
+            .seek(SeekFrom::Start(lba * BLOCK_SIZE as u64))
+            .and_then(|_| self.file.read_exact(buf))
+            .map_err(|e| Error::io(format!("read lba {lba}: {e}")))?;
+        self.stats.reads += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    fn submit_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime> {
+        self.check_range(lba, data.len())?;
+        let done = self.service(data.len() as u64, costdev::NVME_WRITE_BW);
+        self.file
+            .seek(SeekFrom::Start(lba * BLOCK_SIZE as u64))
+            .and_then(|_| self.file.write_all(data))
+            .map_err(|e| Error::io(format!("write lba {lba}: {e}")))?;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(done)
+    }
+
+    fn write(&mut self, lba: u64, data: &[u8]) -> Result<()> {
+        let done = self.submit_write(lba, data)?;
+        self.clock.advance_to(done);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<SimTime> {
+        self.stats.flushes += 1;
+        self.file
+            .sync_data()
+            .map_err(|e| Error::io(format!("sync: {e}")))?;
+        let start = self.clock.now().max(self.busy_until);
+        let done = start + SimDuration::from_nanos(costdev::NVME_LAT_NS);
+        self.busy_until = done;
+        Ok(done)
+    }
+
+    fn submit_write_timing(&mut self, nbytes: u64) -> Result<SimTime> {
+        let done = self.service(nbytes, costdev::NVME_WRITE_BW);
+        self.stats.writes += 1;
+        self.stats.bytes_written += nbytes;
+        Ok(done)
+    }
+
+    fn charge_read_timing(&mut self, nbytes: u64) -> Result<()> {
+        let done = self.service(nbytes, costdev::NVME_READ_BW);
+        self.clock.advance_to(done);
+        self.stats.reads += 1;
+        self.stats.bytes_read += nbytes;
+        Ok(())
+    }
+
+    fn power_fail(&mut self) {
+        // A host file has no volatile cache in this model; nothing to drop.
+    }
+
+    fn power_on(&mut self) {}
+
+    fn powered(&self) -> bool {
+        true
+    }
+
+    fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("aurora-filedev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.img");
+        let data = vec![0xC3u8; BLOCK_SIZE];
+        {
+            let clock = SimClock::new();
+            let mut d = FileDev::open(clock, &path, 16).unwrap();
+            d.write(7, &data).unwrap();
+            d.flush().unwrap();
+        }
+        {
+            let clock = SimClock::new();
+            let mut d = FileDev::open(clock, &path, 16).unwrap();
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            d.read(7, &mut buf).unwrap();
+            assert_eq!(buf, data);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn range_checks_apply() {
+        let dir = std::env::temp_dir().join(format!("aurora-filedev2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.img");
+        let clock = SimClock::new();
+        let mut d = FileDev::open(clock, &path, 4).unwrap();
+        assert!(d.write(4, &vec![0u8; BLOCK_SIZE]).is_err());
+        assert!(d.write(0, &[1, 2, 3]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,40 @@
+//! Simulated storage and network hardware.
+//!
+//! The paper's testbed pairs Intel Optane 900P NVMe drives, NVDIMMs and a
+//! 10 GbE NIC; the key observation Aurora builds on is that such devices
+//! have closed most of the latency/bandwidth gap to memory. This crate
+//! models that hardware on the virtual clock:
+//!
+//! * [`dev::ModelDev`] — a block device with an access-latency +
+//!   bandwidth cost model, a volatile write cache with explicit flush
+//!   semantics, and power-failure behaviour (unflushed writes are lost,
+//!   the interrupted write may be torn).
+//! * [`fault`] — fault-injection plans: cut power after N writes, tear the
+//!   interrupted write, or corrupt stored bytes. Crash-consistency tests
+//!   drive recovery through these.
+//! * [`net`] — a point-to-point link model and a remote block device
+//!   (device behind a link), used by the network checkpoint backend.
+//! * [`file_dev`] — a block device backed by a real host file, giving the
+//!   `sls` CLI genuine persistence across invocations.
+//! * [`stripe`] — RAID-0 style striping across several devices (the
+//!   paper's four-Optane testbed and its aggregate-bandwidth argument).
+//!
+//! All devices implement [`dev::BlockDev`]. Reads are synchronous (they
+//! advance the virtual clock); writes may be *submitted* asynchronously,
+//! returning the virtual completion instant so the SLS can flush
+//! checkpoints in the background — the separation the paper relies on to
+//! keep application stop times under a millisecond.
+
+pub mod dev;
+pub mod fault;
+pub mod file_dev;
+pub mod net;
+pub mod stripe;
+
+pub use dev::{BlockDev, DevInfo, DevStats, ModelDev};
+pub use fault::FaultPlan;
+pub use net::{LinkModel, RemoteDev};
+pub use stripe::StripedDev;
+
+/// Block size used by every simulated device (one page).
+pub const BLOCK_SIZE: usize = aurora_sim::cost::PAGE_SIZE;

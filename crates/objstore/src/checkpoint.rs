@@ -1,0 +1,288 @@
+//! Checkpoint deltas and the chain-walk read path.
+
+use std::collections::{BTreeMap, HashMap};
+
+use aurora_sim::codec::{Decoder, Encoder};
+use aurora_sim::error::Result;
+use aurora_sim::time::SimTime;
+
+use crate::{BlockPtr, ObjId};
+
+/// Identifier of a committed checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CkptId(pub u64);
+
+/// A committed checkpoint: the delta since its parent.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Checkpoint id (monotonic).
+    pub id: CkptId,
+    /// Parent checkpoint, if any.
+    pub parent: Option<CkptId>,
+    /// User-assigned name (`sls checkpoint <name>`).
+    pub name: Option<String>,
+    /// Objects created in this delta, with their sizes in pages.
+    pub new_objects: Vec<(ObjId, u64)>,
+    /// Objects deleted in this delta.
+    pub deleted_objects: Vec<ObjId>,
+    /// Page-map changes: `(object, page) -> data block`.
+    pub pages: HashMap<(ObjId, u64), BlockPtr>,
+    /// Metadata blobs written in this delta (kernel-object records).
+    pub blobs: BTreeMap<String, Vec<u8>>,
+    /// Virtual instant at which this checkpoint became power-loss-safe
+    /// (in-memory bookkeeping; not part of the on-disk format).
+    pub durable_at: SimTime,
+}
+
+impl Checkpoint {
+    /// Serialized size estimate (drives journal space accounting).
+    pub fn encoded_len_estimate(&self) -> usize {
+        64 + self.new_objects.len() * 12
+            + self.deleted_objects.len() * 9
+            + self.pages.len() * 20
+            + self
+                .blobs
+                .iter()
+                .map(|(k, v)| k.len() + v.len() + 12)
+                .sum::<usize>()
+    }
+
+    /// Encodes the delta into `e` (the journal payload format).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.u64(self.id.0);
+        e.option(self.parent.as_ref(), |e, p| e.u64(p.0));
+        e.option(self.name.as_ref(), |e, n| e.str(n));
+        e.seq(&self.new_objects, |e, (oid, size)| {
+            e.u64(oid.0);
+            e.varint(*size);
+        });
+        e.seq(&self.deleted_objects, |e, oid| e.u64(oid.0));
+        // Pages sorted for deterministic images.
+        let mut pages: Vec<(&(ObjId, u64), &BlockPtr)> = self.pages.iter().collect();
+        pages.sort();
+        e.varint(pages.len() as u64);
+        for ((oid, idx), ptr) in pages {
+            e.u64(oid.0);
+            e.varint(*idx);
+            e.varint(ptr.0);
+        }
+        e.varint(self.blobs.len() as u64);
+        for (k, v) in &self.blobs {
+            e.str(k);
+            e.bytes(v);
+        }
+    }
+
+    /// Decodes a delta from a journal payload.
+    pub fn decode(d: &mut Decoder<'_>) -> Result<Checkpoint> {
+        let id = CkptId(d.u64()?);
+        let parent = d.option(|d| d.u64().map(CkptId))?;
+        let name = d.option(|d| d.str().map(str::to_string))?;
+        let new_objects = d.seq(|d| {
+            let oid = ObjId(d.u64()?);
+            let size = d.varint()?;
+            Ok((oid, size))
+        })?;
+        let deleted_objects = d.seq(|d| d.u64().map(ObjId))?;
+        let npages = d.varint()? as usize;
+        let mut pages = HashMap::with_capacity(npages);
+        for _ in 0..npages {
+            let oid = ObjId(d.u64()?);
+            let idx = d.varint()?;
+            let ptr = BlockPtr(d.varint()?);
+            pages.insert((oid, idx), ptr);
+        }
+        let nblobs = d.varint()? as usize;
+        let mut blobs = BTreeMap::new();
+        for _ in 0..nblobs {
+            let k = d.str()?.to_string();
+            let v = d.bytes()?.to_vec();
+            blobs.insert(k, v);
+        }
+        Ok(Checkpoint {
+            id,
+            parent,
+            name,
+            new_objects,
+            deleted_objects,
+            pages,
+            blobs,
+            durable_at: SimTime::ZERO,
+        })
+    }
+}
+
+/// Resolves a page through the checkpoint chain: the nearest delta at or
+/// above `from` that covers `(oid, idx)` wins; a deletion of the object
+/// masks older data.
+pub fn resolve_page(
+    ckpts: &BTreeMap<u64, Checkpoint>,
+    from: CkptId,
+    oid: ObjId,
+    idx: u64,
+) -> Option<BlockPtr> {
+    let mut cur = Some(from);
+    while let Some(c) = cur {
+        let ck = ckpts.get(&c.0)?;
+        if let Some(ptr) = ck.pages.get(&(oid, idx)) {
+            return Some(*ptr);
+        }
+        if ck.deleted_objects.contains(&oid) {
+            return None;
+        }
+        if ck.new_objects.iter().any(|(o, _)| *o == oid) {
+            // The object was born here and the page was never written.
+            return None;
+        }
+        cur = ck.parent;
+    }
+    None
+}
+
+/// Resolves a blob through the chain (latest write at or above `from`).
+pub fn resolve_blob<'a>(
+    ckpts: &'a BTreeMap<u64, Checkpoint>,
+    from: CkptId,
+    key: &str,
+) -> Option<&'a [u8]> {
+    let mut cur = Some(from);
+    while let Some(c) = cur {
+        let ck = ckpts.get(&c.0)?;
+        if let Some(v) = ck.blobs.get(key) {
+            return Some(v);
+        }
+        cur = ck.parent;
+    }
+    None
+}
+
+/// The effective page map of one object at a checkpoint (chain-merged).
+pub fn effective_map(
+    ckpts: &BTreeMap<u64, Checkpoint>,
+    from: CkptId,
+    oid: ObjId,
+) -> BTreeMap<u64, BlockPtr> {
+    // Walk root-ward collecting deltas, then apply oldest-first.
+    let mut chain = Vec::new();
+    let mut cur = Some(from);
+    while let Some(c) = cur {
+        let Some(ck) = ckpts.get(&c.0) else { break };
+        chain.push(ck);
+        if ck.deleted_objects.contains(&oid) || ck.new_objects.iter().any(|(o, _)| *o == oid) {
+            break;
+        }
+        cur = ck.parent;
+    }
+    let mut map = BTreeMap::new();
+    for ck in chain.iter().rev() {
+        if ck.deleted_objects.contains(&oid) {
+            // The old incarnation dies here. Do NOT skip this
+            // checkpoint's pages: a delete-then-recreate in one epoch
+            // records the death plus the new incarnation's pages, and
+            // the pending-page bookkeeping guarantees every page under
+            // this id belongs to the new incarnation.
+            map.clear();
+        }
+        for ((o, idx), ptr) in &ck.pages {
+            if *o == oid {
+                map.insert(*idx, *ptr);
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ck(id: u64, parent: Option<u64>) -> Checkpoint {
+        Checkpoint {
+            id: CkptId(id),
+            parent: parent.map(CkptId),
+            name: None,
+            new_objects: Vec::new(),
+            deleted_objects: Vec::new(),
+            pages: HashMap::new(),
+            blobs: BTreeMap::new(),
+            durable_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut c = ck(3, Some(2));
+        c.name = Some("named".into());
+        c.new_objects.push((ObjId(7), 16));
+        c.deleted_objects.push(ObjId(5));
+        c.pages.insert((ObjId(7), 0), BlockPtr(100));
+        c.pages.insert((ObjId(7), 3), BlockPtr(101));
+        c.blobs.insert("proc/1".into(), vec![1, 2, 3]);
+        let mut e = Encoder::new();
+        c.encode(&mut e);
+        let bytes = e.finish();
+        let d = Checkpoint::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(d.id, c.id);
+        assert_eq!(d.parent, c.parent);
+        assert_eq!(d.name, c.name);
+        assert_eq!(d.pages, c.pages);
+        assert_eq!(d.blobs, c.blobs);
+        assert_eq!(d.new_objects, c.new_objects);
+        assert_eq!(d.deleted_objects, c.deleted_objects);
+    }
+
+    #[test]
+    fn chain_resolution() {
+        let mut ckpts = BTreeMap::new();
+        let mut c1 = ck(1, None);
+        c1.new_objects.push((ObjId(1), 8));
+        c1.pages.insert((ObjId(1), 0), BlockPtr(10));
+        c1.pages.insert((ObjId(1), 1), BlockPtr(11));
+        c1.blobs.insert("m".into(), vec![1]);
+        let mut c2 = ck(2, Some(1));
+        c2.pages.insert((ObjId(1), 1), BlockPtr(21));
+        ckpts.insert(1, c1);
+        ckpts.insert(2, c2);
+
+        // Page 0 comes from the parent, page 1 from the child.
+        assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 0), Some(BlockPtr(10)));
+        assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 1), Some(BlockPtr(21)));
+        assert_eq!(resolve_page(&ckpts, CkptId(1), ObjId(1), 1), Some(BlockPtr(11)));
+        assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 5), None);
+        assert_eq!(resolve_blob(&ckpts, CkptId(2), "m").unwrap(), &[1]);
+        assert_eq!(resolve_blob(&ckpts, CkptId(2), "nope"), None);
+
+        let eff = effective_map(&ckpts, CkptId(2), ObjId(1));
+        assert_eq!(eff.get(&0), Some(&BlockPtr(10)));
+        assert_eq!(eff.get(&1), Some(&BlockPtr(21)));
+    }
+
+    #[test]
+    fn deletion_masks_history() {
+        let mut ckpts = BTreeMap::new();
+        let mut c1 = ck(1, None);
+        c1.new_objects.push((ObjId(1), 8));
+        c1.pages.insert((ObjId(1), 0), BlockPtr(10));
+        let mut c2 = ck(2, Some(1));
+        c2.deleted_objects.push(ObjId(1));
+        ckpts.insert(1, c1);
+        ckpts.insert(2, c2);
+        assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 0), None);
+        assert_eq!(resolve_page(&ckpts, CkptId(1), ObjId(1), 0), Some(BlockPtr(10)));
+        assert!(effective_map(&ckpts, CkptId(2), ObjId(1)).is_empty());
+    }
+
+    #[test]
+    fn birth_stops_the_walk() {
+        // Object 1 born in c2; a stale page for (1, 0) in c1 must NOT
+        // leak through (ids are never reused, but be defensive).
+        let mut ckpts = BTreeMap::new();
+        let mut c1 = ck(1, None);
+        c1.pages.insert((ObjId(1), 0), BlockPtr(99));
+        let mut c2 = ck(2, Some(1));
+        c2.new_objects.push((ObjId(1), 8));
+        ckpts.insert(1, c1);
+        ckpts.insert(2, c2);
+        assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 0), None);
+    }
+}

@@ -1,0 +1,325 @@
+//! The metadata journal.
+//!
+//! Every commit appends one CRC-protected record (block-aligned) to the
+//! journal region; recovery replays records in order, stopping cleanly at
+//! a torn tail. When the journal fills past half its capacity, the store
+//! *compacts*: it rewrites the whole committed checkpoint table as a
+//! single snapshot record at the journal start. Snapshot + deltas is what
+//! keeps per-checkpoint metadata cost low — the property the paper needs
+//! to take "hundreds of checkpoints per second".
+
+use std::collections::BTreeMap;
+
+use aurora_sim::codec::{Decoder, Encoder};
+use aurora_sim::error::{Error, Result};
+
+use aurora_hw::BLOCK_SIZE;
+
+use crate::checkpoint::{Checkpoint, CkptId};
+
+/// Journal record tags.
+pub const TAG_COMMIT: u16 = 1;
+/// Deletes (and merges) one checkpoint.
+pub const TAG_DELETE: u16 = 2;
+/// Full checkpoint-table snapshot (compaction).
+pub const TAG_SNAPSHOT: u16 = 3;
+
+/// Record format version.
+pub const REC_VERSION: u16 = 1;
+
+/// A decoded journal record.
+#[derive(Debug)]
+pub enum JournalRecord {
+    /// One committed checkpoint delta.
+    Commit(Checkpoint),
+    /// A checkpoint deletion (GC).
+    Delete(CkptId),
+    /// A compaction snapshot of the whole checkpoint table.
+    Snapshot(Vec<Checkpoint>),
+}
+
+/// Encodes a record, padded to a whole number of blocks.
+pub fn encode_record(rec: &JournalRecord) -> Vec<u8> {
+    let mut payload = Encoder::new();
+    let tag = match rec {
+        JournalRecord::Commit(c) => {
+            c.encode(&mut payload);
+            TAG_COMMIT
+        }
+        JournalRecord::Delete(id) => {
+            payload.u64(id.0);
+            TAG_DELETE
+        }
+        JournalRecord::Snapshot(cks) => {
+            payload.varint(cks.len() as u64);
+            for c in cks {
+                c.encode(&mut payload);
+            }
+            TAG_SNAPSHOT
+        }
+    };
+    let payload = payload.into_vec();
+    let mut e = Encoder::with_capacity(payload.len() + 16);
+    e.record(tag, REC_VERSION, &payload);
+    let mut bytes = e.into_vec();
+    let padded = bytes.len().div_ceil(BLOCK_SIZE) * BLOCK_SIZE;
+    bytes.resize(padded, 0);
+    bytes
+}
+
+/// Decodes every valid record from the journal bytes.
+///
+/// A CRC failure or short record is treated as the torn tail: everything
+/// before it is returned, everything after is ignored. `used` bounds the
+/// region the superblock vouches for.
+pub fn decode_records(journal: &[u8], used: u64) -> Vec<JournalRecord> {
+    let valid = &journal[..(used as usize).min(journal.len())];
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off + 12 <= valid.len() {
+        let mut d = Decoder::new(&valid[off..]);
+        let rec = match d.record() {
+            Ok(r) => r,
+            Err(_) => break, // Torn tail.
+        };
+        let consumed = d.position();
+        let parsed = match rec.tag {
+            TAG_COMMIT => Checkpoint::decode(&mut Decoder::new(rec.payload)).map(JournalRecord::Commit),
+            TAG_DELETE => {
+                let mut pd = Decoder::new(rec.payload);
+                pd.u64().map(|id| JournalRecord::Delete(CkptId(id)))
+            }
+            TAG_SNAPSHOT => {
+                let mut pd = Decoder::new(rec.payload);
+                pd.seq(Checkpoint::decode).map(JournalRecord::Snapshot)
+            }
+            _ => break, // Unknown tag: stop conservatively.
+        };
+        match parsed {
+            Ok(r) => records.push(r),
+            Err(_) => break,
+        }
+        // Records are block-aligned on disk.
+        off += consumed.div_ceil(BLOCK_SIZE) * BLOCK_SIZE;
+    }
+    records
+}
+
+/// Replays records into a checkpoint table, applying deletions via the
+/// same merge logic the live GC path uses.
+pub fn replay(records: Vec<JournalRecord>) -> Result<BTreeMap<u64, Checkpoint>> {
+    let mut ckpts: BTreeMap<u64, Checkpoint> = BTreeMap::new();
+    for rec in records {
+        match rec {
+            JournalRecord::Snapshot(list) => {
+                ckpts = list.into_iter().map(|c| (c.id.0, c)).collect();
+            }
+            JournalRecord::Commit(c) => {
+                ckpts.insert(c.id.0, c);
+            }
+            JournalRecord::Delete(id) => {
+                apply_delete(&mut ckpts, id)?;
+            }
+        }
+    }
+    Ok(ckpts)
+}
+
+/// Replay that tolerates stale records (recovery path): a delete of a
+/// checkpoint that is already gone is skipped rather than fatal. This can
+/// only arise from stale-but-CRC-valid tails after compaction, whose
+/// content was already folded into the snapshot.
+pub fn replay_lossy(records: Vec<JournalRecord>) -> BTreeMap<u64, Checkpoint> {
+    let mut ckpts: BTreeMap<u64, Checkpoint> = BTreeMap::new();
+    for rec in records {
+        match rec {
+            JournalRecord::Snapshot(list) => {
+                ckpts = list.into_iter().map(|c| (c.id.0, c)).collect();
+            }
+            JournalRecord::Commit(c) => {
+                ckpts.insert(c.id.0, c);
+            }
+            JournalRecord::Delete(id) => {
+                let _ = apply_delete(&mut ckpts, id);
+            }
+        }
+    }
+    ckpts
+}
+
+/// Merges checkpoint `id` into its sole child and removes it.
+///
+/// Entries (pages, blobs, object births/deaths) the child does not
+/// override are transferred — pointer moves only, no data rewrites. The
+/// caller adjusts block refcounts for the dropped (overridden) pointers;
+/// this function returns them.
+pub fn apply_delete(
+    ckpts: &mut BTreeMap<u64, Checkpoint>,
+    id: CkptId,
+) -> Result<Vec<crate::BlockPtr>> {
+    let children: Vec<u64> = ckpts
+        .values()
+        .filter(|c| c.parent == Some(id))
+        .map(|c| c.id.0)
+        .collect();
+    if children.len() > 1 {
+        return Err(Error::invalid(format!(
+            "checkpoint {} has {} children; GC requires a linear chain",
+            id.0,
+            children.len()
+        )));
+    }
+    let victim = ckpts
+        .remove(&id.0)
+        .ok_or_else(|| Error::not_found(format!("checkpoint {}", id.0)))?;
+    let mut dropped = Vec::new();
+    match children.first() {
+        None => {
+            // No child: every pointer the victim held is released.
+            dropped.extend(victim.pages.values().copied());
+        }
+        Some(&child_id) => {
+            let child = ckpts
+                .get_mut(&child_id)
+                .expect("child listed above exists");
+            child.parent = victim.parent;
+            for (key, ptr) in victim.pages {
+                // A child that deleted or re-created the object does not
+                // need the old pages.
+                let oid = key.0;
+                let masked = child.deleted_objects.contains(&oid)
+                    || child.new_objects.iter().any(|(o, _)| *o == oid);
+                if masked || child.pages.contains_key(&key) {
+                    dropped.push(ptr);
+                } else {
+                    child.pages.insert(key, ptr);
+                }
+            }
+            for (k, v) in victim.blobs {
+                child.blobs.entry(k).or_insert(v);
+            }
+            for (oid, size) in victim.new_objects {
+                if !child.deleted_objects.contains(&oid) {
+                    child.new_objects.push((oid, size));
+                } else {
+                    // Born in the victim, deleted in the child: the object
+                    // never existed as far as later checkpoints care.
+                    child.deleted_objects.retain(|&o| o != oid);
+                    child.pages.retain(|(o, _), _| *o != oid);
+                }
+            }
+            for oid in victim.deleted_objects {
+                if !child.deleted_objects.contains(&oid) {
+                    child.deleted_objects.push(oid);
+                }
+            }
+        }
+    }
+    Ok(dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::resolve_page;
+    use crate::{BlockPtr, ObjId};
+    use aurora_sim::time::SimTime;
+    use std::collections::HashMap;
+
+    fn ck(id: u64, parent: Option<u64>) -> Checkpoint {
+        Checkpoint {
+            id: CkptId(id),
+            parent: parent.map(CkptId),
+            name: None,
+            new_objects: Vec::new(),
+            deleted_objects: Vec::new(),
+            pages: HashMap::new(),
+            blobs: BTreeMap::new(),
+            durable_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_and_torn_tail() {
+        let mut c1 = ck(1, None);
+        c1.pages.insert((ObjId(1), 0), BlockPtr(5));
+        let bytes1 = encode_record(&JournalRecord::Commit(c1));
+        let bytes2 = encode_record(&JournalRecord::Delete(CkptId(1)));
+        assert_eq!(bytes1.len() % BLOCK_SIZE, 0);
+
+        let mut journal = Vec::new();
+        journal.extend_from_slice(&bytes1);
+        journal.extend_from_slice(&bytes2);
+        // Append garbage that looks like a torn record.
+        journal.extend_from_slice(&[0xFFu8; BLOCK_SIZE]);
+
+        let recs = decode_records(&journal, journal.len() as u64);
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[0], JournalRecord::Commit(_)));
+        assert!(matches!(recs[1], JournalRecord::Delete(CkptId(1))));
+
+        // Truncated `used` hides the second record.
+        let recs = decode_records(&journal, bytes1.len() as u64);
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn replay_snapshot_then_deltas() {
+        let mut c1 = ck(1, None);
+        c1.new_objects.push((ObjId(1), 4));
+        c1.pages.insert((ObjId(1), 0), BlockPtr(10));
+        let mut c2 = ck(2, Some(1));
+        c2.pages.insert((ObjId(1), 0), BlockPtr(20));
+        let mut journal = Vec::new();
+        journal.extend_from_slice(&encode_record(&JournalRecord::Snapshot(vec![c1])));
+        journal.extend_from_slice(&encode_record(&JournalRecord::Commit(c2)));
+        let ckpts = replay(decode_records(&journal, journal.len() as u64)).unwrap();
+        assert_eq!(ckpts.len(), 2);
+        assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 0), Some(BlockPtr(20)));
+    }
+
+    #[test]
+    fn delete_merges_into_child() {
+        let mut ckpts = BTreeMap::new();
+        let mut c1 = ck(1, None);
+        c1.new_objects.push((ObjId(1), 8));
+        c1.pages.insert((ObjId(1), 0), BlockPtr(10));
+        c1.pages.insert((ObjId(1), 1), BlockPtr(11));
+        c1.blobs.insert("meta".into(), vec![1]);
+        let mut c2 = ck(2, Some(1));
+        c2.pages.insert((ObjId(1), 1), BlockPtr(21));
+        ckpts.insert(1, c1);
+        ckpts.insert(2, c2);
+
+        let dropped = apply_delete(&mut ckpts, CkptId(1)).unwrap();
+        // Page 1 was overridden by the child: its old block is released.
+        assert_eq!(dropped, vec![BlockPtr(11)]);
+        // Page 0 and the blob transferred; reads still resolve.
+        assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 0), Some(BlockPtr(10)));
+        assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 1), Some(BlockPtr(21)));
+        let c2 = ckpts.get(&2).unwrap();
+        assert_eq!(c2.parent, None);
+        assert_eq!(c2.blobs.get("meta").unwrap(), &vec![1]);
+        assert_eq!(c2.new_objects, vec![(ObjId(1), 8)]);
+    }
+
+    #[test]
+    fn delete_last_checkpoint_releases_everything() {
+        let mut ckpts = BTreeMap::new();
+        let mut c1 = ck(1, None);
+        c1.pages.insert((ObjId(1), 0), BlockPtr(10));
+        ckpts.insert(1, c1);
+        let dropped = apply_delete(&mut ckpts, CkptId(1)).unwrap();
+        assert_eq!(dropped, vec![BlockPtr(10)]);
+        assert!(ckpts.is_empty());
+    }
+
+    #[test]
+    fn delete_with_branches_refused() {
+        let mut ckpts = BTreeMap::new();
+        ckpts.insert(1, ck(1, None));
+        ckpts.insert(2, ck(2, Some(1)));
+        ckpts.insert(3, ck(3, Some(1)));
+        assert!(apply_delete(&mut ckpts, CkptId(1)).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! On-disk layout: superblocks and region geometry.
+//!
+//! ```text
+//! block 0      superblock slot A \  alternating commits; recovery picks
+//! block 1      superblock slot B /  the valid slot with the higher epoch
+//! block 2..J   metadata journal (append-only, reset by compaction)
+//! block J..    data region (refcounted 4 KiB blocks)
+//! ```
+
+use aurora_sim::codec::{Decoder, Encoder};
+use aurora_sim::error::{Error, Result};
+use aurora_sim::hash::crc32c;
+
+use aurora_hw::BLOCK_SIZE;
+
+/// Magic number identifying an Aurora store ("AURORSLS").
+pub const MAGIC: u64 = 0x4155_524F_5253_4C53;
+
+/// On-disk format version.
+pub const VERSION: u16 = 1;
+
+/// First journal block.
+pub const JOURNAL_START: u64 = 2;
+
+/// The superblock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblock {
+    /// Commit epoch (monotonic across the store's life).
+    pub epoch: u64,
+    /// Journal length in blocks.
+    pub journal_blocks: u64,
+    /// Bytes of valid journal content.
+    pub journal_used: u64,
+    /// Total device blocks.
+    pub total_blocks: u64,
+    /// Next checkpoint id to assign.
+    pub next_ckpt: u64,
+    /// Next object id to assign.
+    pub next_obj: u64,
+}
+
+impl Superblock {
+    /// First data-region block for this geometry.
+    pub fn data_start(&self) -> u64 {
+        JOURNAL_START + self.journal_blocks
+    }
+
+    /// Number of data blocks.
+    pub fn data_blocks(&self) -> u64 {
+        self.total_blocks - self.data_start()
+    }
+
+    /// Serializes into one device block with a trailing CRC.
+    pub fn to_block(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(64);
+        e.u64(MAGIC);
+        e.u16(VERSION);
+        e.u64(self.epoch);
+        e.u64(self.journal_blocks);
+        e.u64(self.journal_used);
+        e.u64(self.total_blocks);
+        e.u64(self.next_ckpt);
+        e.u64(self.next_obj);
+        let mut body = e.into_vec();
+        let crc = crc32c(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        body.resize(BLOCK_SIZE, 0);
+        body
+    }
+
+    /// Parses and validates a superblock from a device block.
+    pub fn from_block(block: &[u8]) -> Result<Superblock> {
+        // Body length: 8 + 2 + 6*8 = 58 bytes, then 4 bytes CRC.
+        const BODY: usize = 58;
+        if block.len() < BODY + 4 {
+            return Err(Error::corrupt("superblock too short"));
+        }
+        let crc_stored = u32::from_le_bytes(
+            block[BODY..BODY + 4]
+                .try_into()
+                .expect("slice is 4 bytes by construction"),
+        );
+        if crc32c(&block[..BODY]) != crc_stored {
+            return Err(Error::corrupt("superblock CRC mismatch"));
+        }
+        let mut d = Decoder::new(&block[..BODY]);
+        if d.u64()? != MAGIC {
+            return Err(Error::corrupt("bad store magic"));
+        }
+        let version = d.u16()?;
+        if version != VERSION {
+            return Err(Error::bad_image(format!("unsupported store version {version}")));
+        }
+        Ok(Superblock {
+            epoch: d.u64()?,
+            journal_blocks: d.u64()?,
+            journal_used: d.u64()?,
+            total_blocks: d.u64()?,
+            next_ckpt: d.u64()?,
+            next_obj: d.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb() -> Superblock {
+        Superblock {
+            epoch: 42,
+            journal_blocks: 1024,
+            journal_used: 12345,
+            total_blocks: 1 << 20,
+            next_ckpt: 7,
+            next_obj: 99,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let block = sb().to_block();
+        assert_eq!(block.len(), BLOCK_SIZE);
+        assert_eq!(Superblock::from_block(&block).unwrap(), sb());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut block = sb().to_block();
+        block[10] ^= 1;
+        assert!(Superblock::from_block(&block).is_err());
+        // All-zero block (never written) is invalid too.
+        assert!(Superblock::from_block(&[0u8; BLOCK_SIZE]).is_err());
+    }
+
+    #[test]
+    fn geometry() {
+        let s = sb();
+        assert_eq!(s.data_start(), 2 + 1024);
+        assert_eq!(s.data_blocks(), (1 << 20) - 1026);
+    }
+}

@@ -1,0 +1,829 @@
+//! The object store proper: live maps, dedup, commits, recovery, GC.
+//!
+//! See the crate docs for the design overview. The durability contract:
+//! [`ObjectStore::commit`] appends the delta to the journal, flushes,
+//! updates the alternating superblock and flushes again, returning the
+//! virtual instant at which the checkpoint is power-loss-safe — without
+//! advancing the caller's clock, so the SLS overlaps flushing with
+//! application execution. Anything not yet committed is discarded by
+//! [`ObjectStore::recover`], exactly like a real crash.
+
+use std::collections::{BTreeMap, HashMap};
+
+use aurora_hw::{BlockDev, BLOCK_SIZE};
+use aurora_sim::error::{Error, Result};
+use aurora_sim::time::SimTime;
+use aurora_vm::PageData;
+
+use crate::alloc::BlockAlloc;
+use crate::checkpoint::{self, Checkpoint, CkptId};
+use crate::journal::{self, JournalRecord};
+use crate::layout::{Superblock, JOURNAL_START};
+use crate::{BlockPtr, ObjId};
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Journal region size in blocks.
+    pub journal_blocks: u64,
+    /// Enable content-hash page deduplication.
+    pub dedup: bool,
+    /// Write real page bytes through the device (needed when the store
+    /// must be reopened from the medium alone, e.g. the CLI's file-backed
+    /// worlds). Off for simulation-scale benchmarks.
+    pub materialize_data: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            journal_blocks: 16 * 1024, // 64 MiB of metadata journal
+            dedup: true,
+            materialize_data: false,
+        }
+    }
+}
+
+/// Store activity counters.
+#[derive(Debug, Default, Clone)]
+pub struct StoreStats {
+    /// Pages accepted by `write_page`.
+    pub pages_written: u64,
+    /// Writes satisfied by dedup (no device I/O).
+    pub dedup_hits: u64,
+    /// Commits performed.
+    pub commits: u64,
+    /// Journal compactions.
+    pub compactions: u64,
+    /// Checkpoints garbage collected.
+    pub gc_runs: u64,
+    /// Journal bytes written.
+    pub bytes_journaled: u64,
+}
+
+/// One live object.
+#[derive(Debug, Default, Clone)]
+struct LiveObject {
+    map: BTreeMap<u64, BlockPtr>,
+    size_pages: u64,
+}
+
+/// The object store.
+pub struct ObjectStore {
+    dev: Box<dyn BlockDev>,
+    config: StoreConfig,
+    sb: Superblock,
+    alloc: BlockAlloc,
+    /// Committed checkpoints by id.
+    ckpts: BTreeMap<u64, Checkpoint>,
+    head: Option<CkptId>,
+    /// Live object state (committed head + pending writes).
+    live: HashMap<ObjId, LiveObject>,
+    /// Pending delta since the last commit.
+    pending_pages: HashMap<(ObjId, u64), BlockPtr>,
+    pending_blobs: BTreeMap<String, Vec<u8>>,
+    pending_new_objects: Vec<(ObjId, u64)>,
+    pending_deleted: Vec<ObjId>,
+    /// Content-hash index: hash -> candidate blocks.
+    dedup: HashMap<u64, Vec<BlockPtr>>,
+    block_hash: HashMap<u64, u64>,
+    /// Authoritative page contents by block (compact representation).
+    data: HashMap<u64, PageData>,
+    /// Counters.
+    pub stats: StoreStats,
+}
+
+impl ObjectStore {
+    /// Formats a device and returns an empty store.
+    pub fn format(mut dev: Box<dyn BlockDev>, config: StoreConfig) -> Result<Self> {
+        let total_blocks = dev.info().blocks;
+        let min = JOURNAL_START + config.journal_blocks + 16;
+        if total_blocks < min {
+            return Err(Error::invalid(format!(
+                "device too small: {total_blocks} blocks < {min}"
+            )));
+        }
+        let sb = Superblock {
+            epoch: 1,
+            journal_blocks: config.journal_blocks,
+            journal_used: 0,
+            total_blocks,
+            next_ckpt: 1,
+            next_obj: 1,
+        };
+        dev.write(0, &sb.to_block())?;
+        dev.write(1, &sb.to_block())?;
+        let done = dev.flush()?;
+        dev.clock().advance_to(done);
+        let data_blocks = sb.data_blocks();
+        Ok(ObjectStore {
+            dev,
+            config,
+            sb,
+            alloc: BlockAlloc::new(data_blocks),
+            ckpts: BTreeMap::new(),
+            head: None,
+            live: HashMap::new(),
+            pending_pages: HashMap::new(),
+            pending_blobs: BTreeMap::new(),
+            pending_new_objects: Vec::new(),
+            pending_deleted: Vec::new(),
+            dedup: HashMap::new(),
+            block_hash: HashMap::new(),
+            data: HashMap::new(),
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Opens an existing store from the device (full recovery).
+    ///
+    /// Page contents are only recoverable when the store was written with
+    /// `materialize_data` (or via [`ObjectStore::recover`], which keeps
+    /// the in-memory page table across the simulated crash).
+    pub fn open(dev: Box<dyn BlockDev>, config: StoreConfig) -> Result<Self> {
+        Self::open_with_data(dev, config, HashMap::new())
+    }
+
+    /// Simulates a reboot: power-cycles the device and rebuilds all
+    /// metadata from the medium. Uncommitted state is lost; committed
+    /// page contents are retained (they stand for what is on disk).
+    pub fn recover(mut self) -> Result<Self> {
+        self.dev.power_on();
+        Self::open_with_data(self.dev, self.config, self.data)
+    }
+
+    fn open_with_data(
+        mut dev: Box<dyn BlockDev>,
+        config: StoreConfig,
+        data: HashMap<u64, PageData>,
+    ) -> Result<Self> {
+        // Pick the valid superblock with the highest epoch.
+        let mut block = vec![0u8; BLOCK_SIZE];
+        let mut best: Option<Superblock> = None;
+        for slot in 0..2u64 {
+            dev.read(slot, &mut block)?;
+            if let Ok(sb) = Superblock::from_block(&block) {
+                if best.as_ref().is_none_or(|b| sb.epoch > b.epoch) {
+                    best = Some(sb);
+                }
+            }
+        }
+        let sb = best.ok_or_else(|| Error::corrupt("no valid superblock"))?;
+
+        // Replay the journal.
+        let used = sb.journal_used as usize;
+        let mut journal_bytes = vec![0u8; used.div_ceil(BLOCK_SIZE) * BLOCK_SIZE];
+        if !journal_bytes.is_empty() {
+            dev.read(JOURNAL_START, &mut journal_bytes)?;
+        }
+        let records = journal::decode_records(&journal_bytes, sb.journal_used);
+        let ckpts = journal::replay_lossy(records);
+
+        // Rebuild live state by folding the chain from the head (the
+        // newest checkpoint).
+        let head = ckpts.keys().next_back().map(|&id| CkptId(id));
+        let mut live: HashMap<ObjId, LiveObject> = HashMap::new();
+        if let Some(h) = head {
+            let mut chain = Vec::new();
+            let mut cur = Some(h);
+            while let Some(c) = cur {
+                let ck = ckpts
+                    .get(&c.0)
+                    .ok_or_else(|| Error::corrupt(format!("dangling parent {}", c.0)))?;
+                chain.push(c.0);
+                cur = ck.parent;
+            }
+            for id in chain.iter().rev() {
+                let ck = &ckpts[id];
+                for (oid, size) in &ck.new_objects {
+                    live.insert(
+                        *oid,
+                        LiveObject {
+                            map: BTreeMap::new(),
+                            size_pages: *size,
+                        },
+                    );
+                }
+                for ((oid, idx), ptr) in &ck.pages {
+                    if let Some(obj) = live.get_mut(oid) {
+                        obj.map.insert(*idx, *ptr);
+                    }
+                }
+                for oid in &ck.deleted_objects {
+                    live.remove(oid);
+                }
+            }
+        }
+
+        // Rebuild refcounts: one per checkpoint-delta pointer plus one per
+        // live-map pointer.
+        let mut refs: HashMap<u64, u32> = HashMap::new();
+        for ck in ckpts.values() {
+            for ptr in ck.pages.values() {
+                *refs.entry(ptr.0).or_insert(0) += 1;
+            }
+        }
+        for obj in live.values() {
+            for ptr in obj.map.values() {
+                *refs.entry(ptr.0).or_insert(0) += 1;
+            }
+        }
+        let mut alloc = BlockAlloc::new(sb.data_blocks());
+        for (&b, &r) in &refs {
+            alloc.set_refs(BlockPtr(b), r);
+        }
+
+        // Retain contents only for referenced blocks; rebuild dedup.
+        let mut data = data;
+        data.retain(|b, _| refs.contains_key(b));
+        let mut dedup = HashMap::new();
+        let mut block_hash = HashMap::new();
+        if config.dedup {
+            for (&b, page) in &data {
+                let h = page.content_hash();
+                dedup.entry(h).or_insert_with(Vec::new).push(BlockPtr(b));
+                block_hash.insert(b, h);
+            }
+        }
+
+        Ok(ObjectStore {
+            dev,
+            config,
+            sb,
+            alloc,
+            ckpts,
+            head,
+            live,
+            pending_pages: HashMap::new(),
+            pending_blobs: BTreeMap::new(),
+            pending_new_objects: Vec::new(),
+            pending_deleted: Vec::new(),
+            dedup,
+            block_hash,
+            data,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The device (stats, fault injection in tests).
+    pub fn device(&self) -> &dyn BlockDev {
+        self.dev.as_ref()
+    }
+
+    /// Mutable device access (fault injection in tests).
+    pub fn device_mut(&mut self) -> &mut dyn BlockDev {
+        self.dev.as_mut()
+    }
+
+    /// Data blocks currently referenced.
+    pub fn blocks_in_use(&self) -> u64 {
+        self.alloc.in_use()
+    }
+
+    /// Creates an object under a caller-chosen id (the SLS assigns ids so
+    /// that checkpoint metadata can reference objects stably across
+    /// machines).
+    pub fn create_object(&mut self, oid: ObjId, size_pages: u64) -> Result<()> {
+        if self.live.contains_key(&oid) {
+            return Err(Error::already_exists(format!("object {}", oid.0)));
+        }
+        self.live.insert(
+            oid,
+            LiveObject {
+                map: BTreeMap::new(),
+                size_pages,
+            },
+        );
+        self.pending_new_objects.push((oid, size_pages));
+        Ok(())
+    }
+
+    /// True if the object exists in the live state.
+    pub fn object_exists(&self, oid: ObjId) -> bool {
+        self.live.contains_key(&oid)
+    }
+
+    /// Declared size (in pages) of a live object.
+    pub fn object_size(&self, oid: ObjId) -> Result<u64> {
+        Ok(self
+            .live
+            .get(&oid)
+            .ok_or_else(|| Error::not_found(format!("object {}", oid.0)))?
+            .size_pages)
+    }
+
+    /// Live object ids (optionally filtered to a namespace via the
+    /// caller). Used by the SLS to prune superseded incarnations.
+    pub fn live_object_ids(&self) -> Vec<ObjId> {
+        let mut ids: Vec<ObjId> = self.live.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Deletes an object from the live state (history stays readable
+    /// through older checkpoints).
+    pub fn delete_object(&mut self, oid: ObjId) -> Result<()> {
+        let obj = self
+            .live
+            .remove(&oid)
+            .ok_or_else(|| Error::not_found(format!("object {}", oid.0)))?;
+        for (_, ptr) in obj.map {
+            self.release_block(ptr);
+        }
+        // Pages written this epoch can never be read: drop their pending
+        // delta entries. If the object was also born this epoch, it never
+        // existed as far as the next checkpoint is concerned.
+        self.pending_pages.retain(|(o, _), _| *o != oid);
+        if let Some(pos) = self.pending_new_objects.iter().position(|(o, _)| *o == oid) {
+            self.pending_new_objects.remove(pos);
+        } else {
+            self.pending_deleted.push(oid);
+        }
+        Ok(())
+    }
+
+    /// Clones `src` into a new object `dst` without copying any data:
+    /// every page pointer is shared and reference counted — the substrate
+    /// for SLSFS's zero-copy file/subtree clones and for `sls restore`
+    /// images branching off a running application.
+    pub fn clone_object(&mut self, src: ObjId, dst: ObjId) -> Result<()> {
+        if self.live.contains_key(&dst) {
+            return Err(Error::already_exists(format!("object {}", dst.0)));
+        }
+        let src_obj = self
+            .live
+            .get(&src)
+            .ok_or_else(|| Error::not_found(format!("object {}", src.0)))?
+            .clone();
+        for ptr in src_obj.map.values() {
+            self.alloc.incref(*ptr);
+        }
+        for ((_, idx), ptr) in src_obj.map.iter().map(|(i, p)| ((dst, *i), *p)) {
+            self.pending_pages.insert((dst, idx), ptr);
+        }
+        self.pending_new_objects.push((dst, src_obj.size_pages));
+        self.live.insert(dst, src_obj);
+        Ok(())
+    }
+
+    fn release_block(&mut self, ptr: BlockPtr) {
+        if self.alloc.decref(ptr) {
+            self.data.remove(&ptr.0);
+            if let Some(h) = self.block_hash.remove(&ptr.0) {
+                if let Some(cands) = self.dedup.get_mut(&h) {
+                    cands.retain(|&c| c != ptr);
+                    if cands.is_empty() {
+                        self.dedup.remove(&h);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes one page of an object.
+    ///
+    /// Dedup hit: refcount bump, no device traffic. Miss: allocates a
+    /// block and submits the 4 KiB payload asynchronously (the commit's
+    /// flush barrier covers it).
+    pub fn write_page(&mut self, oid: ObjId, idx: u64, page: &PageData) -> Result<()> {
+        if !self.live.contains_key(&oid) {
+            return Err(Error::not_found(format!("object {}", oid.0)));
+        }
+        self.stats.pages_written += 1;
+        let ptr = match self.find_dedup(page) {
+            Some(existing) => {
+                self.alloc.incref(existing);
+                self.stats.dedup_hits += 1;
+                existing
+            }
+            None => {
+                let ptr = self.alloc.alloc()?;
+                if self.config.materialize_data {
+                    let lba = self.sb.data_start() + ptr.0;
+                    self.dev.submit_write(lba, &page.materialize())?;
+                } else {
+                    self.dev.submit_write_timing(BLOCK_SIZE as u64)?;
+                }
+                self.data.insert(ptr.0, page.clone());
+                if self.config.dedup {
+                    let h = page.content_hash();
+                    self.dedup.entry(h).or_default().push(ptr);
+                    self.block_hash.insert(ptr.0, h);
+                }
+                ptr
+            }
+        };
+        let old = self
+            .live
+            .get_mut(&oid)
+            .expect("checked above: object exists")
+            .map
+            .insert(idx, ptr);
+        if let Some(old) = old {
+            self.release_block(old);
+        }
+        self.pending_pages.insert((oid, idx), ptr);
+        Ok(())
+    }
+
+    fn find_dedup(&self, page: &PageData) -> Option<BlockPtr> {
+        if !self.config.dedup {
+            return None;
+        }
+        let h = page.content_hash();
+        for &cand in self.dedup.get(&h)? {
+            if let Some(existing) = self.data.get(&cand.0) {
+                if existing.content_eq(page) {
+                    return Some(cand);
+                }
+            }
+        }
+        None
+    }
+
+    /// Reads a page from the live state, charging device time.
+    pub fn read_page(&mut self, oid: ObjId, idx: u64) -> Result<Option<PageData>> {
+        let ptr = match self.live.get(&oid) {
+            Some(obj) => obj.map.get(&idx).copied(),
+            None => return Err(Error::not_found(format!("object {}", oid.0))),
+        };
+        match ptr {
+            Some(p) => self.fetch_block(p).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Reads a page as of a checkpoint, charging device time.
+    pub fn read_page_at(&mut self, ckpt: CkptId, oid: ObjId, idx: u64) -> Result<Option<PageData>> {
+        match checkpoint::resolve_page(&self.ckpts, ckpt, oid, idx) {
+            Some(ptr) => self.fetch_block(ptr).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// True if the live state holds a page at `(oid, idx)` (no charge).
+    pub fn has_page(&self, oid: ObjId, idx: u64) -> bool {
+        self.live
+            .get(&oid)
+            .is_some_and(|obj| obj.map.contains_key(&idx))
+    }
+
+    /// True if checkpoint `ckpt` resolves a page at `(oid, idx)`.
+    pub fn has_page_at(&self, ckpt: CkptId, oid: ObjId, idx: u64) -> bool {
+        checkpoint::resolve_page(&self.ckpts, ckpt, oid, idx).is_some()
+    }
+
+    fn fetch_block(&mut self, ptr: BlockPtr) -> Result<PageData> {
+        if let Some(page) = self.data.get(&ptr.0) {
+            self.dev.charge_read_timing(BLOCK_SIZE as u64)?;
+            return Ok(page.clone());
+        }
+        if self.config.materialize_data {
+            let lba = self.sb.data_start() + ptr.0;
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            self.dev.read(lba, &mut buf)?;
+            let page = PageData::from_bytes(&buf);
+            self.data.insert(ptr.0, page.clone());
+            if self.config.dedup {
+                let h = page.content_hash();
+                self.dedup.entry(h).or_default().push(ptr);
+                self.block_hash.insert(ptr.0, h);
+            }
+            return Ok(page);
+        }
+        Err(Error::corrupt(format!(
+            "block {} has no recoverable contents",
+            ptr.0
+        )))
+    }
+
+    /// The live page map of an object (restore / export walks).
+    pub fn object_map(&self, oid: ObjId) -> Result<Vec<(u64, BlockPtr)>> {
+        Ok(self
+            .live
+            .get(&oid)
+            .ok_or_else(|| Error::not_found(format!("object {}", oid.0)))?
+            .map
+            .iter()
+            .map(|(i, p)| (*i, *p))
+            .collect())
+    }
+
+    /// The effective page map of an object at a checkpoint.
+    pub fn object_map_at(&self, ckpt: CkptId, oid: ObjId) -> Vec<(u64, BlockPtr)> {
+        checkpoint::effective_map(&self.ckpts, ckpt, oid)
+            .into_iter()
+            .collect()
+    }
+
+    /// Stages a metadata blob for the next checkpoint.
+    pub fn put_blob(&mut self, key: &str, bytes: Vec<u8>) {
+        self.pending_blobs.insert(key.to_string(), bytes);
+    }
+
+    /// Reads a blob as of a checkpoint, charging device time for its
+    /// size (blobs live in journal blocks).
+    pub fn get_blob(&mut self, ckpt: CkptId, key: &str) -> Result<Option<Vec<u8>>> {
+        let found = checkpoint::resolve_blob(&self.ckpts, ckpt, key).map(<[u8]>::to_vec);
+        if let Some(v) = &found {
+            self.dev
+                .charge_read_timing(v.len().div_ceil(BLOCK_SIZE) as u64 * BLOCK_SIZE as u64)?;
+        }
+        Ok(found)
+    }
+
+    /// Finds the blob key with `suffix` written *nearest* to `ckpt` in
+    /// its chain (the checkpoint's own delta first, then ancestors).
+    ///
+    /// This is how a restore locates the manifest of the group that
+    /// committed a checkpoint when several groups share one store: each
+    /// group's checkpoint carries its own manifest in its delta, while
+    /// chain-visible blobs of *other* groups sit in unrelated ancestors.
+    pub fn nearest_blob_key(&self, ckpt: CkptId, suffix: &str) -> Option<String> {
+        let mut cur = Some(ckpt);
+        while let Some(c) = cur {
+            let ck = self.ckpts.get(&c.0)?;
+            let mut hits: Vec<&String> =
+                ck.blobs.keys().filter(|k| k.ends_with(suffix)).collect();
+            hits.sort();
+            if let Some(k) = hits.first() {
+                return Some((*k).clone());
+            }
+            cur = ck.parent;
+        }
+        None
+    }
+
+    /// Blob keys visible at a checkpoint with a given prefix.
+    pub fn blob_keys_at(&self, ckpt: CkptId, prefix: &str) -> Vec<String> {
+        let mut keys = std::collections::BTreeSet::new();
+        let mut cur = Some(ckpt);
+        while let Some(c) = cur {
+            let Some(ck) = self.ckpts.get(&c.0) else { break };
+            for k in ck.blobs.keys() {
+                if k.starts_with(prefix) {
+                    keys.insert(k.clone());
+                }
+            }
+            cur = ck.parent;
+        }
+        keys.into_iter().collect()
+    }
+
+    /// Commits the pending delta as a checkpoint.
+    ///
+    /// Returns the checkpoint id and the virtual instant at which it is
+    /// durable. The caller's clock is *not* advanced to that instant.
+    pub fn commit(&mut self, name: Option<&str>) -> Result<(CkptId, SimTime)> {
+        let id = CkptId(self.sb.next_ckpt);
+        let ck = Checkpoint {
+            id,
+            parent: self.head,
+            name: name.map(str::to_string),
+            new_objects: core::mem::take(&mut self.pending_new_objects),
+            deleted_objects: core::mem::take(&mut self.pending_deleted),
+            pages: core::mem::take(&mut self.pending_pages),
+            blobs: core::mem::take(&mut self.pending_blobs),
+            durable_at: SimTime::ZERO,
+        };
+        // Checkpoint references on every delta block.
+        for ptr in ck.pages.values() {
+            self.alloc.incref(*ptr);
+        }
+
+        let bytes = journal::encode_record(&JournalRecord::Commit(ck.clone()));
+        let journal_capacity = self.sb.journal_blocks * BLOCK_SIZE as u64;
+        if self.sb.journal_used + bytes.len() as u64 > journal_capacity {
+            self.compact()?;
+            if self.sb.journal_used + bytes.len() as u64 > journal_capacity {
+                return Err(Error::no_space("journal cannot hold this checkpoint"));
+            }
+        }
+        let lba = JOURNAL_START + self.sb.journal_used / BLOCK_SIZE as u64;
+        self.dev.submit_write(lba, &bytes)?;
+        self.stats.bytes_journaled += bytes.len() as u64;
+        self.sb.journal_used += bytes.len() as u64;
+        self.dev.flush()?;
+
+        self.sb.epoch += 1;
+        self.sb.next_ckpt += 1;
+        let slot = self.sb.epoch % 2;
+        self.dev.submit_write(slot, &self.sb.to_block())?;
+        let durable = self.dev.flush()?;
+
+        let mut ck = ck;
+        ck.durable_at = durable;
+        self.ckpts.insert(id.0, ck);
+        self.head = Some(id);
+        self.stats.commits += 1;
+        Ok((id, durable))
+    }
+
+    /// Rewrites the checkpoint table as one snapshot record, resetting
+    /// the journal.
+    fn compact(&mut self) -> Result<()> {
+        let list: Vec<Checkpoint> = self.ckpts.values().cloned().collect();
+        let bytes = journal::encode_record(&JournalRecord::Snapshot(list));
+        let capacity = self.sb.journal_blocks * BLOCK_SIZE as u64;
+        // Snapshot + one guard block + room to grow.
+        if bytes.len() as u64 + BLOCK_SIZE as u64 > capacity {
+            return Err(Error::no_space("journal too small for metadata snapshot"));
+        }
+        self.dev.submit_write(JOURNAL_START, &bytes)?;
+        // A zero guard block stops recovery from replaying stale records
+        // that happen to align after the snapshot.
+        let guard_lba = JOURNAL_START + (bytes.len() / BLOCK_SIZE) as u64;
+        self.dev.submit_write(guard_lba, &vec![0u8; BLOCK_SIZE])?;
+        self.dev.flush()?;
+        self.sb.epoch += 1;
+        self.sb.journal_used = bytes.len() as u64;
+        let slot = self.sb.epoch % 2;
+        self.dev.submit_write(slot, &self.sb.to_block())?;
+        let done = self.dev.flush()?;
+        self.dev.clock().advance_to(done);
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// Garbage-collects a checkpoint in place: still-needed pointers move
+    /// to its sole child (metadata only), the rest are released.
+    pub fn delete_checkpoint(&mut self, id: CkptId) -> Result<()> {
+        if self.head == Some(id) {
+            return Err(Error::invalid("cannot GC the head checkpoint"));
+        }
+        let dropped = journal::apply_delete(&mut self.ckpts, id)?;
+        for ptr in dropped {
+            self.release_block(ptr);
+        }
+        let bytes = journal::encode_record(&JournalRecord::Delete(id));
+        let capacity = self.sb.journal_blocks * BLOCK_SIZE as u64;
+        if self.sb.journal_used + bytes.len() as u64 > capacity {
+            self.compact()?;
+            // The compacted snapshot already reflects the deletion.
+            self.stats.gc_runs += 1;
+            return Ok(());
+        }
+        let lba = JOURNAL_START + self.sb.journal_used / BLOCK_SIZE as u64;
+        self.dev.submit_write(lba, &bytes)?;
+        self.sb.journal_used += bytes.len() as u64;
+        self.dev.flush()?;
+        self.sb.epoch += 1;
+        let slot = self.sb.epoch % 2;
+        self.dev.submit_write(slot, &self.sb.to_block())?;
+        let done = self.dev.flush()?;
+        self.dev.clock().advance_to(done);
+        self.stats.gc_runs += 1;
+        Ok(())
+    }
+
+    /// Issues an ordered flush barrier against the device and waits for
+    /// it — the extra data/metadata ordering point a filesystem fsync
+    /// pays that Aurora's log flush does not.
+    pub fn barrier_flush(&mut self) -> Result<()> {
+        let done = self.dev.flush()?;
+        self.dev.clock().advance_to(done);
+        Ok(())
+    }
+
+    /// All committed checkpoints, oldest first.
+    pub fn checkpoints(&self) -> Vec<&Checkpoint> {
+        self.ckpts.values().collect()
+    }
+
+    /// Looks up one checkpoint.
+    pub fn checkpoint(&self, id: CkptId) -> Result<&Checkpoint> {
+        self.ckpts
+            .get(&id.0)
+            .ok_or_else(|| Error::not_found(format!("checkpoint {}", id.0)))
+    }
+
+    /// Finds a checkpoint by name (newest match).
+    pub fn checkpoint_by_name(&self, name: &str) -> Option<&Checkpoint> {
+        self.ckpts
+            .values()
+            .rev()
+            .find(|c| c.name.as_deref() == Some(name))
+    }
+
+    /// The most recent checkpoint.
+    pub fn head(&self) -> Option<CkptId> {
+        self.head
+    }
+
+    /// Logical (uncompressed) size of a checkpoint's chain-merged state:
+    /// what actually crosses a wire when the image moves, regardless of
+    /// how compactly pages encode. Pages count 4 KiB each.
+    pub fn logical_size(&self, ckpt: CkptId) -> Result<u64> {
+        let mut total = 0u64;
+        let mut objects: Vec<ObjId> = Vec::new();
+        let mut cur = Some(ckpt);
+        let mut dead: Vec<ObjId> = Vec::new();
+        let mut chain = Vec::new();
+        while let Some(c) = cur {
+            let ck = self.checkpoint(c)?;
+            chain.push(c);
+            cur = ck.parent;
+        }
+        for c in chain.iter().rev() {
+            let ck = self.checkpoint(*c)?;
+            for oid in &ck.deleted_objects {
+                dead.push(*oid);
+            }
+            for (oid, _) in &ck.new_objects {
+                if !dead.contains(oid) {
+                    objects.push(*oid);
+                }
+            }
+        }
+        for oid in objects {
+            total += self.object_map_at(ckpt, oid).len() as u64 * BLOCK_SIZE as u64;
+        }
+        for key in self.blob_keys_at(ckpt, "") {
+            if let Some(v) = checkpoint::resolve_blob(&self.ckpts, ckpt, &key) {
+                total += v.len() as u64;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Logical size of one checkpoint's *delta* alone.
+    pub fn delta_logical_size(&self, ckpt: CkptId) -> Result<u64> {
+        let ck = self.checkpoint(ckpt)?;
+        Ok(ck.pages.len() as u64 * BLOCK_SIZE as u64
+            + ck.blobs.values().map(|v| v.len() as u64).sum::<u64>())
+    }
+
+    /// Audits the store's invariants (an online `fsck`):
+    ///
+    /// * every block referenced by a checkpoint delta or a live map is
+    ///   allocated, and its refcount equals the number of referents;
+    /// * no allocated block is unreachable (a space leak);
+    /// * every reachable block has recoverable contents;
+    /// * every checkpoint's parent link resolves.
+    ///
+    /// Returns the list of violations (empty = healthy). Used by tests
+    /// after crash-recovery sweeps and exposed through `sls info`.
+    pub fn fsck(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut expected: HashMap<u64, u32> = HashMap::new();
+        for ck in self.ckpts.values() {
+            for ptr in ck.pages.values() {
+                *expected.entry(ptr.0).or_insert(0) += 1;
+            }
+            if let Some(parent) = ck.parent {
+                if !self.ckpts.contains_key(&parent.0) {
+                    problems.push(format!(
+                        "checkpoint {} has dangling parent {}",
+                        ck.id.0, parent.0
+                    ));
+                }
+            }
+        }
+        for obj in self.live.values() {
+            for ptr in obj.map.values() {
+                *expected.entry(ptr.0).or_insert(0) += 1;
+            }
+        }
+        // Pending (uncommitted) deltas will incref at commit; they do not
+        // add to the current expected counts.
+        for (&block, &refs) in &expected {
+            let actual = self.alloc.refs(BlockPtr(block));
+            if actual != refs {
+                problems.push(format!(
+                    "block {block}: refcount {actual}, {refs} referents"
+                ));
+            }
+            if !self.data.contains_key(&block) && !self.config.materialize_data {
+                problems.push(format!("block {block}: contents unrecoverable"));
+            }
+        }
+        if self.alloc.in_use() != expected.len() as u64 {
+            problems.push(format!(
+                "space leak: {} blocks allocated, {} reachable",
+                self.alloc.in_use(),
+                expected.len()
+            ));
+        }
+        problems
+    }
+
+    /// Internal: contents of a block (export path).
+    pub(crate) fn block_content(&mut self, ptr: BlockPtr) -> Result<PageData> {
+        self.fetch_block(ptr)
+    }
+
+    /// Internal: the checkpoint table (export path).
+    pub(crate) fn table(&self) -> &BTreeMap<u64, Checkpoint> {
+        &self.ckpts
+    }
+}
+
+impl core::fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ObjectStore")
+            .field("objects", &self.live.len())
+            .field("checkpoints", &self.ckpts.len())
+            .field("blocks_in_use", &self.alloc.in_use())
+            .finish()
+    }
+}

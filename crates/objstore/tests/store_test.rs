@@ -1,0 +1,470 @@
+//! Object-store integration tests: commits, history reads, crash
+//! recovery, dedup, in-place GC, export/import, and a model-based
+//! property test against a reference store.
+
+use std::collections::HashMap;
+
+use aurora_hw::{FaultPlan, ModelDev};
+use aurora_objstore::{ObjId, ObjectStore, StoreConfig};
+use aurora_sim::SimClock;
+use aurora_vm::PageData;
+use proptest::prelude::*;
+
+const DEV_BLOCKS: u64 = 64 * 1024;
+
+fn new_store() -> ObjectStore {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", DEV_BLOCKS));
+    ObjectStore::format(
+        dev,
+        StoreConfig {
+            journal_blocks: 1024,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn page(fill: u8) -> PageData {
+    let mut b = vec![0u8; aurora_vm::PAGE_SIZE];
+    b.iter_mut().for_each(|x| *x = fill);
+    PageData::from_bytes(&b)
+}
+
+#[test]
+fn write_commit_read_roundtrip() {
+    let mut s = new_store();
+    s.create_object(ObjId(1), 16).unwrap();
+    s.write_page(ObjId(1), 0, &page(0xAA)).unwrap();
+    s.write_page(ObjId(1), 5, &PageData::Seeded(7)).unwrap();
+    s.put_blob("proc/1", vec![1, 2, 3]);
+    let (ck, durable) = s.commit(Some("first")).unwrap();
+    assert!(durable > aurora_sim::SimTime::ZERO);
+
+    assert!(s.read_page(ObjId(1), 0).unwrap().unwrap().content_eq(&page(0xAA)));
+    assert!(s
+        .read_page_at(ck, ObjId(1), 5)
+        .unwrap()
+        .unwrap()
+        .content_eq(&PageData::Seeded(7)));
+    assert!(s.read_page(ObjId(1), 9).unwrap().is_none(), "sparse page");
+    assert_eq!(s.get_blob(ck, "proc/1").unwrap().unwrap(), vec![1, 2, 3]);
+    assert_eq!(s.get_blob(ck, "nope").unwrap(), None);
+    assert_eq!(s.checkpoint_by_name("first").unwrap().id, ck);
+}
+
+#[test]
+fn incremental_history_reads() {
+    let mut s = new_store();
+    s.create_object(ObjId(1), 4).unwrap();
+    s.write_page(ObjId(1), 0, &page(1)).unwrap();
+    let (c1, _) = s.commit(None).unwrap();
+    s.write_page(ObjId(1), 0, &page(2)).unwrap();
+    let (c2, _) = s.commit(None).unwrap();
+    s.write_page(ObjId(1), 0, &page(3)).unwrap();
+    let (c3, _) = s.commit(None).unwrap();
+
+    // Time travel: every version remains readable.
+    assert!(s.read_page_at(c1, ObjId(1), 0).unwrap().unwrap().content_eq(&page(1)));
+    assert!(s.read_page_at(c2, ObjId(1), 0).unwrap().unwrap().content_eq(&page(2)));
+    assert!(s.read_page_at(c3, ObjId(1), 0).unwrap().unwrap().content_eq(&page(3)));
+}
+
+#[test]
+fn uncommitted_state_lost_on_recovery() {
+    let mut s = new_store();
+    s.create_object(ObjId(1), 4).unwrap();
+    s.write_page(ObjId(1), 0, &page(1)).unwrap();
+    let (c1, _) = s.commit(Some("durable")).unwrap();
+
+    // Uncommitted second write.
+    s.write_page(ObjId(1), 0, &page(2)).unwrap();
+    s.create_object(ObjId(2), 4).unwrap();
+
+    let mut s = s.recover().unwrap();
+    assert!(
+        s.read_page(ObjId(1), 0).unwrap().unwrap().content_eq(&page(1)),
+        "recovered to committed contents"
+    );
+    assert!(!s.object_exists(ObjId(2)), "uncommitted object gone");
+    assert_eq!(s.checkpoints().len(), 1);
+    assert_eq!(s.head(), Some(c1));
+}
+
+#[test]
+fn power_cut_during_commit_preserves_previous_checkpoint() {
+    // Cut power on each of the first few writes of the second commit; in
+    // every case recovery must land exactly on the first checkpoint.
+    for cut_at in 1..=3u64 {
+        let clock = SimClock::new();
+        let dev = Box::new(ModelDev::nvme(clock, "nvme0", DEV_BLOCKS));
+        let mut s = ObjectStore::format(
+            dev,
+            StoreConfig {
+                journal_blocks: 512,
+                materialize_data: false,
+                dedup: true,
+            },
+        )
+        .unwrap();
+        s.create_object(ObjId(1), 4).unwrap();
+        s.write_page(ObjId(1), 0, &page(1)).unwrap();
+        let (c1, _) = s.commit(Some("good")).unwrap();
+
+        s.write_page(ObjId(1), 0, &page(2)).unwrap();
+        // Note: write_page uses timing-only submissions, so the fault plan
+        // triggers on the *metadata* writes of the commit itself.
+        s.device_mut().install_fault_plan(FaultPlan::power_cut(cut_at));
+        let result = s.commit(Some("torn"));
+        if result.is_ok() {
+            // The cut landed after the commit became durable; fine.
+            continue;
+        }
+        let mut s = s.recover().unwrap();
+        assert_eq!(s.head(), Some(c1), "cut at write {cut_at}");
+        assert!(s.read_page(ObjId(1), 0).unwrap().unwrap().content_eq(&page(1)));
+        assert!(s.checkpoint_by_name("torn").is_none());
+    }
+}
+
+#[test]
+fn dedup_shares_identical_pages() {
+    let mut s = new_store();
+    s.create_object(ObjId(1), 64).unwrap();
+    s.create_object(ObjId(2), 64).unwrap();
+    // The same 16 pages written to two objects.
+    for i in 0..16 {
+        s.write_page(ObjId(1), i, &PageData::Seeded(1000 + i)).unwrap();
+    }
+    let before = s.blocks_in_use();
+    for i in 0..16 {
+        s.write_page(ObjId(2), i, &PageData::Seeded(1000 + i)).unwrap();
+    }
+    assert_eq!(s.blocks_in_use(), before, "second copy costs zero blocks");
+    assert_eq!(s.stats.dedup_hits, 16);
+    s.commit(None).unwrap();
+    // Contents independent: writing one does not affect the other.
+    s.write_page(ObjId(2), 0, &page(0xFF)).unwrap();
+    s.commit(None).unwrap();
+    assert!(s.read_page(ObjId(1), 0).unwrap().unwrap().content_eq(&PageData::Seeded(1000)));
+}
+
+#[test]
+fn gc_in_place_keeps_newer_checkpoints_readable() {
+    let mut s = new_store();
+    s.create_object(ObjId(1), 8).unwrap();
+    for i in 0..8 {
+        s.write_page(ObjId(1), i, &PageData::Seeded(i)).unwrap();
+    }
+    let (c1, _) = s.commit(Some("full")).unwrap();
+    s.write_page(ObjId(1), 0, &PageData::Seeded(100)).unwrap();
+    let (c2, _) = s.commit(Some("incr1")).unwrap();
+    s.write_page(ObjId(1), 1, &PageData::Seeded(101)).unwrap();
+    let (c3, _) = s.commit(Some("incr2")).unwrap();
+
+    let blocks_before = s.blocks_in_use();
+    s.delete_checkpoint(c1).unwrap();
+    assert!(s.checkpoint(c1).is_err());
+    // The overridden page-0 block of c1 was released.
+    assert!(s.blocks_in_use() < blocks_before + 1);
+
+    // All surviving versions still resolve, including pages inherited
+    // from the deleted checkpoint.
+    assert!(s.read_page_at(c2, ObjId(1), 7).unwrap().unwrap().content_eq(&PageData::Seeded(7)));
+    assert!(s.read_page_at(c3, ObjId(1), 0).unwrap().unwrap().content_eq(&PageData::Seeded(100)));
+    assert!(s.read_page_at(c3, ObjId(1), 1).unwrap().unwrap().content_eq(&PageData::Seeded(101)));
+
+    // GC also survives recovery (the delete is journaled).
+    let mut s = s.recover().unwrap();
+    assert_eq!(s.checkpoints().len(), 2);
+    assert!(s.read_page_at(c3, ObjId(1), 0).unwrap().unwrap().content_eq(&PageData::Seeded(100)));
+}
+
+#[test]
+fn gc_trims_history_window() {
+    // The paper: "Aurora uses free space on-disk to provide a short
+    // execution history as incremental checkpoints." Simulate a rolling
+    // window: keep the last 4, GC the oldest.
+    let mut s = new_store();
+    s.create_object(ObjId(1), 4).unwrap();
+    let mut ids = Vec::new();
+    for round in 0..20u64 {
+        s.write_page(ObjId(1), round % 4, &PageData::Seeded(round)).unwrap();
+        let (c, _) = s.commit(None).unwrap();
+        ids.push(c);
+        if ids.len() > 4 {
+            let victim = ids.remove(0);
+            s.delete_checkpoint(victim).unwrap();
+        }
+    }
+    assert_eq!(s.checkpoints().len(), 4);
+    // Latest state intact.
+    assert!(s.read_page(ObjId(1), 3).unwrap().unwrap().content_eq(&PageData::Seeded(19)));
+    // Block usage is bounded (no leak from deleted checkpoints).
+    assert!(s.blocks_in_use() <= 4 + 4 * 4);
+}
+
+#[test]
+fn delete_object_history_still_readable() {
+    let mut s = new_store();
+    s.create_object(ObjId(1), 4).unwrap();
+    s.write_page(ObjId(1), 0, &page(9)).unwrap();
+    let (c1, _) = s.commit(None).unwrap();
+    s.delete_object(ObjId(1)).unwrap();
+    let (c2, _) = s.commit(None).unwrap();
+    assert!(s.read_page_at(c1, ObjId(1), 0).unwrap().is_some());
+    assert!(s.read_page_at(c2, ObjId(1), 0).unwrap().is_none());
+    assert!(s.read_page(ObjId(1), 0).is_err());
+}
+
+#[test]
+fn export_import_between_hosts() {
+    let mut src = new_store();
+    src.create_object(ObjId(10), 8).unwrap();
+    src.write_page(ObjId(10), 0, &page(0x42)).unwrap();
+    src.write_page(ObjId(10), 3, &PageData::Seeded(33)).unwrap();
+    src.put_blob("proc/main", b"metadata".to_vec());
+    let (ck, _) = src.commit(Some("to-send")).unwrap();
+    // Another incremental after the exported one: export is cut at `ck`.
+    src.write_page(ObjId(10), 0, &page(0x43)).unwrap();
+    src.commit(None).unwrap();
+
+    let stream = src.export_checkpoint(ck).unwrap();
+
+    let mut dst = new_store();
+    let (imported, _) = dst.import_stream(&stream).unwrap();
+    assert_eq!(dst.checkpoint(imported).unwrap().name.as_deref(), Some("to-send"));
+    assert!(dst.read_page(ObjId(10), 0).unwrap().unwrap().content_eq(&page(0x42)));
+    assert!(dst.read_page(ObjId(10), 3).unwrap().unwrap().content_eq(&PageData::Seeded(33)));
+    assert_eq!(dst.get_blob(imported, "proc/main").unwrap().unwrap(), b"metadata");
+    // Sparse pages stay sparse.
+    assert!(dst.read_page(ObjId(10), 5).unwrap().is_none());
+}
+
+#[test]
+fn journal_compaction_preserves_state() {
+    // A tiny journal forces compaction; state must survive many commits
+    // plus recovery.
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", DEV_BLOCKS));
+    let mut s = ObjectStore::format(
+        dev,
+        StoreConfig {
+            journal_blocks: 8, // 32 KiB: compacts every few commits
+            dedup: true,
+            materialize_data: false,
+        },
+    )
+    .unwrap();
+    s.create_object(ObjId(1), 4).unwrap();
+    for round in 0..50u64 {
+        s.write_page(ObjId(1), round % 4, &PageData::Seeded(round)).unwrap();
+        let (c, _) = s.commit(None).unwrap();
+        // Keep the chain short so snapshots fit the tiny journal.
+        if s.checkpoints().len() > 3 {
+            let oldest = s.checkpoints()[0].id;
+            if oldest != c {
+                s.delete_checkpoint(oldest).unwrap();
+            }
+        }
+    }
+    assert!(s.stats.compactions > 0, "compaction exercised");
+    let s2 = s.recover().unwrap();
+    let mut s2 = s2;
+    assert!(s2.read_page(ObjId(1), 1).unwrap().unwrap().content_eq(&PageData::Seeded(49)));
+}
+
+#[test]
+fn commit_durability_is_asynchronous() {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock.clone(), "nvme0", DEV_BLOCKS));
+    let mut s = ObjectStore::format(dev, StoreConfig::default()).unwrap();
+    s.create_object(ObjId(1), 256).unwrap();
+    for i in 0..256u64 {
+        s.write_page(ObjId(1), i, &PageData::Seeded(i)).unwrap();
+    }
+    let before = clock.now();
+    let (_, durable) = s.commit(None).unwrap();
+    // The caller's clock barely moved; durability lies in the future
+    // because 1 MiB of page data plus metadata is still in flight.
+    assert!(durable > before);
+    assert!(
+        clock.now().since(before) < durable.since(before),
+        "commit returned before the data hit stable storage"
+    );
+}
+
+// --- Model-based property test -------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { obj: u8, idx: u8, seed: u64 },
+    Commit,
+    Recover,
+    /// GC the oldest checkpoint (in-place merge).
+    GcOldest,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..3, 0u8..16, any::<u64>()).prop_map(|(obj, idx, seed)| Op::Write { obj, idx, seed }),
+        2 => Just(Op::Commit),
+        1 => Just(Op::Recover),
+        1 => Just(Op::GcOldest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store behaves like a map that forgets uncommitted writes on
+    /// recovery and never corrupts committed ones.
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut store = new_store();
+        for obj in 0..3u64 {
+            store.create_object(ObjId(obj), 16).unwrap();
+        }
+        store.commit(None).unwrap();
+
+        let mut committed: HashMap<(u64, u64), u64> = HashMap::new();
+        let mut pending: HashMap<(u64, u64), u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Write { obj, idx, seed } => {
+                    store.write_page(ObjId(obj as u64), idx as u64, &PageData::Seeded(seed)).unwrap();
+                    pending.insert((obj as u64, idx as u64), seed);
+                }
+                Op::Commit => {
+                    store.commit(None).unwrap();
+                    committed.extend(pending.drain());
+                }
+                Op::Recover => {
+                    store = store.recover().unwrap();
+                    pending.clear();
+                }
+                Op::GcOldest => {
+                    let (oldest, head) = {
+                        let cks = store.checkpoints();
+                        (cks.first().map(|c| c.id), cks.last().map(|c| c.id))
+                    };
+                    if let (Some(o), Some(h)) = (oldest, head) {
+                        if o != h {
+                            store.delete_checkpoint(o).unwrap();
+                        }
+                    }
+                }
+            }
+            // Every mutation leaves the store fsck-clean...
+            let problems = store.fsck();
+            prop_assert!(problems.is_empty(), "fsck: {:?}", problems);
+            // ...and the live view always equals committed ∪ pending.
+            let mut expect = committed.clone();
+            expect.extend(pending.iter().map(|(k, v)| (*k, *v)));
+            for ((obj, idx), seed) in &expect {
+                let got = store.read_page(ObjId(*obj), *idx).unwrap();
+                prop_assert!(got.is_some(), "page ({obj},{idx}) missing");
+                prop_assert!(got.unwrap().content_eq(&PageData::Seeded(*seed)));
+            }
+        }
+    }
+}
+
+#[test]
+fn fsck_reports_healthy_store_through_lifecycle() {
+    let mut s = new_store();
+    s.create_object(ObjId(1), 16).unwrap();
+    for i in 0..8u64 {
+        s.write_page(ObjId(1), i, &PageData::Seeded(i)).unwrap();
+    }
+    s.commit(None).unwrap();
+    assert!(s.fsck().is_empty(), "{:?}", s.fsck());
+
+    // Dedup + second object.
+    s.create_object(ObjId(2), 16).unwrap();
+    for i in 0..8u64 {
+        s.write_page(ObjId(2), i, &PageData::Seeded(i)).unwrap();
+    }
+    let (c2, _) = s.commit(None).unwrap();
+    assert!(s.fsck().is_empty(), "{:?}", s.fsck());
+
+    // Overwrites + GC + recovery.
+    s.write_page(ObjId(1), 0, &page(0xAB)).unwrap();
+    s.commit(None).unwrap();
+    let oldest = s.checkpoints()[0].id;
+    assert_ne!(oldest, c2);
+    s.delete_checkpoint(oldest).unwrap();
+    assert!(s.fsck().is_empty(), "after GC: {:?}", s.fsck());
+
+    let s = s.recover().unwrap();
+    assert!(s.fsck().is_empty(), "after recovery: {:?}", s.fsck());
+}
+
+#[test]
+fn fsck_after_crash_during_commit() {
+    for cut_at in 1..=3u64 {
+        let clock = SimClock::new();
+        let dev = Box::new(ModelDev::nvme(clock, "nvme0", DEV_BLOCKS));
+        let mut s = ObjectStore::format(
+            dev,
+            StoreConfig {
+                journal_blocks: 512,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        s.create_object(ObjId(1), 8).unwrap();
+        s.write_page(ObjId(1), 0, &page(1)).unwrap();
+        s.commit(None).unwrap();
+        s.write_page(ObjId(1), 1, &page(2)).unwrap();
+        s.device_mut().install_fault_plan(FaultPlan::power_cut(cut_at));
+        let _ = s.commit(None);
+        let s = s.recover().unwrap();
+        assert!(s.fsck().is_empty(), "cut {cut_at}: {:?}", s.fsck());
+    }
+}
+
+#[test]
+fn delete_then_recreate_in_one_epoch() {
+    // Regression: a delete-then-recreate within a single commit records
+    // both the death and the new incarnation. The effective map must
+    // keep the new incarnation's pages (the death only kills parents),
+    // and export/import must carry the object.
+    let mut s = new_store();
+    s.create_object(ObjId(4), 8).unwrap();
+    s.write_page(ObjId(4), 0, &page(1)).unwrap();
+    s.write_page(ObjId(4), 5, &page(2)).unwrap();
+    s.commit(None).unwrap();
+
+    s.delete_object(ObjId(4)).unwrap();
+    s.create_object(ObjId(4), 8).unwrap();
+    s.write_page(ObjId(4), 3, &PageData::Seeded(7)).unwrap();
+    let (head, _) = s.commit(None).unwrap();
+
+    // Old incarnation's pages are dead; the new page is live.
+    assert!(s.read_page_at(head, ObjId(4), 0).unwrap().is_none());
+    assert!(s.read_page_at(head, ObjId(4), 5).unwrap().is_none());
+    assert!(s.read_page_at(head, ObjId(4), 3).unwrap().is_some());
+    let map = s.object_map_at(head, ObjId(4));
+    assert_eq!(map.len(), 1, "only the new incarnation's page");
+    assert_eq!(map[0].0, 3);
+
+    // The exported stream carries the recreated object.
+    let bytes = s.export_checkpoint(head).unwrap();
+    let mut dst = new_store();
+    let (hb, _) = dst.import_stream(&bytes).unwrap();
+    assert!(dst.read_page_at(hb, ObjId(4), 3).unwrap().is_some());
+    assert!(dst.read_page_at(hb, ObjId(4), 0).unwrap().is_none());
+
+    // A delta stream applies the death before the birth.
+    let delta = s.export_delta(head).unwrap();
+    let mut mirror = new_store();
+    mirror.create_object(ObjId(4), 8).unwrap();
+    mirror.write_page(ObjId(4), 0, &page(1)).unwrap();
+    mirror.write_page(ObjId(4), 5, &page(2)).unwrap();
+    mirror.commit(None).unwrap();
+    let (hm, _) = mirror.import_delta(&delta).unwrap();
+    assert!(mirror.read_page_at(hm, ObjId(4), 3).unwrap().is_some());
+    assert!(mirror.read_page_at(hm, ObjId(4), 0).unwrap().is_none());
+}

@@ -1,0 +1,104 @@
+//! Containers.
+//!
+//! Aurora persists "individual processes, process trees or containers";
+//! the host and each container get their own persistence group. A
+//! container here is a named grouping with its own root path — enough to
+//! express the serverless experiments, where every function instance is a
+//! container restored from a shared runtime image.
+
+use aurora_sim::error::{Error, Result};
+
+use crate::types::Pid;
+use crate::Kernel;
+
+/// Identifier of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtId(pub u32);
+
+/// A container.
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Human-readable name.
+    pub name: String,
+    /// Root directory path of the container's filesystem view.
+    pub root: String,
+    /// Member processes.
+    pub procs: Vec<Pid>,
+}
+
+impl Kernel {
+    /// Creates a container.
+    pub fn container_create(&mut self, name: &str, root: &str) -> CtId {
+        CtId(self.containers.insert(Container {
+            name: name.to_string(),
+            root: root.to_string(),
+            procs: Vec::new(),
+        }))
+    }
+
+    /// Moves a process (and none of its relatives — callers move trees
+    /// explicitly) into a container.
+    pub fn container_add(&mut self, ct: CtId, pid: Pid) -> Result<()> {
+        {
+            let c = self
+                .containers
+                .get_mut(ct.0)
+                .ok_or_else(|| Error::not_found(format!("container {}", ct.0)))?;
+            if !c.procs.contains(&pid) {
+                c.procs.push(pid);
+            }
+        }
+        self.proc_mut(pid)?.container = Some(ct);
+        Ok(())
+    }
+
+    /// All live processes of a container.
+    pub fn container_procs(&self, ct: CtId) -> Result<Vec<Pid>> {
+        Ok(self
+            .containers
+            .get(ct.0)
+            .ok_or_else(|| Error::not_found(format!("container {}", ct.0)))?
+            .procs
+            .clone())
+    }
+
+    /// Destroys an empty container.
+    pub fn container_destroy(&mut self, ct: CtId) -> Result<()> {
+        let c = self
+            .containers
+            .get(ct.0)
+            .ok_or_else(|| Error::not_found(format!("container {}", ct.0)))?;
+        if !c.procs.is_empty() {
+            return Err(Error::new(
+                aurora_sim::error::ErrorKind::NotEmpty,
+                format!("container {} has processes", c.name),
+            ));
+        }
+        self.containers.remove(ct.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_sim::SimClock;
+
+    #[test]
+    fn membership_and_inheritance() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let ct = k.container_create("fn-runtime", "/ct/fn0");
+        let p = k.spawn("runtime");
+        k.container_add(ct, p).unwrap();
+        // fork inherits container membership.
+        let c = k.fork(p).unwrap();
+        assert_eq!(k.proc_ref(c).unwrap().container, Some(ct));
+        assert_eq!(k.container_procs(ct).unwrap(), vec![p, c]);
+        // exit removes from the container.
+        k.exit(c, 0).unwrap();
+        assert_eq!(k.container_procs(ct).unwrap(), vec![p]);
+        assert!(k.container_destroy(ct).is_err());
+        k.exit(p, 0).unwrap();
+        k.container_destroy(ct).unwrap();
+    }
+}

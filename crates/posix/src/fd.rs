@@ -1,0 +1,187 @@
+//! File descriptors and open-file descriptions.
+//!
+//! POSIX has a two-level structure that checkpointers must get exactly
+//! right: numbered *descriptors* in each process point at shared
+//! *open-file descriptions* holding the offset and flags. After
+//! `fork`, parent and child share descriptions, so a `read` in one moves
+//! the offset seen by the other. Aurora serializes descriptions as
+//! first-class objects and descriptors as lightweight references, which
+//! preserves this aliasing across checkpoint/restore.
+
+use aurora_sim::error::{Error, Result};
+
+use crate::pipe::PipeId;
+use crate::unix::UsockId;
+use crate::inet::IsockId;
+use crate::vfs::VnodeRef;
+
+/// A descriptor number within one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+/// Key of an open-file description in the kernel file table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// What an open-file description refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileKind {
+    /// A file or directory through the VFS.
+    Vnode(VnodeRef),
+    /// Read end of a pipe.
+    PipeRead(PipeId),
+    /// Write end of a pipe.
+    PipeWrite(PipeId),
+    /// A Unix-domain socket.
+    UnixSock(UsockId),
+    /// A loopback TCP socket.
+    InetSock(IsockId),
+    /// A POSIX shared-memory object (by name).
+    PosixShm(String),
+    /// An Aurora persistent non-temporal log (key assigned by the SLS).
+    NtLog(u64),
+}
+
+/// An open-file description.
+#[derive(Debug, Clone)]
+pub struct OpenFile {
+    /// What this description refers to.
+    pub kind: FileKind,
+    /// Shared read/write offset (vnodes and shm).
+    pub offset: u64,
+    /// Open flags (append, nonblock — a small bitset).
+    pub flags: u32,
+    /// References held by fd-table slots and in-flight SCM_RIGHTS
+    /// messages.
+    pub refs: u32,
+    /// External consistency enabled for this description (`sls_fdctl`).
+    pub external_consistency: bool,
+}
+
+/// Append flag.
+pub const O_APPEND: u32 = 1 << 0;
+/// Non-blocking flag.
+pub const O_NONBLOCK: u32 = 1 << 1;
+
+impl OpenFile {
+    /// Creates a description with one reference.
+    pub fn new(kind: FileKind) -> Self {
+        OpenFile {
+            kind,
+            offset: 0,
+            flags: 0,
+            refs: 1,
+            external_consistency: true,
+        }
+    }
+}
+
+/// A per-process descriptor table.
+#[derive(Debug, Clone, Default)]
+pub struct FdTable {
+    slots: Vec<Option<FileId>>,
+}
+
+impl FdTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FdTable::default()
+    }
+
+    /// Installs a description at the lowest free descriptor.
+    pub fn install(&mut self, file: FileId) -> Fd {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(file);
+                return Fd(i as u32);
+            }
+        }
+        self.slots.push(Some(file));
+        Fd(self.slots.len() as u32 - 1)
+    }
+
+    /// Installs a description at a specific descriptor (restore path /
+    /// dup2). Fails if occupied.
+    pub fn install_at(&mut self, fd: Fd, file: FileId) -> Result<()> {
+        while self.slots.len() <= fd.0 as usize {
+            self.slots.push(None);
+        }
+        if self.slots[fd.0 as usize].is_some() {
+            return Err(Error::already_exists(format!("fd {}", fd.0)));
+        }
+        self.slots[fd.0 as usize] = Some(file);
+        Ok(())
+    }
+
+    /// Resolves a descriptor to its description.
+    pub fn get(&self, fd: Fd) -> Result<FileId> {
+        self.slots
+            .get(fd.0 as usize)
+            .and_then(|s| *s)
+            .ok_or_else(|| Error::bad_fd(format!("fd {}", fd.0)))
+    }
+
+    /// Removes a descriptor, returning the description it held.
+    pub fn remove(&mut self, fd: Fd) -> Result<FileId> {
+        let slot = self
+            .slots
+            .get_mut(fd.0 as usize)
+            .ok_or_else(|| Error::bad_fd(format!("fd {}", fd.0)))?;
+        slot.take().ok_or_else(|| Error::bad_fd(format!("fd {}", fd.0)))
+    }
+
+    /// Iterates `(fd, file)` pairs in descriptor order.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, FileId)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|f| (Fd(i as u32), f)))
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no descriptors are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_free_descriptor_rule() {
+        let mut t = FdTable::new();
+        assert_eq!(t.install(FileId(10)), Fd(0));
+        assert_eq!(t.install(FileId(11)), Fd(1));
+        assert_eq!(t.install(FileId(12)), Fd(2));
+        t.remove(Fd(1)).unwrap();
+        assert_eq!(t.install(FileId(13)), Fd(1), "POSIX lowest-free rule");
+    }
+
+    #[test]
+    fn get_and_remove_errors() {
+        let mut t = FdTable::new();
+        assert!(t.get(Fd(0)).is_err());
+        assert!(t.remove(Fd(5)).is_err());
+        let fd = t.install(FileId(3));
+        assert_eq!(t.get(fd).unwrap(), FileId(3));
+        t.remove(fd).unwrap();
+        assert!(t.get(fd).is_err());
+    }
+
+    #[test]
+    fn install_at_conflicts() {
+        let mut t = FdTable::new();
+        t.install_at(Fd(4), FileId(9)).unwrap();
+        assert!(t.install_at(Fd(4), FileId(10)).is_err());
+        assert_eq!(t.get(Fd(4)).unwrap(), FileId(9));
+        assert_eq!(t.len(), 1);
+        // Gaps stay available for lowest-free installs.
+        assert_eq!(t.install(FileId(1)), Fd(0));
+    }
+}

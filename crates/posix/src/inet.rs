@@ -1,0 +1,382 @@
+//! Loopback TCP sockets and external consistency.
+//!
+//! Aurora enforces *external consistency* [Nightingale et al., OSDI '06]:
+//! bytes a persisted application sends across its persistence-group
+//! boundary are held in the kernel until the checkpoint covering the send
+//! is durable, so no outside observer can ever see state that a crash
+//! could roll back. `sls_fdctl` disables the hold per descriptor for
+//! peers that can tolerate observing uncommitted state.
+//!
+//! The hold queue lives on the sending socket, tagged with the epoch in
+//! progress ([`crate::Kernel::ec_pending`]); the SLS calls
+//! [`crate::Kernel::ec_release`] when an epoch reaches stable storage.
+
+use std::collections::VecDeque;
+
+use aurora_sim::error::{Error, Result};
+
+use crate::types::Pid;
+
+/// Key of a TCP socket in the kernel table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IsockId(pub u32);
+
+/// Socket receive-buffer capacity.
+pub const SOCKBUF_CAPACITY: usize = 256 * 1024;
+
+/// Connection state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsockState {
+    /// Fresh socket.
+    Unbound,
+    /// Listening on a port.
+    Listening,
+    /// Connected to a peer.
+    Connected(IsockId),
+    /// Peer closed.
+    Disconnected,
+}
+
+/// A held (not yet externally released) output segment.
+#[derive(Debug, Clone)]
+pub struct HeldOutput {
+    /// Checkpoint epoch that must become durable first.
+    pub epoch: u64,
+    /// Payload.
+    pub bytes: Vec<u8>,
+}
+
+/// A loopback TCP socket endpoint.
+#[derive(Debug, Clone)]
+pub struct InetSocket {
+    /// Connection state.
+    pub state: IsockState,
+    /// Bound local port.
+    pub local_port: Option<u16>,
+    /// Owning process (for persistence-group boundary checks).
+    pub owner: Pid,
+    /// Received stream bytes.
+    pub recv: VecDeque<u8>,
+    /// Pending connections (listeners).
+    pub backlog: VecDeque<IsockId>,
+    /// Output held for external consistency.
+    pub held: VecDeque<HeldOutput>,
+}
+
+impl InetSocket {
+    fn new(owner: Pid) -> Self {
+        InetSocket {
+            state: IsockState::Unbound,
+            local_port: None,
+            owner,
+            recv: VecDeque::new(),
+            backlog: VecDeque::new(),
+            held: VecDeque::new(),
+        }
+    }
+
+    /// Bytes buffered for the application.
+    pub fn buffered(&self) -> usize {
+        self.recv.len()
+    }
+
+    /// Bytes held for external consistency.
+    pub fn held_bytes(&self) -> usize {
+        self.held.iter().map(|h| h.bytes.len()).sum()
+    }
+}
+
+impl crate::Kernel {
+    /// The checkpoint epoch in progress for a persistence group (held
+    /// output written now is tagged with it). Starts at 1; the SLS bumps
+    /// it at every serialization barrier via
+    /// [`crate::Kernel::ec_advance_pending`].
+    pub fn ec_pending_for(&self, group: u32) -> u64 {
+        self.ec_pending.get(&group).copied().unwrap_or(1)
+    }
+
+    /// Starts a new external-consistency epoch for `group` (called at the
+    /// serialization barrier); returns the epoch that was pending (the one
+    /// the checkpoint in progress covers).
+    pub fn ec_advance_pending(&mut self, group: u32) -> u64 {
+        let cur = self.ec_pending_for(group);
+        self.ec_pending.insert(group, cur + 1);
+        cur
+    }
+
+    /// Opens a listening socket on `port` owned by `pid`.
+    pub fn isock_listen(&mut self, pid: Pid, port: u16) -> Result<IsockId> {
+        if self.ports.contains_key(&port) {
+            return Err(Error::already_exists(format!("port {port}")));
+        }
+        let id = IsockId(self.isocks.insert(InetSocket {
+            state: IsockState::Listening,
+            local_port: Some(port),
+            ..InetSocket::new(pid)
+        }));
+        self.ports.insert(port, id);
+        Ok(id)
+    }
+
+    /// Connects `pid` to a listening port; returns the client socket.
+    pub fn isock_connect(&mut self, pid: Pid, port: u16) -> Result<IsockId> {
+        let listener = *self
+            .ports
+            .get(&port)
+            .ok_or_else(|| Error::not_found(format!("port {port}")))?;
+        let client = IsockId(self.isocks.insert(InetSocket::new(pid)));
+        let l = self
+            .isocks
+            .get_mut(listener.0)
+            .ok_or_else(|| Error::not_connected("listener vanished"))?;
+        l.backlog.push_back(client);
+        Ok(client)
+    }
+
+    /// Accepts a pending connection on a listener owned by `pid`.
+    pub fn isock_accept(&mut self, pid: Pid, listener: IsockId) -> Result<IsockId> {
+        let client = {
+            let l = self
+                .isocks
+                .get_mut(listener.0)
+                .ok_or_else(|| Error::bad_fd("no such socket"))?;
+            l.backlog
+                .pop_front()
+                .ok_or_else(|| Error::would_block("no pending connections"))?
+        };
+        let server = IsockId(self.isocks.insert(InetSocket {
+            state: IsockState::Connected(client),
+            ..InetSocket::new(pid)
+        }));
+        self.isocks
+            .get_mut(client.0)
+            .ok_or_else(|| Error::not_connected("client vanished"))?
+            .state = IsockState::Connected(server);
+        Ok(server)
+    }
+
+    /// Sends stream data from `sock` (owned by `pid`).
+    ///
+    /// When `ec` is set and the send crosses a persistence-group boundary
+    /// (the sender is persisted; the receiver is outside its group), the
+    /// bytes are *held* until the covering checkpoint is durable.
+    pub fn isock_send(&mut self, pid: Pid, sock: IsockId, data: &[u8], ec: bool) -> Result<usize> {
+        let peer = {
+            let s = self
+                .isocks
+                .get(sock.0)
+                .ok_or_else(|| Error::bad_fd("no such socket"))?;
+            match s.state {
+                IsockState::Connected(p) => p,
+                IsockState::Disconnected => return Err(Error::broken_pipe("peer closed")),
+                _ => return Err(Error::not_connected("socket not connected")),
+            }
+        };
+        let sender_group = self.proc_ref(pid).ok().and_then(|p| p.persist_group);
+        let peer_owner = self
+            .isocks
+            .get(peer.0)
+            .ok_or_else(|| Error::broken_pipe("peer vanished"))?
+            .owner;
+        let peer_group = self
+            .proc_ref(peer_owner)
+            .ok()
+            .and_then(|p| p.persist_group);
+
+        self.clock.charge(aurora_sim::cost::ipc_copy(data.len()));
+        self.stats.ipc_bytes += data.len() as u64;
+
+        let crosses_boundary = sender_group.is_some() && sender_group != peer_group;
+        if ec && crosses_boundary {
+            let epoch = self.ec_pending_for(sender_group.expect("checked above: sender persisted"));
+            self.isocks
+                .get_mut(sock.0)
+                .expect("checked above: socket exists")
+                .held
+                .push_back(HeldOutput {
+                    epoch,
+                    bytes: data.to_vec(),
+                });
+            return Ok(data.len());
+        }
+        let p = self
+            .isocks
+            .get_mut(peer.0)
+            .ok_or_else(|| Error::broken_pipe("peer vanished"))?;
+        if p.recv.len() + data.len() > SOCKBUF_CAPACITY {
+            return Err(Error::would_block("receive buffer full"));
+        }
+        p.recv.extend(data);
+        Ok(data.len())
+    }
+
+    /// Receives up to `max` stream bytes from `sock`.
+    pub fn isock_recv(&mut self, sock: IsockId, max: usize) -> Result<Vec<u8>> {
+        let s = self
+            .isocks
+            .get_mut(sock.0)
+            .ok_or_else(|| Error::bad_fd("no such socket"))?;
+        if s.recv.is_empty() {
+            return match s.state {
+                IsockState::Disconnected => Ok(Vec::new()),
+                _ => Err(Error::would_block("no data")),
+            };
+        }
+        let n = max.min(s.recv.len());
+        let out: Vec<u8> = s.recv.drain(..n).collect();
+        self.clock.charge(aurora_sim::cost::ipc_copy(out.len()));
+        Ok(out)
+    }
+
+    /// Releases held output of `group`'s sockets for every epoch
+    /// `<= durable_epoch` — called by the SLS when a checkpoint reaches
+    /// stable storage. Delivery keeps the original send order.
+    pub fn ec_release(&mut self, group: u32, durable_epoch: u64) {
+        let socks = self.isocks.keys();
+        for id in socks {
+            let owner = match self.isocks.get(id) {
+                Some(s) => s.owner,
+                None => continue,
+            };
+            if self.proc_ref(owner).ok().and_then(|p| p.persist_group) != Some(group) {
+                continue;
+            }
+            loop {
+                let (peer, bytes) = {
+                    let s = self.isocks.get_mut(id).expect("key listed above");
+                    let peer = match s.state {
+                        IsockState::Connected(p) => p,
+                        _ => {
+                            // Peer gone: the held bytes can never be
+                            // delivered; drop them.
+                            s.held.clear();
+                            break;
+                        }
+                    };
+                    match s.held.front() {
+                        Some(h) if h.epoch <= durable_epoch => {
+                            let h = s.held.pop_front().expect("front exists");
+                            (peer, h.bytes)
+                        }
+                        _ => break,
+                    }
+                };
+                if let Some(p) = self.isocks.get_mut(peer.0) {
+                    p.recv.extend(&bytes);
+                }
+            }
+        }
+    }
+
+    /// Closes a TCP socket endpoint.
+    pub fn isock_close(&mut self, sock: IsockId) {
+        let Some(s) = self.isocks.remove(sock.0) else {
+            return;
+        };
+        if let Some(port) = s.local_port {
+            self.ports.remove(&port);
+        }
+        if let IsockState::Connected(peer) = s.state {
+            if let Some(p) = self.isocks.get_mut(peer.0) {
+                p.state = IsockState::Disconnected;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use aurora_sim::SimClock;
+
+    fn pair(k: &mut Kernel) -> (Pid, Pid, IsockId, IsockId) {
+        let server = k.spawn("server");
+        let client = k.spawn("client");
+        let l = k.isock_listen(server, 6379).unwrap();
+        let c = k.isock_connect(client, 6379).unwrap();
+        let s = k.isock_accept(server, l).unwrap();
+        (server, client, s, c)
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let (_, client, s, c) = pair(&mut k);
+        k.isock_send(client, c, b"GET k", true).unwrap();
+        assert_eq!(k.isock_recv(s, 64).unwrap(), b"GET k");
+        // No persistence group anywhere: ec flag is irrelevant.
+        assert_eq!(k.isocks.get(c.0).unwrap().held_bytes(), 0);
+    }
+
+    #[test]
+    fn external_consistency_holds_cross_boundary_output() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let (server, _client, s, c) = pair(&mut k);
+        // The server is persisted; the client is not.
+        k.proc_mut(server).unwrap().persist_group = Some(1);
+
+        k.isock_send(server, s, b"reply", true).unwrap();
+        assert!(k.isock_recv(c, 64).is_err(), "held until durable");
+        assert_eq!(k.isocks.get(s.0).unwrap().held_bytes(), 5);
+
+        // Durable checkpoint for the pending epoch releases it.
+        let pending = k.ec_pending_for(1);
+        k.ec_release(1, pending);
+        assert_eq!(k.isock_recv(c, 64).unwrap(), b"reply");
+        assert_eq!(k.isocks.get(s.0).unwrap().held_bytes(), 0);
+    }
+
+    #[test]
+    fn fdctl_disables_the_hold() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let (server, _client, s, c) = pair(&mut k);
+        k.proc_mut(server).unwrap().persist_group = Some(1);
+        k.isock_send(server, s, b"fast", false).unwrap();
+        assert_eq!(k.isock_recv(c, 64).unwrap(), b"fast");
+    }
+
+    #[test]
+    fn same_group_traffic_is_not_held() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let (server, client, s, _c) = pair(&mut k);
+        k.proc_mut(server).unwrap().persist_group = Some(1);
+        k.proc_mut(client).unwrap().persist_group = Some(1);
+        k.isock_send(server, s, b"intra", true).unwrap();
+        // Delivered immediately: both endpoints are in the checkpoint.
+        let c_sock = match k.isocks.get(s.0).unwrap().state {
+            IsockState::Connected(p) => p,
+            _ => unreachable!(),
+        };
+        assert_eq!(k.isock_recv(c_sock, 64).unwrap(), b"intra");
+    }
+
+    #[test]
+    fn release_preserves_order_across_epochs() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let (server, _client, s, c) = pair(&mut k);
+        k.proc_mut(server).unwrap().persist_group = Some(1);
+        k.isock_send(server, s, b"epoch1 ", true).unwrap();
+        // Barrier: epoch 1 captured, epoch 2 pending.
+        assert_eq!(k.ec_advance_pending(1), 1);
+        k.isock_send(server, s, b"epoch2", true).unwrap();
+        // Releasing epoch 1 delivers only the first message.
+        k.ec_release(1, 1);
+        assert_eq!(k.isock_recv(c, 64).unwrap(), b"epoch1 ");
+        assert!(k.isock_recv(c, 64).is_err());
+        k.ec_release(1, 2);
+        assert_eq!(k.isock_recv(c, 64).unwrap(), b"epoch2");
+    }
+
+    #[test]
+    fn port_conflicts_and_close() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        k.isock_listen(p, 80).unwrap();
+        assert!(k.isock_listen(p, 80).is_err());
+        let (_, _, s, c) = pair(&mut k);
+        k.isock_close(c);
+        assert!(k.isock_send(Pid(999), s, b"x", false).is_err());
+        assert_eq!(k.isock_recv(s, 10).unwrap(), b"", "EOF on close");
+    }
+}

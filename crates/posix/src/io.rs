@@ -1,0 +1,667 @@
+//! Descriptor-level I/O: the syscall surface applications drive.
+//!
+//! Everything here goes through open-file descriptions so that sharing
+//! (fork, dup, SCM_RIGHTS) behaves exactly as POSIX specifies — which in
+//! turn is what the SLS serializers capture and restore.
+
+use aurora_sim::error::{Error, Result};
+
+use crate::fd::{Fd, FileId, FileKind, OpenFile, O_APPEND};
+use crate::pipe::Pipe;
+use crate::types::Pid;
+use crate::unix::UnixMsg;
+use crate::vfs::VnodeAttr;
+use crate::Kernel;
+
+impl Kernel {
+    /// Takes an extra reference on an open-file description.
+    pub fn file_ref(&mut self, fid: FileId) {
+        if let Some(f) = self.files.get_mut(fid.0) {
+            f.refs += 1;
+        }
+    }
+
+    /// Drops a reference; the last one releases the underlying object.
+    pub fn file_unref(&mut self, fid: FileId) {
+        let kind = {
+            let Some(f) = self.files.get_mut(fid.0) else {
+                return;
+            };
+            f.refs = f.refs.saturating_sub(1);
+            if f.refs > 0 {
+                return;
+            }
+            f.kind.clone()
+        };
+        self.files.remove(fid.0);
+        match kind {
+            FileKind::Vnode(vref) => {
+                let _ = self.vfs.fs(vref.mount).open_ref(vref.node, -1);
+            }
+            FileKind::PipeRead(pid) => {
+                let remove = match self.pipes.get_mut(pid.0) {
+                    Some(p) => {
+                        p.read_open = false;
+                        !p.write_open
+                    }
+                    None => false,
+                };
+                if remove {
+                    self.pipes.remove(pid.0);
+                }
+            }
+            FileKind::PipeWrite(pid) => {
+                let remove = match self.pipes.get_mut(pid.0) {
+                    Some(p) => {
+                        p.write_open = false;
+                        !p.read_open
+                    }
+                    None => false,
+                };
+                if remove {
+                    self.pipes.remove(pid.0);
+                }
+            }
+            FileKind::UnixSock(sid) => self.usock_close(sid),
+            FileKind::InetSock(sid) => self.isock_close(sid),
+            FileKind::PosixShm(name) => self.posix_shm_close(&name),
+            FileKind::NtLog(_) => {}
+        }
+    }
+
+    /// Installs a new description into `pid`'s table (also used by the
+    /// SLS to hand out descriptors for its own object kinds).
+    pub fn install_file(&mut self, pid: Pid, file: OpenFile) -> Result<Fd> {
+        let fid = FileId(self.files.insert(file));
+        Ok(self.proc_mut(pid)?.fds.install(fid))
+    }
+
+    fn fd_file(&self, pid: Pid, fd: Fd) -> Result<FileId> {
+        self.proc_ref(pid)?.fds.get(fd)
+    }
+
+    /// Opens a path (optionally creating the file); returns a descriptor.
+    pub fn open(&mut self, pid: Pid, path: &str, create: bool) -> Result<Fd> {
+        self.charge_syscall();
+        let vref = match self.vfs.resolve(path) {
+            Ok(v) => v,
+            Err(e) if create && e.kind() == aurora_sim::error::ErrorKind::NotFound => {
+                let (parent, name) = self.vfs.resolve_parent(path)?;
+                let node = self.vfs.fs(parent.mount).create(parent.node, &name)?;
+                crate::vfs::VnodeRef {
+                    mount: parent.mount,
+                    node,
+                }
+            }
+            Err(e) => return Err(e),
+        };
+        self.vfs.fs(vref.mount).open_ref(vref.node, 1)?;
+        self.install_file(pid, OpenFile::new(FileKind::Vnode(vref)))
+    }
+
+    /// Closes a descriptor.
+    pub fn close(&mut self, pid: Pid, fd: Fd) -> Result<()> {
+        self.charge_syscall();
+        let fid = self.proc_mut(pid)?.fds.remove(fd)?;
+        self.file_unref(fid);
+        Ok(())
+    }
+
+    /// Duplicates a descriptor (shares the description and offset).
+    pub fn dup(&mut self, pid: Pid, fd: Fd) -> Result<Fd> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, fd)?;
+        self.file_ref(fid);
+        Ok(self.proc_mut(pid)?.fds.install(fid))
+    }
+
+    /// Repositions a vnode descriptor's offset.
+    pub fn lseek(&mut self, pid: Pid, fd: Fd, offset: u64) -> Result<()> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, fd)?;
+        let f = self
+            .files
+            .get_mut(fid.0)
+            .ok_or_else(|| Error::bad_fd("stale file"))?;
+        match f.kind {
+            FileKind::Vnode(_) | FileKind::PosixShm(_) => {
+                f.offset = offset;
+                Ok(())
+            }
+            _ => Err(Error::invalid("lseek on non-seekable descriptor")),
+        }
+    }
+
+    /// Sets the append flag on a description.
+    pub fn set_append(&mut self, pid: Pid, fd: Fd) -> Result<()> {
+        let fid = self.fd_file(pid, fd)?;
+        self.files
+            .get_mut(fid.0)
+            .ok_or_else(|| Error::bad_fd("stale file"))?
+            .flags |= O_APPEND;
+        Ok(())
+    }
+
+    /// Toggles external consistency on a description (`sls_fdctl`).
+    pub fn fdctl_external_consistency(&mut self, pid: Pid, fd: Fd, enabled: bool) -> Result<()> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, fd)?;
+        self.files
+            .get_mut(fid.0)
+            .ok_or_else(|| Error::bad_fd("stale file"))?
+            .external_consistency = enabled;
+        Ok(())
+    }
+
+    /// Reads up to `max` bytes from a descriptor.
+    pub fn read(&mut self, pid: Pid, fd: Fd, max: usize) -> Result<Vec<u8>> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, fd)?;
+        let (kind, offset) = {
+            let f = self
+                .files
+                .get(fid.0)
+                .ok_or_else(|| Error::bad_fd("stale file"))?;
+            (f.kind.clone(), f.offset)
+        };
+        match kind {
+            FileKind::Vnode(vref) => {
+                let data = self.vfs.fs(vref.mount).read(vref.node, offset, max)?;
+                self.clock.charge(aurora_sim::cost::ipc_copy(data.len()));
+                self.files
+                    .get_mut(fid.0)
+                    .expect("file exists: read above")
+                    .offset = offset + data.len() as u64;
+                Ok(data)
+            }
+            FileKind::PipeRead(pipe_id) => {
+                let p = self
+                    .pipes
+                    .get_mut(pipe_id.0)
+                    .ok_or_else(|| Error::bad_fd("stale pipe"))?;
+                let data = p.read(max)?;
+                self.clock.charge(aurora_sim::cost::ipc_copy(data.len()));
+                Ok(data)
+            }
+            FileKind::PipeWrite(_) => Err(Error::bad_fd("read from pipe write end")),
+            FileKind::UnixSock(sid) => {
+                // Descriptors must be claimed with recvmsg; consuming the
+                // message here would silently leak the references, so
+                // peek before popping.
+                let has_fds = self
+                    .usocks
+                    .get(sid.0)
+                    .and_then(|s| s.recv.front())
+                    .is_some_and(|m| !m.fds.is_empty());
+                if has_fds {
+                    return Err(Error::invalid("descriptor-bearing message: use recvmsg"));
+                }
+                Ok(self.usock_recv(sid)?.bytes)
+            }
+            FileKind::InetSock(sid) => self.isock_recv(sid, max),
+            FileKind::PosixShm(_) | FileKind::NtLog(_) => {
+                Err(Error::unsupported("read on this descriptor type"))
+            }
+        }
+    }
+
+    /// Writes bytes to a descriptor.
+    pub fn write(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> Result<usize> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, fd)?;
+        let (kind, mut offset, flags, ec) = {
+            let f = self
+                .files
+                .get(fid.0)
+                .ok_or_else(|| Error::bad_fd("stale file"))?;
+            (f.kind.clone(), f.offset, f.flags, f.external_consistency)
+        };
+        match kind {
+            FileKind::Vnode(vref) => {
+                if flags & O_APPEND != 0 {
+                    offset = self.vfs.fs_ref(vref.mount).getattr(vref.node)?.size;
+                }
+                let n = self.vfs.fs(vref.mount).write(vref.node, offset, data)?;
+                self.clock.charge(aurora_sim::cost::ipc_copy(n));
+                self.files
+                    .get_mut(fid.0)
+                    .expect("file exists: read above")
+                    .offset = offset + n as u64;
+                Ok(n)
+            }
+            FileKind::PipeWrite(pipe_id) => {
+                let p = self
+                    .pipes
+                    .get_mut(pipe_id.0)
+                    .ok_or_else(|| Error::bad_fd("stale pipe"))?;
+                let n = p.write(data)?;
+                self.clock.charge(aurora_sim::cost::ipc_copy(n));
+                self.stats.ipc_bytes += n as u64;
+                Ok(n)
+            }
+            FileKind::PipeRead(_) => Err(Error::bad_fd("write to pipe read end")),
+            FileKind::UnixSock(sid) => self.usock_send(
+                sid,
+                UnixMsg {
+                    bytes: data.to_vec(),
+                    fds: Vec::new(),
+                },
+            ),
+            FileKind::InetSock(sid) => self.isock_send(pid, sid, data, ec),
+            FileKind::PosixShm(_) | FileKind::NtLog(_) => {
+                Err(Error::unsupported("write on this descriptor type"))
+            }
+        }
+    }
+
+    /// File attributes of a vnode descriptor.
+    pub fn fstat(&mut self, pid: Pid, fd: Fd) -> Result<VnodeAttr> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, fd)?;
+        let f = self
+            .files
+            .get(fid.0)
+            .ok_or_else(|| Error::bad_fd("stale file"))?;
+        match f.kind {
+            FileKind::Vnode(vref) => self.vfs.fs_ref(vref.mount).getattr(vref.node),
+            _ => Err(Error::invalid("fstat on non-vnode descriptor")),
+        }
+    }
+
+    /// Unlinks a path (the descriptor-level data survives while open).
+    pub fn unlink_path(&mut self, pid: Pid, path: &str) -> Result<()> {
+        self.charge_syscall();
+        let _ = pid;
+        let (parent, name) = self.vfs.resolve_parent(path)?;
+        self.vfs.fs(parent.mount).unlink(parent.node, &name)
+    }
+
+    /// Creates a hard link: `new_path` becomes another name for the file
+    /// at `existing_path` (same filesystem only).
+    pub fn link_path(&mut self, pid: Pid, existing_path: &str, new_path: &str) -> Result<()> {
+        self.charge_syscall();
+        let _ = pid;
+        let src = self.vfs.resolve(existing_path)?;
+        let (parent, name) = self.vfs.resolve_parent(new_path)?;
+        if parent.mount != src.mount {
+            return Err(Error::new(
+                aurora_sim::error::ErrorKind::CrossDevice,
+                "link across filesystems",
+            ));
+        }
+        self.vfs.fs(parent.mount).link(parent.node, &name, src.node)
+    }
+
+    /// Readiness probe: true when a `read` on `fd` would not block
+    /// (data buffered, EOF, or a regular file).
+    pub fn can_read(&self, pid: Pid, fd: Fd) -> Result<bool> {
+        let fid = self.fd_file(pid, fd)?;
+        let f = self
+            .files
+            .get(fid.0)
+            .ok_or_else(|| Error::bad_fd("stale file"))?;
+        Ok(match &f.kind {
+            FileKind::Vnode(_) => true,
+            FileKind::PipeRead(p) => self
+                .pipes
+                .get(p.0)
+                .is_some_and(|p| p.buffered() > 0 || !p.write_open),
+            FileKind::PipeWrite(_) => false,
+            FileKind::UnixSock(s) => self.usocks.get(s.0).is_some_and(|s| {
+                !s.recv.is_empty()
+                    || matches!(s.state, crate::unix::UsockState::Disconnected)
+            }),
+            FileKind::InetSock(s) => self.isocks.get(s.0).is_some_and(|s| {
+                !s.recv.is_empty()
+                    || !s.backlog.is_empty()
+                    || matches!(s.state, crate::inet::IsockState::Disconnected)
+            }),
+            FileKind::PosixShm(_) | FileKind::NtLog(_) => false,
+        })
+    }
+
+    /// Creates a pipe; returns `(read_fd, write_fd)`.
+    pub fn pipe(&mut self, pid: Pid) -> Result<(Fd, Fd)> {
+        self.charge_syscall();
+        let pipe_id = crate::pipe::PipeId(self.pipes.insert(Pipe::new()));
+        let rfd = self.install_file(pid, OpenFile::new(FileKind::PipeRead(pipe_id)))?;
+        let wfd = self.install_file(pid, OpenFile::new(FileKind::PipeWrite(pipe_id)))?;
+        Ok((rfd, wfd))
+    }
+
+    /// Creates a connected Unix socket pair as descriptors.
+    pub fn socketpair(&mut self, pid: Pid) -> Result<(Fd, Fd)> {
+        self.charge_syscall();
+        let (a, b) = self.usock_pair();
+        let fa = self.install_file(pid, OpenFile::new(FileKind::UnixSock(a)))?;
+        let fb = self.install_file(pid, OpenFile::new(FileKind::UnixSock(b)))?;
+        Ok((fa, fb))
+    }
+
+    /// Binds and listens on a Unix socket path.
+    pub fn unix_listen(&mut self, pid: Pid, path: &str) -> Result<Fd> {
+        self.charge_syscall();
+        let sid = self.usock_listen(path)?;
+        self.install_file(pid, OpenFile::new(FileKind::UnixSock(sid)))
+    }
+
+    /// Connects to a Unix socket path.
+    pub fn unix_connect(&mut self, pid: Pid, path: &str) -> Result<Fd> {
+        self.charge_syscall();
+        let sid = self.usock_connect(path)?;
+        self.install_file(pid, OpenFile::new(FileKind::UnixSock(sid)))
+    }
+
+    /// Accepts a pending Unix connection.
+    pub fn unix_accept(&mut self, pid: Pid, listener: Fd) -> Result<Fd> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, listener)?;
+        let sid = match self
+            .files
+            .get(fid.0)
+            .ok_or_else(|| Error::bad_fd("stale file"))?
+            .kind
+        {
+            FileKind::UnixSock(s) => s,
+            _ => return Err(Error::invalid("accept on non-socket")),
+        };
+        let conn = self.usock_accept(sid)?;
+        self.install_file(pid, OpenFile::new(FileKind::UnixSock(conn)))
+    }
+
+    /// Sends a message with descriptors over a Unix socket (SCM_RIGHTS).
+    ///
+    /// Each passed descriptor contributes one in-flight reference to its
+    /// open-file description — exactly the state a checkpoint must
+    /// capture.
+    pub fn sendmsg(&mut self, pid: Pid, fd: Fd, bytes: &[u8], fds: &[Fd]) -> Result<usize> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, fd)?;
+        let sid = match self
+            .files
+            .get(fid.0)
+            .ok_or_else(|| Error::bad_fd("stale file"))?
+            .kind
+        {
+            FileKind::UnixSock(s) => s,
+            _ => return Err(Error::invalid("sendmsg on non-unix socket")),
+        };
+        let mut file_ids = Vec::with_capacity(fds.len());
+        for &f in fds {
+            let fid = self.fd_file(pid, f)?;
+            self.file_ref(fid);
+            file_ids.push(fid);
+        }
+        self.usock_send(
+            sid,
+            UnixMsg {
+                bytes: bytes.to_vec(),
+                fds: file_ids,
+            },
+        )
+    }
+
+    /// Receives a message; carried descriptors are installed into the
+    /// receiving process's table.
+    pub fn recvmsg(&mut self, pid: Pid, fd: Fd) -> Result<(Vec<u8>, Vec<Fd>)> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, fd)?;
+        let sid = match self
+            .files
+            .get(fid.0)
+            .ok_or_else(|| Error::bad_fd("stale file"))?
+            .kind
+        {
+            FileKind::UnixSock(s) => s,
+            _ => return Err(Error::invalid("recvmsg on non-unix socket")),
+        };
+        let msg = self.usock_recv(sid)?;
+        let mut fds = Vec::with_capacity(msg.fds.len());
+        for fid in msg.fds {
+            // The in-flight reference becomes the new descriptor's
+            // reference; no net change.
+            fds.push(self.proc_mut(pid)?.fds.install(fid));
+        }
+        Ok((msg.bytes, fds))
+    }
+
+    /// Opens a listening TCP descriptor on `port`.
+    pub fn tcp_listen(&mut self, pid: Pid, port: u16) -> Result<Fd> {
+        self.charge_syscall();
+        let sid = self.isock_listen(pid, port)?;
+        self.install_file(pid, OpenFile::new(FileKind::InetSock(sid)))
+    }
+
+    /// Connects to `port`; returns the client descriptor.
+    pub fn tcp_connect(&mut self, pid: Pid, port: u16) -> Result<Fd> {
+        self.charge_syscall();
+        let sid = self.isock_connect(pid, port)?;
+        self.install_file(pid, OpenFile::new(FileKind::InetSock(sid)))
+    }
+
+    /// Accepts a pending TCP connection.
+    pub fn tcp_accept(&mut self, pid: Pid, listener: Fd) -> Result<Fd> {
+        self.charge_syscall();
+        let fid = self.fd_file(pid, listener)?;
+        let sid = match self
+            .files
+            .get(fid.0)
+            .ok_or_else(|| Error::bad_fd("stale file"))?
+            .kind
+        {
+            FileKind::InetSock(s) => s,
+            _ => return Err(Error::invalid("accept on non-socket")),
+        };
+        let conn = self.isock_accept(pid, sid)?;
+        self.install_file(pid, OpenFile::new(FileKind::InetSock(conn)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_sim::SimClock;
+
+    #[test]
+    fn file_io_through_descriptors() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        let fd = k.open(p, "/data.txt", true).unwrap();
+        k.write(p, fd, b"hello").unwrap();
+        k.lseek(p, fd, 0).unwrap();
+        assert_eq!(k.read(p, fd, 64).unwrap(), b"hello");
+        assert_eq!(k.fstat(p, fd).unwrap().size, 5);
+        k.close(p, fd).unwrap();
+        assert!(k.read(p, fd, 1).is_err());
+        // Reopen without create: file persists in tmpfs.
+        let fd2 = k.open(p, "/data.txt", false).unwrap();
+        assert_eq!(k.read(p, fd2, 64).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn append_mode() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        let fd = k.open(p, "/log", true).unwrap();
+        k.set_append(p, fd).unwrap();
+        k.write(p, fd, b"one;").unwrap();
+        k.lseek(p, fd, 0).unwrap();
+        k.write(p, fd, b"two;").unwrap();
+        k.lseek(p, fd, 0).unwrap();
+        assert_eq!(k.read(p, fd, 64).unwrap(), b"one;two;");
+    }
+
+    #[test]
+    fn fork_shares_offsets() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        let fd = k.open(p, "/shared", true).unwrap();
+        k.write(p, fd, b"0123456789").unwrap();
+        k.lseek(p, fd, 0).unwrap();
+        let c = k.fork(p).unwrap();
+        // Child reads 4 bytes; parent's offset must move too.
+        assert_eq!(k.read(c, fd, 4).unwrap(), b"0123");
+        assert_eq!(k.read(p, fd, 4).unwrap(), b"4567");
+    }
+
+    #[test]
+    fn pipe_between_parent_and_child() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        let (rfd, wfd) = k.pipe(p).unwrap();
+        let c = k.fork(p).unwrap();
+        // Parent closes read end; child closes write end.
+        k.close(p, rfd).unwrap();
+        k.close(c, wfd).unwrap();
+        k.write(p, wfd, b"from parent").unwrap();
+        assert_eq!(k.read(c, rfd, 64).unwrap(), b"from parent");
+        // Parent closes write end: child sees EOF.
+        k.close(p, wfd).unwrap();
+        assert_eq!(k.read(c, rfd, 64).unwrap(), b"");
+    }
+
+    #[test]
+    fn descriptor_passing_over_unix_socket() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let sender = k.spawn("sender");
+        let receiver = k.spawn("receiver");
+        let (sa, _sb) = k.socketpair(sender).unwrap();
+        // Wire the other end into the receiver: simulate inherited fd.
+        let fidb = k.proc_ref(sender).unwrap().fds.get(_sb).unwrap();
+        k.file_ref(fidb);
+        let rb = k.proc_mut(receiver).unwrap().fds.install(fidb);
+
+        // Sender opens a file, writes, and passes the descriptor.
+        let file_fd = k.open(sender, "/passed", true).unwrap();
+        k.write(sender, file_fd, b"fd-passing").unwrap();
+        k.sendmsg(sender, sa, b"here you go", &[file_fd]).unwrap();
+        k.close(sender, file_fd).unwrap();
+
+        let (bytes, fds) = k.recvmsg(receiver, rb).unwrap();
+        assert_eq!(bytes, b"here you go");
+        assert_eq!(fds.len(), 1);
+        // The received descriptor shares the description (offset = 10).
+        k.lseek(receiver, fds[0], 0).unwrap();
+        assert_eq!(k.read(receiver, fds[0], 64).unwrap(), b"fd-passing");
+    }
+
+    #[test]
+    fn read_refuses_to_drop_passed_descriptors() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        let (a, b) = k.socketpair(p).unwrap();
+        let f = k.open(p, "/x", true).unwrap();
+        k.sendmsg(p, a, b"msg", &[f]).unwrap();
+        assert!(k.read(p, b, 64).is_err());
+        let (_, fds) = k.recvmsg(p, b).unwrap();
+        assert_eq!(fds.len(), 1);
+    }
+
+    #[test]
+    fn tcp_descriptors_end_to_end() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let srv = k.spawn("server");
+        let cli = k.spawn("client");
+        let lfd = k.tcp_listen(srv, 8080).unwrap();
+        let cfd = k.tcp_connect(cli, 8080).unwrap();
+        let sfd = k.tcp_accept(srv, lfd).unwrap();
+        k.write(cli, cfd, b"request").unwrap();
+        assert_eq!(k.read(srv, sfd, 64).unwrap(), b"request");
+        k.write(srv, sfd, b"response").unwrap();
+        assert_eq!(k.read(cli, cfd, 64).unwrap(), b"response");
+    }
+
+    #[test]
+    fn unlinked_file_stays_readable_through_fd() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        let fd = k.open(p, "/anon", true).unwrap();
+        k.write(p, fd, b"anonymous").unwrap();
+        k.unlink_path(p, "/anon").unwrap();
+        assert!(k.open(p, "/anon", false).is_err(), "name is gone");
+        k.lseek(p, fd, 0).unwrap();
+        assert_eq!(k.read(p, fd, 64).unwrap(), b"anonymous");
+        k.close(p, fd).unwrap();
+    }
+
+    #[test]
+    fn unix_listen_accept_via_fds() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let srv = k.spawn("server");
+        let cli = k.spawn("client");
+        let lfd = k.unix_listen(srv, "/run/svc.sock").unwrap();
+        let cfd = k.unix_connect(cli, "/run/svc.sock").unwrap();
+        let sfd = k.unix_accept(srv, lfd).unwrap();
+        k.write(cli, cfd, b"hi").unwrap();
+        assert_eq!(k.read(srv, sfd, 16).unwrap(), b"hi");
+    }
+}
+
+#[cfg(test)]
+mod link_tests {
+    use super::*;
+    use aurora_sim::SimClock;
+
+    #[test]
+    fn hard_links_share_data_and_counts() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        let fd = k.open(p, "/original", true).unwrap();
+        k.write(p, fd, b"linked data").unwrap();
+        k.close(p, fd).unwrap();
+        k.link_path(p, "/original", "/alias").unwrap();
+
+        let fd = k.open(p, "/alias", false).unwrap();
+        assert_eq!(k.read(p, fd, 64).unwrap(), b"linked data");
+        assert_eq!(k.fstat(p, fd).unwrap().nlink, 2);
+        k.close(p, fd).unwrap();
+
+        // Removing one name keeps the data reachable via the other.
+        k.unlink_path(p, "/original").unwrap();
+        let fd = k.open(p, "/alias", false).unwrap();
+        assert_eq!(k.read(p, fd, 64).unwrap(), b"linked data");
+        assert_eq!(k.fstat(p, fd).unwrap().nlink, 1);
+        k.close(p, fd).unwrap();
+        k.unlink_path(p, "/alias").unwrap();
+        assert!(k.open(p, "/alias", false).is_err());
+    }
+
+    #[test]
+    fn link_conflicts_and_directories_rejected() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        let fd = k.open(p, "/a", true).unwrap();
+        k.close(p, fd).unwrap();
+        let fd = k.open(p, "/b", true).unwrap();
+        k.close(p, fd).unwrap();
+        assert!(k.link_path(p, "/a", "/b").is_err(), "target exists");
+        // A failed link must not corrupt the link count.
+        let fd = k.open(p, "/a", false).unwrap();
+        assert_eq!(k.fstat(p, fd).unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn readiness_probes() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        let (rfd, wfd) = k.pipe(p).unwrap();
+        assert!(!k.can_read(p, rfd).unwrap(), "empty pipe");
+        k.write(p, wfd, b"x").unwrap();
+        assert!(k.can_read(p, rfd).unwrap(), "data buffered");
+        k.read(p, rfd, 8).unwrap();
+        assert!(!k.can_read(p, rfd).unwrap());
+        k.close(p, wfd).unwrap();
+        assert!(k.can_read(p, rfd).unwrap(), "EOF is readable");
+
+        let (a, b) = k.socketpair(p).unwrap();
+        assert!(!k.can_read(p, b).unwrap());
+        k.write(p, a, b"msg").unwrap();
+        assert!(k.can_read(p, b).unwrap());
+
+        let srv = k.spawn("srv");
+        let lfd = k.tcp_listen(srv, 99).unwrap();
+        assert!(!k.can_read(srv, lfd).unwrap(), "no pending connections");
+        let _c = k.tcp_connect(p, 99).unwrap();
+        assert!(k.can_read(srv, lfd).unwrap(), "pending connection");
+    }
+}

@@ -1,0 +1,122 @@
+//! Pipes.
+//!
+//! A pipe is a bounded in-kernel byte queue with independent read/write
+//! end lifetimes. The buffered-but-unread bytes are part of application
+//! state — a checkpoint that dropped them would corrupt the restored
+//! program — so the SLS serializes the queue contents verbatim.
+
+use std::collections::VecDeque;
+
+use aurora_sim::error::{Error, Result};
+
+/// Key of a pipe in the kernel pipe table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PipeId(pub u32);
+
+/// Default pipe capacity (64 KiB, matching FreeBSD's BIG_PIPE_SIZE).
+pub const PIPE_CAPACITY: usize = 64 * 1024;
+
+/// A pipe.
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    /// Buffered bytes.
+    pub buf: VecDeque<u8>,
+    /// Capacity bound.
+    pub capacity: usize,
+    /// Whether the read end is still open.
+    pub read_open: bool,
+    /// Whether the write end is still open.
+    pub write_open: bool,
+}
+
+impl Default for Pipe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipe {
+    /// Creates an empty pipe with both ends open.
+    pub fn new() -> Self {
+        Pipe {
+            buf: VecDeque::new(),
+            capacity: PIPE_CAPACITY,
+            read_open: true,
+            write_open: true,
+        }
+    }
+
+    /// Writes up to the free space; returns bytes accepted.
+    ///
+    /// Errors with `BrokenPipe` when the read end is gone, `WouldBlock`
+    /// when full.
+    pub fn write(&mut self, data: &[u8]) -> Result<usize> {
+        if !self.read_open {
+            return Err(Error::broken_pipe("pipe read end closed"));
+        }
+        let room = self.capacity - self.buf.len();
+        if room == 0 {
+            return Err(Error::would_block("pipe full"));
+        }
+        let n = data.len().min(room);
+        self.buf.extend(&data[..n]);
+        Ok(n)
+    }
+
+    /// Reads up to `max` bytes.
+    ///
+    /// Returns an empty vector at EOF (write end closed, buffer drained);
+    /// errors with `WouldBlock` when empty but still writable.
+    pub fn read(&mut self, max: usize) -> Result<Vec<u8>> {
+        if self.buf.is_empty() {
+            return if self.write_open {
+                Err(Error::would_block("pipe empty"))
+            } else {
+                Ok(Vec::new())
+            };
+        }
+        let n = max.min(self.buf.len());
+        Ok(self.buf.drain(..n).collect())
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut p = Pipe::new();
+        assert_eq!(p.write(b"hello world").unwrap(), 11);
+        assert_eq!(p.read(5).unwrap(), b"hello");
+        assert_eq!(p.read(100).unwrap(), b" world");
+        assert!(matches!(p.read(1), Err(e) if e.kind() == aurora_sim::error::ErrorKind::WouldBlock));
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut p = Pipe::new();
+        let big = vec![0u8; PIPE_CAPACITY + 100];
+        assert_eq!(p.write(&big).unwrap(), PIPE_CAPACITY);
+        assert!(p.write(b"x").is_err());
+        p.read(100).unwrap();
+        assert_eq!(p.write(b"x").unwrap(), 1);
+    }
+
+    #[test]
+    fn eof_and_epipe() {
+        let mut p = Pipe::new();
+        p.write(b"tail").unwrap();
+        p.write_open = false;
+        assert_eq!(p.read(10).unwrap(), b"tail");
+        assert_eq!(p.read(10).unwrap(), b"", "EOF after drain");
+        let mut q = Pipe::new();
+        q.read_open = false;
+        assert!(q.write(b"x").is_err());
+    }
+}

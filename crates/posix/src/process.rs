@@ -1,0 +1,418 @@
+//! Processes: lifecycle, fork, wait, memory syscalls.
+//!
+//! A [`Process`] owns its address space ([`aurora_vm::VmMap`]), descriptor
+//! table, threads (with full CPU state), credentials, signal state,
+//! container membership and — the Aurora addition — its persistence-group
+//! tag. Fork duplicates all of it with the proper sharing: COW for private
+//! memory, aliasing for shared mappings and open-file descriptions.
+
+use aurora_sim::error::{Error, Result};
+use aurora_vm::{Prot, VmMap};
+
+use crate::container::CtId;
+use crate::fd::FdTable;
+use crate::types::{CpuState, Pid, SignalState, Thread, Tid, Ucred};
+use crate::Kernel;
+
+/// Scheduling state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable / running.
+    Running,
+    /// Stopped at a serialization barrier (or SIGSTOP).
+    Stopped,
+    /// Exited, awaiting reaping.
+    Zombie,
+}
+
+/// A process.
+#[derive(Debug)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent process id.
+    pub ppid: Pid,
+    /// Command name.
+    pub name: String,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// Address space.
+    pub map: VmMap,
+    /// Descriptor table.
+    pub fds: FdTable,
+    /// Threads (at least one while alive).
+    pub threads: Vec<Thread>,
+    next_tid: u32,
+    /// Working directory (absolute path).
+    pub cwd: String,
+    /// Credentials.
+    pub cred: Ucred,
+    /// Signal state.
+    pub sig: SignalState,
+    /// Container this process lives in, if any.
+    pub container: Option<CtId>,
+    /// Persistence group registered via `sls persist`, if any.
+    pub persist_group: Option<u32>,
+    /// Live children.
+    pub children: Vec<Pid>,
+    /// Exit code once zombie.
+    pub exit_code: Option<i32>,
+}
+
+impl Process {
+    /// The main thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zombie with no threads.
+    pub fn main_thread(&self) -> &Thread {
+        &self.threads[0]
+    }
+
+    /// The main thread, mutably.
+    pub fn main_thread_mut(&mut self) -> &mut Thread {
+        &mut self.threads[0]
+    }
+}
+
+impl Kernel {
+    /// Creates a fresh process (the `exec`-like entry point for simulated
+    /// programs).
+    pub fn spawn(&mut self, name: &str) -> Pid {
+        self.charge_syscall();
+        let pid = self.alloc_pid();
+        let proc = Process {
+            pid,
+            ppid: Pid(0),
+            name: name.to_string(),
+            state: ProcState::Running,
+            map: VmMap::new(),
+            fds: FdTable::new(),
+            threads: vec![Thread {
+                tid: Tid(1),
+                cpu: CpuState::default(),
+            }],
+            next_tid: 2,
+            cwd: "/".to_string(),
+            cred: Ucred::default(),
+            sig: SignalState::default(),
+            container: None,
+            persist_group: None,
+            children: Vec::new(),
+            exit_code: None,
+        };
+        self.procs.insert(pid, proc);
+        pid
+    }
+
+    /// Forks `pid`, returning the child pid.
+    ///
+    /// Memory goes copy-on-write (see [`aurora_vm`]), descriptor tables
+    /// share open-file descriptions, the calling thread's CPU state is
+    /// duplicated, and container/persistence-group membership is
+    /// inherited — Aurora persists whole process trees.
+    pub fn fork(&mut self, pid: Pid) -> Result<Pid> {
+        self.charge_syscall();
+        self.stats.forks += 1;
+        let child_pid = self.alloc_pid();
+
+        // Split borrows: the VM and the process table are disjoint fields.
+        let parent = self
+            .procs
+            .get_mut(&pid)
+            .ok_or_else(|| Error::not_found(format!("pid {}", pid.0)))?;
+        let child_map = self.vm.fork_map(&mut parent.map);
+        let child_fds = parent.fds.clone();
+        let child = Process {
+            pid: child_pid,
+            ppid: pid,
+            name: parent.name.clone(),
+            state: ProcState::Running,
+            map: child_map,
+            fds: child_fds,
+            threads: vec![Thread {
+                tid: Tid(1),
+                cpu: parent.threads[0].cpu.clone(),
+            }],
+            next_tid: 2,
+            cwd: parent.cwd.clone(),
+            cred: parent.cred.clone(),
+            sig: SignalState {
+                pending: 0,
+                blocked: parent.sig.blocked,
+                actions: parent.sig.actions,
+            },
+            container: parent.container,
+            persist_group: parent.persist_group,
+            children: Vec::new(),
+            exit_code: None,
+        };
+        parent.children.push(child_pid);
+
+        // Each inherited descriptor is another reference on its
+        // description.
+        let file_ids: Vec<_> = child.fds.iter().map(|(_, f)| f).collect();
+        for fid in file_ids {
+            if let Some(file) = self.files.get_mut(fid.0) {
+                file.refs += 1;
+            }
+        }
+        if let Some(ct) = child.container {
+            if let Some(c) = self.containers.get_mut(ct.0) {
+                c.procs.push(child_pid);
+            }
+        }
+        self.procs.insert(child_pid, child);
+        Ok(child_pid)
+    }
+
+    /// Terminates a process: releases memory and descriptors, reparents
+    /// children to init (pid 1) and leaves a zombie for the parent.
+    pub fn exit(&mut self, pid: Pid, code: i32) -> Result<()> {
+        self.charge_syscall();
+        let fds: Vec<_> = self.proc_ref(pid)?.fds.iter().collect();
+        for (fd, _) in fds {
+            // Close every descriptor through the common path so pipes and
+            // sockets observe the hangup.
+            let _ = self.close(pid, fd);
+        }
+        let proc = self.proc_mut(pid)?;
+        proc.state = ProcState::Zombie;
+        proc.exit_code = Some(code);
+        proc.threads.clear();
+        let mut map = core::mem::take(&mut proc.map);
+        let children = core::mem::take(&mut proc.children);
+        let container = proc.container;
+        self.vm.destroy_map(&mut map);
+        for child in children {
+            if let Ok(c) = self.proc_mut(child) {
+                c.ppid = Pid(1);
+            }
+        }
+        if let Some(ct) = container {
+            if let Some(c) = self.containers.get_mut(ct.0) {
+                c.procs.retain(|&p| p != pid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reaps a zombie child, returning its exit code.
+    pub fn waitpid(&mut self, parent: Pid, child: Pid) -> Result<i32> {
+        self.charge_syscall();
+        let code = {
+            let c = self.proc_ref(child)?;
+            if c.ppid != parent {
+                return Err(Error::not_permitted(format!(
+                    "pid {} is not a child of {}",
+                    child.0, parent.0
+                )));
+            }
+            match (c.state, c.exit_code) {
+                (ProcState::Zombie, Some(code)) => code,
+                _ => return Err(Error::would_block(format!("pid {} still running", child.0))),
+            }
+        };
+        self.procs.remove(&child);
+        if let Ok(p) = self.proc_mut(parent) {
+            p.children.retain(|&c| c != child);
+        }
+        Ok(code)
+    }
+
+    /// Stops a process (serialization barrier / SIGSTOP).
+    pub fn stop_process(&mut self, pid: Pid) -> Result<()> {
+        let proc = self.proc_mut(pid)?;
+        if proc.state == ProcState::Running {
+            proc.state = ProcState::Stopped;
+        }
+        self.clock.charge(aurora_sim::time::SimDuration::from_nanos(
+            aurora_sim::cost::PROC_STOP_NS,
+        ));
+        Ok(())
+    }
+
+    /// Resumes a stopped process.
+    pub fn resume_process(&mut self, pid: Pid) -> Result<()> {
+        let proc = self.proc_mut(pid)?;
+        if proc.state == ProcState::Stopped {
+            proc.state = ProcState::Running;
+        }
+        self.clock.charge(aurora_sim::time::SimDuration::from_nanos(
+            aurora_sim::cost::PROC_RESUME_NS,
+        ));
+        Ok(())
+    }
+
+    /// Posts a signal.
+    pub fn kill(&mut self, pid: Pid, sig: u32) -> Result<()> {
+        self.charge_syscall();
+        self.proc_mut(pid)?.sig.post(sig);
+        Ok(())
+    }
+
+    /// Creates an additional thread in `pid`.
+    pub fn thread_create(&mut self, pid: Pid, entry_pc: u64) -> Result<Tid> {
+        self.charge_syscall();
+        let proc = self.proc_mut(pid)?;
+        let tid = Tid(proc.next_tid);
+        proc.next_tid += 1;
+        proc.threads.push(Thread {
+            tid,
+            cpu: CpuState {
+                pc: entry_pc,
+                ..CpuState::default()
+            },
+        });
+        Ok(tid)
+    }
+
+    /// Maps anonymous memory into `pid`'s address space.
+    pub fn mmap_anon(&mut self, pid: Pid, len: u64, shared: bool) -> Result<u64> {
+        self.charge_syscall();
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or_else(|| Error::not_found(format!("pid {}", pid.0)))?;
+        self.vm.map_anonymous(&mut proc.map, len, Prot::RW, shared)
+    }
+
+    /// Unmaps the region containing `addr`.
+    pub fn munmap(&mut self, pid: Pid, addr: u64) -> Result<()> {
+        self.charge_syscall();
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or_else(|| Error::not_found(format!("pid {}", pid.0)))?;
+        self.vm.unmap(&mut proc.map, addr)
+    }
+
+    /// Writes into a process's memory (the userspace store instruction).
+    ///
+    /// Not charged as a syscall: this is the application touching its own
+    /// pages; only fault servicing costs time.
+    pub fn mem_write(&mut self, pid: Pid, addr: u64, data: &[u8]) -> Result<()> {
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or_else(|| Error::not_found(format!("pid {}", pid.0)))?;
+        self.vm.copyout(&mut proc.map, addr, data)
+    }
+
+    /// Reads from a process's memory (the userspace load instruction).
+    pub fn mem_read(&mut self, pid: Pid, addr: u64, buf: &mut [u8]) -> Result<()> {
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or_else(|| Error::not_found(format!("pid {}", pid.0)))?;
+        self.vm.copyin(&mut proc.map, addr, buf)
+    }
+
+    /// Fills a range with deterministic seeded pages — how benchmarks
+    /// model multi-gigabyte working sets without host memory cost.
+    pub fn mem_touch_seeded(&mut self, pid: Pid, addr: u64, len: u64, seed: u64) -> Result<()> {
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or_else(|| Error::not_found(format!("pid {}", pid.0)))?;
+        self.vm.touch_seeded(&mut proc.map, addr, len, seed)
+    }
+
+    /// Reads a register of the main thread (simulated programs keep
+    /// control state here so checkpoints capture it).
+    pub fn get_reg(&self, pid: Pid, reg: usize) -> Result<u64> {
+        Ok(self.proc_ref(pid)?.main_thread().cpu.regs[reg])
+    }
+
+    /// Writes a register of the main thread.
+    pub fn set_reg(&mut self, pid: Pid, reg: usize, value: u64) -> Result<()> {
+        self.proc_mut(pid)?.main_thread_mut().cpu.regs[reg] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_sim::SimClock;
+
+    #[test]
+    fn spawn_fork_wait_lifecycle() {
+        let mut k = Kernel::boot(SimClock::new(), "test");
+        let parent = k.spawn("init");
+        let child = k.fork(parent).unwrap();
+        assert_ne!(parent, child);
+        assert_eq!(k.proc_ref(child).unwrap().ppid, parent);
+        assert!(k.waitpid(parent, child).is_err(), "child still running");
+        k.exit(child, 7).unwrap();
+        assert_eq!(k.waitpid(parent, child).unwrap(), 7);
+        assert!(k.proc_ref(child).is_err(), "child reaped");
+        assert!(k.proc_ref(parent).unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn fork_cow_memory_is_isolated() {
+        let mut k = Kernel::boot(SimClock::new(), "test");
+        let p = k.spawn("p");
+        let addr = k.mmap_anon(p, 4096, false).unwrap();
+        k.mem_write(p, addr, b"parent").unwrap();
+        let c = k.fork(p).unwrap();
+        k.mem_write(c, addr, b"child!").unwrap();
+        let mut buf = [0u8; 6];
+        k.mem_read(p, addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"parent");
+        k.mem_read(c, addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"child!");
+    }
+
+    #[test]
+    fn exit_releases_memory() {
+        let mut k = Kernel::boot(SimClock::new(), "test");
+        let p = k.spawn("p");
+        let addr = k.mmap_anon(p, 8 * 4096, false).unwrap();
+        k.mem_write(p, addr, &[1u8; 4096 * 8]).unwrap();
+        assert!(k.vm.frames.allocated() > 0);
+        k.exit(p, 0).unwrap();
+        assert_eq!(k.vm.frames.allocated(), 0);
+        assert_eq!(k.vm.live_objects(), 0);
+    }
+
+    #[test]
+    fn registers_survive_in_process() {
+        let mut k = Kernel::boot(SimClock::new(), "test");
+        let p = k.spawn("p");
+        k.set_reg(p, 3, 0xDEAD_BEEF).unwrap();
+        assert_eq!(k.get_reg(p, 3).unwrap(), 0xDEAD_BEEF);
+        let c = k.fork(p).unwrap();
+        assert_eq!(k.get_reg(c, 3).unwrap(), 0xDEAD_BEEF, "fork copies CPU state");
+    }
+
+    #[test]
+    fn reparenting_to_init() {
+        let mut k = Kernel::boot(SimClock::new(), "test");
+        let init = k.spawn("init");
+        assert_eq!(init, Pid(1));
+        let a = k.fork(init).unwrap();
+        let b = k.fork(a).unwrap();
+        k.exit(a, 0).unwrap();
+        assert_eq!(k.proc_ref(b).unwrap().ppid, Pid(1));
+    }
+
+    #[test]
+    fn stop_and_resume() {
+        let mut k = Kernel::boot(SimClock::new(), "test");
+        let p = k.spawn("p");
+        k.stop_process(p).unwrap();
+        assert_eq!(k.proc_ref(p).unwrap().state, ProcState::Stopped);
+        k.resume_process(p).unwrap();
+        assert_eq!(k.proc_ref(p).unwrap().state, ProcState::Running);
+    }
+
+    #[test]
+    fn waitpid_rejects_non_child() {
+        let mut k = Kernel::boot(SimClock::new(), "test");
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        assert!(k.waitpid(a, b).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! A generation-free slab with stable u32 keys.
+//!
+//! Kernel object tables (files, pipes, sockets, containers) need stable
+//! identifiers that the checkpoint serializers can record and the restore
+//! path can re-materialize. The slab supports `insert_at`, used by restore
+//! to put objects back under their original ids so cross-object references
+//! in the image stay valid.
+
+use aurora_sim::error::{Error, Result};
+
+/// A slab of `T` keyed by `u32`.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Inserts a value, returning its key.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        match self.free.pop() {
+            Some(k) => {
+                self.slots[k as usize] = Some(value);
+                k
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.slots.len() as u32 - 1
+            }
+        }
+    }
+
+    /// Inserts a value under a specific key (restore path).
+    ///
+    /// Fails if the slot is already occupied.
+    pub fn insert_at(&mut self, key: u32, value: T) -> Result<()> {
+        while self.slots.len() <= key as usize {
+            self.free.push(self.slots.len() as u32);
+            self.slots.push(None);
+        }
+        if self.slots[key as usize].is_some() {
+            return Err(Error::already_exists(format!("slab slot {key}")));
+        }
+        self.free.retain(|&k| k != key);
+        self.slots[key as usize] = Some(value);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Gets a reference by key.
+    pub fn get(&self, key: u32) -> Option<&T> {
+        self.slots.get(key as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Gets a mutable reference by key.
+    pub fn get_mut(&mut self, key: u32) -> Option<&mut T> {
+        self.slots.get_mut(key as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Removes and returns the value at `key`.
+    pub fn remove(&mut self, key: u32) -> Option<T> {
+        let v = self.slots.get_mut(key as usize).and_then(|s| s.take());
+        if v.is_some() {
+            self.free.push(key);
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates `(key, &value)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| s.as_ref().map(|v| (k as u32, v)))
+    }
+
+    /// Iterates `(key, &mut value)` in key order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u32, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(k, s)| s.as_mut().map(|v| (k as u32, v)))
+    }
+
+    /// All live keys in order.
+    pub fn keys(&self) -> Vec<u32> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.len(), 1);
+        let c = s.insert("c");
+        assert_eq!(c, a, "freed slot reused");
+        assert_eq!(s.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn insert_at_for_restore() {
+        let mut s = Slab::new();
+        s.insert_at(5, "five").unwrap();
+        assert_eq!(s.get(5), Some(&"five"));
+        assert!(s.insert_at(5, "dup").is_err());
+        // The intermediate slots are free and get reused by insert.
+        let keys: Vec<u32> = (0..5).map(|_| s.insert("x")).collect();
+        assert!(keys.iter().all(|&k| k < 5));
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn iteration_in_key_order() {
+        let mut s = Slab::new();
+        s.insert("a");
+        let b = s.insert("b");
+        s.insert("c");
+        s.remove(b);
+        let items: Vec<(u32, &&str)> = s.iter().collect();
+        assert_eq!(items, vec![(0, &"a"), (2, &"c")]);
+        assert_eq!(s.keys(), vec![0, 2]);
+    }
+}

@@ -1,0 +1,377 @@
+//! System V shared memory, System V message queues, POSIX shared memory.
+//!
+//! These are the primitives the paper names when it says Aurora treats
+//! "all POSIX primitives (e.g., Unix domain sockets, System V shared
+//! memory, and file descriptors) as first class objects". Shared-memory
+//! segments own a VM object directly; the checkpoint captures the object
+//! once no matter how many processes have it attached, and the restore
+//! path re-attaches every process to the *same* rebuilt object.
+
+use std::collections::VecDeque;
+
+use aurora_sim::error::{Error, Result};
+use aurora_vm::{Prot, VmoId, VmoKind, PAGE_SIZE};
+
+use crate::types::Pid;
+use crate::Kernel;
+
+/// A System V shared-memory segment.
+#[derive(Debug)]
+pub struct SysvShm {
+    /// The segment key.
+    pub key: i32,
+    /// Size in bytes.
+    pub size: u64,
+    /// The backing VM object (the kernel holds one reference).
+    pub object: VmoId,
+    /// Attach count.
+    pub nattch: u32,
+    /// IPC_RMID was issued; destroy at last detach.
+    pub removed: bool,
+}
+
+/// One queued System V message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysvMsg {
+    /// Message type (> 0).
+    pub mtype: i64,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+/// A System V message queue.
+#[derive(Debug, Default)]
+pub struct MsgQueue {
+    /// Queued messages in arrival order.
+    pub msgs: VecDeque<SysvMsg>,
+    /// Byte capacity (msgmnb).
+    pub capacity: usize,
+}
+
+/// Default queue capacity, matching a common msgmnb.
+pub const MSGMNB: usize = 16 * 1024;
+
+/// A POSIX shared-memory object (`shm_open` namespace).
+#[derive(Debug)]
+pub struct PosixShm {
+    /// Backing VM object (kernel holds one reference).
+    pub object: VmoId,
+    /// Current size in bytes (`ftruncate`).
+    pub size: u64,
+    /// Unlinked but still open descriptions exist.
+    pub unlinked: bool,
+    /// Open-file descriptions referring to this object.
+    pub open_refs: u32,
+}
+
+impl Kernel {
+    /// Creates or looks up a SysV segment (`shmget`).
+    pub fn shmget(&mut self, key: i32, size: u64) -> Result<()> {
+        self.charge_syscall();
+        if self.sysv_shms.contains_key(&key) {
+            return Ok(());
+        }
+        if size == 0 || !size.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(Error::invalid(format!("shmget size {size}")));
+        }
+        let object = self
+            .vm
+            .create_object(VmoKind::SharedMem, size / PAGE_SIZE as u64);
+        self.sysv_shms.insert(
+            key,
+            SysvShm {
+                key,
+                size,
+                object,
+                nattch: 0,
+                removed: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Attaches a segment into `pid`'s address space (`shmat`).
+    pub fn shmat(&mut self, pid: Pid, key: i32) -> Result<u64> {
+        self.charge_syscall();
+        let (object, size) = {
+            let seg = self
+                .sysv_shms
+                .get_mut(&key)
+                .ok_or_else(|| Error::not_found(format!("shm key {key}")))?;
+            if seg.removed {
+                return Err(Error::not_found(format!("shm key {key} removed")));
+            }
+            seg.nattch += 1;
+            (seg.object, seg.size)
+        };
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or_else(|| Error::not_found(format!("pid {}", pid.0)))?;
+        self.vm
+            .map_object(&mut proc.map, object, 0, size, Prot::RW, true)
+    }
+
+    /// Detaches the segment mapped at `addr` (`shmdt`).
+    pub fn shmdt(&mut self, pid: Pid, key: i32, addr: u64) -> Result<()> {
+        self.charge_syscall();
+        {
+            let proc = self
+                .procs
+                .get_mut(&pid)
+                .ok_or_else(|| Error::not_found(format!("pid {}", pid.0)))?;
+            self.vm.unmap(&mut proc.map, addr)?;
+        }
+        let destroy = {
+            let seg = self
+                .sysv_shms
+                .get_mut(&key)
+                .ok_or_else(|| Error::not_found(format!("shm key {key}")))?;
+            seg.nattch = seg.nattch.saturating_sub(1);
+            seg.removed && seg.nattch == 0
+        };
+        if destroy {
+            self.shm_destroy(key);
+        }
+        Ok(())
+    }
+
+    /// Marks a segment for removal (`shmctl(IPC_RMID)`).
+    pub fn shm_rmid(&mut self, key: i32) -> Result<()> {
+        self.charge_syscall();
+        let destroy = {
+            let seg = self
+                .sysv_shms
+                .get_mut(&key)
+                .ok_or_else(|| Error::not_found(format!("shm key {key}")))?;
+            seg.removed = true;
+            seg.nattch == 0
+        };
+        if destroy {
+            self.shm_destroy(key);
+        }
+        Ok(())
+    }
+
+    fn shm_destroy(&mut self, key: i32) {
+        if let Some(seg) = self.sysv_shms.remove(&key) {
+            self.vm.unref_object(seg.object);
+        }
+    }
+
+    /// Creates or looks up a message queue (`msgget`).
+    pub fn msgget(&mut self, key: i32) -> Result<()> {
+        self.charge_syscall();
+        self.msgqs.entry(key).or_insert_with(|| MsgQueue {
+            msgs: VecDeque::new(),
+            capacity: MSGMNB,
+        });
+        Ok(())
+    }
+
+    /// Enqueues a message (`msgsnd`).
+    pub fn msgsnd(&mut self, key: i32, mtype: i64, data: &[u8]) -> Result<()> {
+        self.charge_syscall();
+        if mtype <= 0 {
+            return Err(Error::invalid("message type must be positive"));
+        }
+        self.clock.charge(aurora_sim::cost::ipc_copy(data.len()));
+        let q = self
+            .msgqs
+            .get_mut(&key)
+            .ok_or_else(|| Error::not_found(format!("msgq key {key}")))?;
+        let used: usize = q.msgs.iter().map(|m| m.data.len()).sum();
+        if used + data.len() > q.capacity {
+            return Err(Error::would_block("message queue full"));
+        }
+        q.msgs.push_back(SysvMsg {
+            mtype,
+            data: data.to_vec(),
+        });
+        Ok(())
+    }
+
+    /// Dequeues a message (`msgrcv`): `mtype == 0` takes the head,
+    /// `mtype > 0` takes the first message of that type.
+    pub fn msgrcv(&mut self, key: i32, mtype: i64) -> Result<SysvMsg> {
+        self.charge_syscall();
+        let q = self
+            .msgqs
+            .get_mut(&key)
+            .ok_or_else(|| Error::not_found(format!("msgq key {key}")))?;
+        let pos = if mtype == 0 {
+            if q.msgs.is_empty() {
+                None
+            } else {
+                Some(0)
+            }
+        } else {
+            q.msgs.iter().position(|m| m.mtype == mtype)
+        };
+        let msg = pos
+            .and_then(|p| q.msgs.remove(p))
+            .ok_or_else(|| Error::would_block("no matching message"))?;
+        self.clock.charge(aurora_sim::cost::ipc_copy(msg.data.len()));
+        Ok(msg)
+    }
+
+    /// Opens (creating if absent) a POSIX shared-memory object.
+    pub fn posix_shm_open(&mut self, name: &str, size: u64) -> Result<()> {
+        self.charge_syscall();
+        if let Some(shm) = self.posix_shms.get_mut(name) {
+            if shm.unlinked {
+                return Err(Error::not_found(format!("shm {name} unlinked")));
+            }
+            shm.open_refs += 1;
+            return Ok(());
+        }
+        if size == 0 || !size.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(Error::invalid(format!("posix shm size {size}")));
+        }
+        let object = self
+            .vm
+            .create_object(VmoKind::SharedMem, size / PAGE_SIZE as u64);
+        self.posix_shms.insert(
+            name.to_string(),
+            PosixShm {
+                object,
+                size,
+                unlinked: false,
+                open_refs: 1,
+            },
+        );
+        Ok(())
+    }
+
+    /// Maps an open POSIX shm object into `pid`.
+    pub fn posix_shm_map(&mut self, pid: Pid, name: &str) -> Result<u64> {
+        self.charge_syscall();
+        let (object, size) = {
+            let shm = self
+                .posix_shms
+                .get(name)
+                .ok_or_else(|| Error::not_found(format!("shm {name}")))?;
+            (shm.object, shm.size)
+        };
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or_else(|| Error::not_found(format!("pid {}", pid.0)))?;
+        self.vm
+            .map_object(&mut proc.map, object, 0, size, Prot::RW, true)
+    }
+
+    /// Drops an open reference (close of the shm fd).
+    pub fn posix_shm_close(&mut self, name: &str) {
+        let destroy = match self.posix_shms.get_mut(name) {
+            Some(shm) => {
+                shm.open_refs = shm.open_refs.saturating_sub(1);
+                shm.unlinked && shm.open_refs == 0
+            }
+            None => false,
+        };
+        if destroy {
+            if let Some(shm) = self.posix_shms.remove(name) {
+                self.vm.unref_object(shm.object);
+            }
+        }
+    }
+
+    /// Unlinks the name; the object survives while descriptions remain
+    /// open (the same edge case SLSFS handles for regular files).
+    pub fn posix_shm_unlink(&mut self, name: &str) -> Result<()> {
+        self.charge_syscall();
+        let destroy = {
+            let shm = self
+                .posix_shms
+                .get_mut(name)
+                .ok_or_else(|| Error::not_found(format!("shm {name}")))?;
+            shm.unlinked = true;
+            shm.open_refs == 0
+        };
+        if destroy {
+            if let Some(shm) = self.posix_shms.remove(name) {
+                self.vm.unref_object(shm.object);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_sim::SimClock;
+
+    #[test]
+    fn sysv_shm_is_shared_between_processes() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        k.shmget(100, 4096).unwrap();
+        let addr_a = k.shmat(a, 100).unwrap();
+        let addr_b = k.shmat(b, 100).unwrap();
+        k.mem_write(a, addr_a, b"shared!").unwrap();
+        let mut buf = [0u8; 7];
+        k.mem_read(b, addr_b, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared!");
+        assert_eq!(k.sysv_shms.get(&100).unwrap().nattch, 2);
+    }
+
+    #[test]
+    fn rmid_defers_destruction_until_last_detach() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let a = k.spawn("a");
+        k.shmget(5, 4096).unwrap();
+        let addr = k.shmat(a, 5).unwrap();
+        k.shm_rmid(5).unwrap();
+        assert!(k.sysv_shms.contains_key(&5), "still attached");
+        assert!(k.shmat(a, 5).is_err(), "no new attaches after rmid");
+        k.shmdt(a, 5, addr).unwrap();
+        assert!(!k.sysv_shms.contains_key(&5));
+    }
+
+    #[test]
+    fn msgq_fifo_and_type_selection() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        k.msgget(9).unwrap();
+        k.msgsnd(9, 1, b"first").unwrap();
+        k.msgsnd(9, 2, b"second").unwrap();
+        k.msgsnd(9, 1, b"third").unwrap();
+        let m = k.msgrcv(9, 2).unwrap();
+        assert_eq!(m.data, b"second");
+        let m = k.msgrcv(9, 0).unwrap();
+        assert_eq!(m.data, b"first");
+        let m = k.msgrcv(9, 0).unwrap();
+        assert_eq!(m.data, b"third");
+        assert!(k.msgrcv(9, 0).is_err());
+        assert!(k.msgsnd(9, 0, b"bad type").is_err());
+    }
+
+    #[test]
+    fn msgq_capacity() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        k.msgget(1).unwrap();
+        let big = vec![0u8; MSGMNB];
+        k.msgsnd(1, 1, &big).unwrap();
+        assert!(k.msgsnd(1, 1, b"x").is_err());
+    }
+
+    #[test]
+    fn posix_shm_unlink_while_open() {
+        let mut k = Kernel::boot(SimClock::new(), "t");
+        let p = k.spawn("p");
+        k.posix_shm_open("/cache", 4096).unwrap();
+        let addr = k.posix_shm_map(p, "/cache").unwrap();
+        k.mem_write(p, addr, b"live").unwrap();
+        k.posix_shm_unlink("/cache").unwrap();
+        // Object still usable through the mapping + open ref.
+        let mut buf = [0u8; 4];
+        k.mem_read(p, addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"live");
+        // New opens fail; closing the last ref destroys it.
+        assert!(k.posix_shm_open("/cache", 4096).is_err());
+        k.posix_shm_close("/cache");
+        assert!(!k.posix_shms.contains_key("/cache"));
+    }
+}

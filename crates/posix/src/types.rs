@@ -1,0 +1,136 @@
+//! Small kernel value types: identifiers, credentials, CPU and signal
+//! state.
+//!
+//! `CpuState` matters more than it looks: Aurora checkpoints restore "all
+//! state (i.e., CPU registers, OS state, and memory)". Simulated programs
+//! keep their control state in these registers (and in simulated memory),
+//! so a restored process provably resumes from where the checkpoint caught
+//! it rather than being re-run from the start.
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+/// Thread identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tid(pub u32);
+
+/// Credentials.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ucred {
+    /// Effective user id.
+    pub uid: u32,
+    /// Effective group id.
+    pub gid: u32,
+}
+
+/// Architectural state of one thread.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CpuState {
+    /// General-purpose registers.
+    pub regs: [u64; 16],
+    /// Program counter (simulated programs use it as a step cursor).
+    pub pc: u64,
+    /// Stack pointer.
+    pub sp: u64,
+    /// Flags register.
+    pub rflags: u64,
+    /// TLS base (fsbase on amd64).
+    pub fsbase: u64,
+}
+
+/// A thread.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// Thread id.
+    pub tid: Tid,
+    /// CPU state, captured/restored by checkpoints.
+    pub cpu: CpuState,
+}
+
+/// Disposition of one signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SigAction {
+    /// Default action.
+    #[default]
+    Default,
+    /// Ignore.
+    Ignore,
+    /// User handler at this (simulated) address.
+    Handler(u64),
+}
+
+/// Number of signals modelled.
+pub const NSIG: usize = 32;
+
+/// Per-process signal state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalState {
+    /// Pending-signal bitmask.
+    pub pending: u32,
+    /// Blocked-signal bitmask.
+    pub blocked: u32,
+    /// Handler table.
+    pub actions: [SigAction; NSIG],
+}
+
+impl Default for SignalState {
+    fn default() -> Self {
+        SignalState {
+            pending: 0,
+            blocked: 0,
+            actions: [SigAction::Default; NSIG],
+        }
+    }
+}
+
+impl SignalState {
+    /// Marks signal `sig` pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig >= NSIG` (kernel bug, not user input).
+    pub fn post(&mut self, sig: u32) {
+        assert!((sig as usize) < NSIG, "bad signal number");
+        self.pending |= 1 << sig;
+    }
+
+    /// Takes the lowest pending unblocked signal, if any.
+    pub fn take_pending(&mut self) -> Option<u32> {
+        let deliverable = self.pending & !self.blocked;
+        if deliverable == 0 {
+            return None;
+        }
+        let sig = deliverable.trailing_zeros();
+        self.pending &= !(1 << sig);
+        Some(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_post_and_take() {
+        let mut s = SignalState::default();
+        assert_eq!(s.take_pending(), None);
+        s.post(9);
+        s.post(2);
+        assert_eq!(s.take_pending(), Some(2));
+        assert_eq!(s.take_pending(), Some(9));
+        assert_eq!(s.take_pending(), None);
+    }
+
+    #[test]
+    fn blocked_signals_stay_pending() {
+        let mut s = SignalState {
+            blocked: 1 << 5,
+            ..SignalState::default()
+        };
+        s.post(5);
+        assert_eq!(s.take_pending(), None);
+        s.blocked = 0;
+        assert_eq!(s.take_pending(), Some(5));
+    }
+}

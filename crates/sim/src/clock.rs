@@ -1,0 +1,137 @@
+//! The shared virtual clock.
+//!
+//! Every simulated component holds an `Arc<SimClock>` and *charges* the
+//! virtual cost of its work with [`SimClock::charge`]. Code that needs to
+//! wait for an asynchronous completion (e.g. a device flush finishing in
+//! the background) advances the clock to the completion instant with
+//! [`SimClock::advance_to`].
+//!
+//! The clock is an atomic so the benchmark harness can observe it from
+//! reporting threads, but the simulation itself is single-threaded and
+//! deterministic.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically advancing virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use aurora_sim::{SimClock, time::SimDuration};
+///
+/// let clock = SimClock::new();
+/// clock.charge(SimDuration::from_micros(10));   // work costs time
+/// assert_eq!(clock.now().as_nanos(), 10_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now_ns: AtomicU64,
+}
+
+impl SimClock {
+    /// Creates a clock at `T+0`.
+    pub fn new() -> Arc<SimClock> {
+        Arc::new(SimClock {
+            now_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Returns the current virtual instant.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock by `d`, charging the cost of some work.
+    pub fn charge(&self, d: SimDuration) {
+        self.now_ns.fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; otherwise no-op.
+    ///
+    /// Used to wait for asynchronous completions: if the completion already
+    /// happened "in the past", waiting is free.
+    pub fn advance_to(&self, t: SimTime) {
+        self.now_ns.fetch_max(t.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Measures the virtual time consumed by `f`.
+    pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (R, SimDuration) {
+        let start = self.now();
+        let r = f();
+        (r, self.now().since(start))
+    }
+}
+
+/// A scoped stopwatch over the virtual clock.
+///
+/// Handy for building the per-phase breakdowns the paper's tables report.
+pub struct Stopwatch<'c> {
+    clock: &'c SimClock,
+    start: SimTime,
+}
+
+impl<'c> Stopwatch<'c> {
+    /// Starts a stopwatch at the current instant.
+    pub fn start(clock: &'c SimClock) -> Self {
+        Stopwatch {
+            clock,
+            start: clock.now(),
+        }
+    }
+
+    /// Virtual time elapsed since the stopwatch started.
+    pub fn elapsed(&self) -> SimDuration {
+        self.clock.now().since(self.start)
+    }
+
+    /// Restarts the stopwatch and returns the time elapsed up to now —
+    /// the lap pattern used to split a sequence into phases.
+    pub fn lap(&mut self) -> SimDuration {
+        let now = self.clock.now();
+        let d = now.since(self.start);
+        self.start = now;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_advance() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.charge(SimDuration::from_micros(5));
+        assert_eq!(c.now().as_nanos(), 5_000);
+        c.advance_to(SimTime::from_nanos(2_000)); // in the past: no-op
+        assert_eq!(c.now().as_nanos(), 5_000);
+        c.advance_to(SimTime::from_nanos(9_000));
+        assert_eq!(c.now().as_nanos(), 9_000);
+    }
+
+    #[test]
+    fn stopwatch_laps() {
+        let c = SimClock::new();
+        let mut sw = Stopwatch::start(&c);
+        c.charge(SimDuration::from_nanos(10));
+        assert_eq!(sw.lap().as_nanos(), 10);
+        c.charge(SimDuration::from_nanos(7));
+        assert_eq!(sw.lap().as_nanos(), 7);
+        assert_eq!(sw.elapsed().as_nanos(), 0);
+    }
+
+    #[test]
+    fn measure_reports_consumption() {
+        let c = SimClock::new();
+        let (v, d) = c.measure(|| {
+            c.charge(SimDuration::from_micros(3));
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(d.as_micros(), 3);
+    }
+}

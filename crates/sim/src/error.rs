@@ -1,0 +1,182 @@
+//! The common error type shared by every Aurora crate.
+//!
+//! The simulated kernel follows the errno discipline of a real kernel:
+//! operations return `Result<T, Error>` and the error carries both a
+//! POSIX-flavoured kind and a human-readable context string.
+
+use core::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T, E = Error> = core::result::Result<T, E>;
+
+/// Error kinds, a blend of errno values and simulator-specific failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// No such object/process/file (ENOENT / ESRCH).
+    NotFound,
+    /// Object already exists (EEXIST).
+    AlreadyExists,
+    /// Invalid argument (EINVAL).
+    InvalidArgument,
+    /// Bad file descriptor (EBADF).
+    BadDescriptor,
+    /// Operation not permitted (EPERM).
+    NotPermitted,
+    /// Out of memory or address space (ENOMEM).
+    NoMemory,
+    /// Device or store out of space (ENOSPC).
+    NoSpace,
+    /// Access fault (EFAULT) — bad simulated address.
+    Fault,
+    /// Would block (EAGAIN) — empty pipe, full buffer.
+    WouldBlock,
+    /// Broken pipe / reset connection (EPIPE / ECONNRESET).
+    BrokenPipe,
+    /// Not connected / not bound (ENOTCONN).
+    NotConnected,
+    /// Directory not empty (ENOTEMPTY).
+    NotEmpty,
+    /// Is a directory (EISDIR).
+    IsDirectory,
+    /// Not a directory (ENOTDIR).
+    NotDirectory,
+    /// Cross-device operation (EXDEV).
+    CrossDevice,
+    /// I/O error from a device (EIO).
+    Io,
+    /// Device is powered off or failed.
+    DeviceDead,
+    /// Data failed checksum verification.
+    Corrupt,
+    /// Checkpoint/restore format problem.
+    BadImage,
+    /// Feature intentionally unsupported by the simulator.
+    Unsupported,
+    /// Internal invariant violated (a simulator bug).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Short lowercase name, errno-style.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::NotFound => "not found",
+            ErrorKind::AlreadyExists => "already exists",
+            ErrorKind::InvalidArgument => "invalid argument",
+            ErrorKind::BadDescriptor => "bad descriptor",
+            ErrorKind::NotPermitted => "not permitted",
+            ErrorKind::NoMemory => "out of memory",
+            ErrorKind::NoSpace => "out of space",
+            ErrorKind::Fault => "bad address",
+            ErrorKind::WouldBlock => "would block",
+            ErrorKind::BrokenPipe => "broken pipe",
+            ErrorKind::NotConnected => "not connected",
+            ErrorKind::NotEmpty => "directory not empty",
+            ErrorKind::IsDirectory => "is a directory",
+            ErrorKind::NotDirectory => "not a directory",
+            ErrorKind::CrossDevice => "cross-device operation",
+            ErrorKind::Io => "i/o error",
+            ErrorKind::DeviceDead => "device dead",
+            ErrorKind::Corrupt => "corrupt data",
+            ErrorKind::BadImage => "bad checkpoint image",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Internal => "internal error",
+        }
+    }
+}
+
+/// An error with kind and context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    kind: ErrorKind,
+    context: String,
+}
+
+impl Error {
+    /// Creates an error with context.
+    pub fn new(kind: ErrorKind, context: impl Into<String>) -> Self {
+        Error {
+            kind,
+            context: context.into(),
+        }
+    }
+
+    /// The error kind.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The context message.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.context.is_empty() {
+            write!(f, "{}", self.kind.as_str())
+        } else {
+            write!(f, "{}: {}", self.kind.as_str(), self.context)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ErrorKind> for Error {
+    fn from(kind: ErrorKind) -> Self {
+        Error {
+            kind,
+            context: String::new(),
+        }
+    }
+}
+
+/// Shorthand constructors, used pervasively in the kernel code.
+macro_rules! ctor {
+    ($($fn_name:ident => $kind:ident),* $(,)?) => {
+        impl Error {
+            $(
+                #[doc = concat!("Creates an `ErrorKind::", stringify!($kind), "` error.")]
+                pub fn $fn_name(context: impl Into<String>) -> Error {
+                    Error::new(ErrorKind::$kind, context)
+                }
+            )*
+        }
+    };
+}
+
+ctor! {
+    not_found => NotFound,
+    already_exists => AlreadyExists,
+    invalid => InvalidArgument,
+    bad_fd => BadDescriptor,
+    not_permitted => NotPermitted,
+    no_memory => NoMemory,
+    no_space => NoSpace,
+    fault => Fault,
+    would_block => WouldBlock,
+    broken_pipe => BrokenPipe,
+    not_connected => NotConnected,
+    io => Io,
+    device_dead => DeviceDead,
+    corrupt => Corrupt,
+    bad_image => BadImage,
+    unsupported => Unsupported,
+    internal => Internal,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::not_found("pid 42");
+        assert_eq!(e.kind(), ErrorKind::NotFound);
+        assert_eq!(e.to_string(), "not found: pid 42");
+        let bare: Error = ErrorKind::Io.into();
+        assert_eq!(bare.to_string(), "i/o error");
+    }
+}

@@ -1,0 +1,132 @@
+//! Content hashing and on-disk checksums.
+//!
+//! Two distinct needs, two distinct functions:
+//!
+//! * [`fnv64`] / [`Fnv64`] — fast 64-bit content hashing used by the object
+//!   store's page-deduplication index. Collisions are tolerable there (the
+//!   store verifies candidate pages byte-for-byte before sharing).
+//! * [`crc32c`] — the Castagnoli CRC used to checksum every on-disk record
+//!   (superblocks, journal entries, checkpoint manifests) so that torn or
+//!   corrupted writes are detected during crash recovery.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `data` with FNV-1a (64-bit).
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut h = self.0;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Feeds a little-endian u64 into the hash.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Returns the hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// CRC-32C (Castagnoli) polynomial, reflected.
+const CRC32C_POLY: u32 = 0x82F6_3B78;
+
+/// Lazily built 8-bit lookup table for CRC-32C.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ CRC32C_POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32C checksum of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Reference values for FNV-1a 64.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv_incremental_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 appendix B.4 test vectors.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flip() {
+        let mut data = vec![7u8; 128];
+        let before = crc32c(&data);
+        data[64] ^= 0x10;
+        assert_ne!(before, crc32c(&data));
+    }
+}

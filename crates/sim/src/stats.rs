@@ -1,0 +1,255 @@
+//! Counters and latency histograms.
+//!
+//! The benchmark harness reports per-phase breakdowns (Tables 3–4) and
+//! latency distributions (the frequency-sweep and KV-port experiments).
+//! [`LogHistogram`] is a log-bucketed histogram in the HDR style: each
+//! power-of-two range is split into 16 linear sub-buckets, giving ≤6.25%
+//! relative error across the full `u64` range with a small fixed footprint.
+
+use crate::time::SimDuration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero and returns the previous value.
+    pub fn take(&mut self) -> u64 {
+        core::mem::take(&mut self.0)
+    }
+}
+
+const SUB_BUCKET_BITS: u32 = 4;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// 64 power-of-two ranges × 16 sub-buckets.
+const NUM_BUCKETS: usize = 64 * SUB_BUCKETS;
+
+/// Log-bucketed histogram over `u64` samples (typically nanoseconds).
+#[derive(Clone)]
+pub struct LogHistogram {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BUCKET_BITS;
+        let sub = ((v >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((msb - SUB_BUCKET_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    fn bucket_low(idx: usize) -> u64 {
+        let range = idx / SUB_BUCKETS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        if range == 0 {
+            return sub;
+        }
+        let shift = (range - 1) as u32;
+        ((SUB_BUCKETS as u64) << shift) | (sub << shift)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a virtual duration in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (lower bucket bound).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_low(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantile_error_bounded() {
+        let mut h = LogHistogram::new();
+        // Uniform values 1..100_000.
+        for v in 1..100_000u64 {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = (q * 100_000.0) as u64;
+            let approx = h.quantile(q);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.07, "q={q} exact={exact} approx={approx}");
+        }
+    }
+
+    #[test]
+    fn mean_and_merge() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        a.record(20);
+        b.record(30);
+        b.record(40);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 25.0).abs() < f64::EPSILON);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 40);
+    }
+
+    #[test]
+    fn counter_take() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5) >= u64::MAX / 2, "overflow bucket");
+    }
+}

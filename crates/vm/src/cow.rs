@@ -1,0 +1,291 @@
+//! Checkpoint epochs: arming pages and collecting dirty sets.
+//!
+//! At a serialization barrier the orchestrator calls [`begin_epoch`] over
+//! the address spaces of a persistence group. For every page that must be
+//! part of the checkpoint — all resident pages for a *full* checkpoint,
+//! only pages written since the previous checkpoint for an *incremental*
+//! one — the page is **armed**: its frame gains a reference (freezing the
+//! contents; the next write triggers Aurora COW) and one page-table
+//! manipulation cost is charged. This charge is precisely the paper's
+//! "lazy data copy" line in Table 3: for a 2 GiB working set a full
+//! checkpoint arms 524 288 pages (~5 ms) while an incremental one arms
+//! only the recent dirty set (<1 ms).
+//!
+//! The collected [`EpochPlan`] hands the frozen frames to the flusher,
+//! which writes them out asynchronously and then releases them via
+//! [`release_flushed`]. A page is therefore never flushed twice, even
+//! when shared by many processes: objects are visited once per plan.
+
+use std::collections::HashSet;
+
+use aurora_sim::cost;
+use aurora_sim::time::SimDuration;
+
+use crate::frame::FrameId;
+use crate::map::VmMap;
+use crate::object::VmoId;
+use crate::page::PAGE_SIZE;
+use crate::Vm;
+
+/// One frozen page awaiting flush.
+#[derive(Debug, Clone, Copy)]
+pub struct FlushPage {
+    /// The object the page belongs to.
+    pub object: VmoId,
+    /// Page index within the object.
+    pub page_idx: u64,
+    /// The frozen frame (holds one reference owned by the plan).
+    pub frame: FrameId,
+}
+
+/// The result of arming a checkpoint epoch.
+#[derive(Debug, Default)]
+pub struct EpochPlan {
+    /// Epoch number this checkpoint captured.
+    pub epoch: u64,
+    /// Pages armed (PTE manipulations performed).
+    pub armed_pages: u64,
+    /// Frozen pages to flush, with one frame reference each.
+    pub flush: Vec<FlushPage>,
+    /// Objects visited (for metadata serialization bookkeeping).
+    pub objects: Vec<VmoId>,
+}
+
+impl EpochPlan {
+    /// Total bytes the flusher will write for page data.
+    pub fn flush_bytes(&self) -> u64 {
+        self.flush.len() as u64 * PAGE_SIZE as u64
+    }
+}
+
+/// Selects which pages a checkpoint captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Capture {
+    /// Every resident page (full checkpoint).
+    Full,
+    /// Pages with `write_epoch >= since` (incremental checkpoint).
+    DirtySince(u64),
+}
+
+/// Arms a checkpoint epoch across the given address spaces.
+///
+/// Visits each reachable VM object exactly once (shared objects are not
+/// double-captured), arms the selected pages, bumps `vm.epoch`, and
+/// returns the flush plan. Regions excluded via `sls_mctl` are skipped.
+pub fn begin_epoch(vm: &mut Vm, maps: &[&VmMap], capture: Capture) -> EpochPlan {
+    let mut plan = EpochPlan {
+        epoch: vm.epoch,
+        ..EpochPlan::default()
+    };
+    let mut visited: HashSet<VmoId> = HashSet::new();
+
+    for map in maps {
+        for entry in map.entries() {
+            if entry.policy.exclude {
+                continue;
+            }
+            // Walk the whole shadow chain: backing objects hold the
+            // deduplicated history and must be captured (once) too.
+            let mut cur = Some(entry.object);
+            while let Some(oid) = cur {
+                if !visited.insert(oid) {
+                    break; // Chain tail already captured via another path.
+                }
+                plan.objects.push(oid);
+                arm_object(vm, oid, capture, &mut plan);
+                cur = vm.object(oid).backing.map(|(b, _)| b);
+            }
+        }
+    }
+
+    vm.stats.pages_armed += plan.armed_pages;
+    vm.clock.charge(SimDuration::from_nanos(
+        plan.armed_pages * cost::PTE_COW_ARM_NS,
+    ));
+    vm.epoch += 1;
+    plan
+}
+
+/// Arms the selected pages of one object.
+fn arm_object(vm: &mut Vm, oid: VmoId, capture: Capture, plan: &mut EpochPlan) {
+    // Collect first to keep the borrow checker happy; objects in the plan
+    // are typically a tiny fraction of the page count.
+    let selected: Vec<(u64, FrameId)> = {
+        let obj = vm.object(oid);
+        match capture {
+            Capture::Full => obj.pages.iter().map(|(i, p)| (*i, p.frame)).collect(),
+            Capture::DirtySince(since) => obj
+                .dirty_since(since)
+                .map(|(i, p)| (i, p.frame))
+                .collect(),
+        }
+    };
+    for (idx, frame) in selected {
+        vm.frames.ref_frame(frame);
+        let page = vm
+            .object_mut(oid)
+            .pages
+            .get_mut(&idx)
+            .expect("page listed above is resident");
+        page.cow_protected = true;
+        plan.armed_pages += 1;
+        plan.flush.push(FlushPage {
+            object: oid,
+            page_idx: idx,
+            frame,
+        });
+    }
+}
+
+/// Releases the plan's frame references after the flusher is done.
+pub fn release_flushed(vm: &mut Vm, plan: &EpochPlan) {
+    for fp in &plan.flush {
+        vm.frames.unref(fp.frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{Prot, SlsPolicy};
+    use aurora_sim::SimClock;
+
+    const P: u64 = PAGE_SIZE as u64;
+
+    #[test]
+    fn full_captures_all_resident_pages() {
+        let mut vm = Vm::new(SimClock::new());
+        let mut map = VmMap::new();
+        let a = vm.map_anonymous(&mut map, 8 * P, Prot::RW, false).unwrap();
+        vm.touch_seeded(&mut map, a, 8 * P, 1).unwrap();
+        let plan = begin_epoch(&mut vm, &[&map], Capture::Full);
+        assert_eq!(plan.armed_pages, 8);
+        assert_eq!(plan.flush.len(), 8);
+        release_flushed(&mut vm, &plan);
+        vm.destroy_map(&mut map);
+        assert_eq!(vm.frames.allocated(), 0, "no leaked frames");
+    }
+
+    #[test]
+    fn incremental_captures_only_dirty_pages() {
+        let mut vm = Vm::new(SimClock::new());
+        let mut map = VmMap::new();
+        let a = vm.map_anonymous(&mut map, 8 * P, Prot::RW, false).unwrap();
+        vm.touch_seeded(&mut map, a, 8 * P, 1).unwrap();
+
+        // Full checkpoint captures everything.
+        let full = begin_epoch(&mut vm, &[&map], Capture::Full);
+        assert_eq!(full.armed_pages, 8);
+        let next_since = full.epoch + 1;
+        release_flushed(&mut vm, &full);
+
+        // Dirty two pages; incremental captures exactly those.
+        vm.copyout(&mut map, a, b"dirty").unwrap();
+        vm.copyout(&mut map, a + 5 * P, b"dirty").unwrap();
+        let incr = begin_epoch(&mut vm, &[&map], Capture::DirtySince(next_since));
+        assert_eq!(incr.armed_pages, 2);
+        release_flushed(&mut vm, &incr);
+
+        // Nothing dirtied since: empty plan.
+        let incr2 = begin_epoch(&mut vm, &[&map], Capture::DirtySince(incr.epoch + 1));
+        assert_eq!(incr2.armed_pages, 0);
+        release_flushed(&mut vm, &incr2);
+        vm.destroy_map(&mut map);
+    }
+
+    #[test]
+    fn same_page_never_flushed_twice_for_shared_memory() {
+        // Two maps share one object; the plan must include its pages once.
+        let mut vm = Vm::new(SimClock::new());
+        let mut m1 = VmMap::new();
+        let a = vm.map_anonymous(&mut m1, 4 * P, Prot::RW, true).unwrap();
+        vm.touch_seeded(&mut m1, a, 4 * P, 2).unwrap();
+        let obj = m1.find(a).unwrap().object;
+        let mut m2 = VmMap::new();
+        vm.map_object(&mut m2, obj, 0, 4 * P, Prot::RW, true).unwrap();
+
+        let plan = begin_epoch(&mut vm, &[&m1, &m2], Capture::Full);
+        assert_eq!(plan.armed_pages, 4, "shared object captured once");
+        release_flushed(&mut vm, &plan);
+        vm.destroy_map(&mut m1);
+        vm.destroy_map(&mut m2);
+    }
+
+    #[test]
+    fn excluded_regions_are_skipped() {
+        let mut vm = Vm::new(SimClock::new());
+        let mut map = VmMap::new();
+        let a = vm.map_anonymous(&mut map, 2 * P, Prot::RW, false).unwrap();
+        let b = vm.map_anonymous(&mut map, 2 * P, Prot::RW, false).unwrap();
+        vm.touch_seeded(&mut map, a, 2 * P, 1).unwrap();
+        vm.touch_seeded(&mut map, b, 2 * P, 2).unwrap();
+        vm.set_policy(
+            &mut map,
+            b,
+            SlsPolicy {
+                exclude: true,
+                ..SlsPolicy::default()
+            },
+        )
+        .unwrap();
+        let plan = begin_epoch(&mut vm, &[&map], Capture::Full);
+        assert_eq!(plan.armed_pages, 2, "excluded region not captured");
+        release_flushed(&mut vm, &plan);
+        vm.destroy_map(&mut map);
+    }
+
+    #[test]
+    fn armed_pages_survive_writes_with_original_contents() {
+        let mut vm = Vm::new(SimClock::new());
+        let mut map = VmMap::new();
+        let a = vm.map_anonymous(&mut map, P, Prot::RW, false).unwrap();
+        vm.copyout(&mut map, a, b"checkpoint-me").unwrap();
+        let plan = begin_epoch(&mut vm, &[&map], Capture::Full);
+        // Application keeps writing after the barrier.
+        vm.copyout(&mut map, a, b"post-barrier!").unwrap();
+        // The frozen frame still holds the checkpoint-time contents.
+        let frozen = plan.flush[0].frame;
+        let mut buf = [0u8; 13];
+        vm.frames.data(frozen).read(0, &mut buf);
+        assert_eq!(&buf, b"checkpoint-me");
+        release_flushed(&mut vm, &plan);
+        vm.destroy_map(&mut map);
+        assert_eq!(vm.frames.allocated(), 0);
+    }
+
+    #[test]
+    fn arming_charges_pte_costs() {
+        let clock = SimClock::new();
+        let mut vm = Vm::new(clock.clone());
+        let mut map = VmMap::new();
+        let a = vm.map_anonymous(&mut map, 64 * P, Prot::RW, false).unwrap();
+        vm.touch_seeded(&mut map, a, 64 * P, 3).unwrap();
+        let before = clock.now();
+        let plan = begin_epoch(&mut vm, &[&map], Capture::Full);
+        let cost_ns = clock.now().since(before).as_nanos();
+        assert_eq!(cost_ns, 64 * cost::PTE_COW_ARM_NS);
+        release_flushed(&mut vm, &plan);
+        vm.destroy_map(&mut map);
+    }
+
+    #[test]
+    fn shadow_chain_objects_are_captured() {
+        // After a fork + child write, the child's shadow holds the new
+        // page and the original object holds the old one; a full capture
+        // of the child must include both.
+        let mut vm = Vm::new(SimClock::new());
+        let mut parent = VmMap::new();
+        let a = vm.map_anonymous(&mut parent, 2 * P, Prot::RW, false).unwrap();
+        vm.touch_seeded(&mut parent, a, 2 * P, 9).unwrap();
+        let mut child = vm.fork_map(&mut parent);
+        vm.copyout(&mut child, a, b"child!").unwrap();
+
+        let plan = begin_epoch(&mut vm, &[&child], Capture::Full);
+        // Child shadow has 1 resident page, backing has 2.
+        assert_eq!(plan.armed_pages, 3);
+        assert_eq!(plan.objects.len(), 2);
+        release_flushed(&mut vm, &plan);
+        vm.destroy_map(&mut child);
+        vm.destroy_map(&mut parent);
+    }
+}

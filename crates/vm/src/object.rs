@@ -1,0 +1,175 @@
+//! VM objects and shadow chains.
+//!
+//! A VM object is a container of pages: an anonymous region, a file's page
+//! cache, or a *shadow* — the Mach mechanism behind fork's copy-on-write,
+//! where a small object holding only the privately modified pages sits in
+//! front of a larger backing object. Aurora's checkpointer walks these
+//! chains verbatim, and the restore path rebuilds them exactly, which is
+//! how the paper "faithfully reproduces the entire memory hierarchy to
+//! preserve page deduplication".
+
+use std::collections::BTreeMap;
+
+use crate::frame::FrameId;
+use crate::pager::PagerId;
+
+/// Identifier of a VM object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmoId(pub(crate) u32);
+
+impl VmoId {
+    /// Raw index (stable within a VM instance; used by serializers).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an id from a raw index (restore path).
+    pub fn from_index(i: u32) -> VmoId {
+        VmoId(i)
+    }
+}
+
+/// What kind of memory an object represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmoKind {
+    /// Anonymous (heap, stack, private mappings).
+    Anonymous,
+    /// A shadow object created by a fork-style COW split.
+    Shadow,
+    /// Named shared memory (SysV/POSIX shm keep their pages here).
+    SharedMem,
+    /// File-backed (the page cache of a vnode).
+    Vnode {
+        /// Opaque file identity assigned by the VFS layer.
+        file_id: u64,
+    },
+}
+
+/// A page resident in an object.
+#[derive(Debug, Clone, Copy)]
+pub struct ResidentPage {
+    /// The physical frame holding the contents.
+    pub frame: FrameId,
+    /// Checkpoint epoch of the last write to this page.
+    pub write_epoch: u64,
+    /// Whether the page is write-protected for checkpoint COW.
+    pub cow_protected: bool,
+    /// Reference bit for the clock algorithm.
+    pub referenced: bool,
+    /// Accumulated access count (heat) for restore prefetch ordering.
+    pub heat: u32,
+}
+
+/// A frame frozen at checkpoint time, awaiting flush.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenPage {
+    /// Page index within the object.
+    pub page_idx: u64,
+    /// The frozen frame (holds one reference).
+    pub frame: FrameId,
+    /// The epoch of the checkpoint that froze it.
+    pub epoch: u64,
+}
+
+/// A VM object.
+#[derive(Debug)]
+pub struct VmObject {
+    /// Machine-unique identity (never reused, unlike `VmoId` slots).
+    /// Checkpoint code keys its VM-object → store-object mapping by this.
+    pub uid: u64,
+    /// Object kind.
+    pub kind: VmoKind,
+    /// Resident pages by page index.
+    pub pages: BTreeMap<u64, ResidentPage>,
+    /// Shadow/backing link: `(object, page offset into backing)`.
+    pub backing: Option<(VmoId, u64)>,
+    /// Reference count (map entries + shadow children + kernel refs).
+    pub refs: u32,
+    /// Size in pages.
+    pub size_pages: u64,
+    /// Pager supplying non-resident pages (swap / lazy restore), with the
+    /// key the pager uses to identify this object's backing store.
+    pub pager: Option<(PagerId, u64)>,
+    /// Frames frozen by an in-flight checkpoint, not yet flushed.
+    pub frozen: Vec<FrozenPage>,
+}
+
+impl VmObject {
+    /// Creates an object with one reference and no pages. The `uid` is
+    /// assigned by [`crate::Vm::create_object`].
+    pub fn new(kind: VmoKind, size_pages: u64) -> Self {
+        VmObject {
+            uid: 0,
+            kind,
+            pages: BTreeMap::new(),
+            backing: None,
+            refs: 1,
+            size_pages,
+            pager: None,
+            frozen: Vec::new(),
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Looks up a resident page.
+    pub fn page(&self, idx: u64) -> Option<&ResidentPage> {
+        self.pages.get(&idx)
+    }
+
+    /// Inserts (or replaces) a resident page entry.
+    ///
+    /// The caller manages frame reference counts.
+    pub fn insert_page(&mut self, idx: u64, page: ResidentPage) -> Option<ResidentPage> {
+        self.pages.insert(idx, page)
+    }
+
+    /// Pages whose `write_epoch` is at least `since` (the incremental
+    /// checkpoint dirty set).
+    pub fn dirty_since(&self, since: u64) -> impl Iterator<Item = (u64, &ResidentPage)> {
+        self.pages
+            .iter()
+            .filter(move |(_, p)| p.write_epoch >= since)
+            .map(|(idx, p)| (*idx, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rp(frame: u32, epoch: u64) -> ResidentPage {
+        ResidentPage {
+            frame: FrameId(frame),
+            write_epoch: epoch,
+            cow_protected: false,
+            referenced: false,
+            heat: 0,
+        }
+    }
+
+    #[test]
+    fn dirty_since_filters_by_epoch() {
+        let mut o = VmObject::new(VmoKind::Anonymous, 16);
+        o.insert_page(0, rp(0, 1));
+        o.insert_page(1, rp(1, 3));
+        o.insert_page(2, rp(2, 5));
+        let dirty: Vec<u64> = o.dirty_since(3).map(|(i, _)| i).collect();
+        assert_eq!(dirty, vec![1, 2]);
+        assert_eq!(o.dirty_since(6).count(), 0);
+        assert_eq!(o.dirty_since(0).count(), 3);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut o = VmObject::new(VmoKind::Anonymous, 4);
+        assert!(o.insert_page(0, rp(0, 1)).is_none());
+        let old = o.insert_page(0, rp(7, 2)).unwrap();
+        assert_eq!(old.frame, FrameId(0));
+        assert_eq!(o.resident(), 1);
+        assert_eq!(o.page(0).unwrap().frame, FrameId(7));
+    }
+}

@@ -1,0 +1,86 @@
+//! The backing-store (pager) interface.
+//!
+//! A pager supplies pages that are not resident and absorbs pages evicted
+//! under memory pressure. Two implementations matter in Aurora:
+//!
+//! * the **swap pager** (integrated with the object store), and
+//! * the **lazy-restore pager**: after a restore, application memory is
+//!   effectively swapped out into the checkpoint image and faulted in on
+//!   demand — the mechanism behind Aurora's sub-millisecond restores.
+//!
+//! Both live in higher-level crates; this module defines the interface
+//! plus an in-memory test pager.
+
+use aurora_sim::error::Result;
+
+use crate::page::PageData;
+
+/// Identifier of a registered pager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PagerId(pub(crate) u32);
+
+/// Supplies and absorbs non-resident pages for VM objects.
+///
+/// `key` identifies the object within the pager's backing store (assigned
+/// when the object is bound to the pager).
+pub trait Pager {
+    /// Fetches page `idx` of object `key`, charging device costs.
+    fn page_in(&mut self, key: u64, idx: u64) -> Result<PageData>;
+
+    /// Writes back page `idx` of object `key` (eviction path).
+    fn page_out(&mut self, key: u64, idx: u64, data: &PageData) -> Result<()>;
+
+    /// True if the pager holds data for page `idx` of `key`.
+    fn has_page(&self, key: u64, idx: u64) -> bool;
+
+    /// True when several VM objects (e.g. sibling instances restored
+    /// from one checkpoint image) share this pager. Shared pagers are
+    /// read-mostly: eviction never writes dirty pages back through them
+    /// (a write would be visible to every sibling).
+    fn shared(&self) -> bool {
+        false
+    }
+}
+
+/// A trivial in-memory pager for tests.
+#[derive(Debug, Default)]
+pub struct MemPager {
+    pages: std::collections::HashMap<(u64, u64), PageData>,
+    /// Number of page-ins served (test observability).
+    pub ins: u64,
+    /// Number of page-outs absorbed.
+    pub outs: u64,
+}
+
+impl MemPager {
+    /// Creates an empty pager.
+    pub fn new() -> Self {
+        MemPager::default()
+    }
+
+    /// Pre-populates a page (simulating an existing image).
+    pub fn preload(&mut self, key: u64, idx: u64, data: PageData) {
+        self.pages.insert((key, idx), data);
+    }
+}
+
+impl Pager for MemPager {
+    fn page_in(&mut self, key: u64, idx: u64) -> Result<PageData> {
+        self.ins += 1;
+        Ok(self
+            .pages
+            .get(&(key, idx))
+            .cloned()
+            .unwrap_or(PageData::Zero))
+    }
+
+    fn page_out(&mut self, key: u64, idx: u64, data: &PageData) -> Result<()> {
+        self.outs += 1;
+        self.pages.insert((key, idx), data.clone());
+        Ok(())
+    }
+
+    fn has_page(&self, key: u64, idx: u64) -> bool {
+        self.pages.contains_key(&(key, idx))
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests: the VM subsystem against a flat reference memory.
+//!
+//! Random sequences of writes, reads, forks, checkpoint armings and
+//! flush releases must never let any address space observe bytes that
+//! differ from an independently maintained per-process byte array —
+//! that is, COW in all its forms (fork shadows, Aurora checkpoint COW)
+//! must be invisible to the programs.
+
+use std::collections::HashMap;
+
+use aurora_sim::SimClock;
+use aurora_vm::cow::{begin_epoch, release_flushed, Capture};
+use aurora_vm::{Prot, Vm, VmMap, PAGE_SIZE};
+use proptest::prelude::*;
+
+const REGION_PAGES: u64 = 8;
+const REGION: u64 = REGION_PAGES * PAGE_SIZE as u64;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write bytes at (proc, offset).
+    Write { proc: u8, off: u16, val: u8, len: u8 },
+    /// Verify a read at (proc, offset).
+    Read { proc: u8, off: u16, len: u8 },
+    /// Fork process `proc` (up to 4 processes).
+    Fork { proc: u8 },
+    /// Arm a checkpoint epoch over every map (full or incremental).
+    Checkpoint { full: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u8..4, 0u16..(REGION as u16 - 64), any::<u8>(), 1u8..64)
+            .prop_map(|(proc, off, val, len)| Op::Write { proc, off, val, len }),
+        4 => (0u8..4, 0u16..(REGION as u16 - 64), 1u8..64)
+            .prop_map(|(proc, off, len)| Op::Read { proc, off, len }),
+        1 => (0u8..4).prop_map(|proc| Op::Fork { proc }),
+        1 => any::<bool>().prop_map(|full| Op::Checkpoint { full }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vm_matches_reference_memory(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut vm = Vm::new(SimClock::new());
+        let mut maps: Vec<VmMap> = Vec::new();
+        let mut reference: Vec<Vec<u8>> = Vec::new();
+        let mut plans = Vec::new();
+
+        // Process 0 exists from the start.
+        let mut m0 = VmMap::new();
+        let base = vm.map_anonymous(&mut m0, REGION, Prot::RW, false).unwrap();
+        maps.push(m0);
+        reference.push(vec![0u8; REGION as usize]);
+
+        let mut since: u64 = 0;
+        for op in ops {
+            match op {
+                Op::Write { proc, off, val, len } => {
+                    let p = (proc as usize) % maps.len();
+                    let data = vec![val; len as usize];
+                    vm.copyout(&mut maps[p], base + off as u64, &data).unwrap();
+                    reference[p][off as usize..off as usize + len as usize]
+                        .copy_from_slice(&data);
+                }
+                Op::Read { proc, off, len } => {
+                    let p = (proc as usize) % maps.len();
+                    let mut buf = vec![0u8; len as usize];
+                    vm.copyin(&mut maps[p], base + off as u64, &mut buf).unwrap();
+                    prop_assert_eq!(
+                        &buf[..],
+                        &reference[p][off as usize..off as usize + len as usize],
+                        "proc {} at {}", p, off
+                    );
+                }
+                Op::Fork { proc } => {
+                    if maps.len() >= 4 {
+                        continue;
+                    }
+                    let p = (proc as usize) % maps.len();
+                    let child = {
+                        let parent = &mut maps[p];
+                        vm.fork_map(parent)
+                    };
+                    maps.push(child);
+                    let snapshot = reference[p].clone();
+                    reference.push(snapshot);
+                }
+                Op::Checkpoint { full } => {
+                    let refs: Vec<&VmMap> = maps.iter().collect();
+                    let capture = if full { Capture::Full } else { Capture::DirtySince(since) };
+                    let plan = begin_epoch(&mut vm, &refs, capture);
+                    since = plan.epoch + 1;
+                    plans.push(plan);
+                    // Release an old plan half the time (flush finished).
+                    if plans.len() > 1 {
+                        let old = plans.remove(0);
+                        release_flushed(&mut vm, &old);
+                    }
+                }
+            }
+        }
+
+        // Full final verification of every address space.
+        for (p, map) in maps.iter_mut().enumerate() {
+            let mut buf = vec![0u8; REGION as usize];
+            vm.copyin(map, base, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &reference[p], "final state of proc {}", p);
+        }
+
+        // Teardown leaks nothing.
+        for plan in plans {
+            release_flushed(&mut vm, &plan);
+        }
+        for map in maps.iter_mut() {
+            vm.destroy_map(map);
+        }
+        prop_assert_eq!(vm.frames.allocated(), 0, "leaked frames");
+        prop_assert_eq!(vm.live_objects(), 0, "leaked objects");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Checkpoint plans always capture exactly the content at arming
+    /// time, regardless of writes that race the flush.
+    #[test]
+    fn armed_frames_preserve_checkpoint_contents(
+        writes in proptest::collection::vec((0u64..REGION_PAGES, any::<u8>()), 1..20),
+        post in proptest::collection::vec((0u64..REGION_PAGES, any::<u8>()), 1..20),
+    ) {
+        let mut vm = Vm::new(SimClock::new());
+        let mut map = VmMap::new();
+        let base = vm.map_anonymous(&mut map, REGION, Prot::RW, false).unwrap();
+        for (page, val) in &writes {
+            vm.copyout(&mut map, base + page * PAGE_SIZE as u64, &[*val; 16]).unwrap();
+        }
+        // Record expected page contents, then arm.
+        let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (page, _) in &writes {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            vm.copyin(&mut map, base + page * PAGE_SIZE as u64, &mut buf).unwrap();
+            expected.insert(*page, buf);
+        }
+        let plan = begin_epoch(&mut vm, &[&map], Capture::Full);
+
+        // Post-barrier writes must not affect the frozen frames.
+        for (page, val) in &post {
+            vm.copyout(&mut map, base + page * PAGE_SIZE as u64, &[*val; 16]).unwrap();
+        }
+        for fp in &plan.flush {
+            let frozen = vm.frames.data(fp.frame).materialize();
+            prop_assert_eq!(
+                &frozen,
+                expected.get(&fp.page_idx).expect("armed page was resident"),
+                "page {}", fp.page_idx
+            );
+        }
+        release_flushed(&mut vm, &plan);
+        vm.destroy_map(&mut map);
+        prop_assert_eq!(vm.frames.allocated(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Live migration of a running application between hosts (`sls send`
+//! / `sls recv` plus iterative pre-copy, §3.1).
+//!
+//! ```text
+//! cargo run --release --example live_migration
+//! ```
+
+use aurora::apps::kv::{KvOp, KvServer, PersistMode};
+use aurora::core::migrate::live_migrate;
+use aurora::core::Host;
+use aurora::hw::{LinkModel, ModelDev};
+use aurora::objstore::StoreConfig;
+use aurora::sim::SimClock;
+
+fn boot(name: &str, clock: std::sync::Arc<aurora::sim::SimClock>) -> Host {
+    let dev = Box::new(ModelDev::nvme(clock, &format!("{name}-nvme"), 256 * 1024));
+    Host::boot(name, dev, StoreConfig::default()).expect("boot")
+}
+
+fn main() {
+    // Two machines on one virtual timeline, joined by 10 GbE.
+    let clock = SimClock::new();
+    let mut src = boot("src", clock.clone());
+    let mut dst = boot("dst", clock.clone());
+    let mut link = LinkModel::ten_gbe(clock.clone());
+
+    // A KV server with real data on the source.
+    let mut server = KvServer::start(&mut src, PersistMode::None, 16 << 20, 2048).expect("server");
+    for i in 0..500u32 {
+        server
+            .exec(
+                &mut src,
+                &KvOp::Set(
+                    format!("key:{i}").into_bytes(),
+                    format!("value {i} lives on the source").into_bytes(),
+                ),
+            )
+            .expect("op");
+    }
+    let gid = src.persist("kv", server.pid).expect("persist");
+    println!(
+        "source: kv server with {} keys, {} ops executed",
+        server.len(&mut src).expect("len"),
+        server.ops_executed(&src)
+    );
+
+    // Live-migrate with iterative pre-copy.
+    let stats = live_migrate(&mut src, &mut dst, gid, &mut link, 6).expect("migrate");
+    println!("\nmigration rounds:");
+    for (i, bytes) in stats.round_bytes.iter().enumerate() {
+        println!(
+            "  round {}: {:>10} bytes {}",
+            i + 1,
+            bytes,
+            if i == 0 { "(full image)" } else { "(delta)" }
+        );
+    }
+    println!(
+        "total {} bytes over the wire; source downtime {}",
+        stats.total_bytes, stats.downtime
+    );
+
+    // The destination instance has everything and keeps serving.
+    let new_pid = stats.restore.root_pid().expect("pid");
+    let mut server = KvServer::attach(&mut dst, new_pid, PersistMode::None).expect("attach");
+    println!(
+        "\ndestination: {} keys, {} ops executed",
+        server.len(&mut dst).expect("len"),
+        server.ops_executed(&dst)
+    );
+    let v = server
+        .exec(&mut dst, &KvOp::Get(b"key:123".to_vec()))
+        .expect("get")
+        .expect("present");
+    println!("  key:123 = {:?}", String::from_utf8_lossy(&v));
+    println!("  processes left on the source: {}", src.kernel.procs.len());
+}

@@ -1,0 +1,63 @@
+//! Quickstart: transparent persistence in a dozen lines.
+//!
+//! Runs the hello-world app, checkpoints it transparently, crashes the
+//! whole machine, and restores the application mid-run.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use aurora::apps::hello::HelloApp;
+use aurora::core::restore::RestoreMode;
+use aurora::core::Host;
+use aurora::hw::ModelDev;
+use aurora::objstore::StoreConfig;
+use aurora::sim::SimClock;
+
+fn main() {
+    // Boot a simulated machine: kernel + SLS on an NVMe-class store.
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", 64 * 1024));
+    let mut host = Host::boot("quickstart", dev, StoreConfig::default()).expect("boot");
+
+    // The application never writes a line of persistence code.
+    let app = HelloApp::start(&mut host).expect("start");
+    for _ in 0..7 {
+        app.step(&mut host).expect("step");
+    }
+    println!("before checkpoint: {}", app.greeting(&mut host).expect("greeting"));
+
+    // `sls persist` + one checkpoint.
+    let gid = host.persist("hello", app.pid).expect("persist");
+    let bd = host.checkpoint(gid, true, Some("demo")).expect("checkpoint");
+    println!(
+        "checkpointed: {} pages, stop time {}, durable at {}",
+        bd.pages, bd.stop_time, bd.durable_at
+    );
+    host.clock.advance_to(bd.durable_at);
+
+    // More work that the crash will eat.
+    for _ in 0..5 {
+        app.step(&mut host).expect("step");
+    }
+    println!("at crash time:    {}", app.greeting(&mut host).expect("greeting"));
+
+    // Power failure: every process dies; the store recovers.
+    let mut host = host.crash_and_reboot().expect("reboot");
+    println!("\n-- machine crashed and rebooted --\n");
+
+    let store = host.sls.primary.clone();
+    let head = store.borrow().head().expect("checkpoint survived");
+    let r = host
+        .restore(&store, head, RestoreMode::Eager)
+        .expect("restore");
+    println!(
+        "restored in {} (object store read {}, memory {}, metadata {})",
+        r.total, r.objstore_read, r.memory_state, r.metadata_state
+    );
+
+    let app = HelloApp::attach(&host, r.root_pid().expect("pid")).expect("attach");
+    println!("after restore:    {}", app.greeting(&mut host).expect("greeting"));
+    let next = app.step(&mut host).expect("step");
+    println!("and it keeps running: step #{next}");
+}

@@ -1,0 +1,101 @@
+//! Time-travel debugging with Aurora checkpoints (§4).
+//!
+//! A counter app runs with periodic checkpoints; a "bug" silently
+//! corrupts one of its invariants partway through. We bisect the
+//! checkpoint history to find the first bad image, inspect it, and roll
+//! the live application back to the last good state.
+//!
+//! ```text
+//! cargo run --example timetravel_debug
+//! ```
+
+use aurora::core::restore::RestoreMode;
+use aurora::core::Host;
+use aurora::hw::ModelDev;
+use aurora::objstore::{CkptId, StoreConfig};
+use aurora::posix::Pid;
+use aurora::sim::SimClock;
+
+/// The invariant: the app's two counters must stay equal. The "bug"
+/// stops updating the second one after step 13.
+fn step(host: &mut Host, pid: Pid) {
+    let a = host.kernel.get_reg(pid, 0).expect("reg") + 1;
+    host.kernel.set_reg(pid, 0, a).expect("reg");
+    if a <= 13 {
+        host.kernel.set_reg(pid, 1, a).expect("reg");
+    }
+}
+
+fn invariant_holds(host: &Host, pid: Pid) -> bool {
+    host.kernel.get_reg(pid, 0).expect("reg") == host.kernel.get_reg(pid, 1).expect("reg")
+}
+
+/// Restores a checkpoint on the side and checks the invariant there.
+fn check_image(host: &mut Host, ckpt: CkptId) -> bool {
+    let store = host.sls.primary.clone();
+    let r = host
+        .restore(&store, ckpt, RestoreMode::Eager)
+        .expect("restore");
+    let pid = r.root_pid().expect("pid");
+    let ok = invariant_holds(host, pid);
+    // Clean the probe up.
+    let _ = host.kernel.exit(pid, 0);
+    host.kernel.procs.remove(&pid);
+    ok
+}
+
+fn main() {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", 64 * 1024));
+    let mut host = Host::boot("debugger", dev, StoreConfig::default()).expect("boot");
+
+    let pid = host.kernel.spawn("buggy-app");
+    host.kernel.mmap_anon(pid, 4096, false).expect("map");
+    let gid = host.persist("buggy-app", pid).expect("persist");
+
+    // Run 20 steps, checkpointing after each (Aurora's incremental
+    // checkpoints leave old ones intact — a browsable history).
+    let mut history = Vec::new();
+    for i in 1..=20u64 {
+        step(&mut host, pid);
+        let bd = host
+            .checkpoint(gid, false, Some(&format!("step-{i}")))
+            .expect("checkpoint");
+        history.push((i, bd.ckpt.expect("id")));
+    }
+    println!(
+        "ran 20 steps with a checkpoint each; live invariant holds: {}",
+        invariant_holds(&host, pid)
+    );
+
+    // Bisect the history for the first violating checkpoint.
+    let mut lo = 0usize; // Known good (index into history).
+    let mut hi = history.len() - 1; // Known bad.
+    assert!(check_image(&mut host, history[lo].1), "step 1 is good");
+    assert!(!check_image(&mut host, history[hi].1), "step 20 is bad");
+    let mut probes = 0;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        probes += 1;
+        if check_image(&mut host, history[mid].1) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    println!(
+        "bisected in {probes} probes: invariant first broken at step {} (checkpoint {:?})",
+        history[hi].0, history[hi].1
+    );
+    println!("last good state: step {} (checkpoint {:?})", history[lo].0, history[lo].1);
+
+    // Roll the live application back to the last good state.
+    let r = host.rollback(gid, Some(history[lo].1)).expect("rollback");
+    let new_pid = r.root_pid().expect("pid");
+    println!(
+        "rolled back: live counter = {} (invariant holds: {}), rollback notified: {}",
+        host.kernel.get_reg(new_pid, 0).expect("reg"),
+        invariant_holds(&host, new_pid),
+        host.sls_rollback_pending(new_pid),
+    );
+}

@@ -1,0 +1,97 @@
+//! Multi-process application with shared memory — the "Firefox case".
+//!
+//! Aurora's breadth claim is that it checkpoints applications "composed
+//! of processes that share memory or files in arbitrary ways". This
+//! example runs a worker-pool KV store: one leader, three forked
+//! workers, all serving from a single System V shared-memory segment —
+//! then crashes the machine and restores the whole tree, shared segment
+//! and per-worker CPU state included.
+//!
+//! ```text
+//! cargo run --release --example worker_pool
+//! ```
+
+use aurora::apps::kv::KvOp;
+use aurora::apps::pool::KvPool;
+use aurora::core::restore::RestoreMode;
+use aurora::core::Host;
+use aurora::hw::ModelDev;
+use aurora::objstore::StoreConfig;
+use aurora::posix::Pid;
+use aurora::sim::SimClock;
+
+fn main() {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", 128 * 1024));
+    let mut host = Host::boot("pool-demo", dev, StoreConfig::default()).expect("boot");
+
+    // Leader + 3 workers over one 4 MiB shared segment.
+    let mut pool = KvPool::start(&mut host, 3, 42, 4 << 20).expect("pool");
+    println!(
+        "pool: leader pid {} + workers {:?}",
+        pool.leader.0,
+        pool.workers.iter().map(|p| p.0).collect::<Vec<_>>()
+    );
+
+    // 60 writes round-robin across the workers.
+    for i in 0..60u32 {
+        pool.exec(
+            &mut host,
+            &KvOp::Set(format!("item:{i}").into_bytes(), format!("payload {i}").into_bytes()),
+        )
+        .expect("op");
+    }
+    println!(
+        "loaded {} keys; per-process ops served: {:?}",
+        pool.len(&mut host).expect("len"),
+        pool.served_counts(&host).expect("counts")
+    );
+
+    // One checkpoint captures the WHOLE tree; the shared segment is one
+    // object, captured once, no matter how many processes map it.
+    let gid = host.persist("kv-pool", pool.leader).expect("persist");
+    let bd = host.checkpoint(gid, true, None).expect("checkpoint");
+    println!(
+        "checkpointed 4 processes + shared segment: {} pages, stop {}",
+        bd.pages, bd.stop_time
+    );
+    host.clock.advance_to(bd.durable_at);
+
+    // Machine crash. Everything dies.
+    let mut host = host.crash_and_reboot().expect("reboot");
+    println!("\n-- machine crashed and rebooted --\n");
+
+    let store = host.sls.primary.clone();
+    let head = store.borrow().head().expect("image survived");
+    let r = host.restore(&store, head, RestoreMode::Eager).expect("restore");
+    let leader = r.restored_pid(pool.leader.0).expect("leader");
+    let workers: Vec<Pid> = pool
+        .workers
+        .iter()
+        .map(|w| r.restored_pid(w.0).expect("worker"))
+        .collect();
+    let restored = KvPool::attach(&mut host, leader, workers, 42).expect("attach");
+
+    println!(
+        "restored: {} keys; per-process ops served (from restored registers): {:?}",
+        restored.len(&mut host).expect("len"),
+        restored.served_counts(&host).expect("counts")
+    );
+
+    // Shared-memory coherence still holds across the restored tree.
+    restored
+        .exec_on(
+            &mut host,
+            restored.workers[1],
+            &KvOp::Set(b"written-by".to_vec(), b"worker 1, after restore".to_vec()),
+        )
+        .expect("op");
+    let seen = restored
+        .exec_on(&mut host, restored.leader, &KvOp::Get(b"written-by".to_vec()))
+        .expect("op")
+        .expect("visible");
+    println!(
+        "worker 1 wrote, leader reads: {:?} — shared memory stayed shared",
+        String::from_utf8_lossy(&seen)
+    );
+}

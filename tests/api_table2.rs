@@ -1,0 +1,174 @@
+//! Table 2 conformance: every `libsls` API function, exercised
+//! end-to-end.
+
+use aurora::core::restore::RestoreMode;
+use aurora::core::Host;
+use aurora::hw::ModelDev;
+use aurora::objstore::StoreConfig;
+use aurora::sim::SimClock;
+use aurora::vm::{map::RestoreHint, SlsPolicy};
+
+fn boot() -> Host {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", 128 * 1024));
+    Host::boot("t", dev, StoreConfig::default()).unwrap()
+}
+
+#[test]
+fn sls_checkpoint_creates_an_image() {
+    let mut host = boot();
+    let pid = host.kernel.spawn("app");
+    host.kernel.mmap_anon(pid, 4096, false).unwrap();
+    let gid = host.persist("app", pid).unwrap();
+    let bd = host.sls_checkpoint(gid, Some("image-1")).unwrap();
+    assert!(bd.ckpt.is_some());
+    assert!(host
+        .sls
+        .primary
+        .borrow()
+        .checkpoint_by_name("image-1")
+        .is_some());
+}
+
+#[test]
+fn sls_restore_restores_a_checkpoint() {
+    let mut host = boot();
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, 4096, false).unwrap();
+    host.kernel.mem_write(pid, addr, b"api test").unwrap();
+    let gid = host.persist("app", pid).unwrap();
+    let bd = host.sls_checkpoint(gid, None).unwrap();
+    let store = host.sls.primary.clone();
+    let r = host
+        .sls_restore(&store, bd.ckpt.unwrap(), RestoreMode::Eager)
+        .unwrap();
+    let np = r.root_pid().unwrap();
+    let mut buf = [0u8; 8];
+    host.kernel.mem_read(np, addr, &mut buf).unwrap();
+    assert_eq!(&buf, b"api test");
+}
+
+#[test]
+fn sls_rollback_rolls_back_to_last_checkpoint() {
+    let mut host = boot();
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, 4096, false).unwrap();
+    host.kernel.mem_write(pid, addr, b"keep").unwrap();
+    let gid = host.persist("app", pid).unwrap();
+    host.sls_checkpoint(gid, None).unwrap();
+    host.kernel.mem_write(pid, addr, b"lose").unwrap();
+    let r = host.sls_rollback(gid, None).unwrap();
+    let np = r.root_pid().unwrap();
+    let mut buf = [0u8; 4];
+    host.kernel.mem_read(np, addr, &mut buf).unwrap();
+    assert_eq!(&buf, b"keep");
+}
+
+#[test]
+fn sls_ntflush_is_a_durable_log_outside_checkpoints() {
+    let mut host = boot();
+    let pid = host.kernel.spawn("db");
+    let gid = host.persist("db", pid).unwrap();
+    host.sls_checkpoint(gid, None).unwrap();
+    let (fd, _id) = host.ntlog_create(gid, pid).unwrap();
+    host.sls_ntflush(gid, pid, fd, b"append-only record").unwrap();
+    // Durable immediately — no further checkpoint taken. After reboot
+    // the log is addressed by its OWNING group's id (logs live in the
+    // group's namespace; reboots allocate fresh ids for new groups).
+    let mut host = host.crash_and_reboot().unwrap();
+    let pid2 = host.kernel.spawn("db");
+    let _gid2 = host.persist("db", pid2).unwrap();
+    let fd2 = host.install_ntlog_fd(pid2, 1).unwrap();
+    assert_eq!(
+        host.ntlog_read(gid, pid2, fd2).unwrap(),
+        b"append-only record"
+    );
+}
+
+#[test]
+fn sls_barrier_waits_for_durability() {
+    let mut host = boot();
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, 64 * 4096, false).unwrap();
+    host.kernel
+        .mem_write(pid, addr, &vec![7u8; 64 * 4096])
+        .unwrap();
+    let gid = host.persist("app", pid).unwrap();
+    let bd = host.sls_checkpoint(gid, None).unwrap();
+    assert!(bd.durable_at > host.clock.now(), "flush is asynchronous");
+    host.sls_barrier(gid).unwrap();
+    assert!(host.clock.now() >= bd.durable_at, "barrier waited");
+}
+
+#[test]
+fn sls_mctl_excludes_regions_and_hints_restore() {
+    let mut host = boot();
+    let pid = host.kernel.spawn("app");
+    let keep = host.kernel.mmap_anon(pid, 4096, false).unwrap();
+    let scratch = host.kernel.mmap_anon(pid, 4096, false).unwrap();
+    host.kernel.mem_write(pid, keep, b"k").unwrap();
+    host.kernel.mem_write(pid, scratch, b"s").unwrap();
+    host.sls_mctl(
+        pid,
+        scratch,
+        SlsPolicy {
+            exclude: true,
+            restore: RestoreHint::Lazy,
+        },
+    )
+    .unwrap();
+    let gid = host.persist("app", pid).unwrap();
+    let bd = host.sls_checkpoint(gid, None).unwrap();
+    assert_eq!(bd.pages, 1, "excluded region not captured");
+    // Bad address errors.
+    assert!(host.sls_mctl(pid, 0xdead_0000, SlsPolicy::default()).is_err());
+}
+
+#[test]
+fn sls_fdctl_controls_external_consistency() {
+    let mut host = boot();
+    let server = host.kernel.spawn("server");
+    let client = host.kernel.spawn("client");
+    let lfd = host.kernel.tcp_listen(server, 80).unwrap();
+    let cfd = host.kernel.tcp_connect(client, 80).unwrap();
+    let sfd = host.kernel.tcp_accept(server, lfd).unwrap();
+    let gid = host.persist("server", server).unwrap();
+
+    // Enabled (default): the reply is held until durability.
+    host.kernel.write(server, sfd, b"held").unwrap();
+    assert!(host.kernel.read(client, cfd, 16).is_err());
+    host.sls_checkpoint(gid, None).unwrap();
+    host.sls_barrier(gid).unwrap();
+    assert_eq!(host.kernel.read(client, cfd, 16).unwrap(), b"held");
+
+    // Disabled: replies flow immediately.
+    host.sls_fdctl(server, sfd, false).unwrap();
+    host.kernel.write(server, sfd, b"fast").unwrap();
+    assert_eq!(host.kernel.read(client, cfd, 16).unwrap(), b"fast");
+}
+
+#[test]
+fn speculation_uses_rollback_with_notification() {
+    let mut host = boot();
+    let pid = host.kernel.spawn("spec");
+    let addr = host.kernel.mmap_anon(pid, 4096, false).unwrap();
+    host.kernel.mem_write(pid, addr, b"base").unwrap();
+    let gid = host.persist("spec", pid).unwrap();
+
+    // Commit path: state survives.
+    let token = host.speculate_begin(gid).unwrap();
+    host.kernel.mem_write(pid, addr, b"win!").unwrap();
+    host.speculate_commit(token).unwrap();
+    let mut buf = [0u8; 4];
+    host.kernel.mem_read(pid, addr, &mut buf).unwrap();
+    assert_eq!(&buf, b"win!");
+
+    // Abort path: state reverts and the app is notified.
+    let token = host.speculate_begin(gid).unwrap();
+    host.kernel.mem_write(pid, addr, b"lose").unwrap();
+    let r = host.speculate_abort(token).unwrap();
+    let np = r.root_pid().unwrap();
+    host.kernel.mem_read(np, addr, &mut buf).unwrap();
+    assert_eq!(&buf, b"win!");
+    assert!(host.sls_rollback_pending(np));
+}

@@ -1,0 +1,151 @@
+//! Workspace-spanning scenario: a multi-process container with shared
+//! memory, pipes, Unix sockets with a parked descriptor, files (one
+//! unlinked-but-open), and TCP clients outside the group — checkpointed
+//! under load, crashed, restored, and verified piece by piece.
+
+use aurora::core::restore::RestoreMode;
+use aurora::core::Host;
+use aurora::hw::ModelDev;
+use aurora::objstore::StoreConfig;
+use aurora::sim::SimClock;
+
+fn boot() -> Host {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", 128 * 1024));
+    Host::boot("e2e", dev, StoreConfig::default()).unwrap()
+}
+
+#[test]
+fn container_with_every_primitive_survives_a_crash() {
+    let mut host = boot();
+
+    // --- Build the application: a 3-process container. -----------------
+    let leader = host.kernel.spawn("leader");
+    let ct = host.kernel.container_create("app-ct", "/ct/app");
+    host.kernel.container_add(ct, leader).unwrap();
+
+    // Shared SysV memory between leader and worker.
+    host.kernel.shmget(7, 4096).unwrap();
+    let shm = host.kernel.shmat(leader, 7).unwrap();
+    host.kernel.mem_write(leader, shm, b"shared-state").unwrap();
+
+    // Fork a worker (inherits container and shm mapping).
+    let worker = host.kernel.fork(leader).unwrap();
+
+    // A pipe with unread bytes between them.
+    let (rfd, wfd) = host.kernel.pipe(leader).unwrap();
+    host.kernel.write(leader, wfd, b"queued work item").unwrap();
+
+    // A Unix socketpair with an in-flight descriptor: the leader passes
+    // the worker an open file.
+    let (ua, ub) = host.kernel.socketpair(leader).unwrap();
+    let passed = host.kernel.open(leader, "/sls/passed.txt", true).unwrap();
+    host.kernel.write(leader, passed, b"you got mail").unwrap();
+    host.kernel.sendmsg(leader, ua, b"fd inside", &[passed]).unwrap();
+    host.kernel.close(leader, passed).unwrap();
+
+    // An unlinked-but-open scratch file.
+    let scratch = host.kernel.open(leader, "/sls/scratch", true).unwrap();
+    host.kernel.write(leader, scratch, b"anonymous bytes").unwrap();
+    host.kernel.unlink_path(leader, "/sls/scratch").unwrap();
+
+    // A third process: the grandchild.
+    let grandchild = host.kernel.fork(worker).unwrap();
+    host.kernel.set_reg(grandchild, 0, 0x6C0).unwrap();
+
+    // An external TCP client (outside the group).
+    let client = host.kernel.spawn("external");
+    let lfd = host.kernel.tcp_listen(leader, 443).unwrap();
+    let cfd = host.kernel.tcp_connect(client, 443).unwrap();
+    let sfd = host.kernel.tcp_accept(leader, lfd).unwrap();
+
+    // --- Persist the container and run under load. ----------------------
+    let gid = host.persist_container("app-ct", ct).unwrap();
+    host.checkpoint(gid, true, None).unwrap();
+
+    // The leader replies to the external client (held by external
+    // consistency), writes memory, and we checkpoint incrementally.
+    host.kernel.write(leader, sfd, b"response-1").unwrap();
+    host.kernel.mem_write(leader, shm, b"updated-state").unwrap();
+    let bd = host.checkpoint(gid, false, Some("final")).unwrap();
+    host.clock.advance_to(bd.durable_at);
+    host.poll_durability();
+    assert_eq!(
+        host.kernel.read(client, cfd, 64).unwrap(),
+        b"response-1",
+        "reply released once durable"
+    );
+
+    // --- Crash and restore. ----------------------------------------------
+    let mut host = host.crash_and_reboot().unwrap();
+    let store = host.sls.primary.clone();
+    let ckpt = store.borrow().checkpoint_by_name("final").unwrap().id;
+    let r = host.restore(&store, ckpt, RestoreMode::Eager).unwrap();
+
+    let nl = r.restored_pid(leader.0).unwrap();
+    let nw = r.restored_pid(worker.0).unwrap();
+    let ng = r.restored_pid(grandchild.0).unwrap();
+
+    // Process tree.
+    assert_eq!(host.kernel.proc_ref(nw).unwrap().ppid, nl);
+    assert_eq!(host.kernel.proc_ref(ng).unwrap().ppid, nw);
+    // Registers.
+    assert_eq!(host.kernel.get_reg(ng, 0).unwrap(), 0x6C0);
+    // Shared memory: updated value, still shared.
+    let mut buf = [0u8; 13];
+    host.kernel.mem_read(nw, shm, &mut buf).unwrap();
+    assert_eq!(&buf, b"updated-state");
+    host.kernel.mem_write(ng, shm, b"grandchild!!!").unwrap();
+    host.kernel.mem_read(nl, shm, &mut buf).unwrap();
+    assert_eq!(&buf, b"grandchild!!!");
+    // Pipe contents.
+    assert_eq!(host.kernel.read(nl, rfd, 64).unwrap(), b"queued work item");
+    // In-flight descriptor arrives and works.
+    let (bytes, fds) = host.kernel.recvmsg(nl, ub).unwrap();
+    assert_eq!(bytes, b"fd inside");
+    host.kernel.lseek(nl, fds[0], 0).unwrap();
+    assert_eq!(host.kernel.read(nl, fds[0], 64).unwrap(), b"you got mail");
+    // Unlinked-but-open file data intact.
+    host.kernel.lseek(nl, scratch, 0).unwrap();
+    assert_eq!(host.kernel.read(nl, scratch, 64).unwrap(), b"anonymous bytes");
+    // The external TCP connection restores disconnected (peer was
+    // outside the group) — reads report EOF rather than stale data.
+    assert_eq!(host.kernel.read(nl, sfd, 64).unwrap(), b"");
+    // The container came back.
+    let ps = host.ps();
+    assert!(ps.is_empty() || ps.iter().all(|e| !e.members.contains(&nl)));
+    let restored_ct = host
+        .kernel
+        .proc_ref(nl)
+        .unwrap()
+        .container
+        .expect("container restored");
+    let members = host.kernel.container_procs(restored_ct).unwrap();
+    assert!(members.contains(&nl) && members.contains(&nw) && members.contains(&ng));
+}
+
+#[test]
+fn two_groups_are_independent() {
+    let mut host = boot();
+    let a = host.kernel.spawn("a");
+    let b = host.kernel.spawn("b");
+    let addr_a = host.kernel.mmap_anon(a, 4096, false).unwrap();
+    let addr_b = host.kernel.mmap_anon(b, 4096, false).unwrap();
+    host.kernel.mem_write(a, addr_a, b"AAAA").unwrap();
+    host.kernel.mem_write(b, addr_b, b"BBBB").unwrap();
+    let ga = host.persist("a", a).unwrap();
+    let gb = host.persist("b", b).unwrap();
+    let bda = host.checkpoint(ga, true, Some("a1")).unwrap();
+    host.kernel.mem_write(b, addr_b, b"B2B2").unwrap();
+    let bdb = host.checkpoint(gb, true, Some("b1")).unwrap();
+
+    // Rolling back A does not disturb B.
+    host.rollback(ga, bda.ckpt).unwrap();
+    let mut buf = [0u8; 4];
+    host.kernel.mem_read(b, addr_b, &mut buf).unwrap();
+    assert_eq!(&buf, b"B2B2");
+    // B's checkpoint restores B only.
+    let store = host.sls.primary.clone();
+    let r = host.restore(&store, bdb.ckpt.unwrap(), RestoreMode::Eager).unwrap();
+    assert_eq!(r.pid_map.len(), 1);
+}

@@ -1,0 +1,165 @@
+//! Full-stack property test: random interleavings of memory writes,
+//! forks, checkpoints and crash-restores must always restore exactly
+//! the state captured at the checkpoint — for every process in the
+//! tree, under fork-COW sharing, across arbitrarily many crashes.
+
+use std::collections::HashMap;
+
+use aurora::core::restore::RestoreMode;
+use aurora::core::{GroupId, Host};
+use aurora::hw::ModelDev;
+use aurora::objstore::StoreConfig;
+use aurora::posix::Pid;
+use aurora::sim::SimClock;
+use proptest::prelude::*;
+
+const SLOTS: u64 = 8;
+const REGION: u64 = SLOTS * 4096;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `val` into `slot` of process `proc` (mod live count).
+    Write { proc: u8, slot: u8, val: u64 },
+    /// Fork process `proc` (caps at 4 processes).
+    Fork { proc: u8 },
+    /// Take an incremental checkpoint of the whole tree.
+    Checkpoint,
+    /// Crash the machine and restore the latest checkpoint.
+    CrashRestore,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), 0u8..(SLOTS as u8), any::<u64>())
+            .prop_map(|(proc, slot, val)| Op::Write { proc, slot, val }),
+        1 => any::<u8>().prop_map(|proc| Op::Fork { proc }),
+        2 => Just(Op::Checkpoint),
+        1 => Just(Op::CrashRestore),
+    ]
+}
+
+/// The model: per-process slot values, plus the snapshot taken at the
+/// last checkpoint.
+#[derive(Debug, Clone, Default)]
+struct Model {
+    /// Original pid -> slot values. (Original pids index the model; the
+    /// simulator's pids are remapped on restore and tracked separately.)
+    procs: Vec<HashMap<u64, u64>>,
+    checkpointed: Option<Vec<HashMap<u64, u64>>>,
+}
+
+fn boot() -> Host {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", 128 * 1024));
+    Host::boot(
+        "prop",
+        dev,
+        StoreConfig {
+            journal_blocks: 2048,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn checkpoint_restore_is_exact_under_random_interleavings(
+        ops in proptest::collection::vec(op_strategy(), 1..50)
+    ) {
+        let mut host = boot();
+        let root = host.kernel.spawn("root");
+        let base = host.kernel.mmap_anon(root, REGION, false).unwrap();
+        let mut gid: GroupId = host.persist("tree", root).unwrap();
+        // Live simulator pids, index-aligned with `model.procs`.
+        let mut pids: Vec<Pid> = vec![root];
+        let mut model = Model {
+            procs: vec![HashMap::new()],
+            checkpointed: None,
+        };
+        // Everything starts checkpointed so CrashRestore always has an
+        // image to return to.
+        host.checkpoint(gid, true, None).unwrap();
+        let mut bd = host.wait_durable(gid);
+        prop_assert!(bd.is_ok());
+        model.checkpointed = Some(model.procs.clone());
+
+        for op in ops {
+            match op {
+                Op::Write { proc, slot, val } => {
+                    let i = (proc as usize) % pids.len();
+                    let addr = base + (slot as u64) * 4096;
+                    host.kernel
+                        .mem_write(pids[i], addr, &val.to_le_bytes())
+                        .unwrap();
+                    model.procs[i].insert(slot as u64, val);
+                }
+                Op::Fork { proc } => {
+                    if pids.len() >= 4 {
+                        continue;
+                    }
+                    let i = (proc as usize) % pids.len();
+                    let child = host.kernel.fork(pids[i]).unwrap();
+                    pids.push(child);
+                    let snapshot = model.procs[i].clone();
+                    model.procs.push(snapshot);
+                }
+                Op::Checkpoint => {
+                    host.checkpoint(gid, false, None).unwrap();
+                    bd = host.wait_durable(gid);
+                    prop_assert!(bd.is_ok());
+                    model.checkpointed = Some(model.procs.clone());
+                }
+                Op::CrashRestore => {
+                    host = host.crash_and_reboot().unwrap();
+                    let store = host.sls.primary.clone();
+                    let head = store.borrow().head().unwrap();
+                    let r = host.restore(&store, head, RestoreMode::Eager).unwrap();
+                    // Remap pids: originals in ascending order map to the
+                    // restored ones in `pid_map` order.
+                    let mut new_pids = Vec::new();
+                    for (old, _) in pids.iter().enumerate() {
+                        let _ = old;
+                    }
+                    for &(orig, new) in &r.pid_map {
+                        let _ = orig;
+                        new_pids.push(Pid(new));
+                    }
+                    prop_assert_eq!(
+                        new_pids.len(),
+                        model
+                            .checkpointed
+                            .as_ref()
+                            .expect("checkpoint exists")
+                            .len(),
+                        "restored process count"
+                    );
+                    pids = new_pids;
+                    model.procs = model.checkpointed.clone().expect("checkpoint exists");
+                    gid = host.persist("tree", pids[0]).unwrap();
+                    // Fresh group: next checkpoint will be full.
+                }
+            }
+
+            // Invariant: every live process's slots match the model.
+            for (i, pid) in pids.iter().enumerate() {
+                for (&slot, &val) in &model.procs[i] {
+                    let mut buf = [0u8; 8];
+                    host.kernel
+                        .mem_read(*pid, base + slot * 4096, &mut buf)
+                        .unwrap();
+                    prop_assert_eq!(
+                        u64::from_le_bytes(buf),
+                        val,
+                        "proc {} slot {} after {:?}",
+                        i,
+                        slot,
+                        op
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Full-stack property test over IPC state: random interleavings of
+//! pipe writes/reads, Unix-socket messages, checkpoints and
+//! crash-restores. In-flight bytes are application state; every byte
+//! buffered at checkpoint time must come back exactly once, in order,
+//! after a crash — and reads after a rollback must reflect the
+//! checkpointed queue, not the lost tail.
+
+use std::collections::VecDeque;
+
+use aurora::core::restore::RestoreMode;
+use aurora::core::{GroupId, Host};
+use aurora::hw::ModelDev;
+use aurora::objstore::StoreConfig;
+use aurora::posix::{Fd, Pid};
+use aurora::sim::SimClock;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `len` fresh pipe bytes (content comes from a counter).
+    PipeWrite { len: u16 },
+    /// Read up to `max` pipe bytes.
+    PipeRead { max: u16 },
+    /// Send one socket message of `len` bytes.
+    SockSend { len: u8 },
+    /// Receive one socket message.
+    SockRecv,
+    /// Incremental checkpoint of the group.
+    Checkpoint,
+    /// Power failure, reboot, eager restore of the latest checkpoint.
+    CrashRestore,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u16..300).prop_map(|len| Op::PipeWrite { len }),
+        4 => (1u16..300).prop_map(|max| Op::PipeRead { max }),
+        3 => (1u8..40).prop_map(|len| Op::SockSend { len }),
+        3 => Just(Op::SockRecv),
+        2 => Just(Op::Checkpoint),
+        1 => Just(Op::CrashRestore),
+    ]
+}
+
+/// Reference state for one run: the pipe as a byte sequence counter
+/// pair, the socket as a message queue.
+#[derive(Debug, Clone, Default)]
+struct Model {
+    /// Total pipe bytes ever accepted (write cursor).
+    wrote: u64,
+    /// Total pipe bytes ever read (read cursor).
+    read: u64,
+    /// Socket messages in flight.
+    msgs: VecDeque<Vec<u8>>,
+    /// Next socket message sequence number.
+    msg_seq: u64,
+}
+
+/// Deterministic pipe payload: byte `k` of the stream is `k % 251`.
+fn stream_bytes(from: u64, len: usize) -> Vec<u8> {
+    (0..len as u64).map(|i| ((from + i) % 251) as u8).collect()
+}
+
+/// Deterministic socket message `seq` of `len` bytes.
+fn msg_bytes(seq: u64, len: usize) -> Vec<u8> {
+    (0..len as u64).map(|i| ((seq * 131 + i) % 251) as u8).collect()
+}
+
+fn boot() -> Host {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", 128 * 1024));
+    Host::boot(
+        "ipc",
+        dev,
+        StoreConfig {
+            journal_blocks: 2048,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ipc_state_is_exact_across_crashes(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let mut host = boot();
+        let pid = host.kernel.spawn("ipc");
+        let (rfd, wfd): (Fd, Fd) = host.kernel.pipe(pid).unwrap();
+        let (sa, sb) = host.kernel.socketpair(pid).unwrap();
+        let mut gid: GroupId = host.persist("ipc", pid).unwrap();
+        let mut live: Pid = pid;
+
+        let mut model = Model::default();
+        host.checkpoint(gid, true, None).unwrap();
+        host.wait_durable(gid).unwrap();
+        let mut snapshot = model.clone();
+        // The pid recorded in the latest checkpoint image (restore maps
+        // checkpoint-time pids, not birth pids).
+        let mut snap_pid: Pid = pid;
+
+        for op in ops {
+            match op {
+                Op::PipeWrite { len } => {
+                    let data = stream_bytes(model.wrote, len as usize);
+                    match host.kernel.write(live, wfd, &data) {
+                        Ok(n) => model.wrote += n as u64,
+                        Err(e) => {
+                            // Only backpressure is acceptable.
+                            prop_assert_eq!(
+                                e.kind(),
+                                aurora::sim::error::ErrorKind::WouldBlock
+                            );
+                            prop_assert_eq!(model.wrote - model.read, 64 * 1024);
+                        }
+                    }
+                }
+                Op::PipeRead { max } => {
+                    match host.kernel.read(live, rfd, max as usize) {
+                        Ok(data) => {
+                            let expect = stream_bytes(
+                                model.read,
+                                (max as u64).min(model.wrote - model.read) as usize,
+                            );
+                            prop_assert_eq!(&data, &expect, "pipe bytes in order");
+                            model.read += data.len() as u64;
+                        }
+                        Err(e) => {
+                            prop_assert_eq!(
+                                e.kind(),
+                                aurora::sim::error::ErrorKind::WouldBlock
+                            );
+                            prop_assert_eq!(model.wrote, model.read, "only empty blocks");
+                        }
+                    }
+                }
+                Op::SockSend { len } => {
+                    let data = msg_bytes(model.msg_seq, len as usize);
+                    host.kernel.write(live, sa, &data).unwrap();
+                    model.msgs.push_back(data);
+                    model.msg_seq += 1;
+                }
+                Op::SockRecv => {
+                    match host.kernel.read(live, sb, usize::MAX) {
+                        Ok(data) => {
+                            let expect = model.msgs.pop_front();
+                            prop_assert_eq!(
+                                Some(data),
+                                expect,
+                                "socket messages FIFO with boundaries"
+                            );
+                        }
+                        Err(_) => {
+                            prop_assert!(model.msgs.is_empty(), "only empty blocks");
+                        }
+                    }
+                }
+                Op::Checkpoint => {
+                    host.checkpoint(gid, false, None).unwrap();
+                    host.wait_durable(gid).unwrap();
+                    snapshot = model.clone();
+                    snap_pid = live;
+                }
+                Op::CrashRestore => {
+                    host = host.crash_and_reboot().unwrap();
+                    let store = host.sls.primary.clone();
+                    let head = store.borrow().head().unwrap();
+                    let r = host.restore(&store, head, RestoreMode::Eager).unwrap();
+                    live = r.restored_pid(snap_pid.0).expect("root restored");
+                    model = snapshot.clone();
+                    gid = host.persist("ipc", live).unwrap();
+                }
+            }
+        }
+
+        // Drain both channels and confirm the tails.
+        let left = model.wrote - model.read;
+        if left > 0 {
+            let data = host.kernel.read(live, rfd, left as usize).unwrap();
+            prop_assert_eq!(&data, &stream_bytes(model.read, left as usize));
+        }
+        while let Some(expect) = model.msgs.pop_front() {
+            prop_assert_eq!(host.kernel.read(live, sb, usize::MAX).unwrap(), expect);
+        }
+    }
+}
