@@ -58,6 +58,8 @@ WORLD MANAGEMENT:
   init [--blocks N]               Create a new world
   run <name> [--steps N]          Advance an application, then checkpoint it
   info                            Show object-store statistics
+  scrub                           Verify every checkpoint against its content
+                                  hashes and report device health
 ";
 
 /// Runs one `sls` invocation; returns what should be printed.
@@ -92,6 +94,7 @@ pub fn run(args: &[&str]) -> Result<String> {
         "send" => cmd_send(&world, opts),
         "recv" => cmd_recv(&world, opts),
         "info" => cmd_info(&world),
+        "scrub" => cmd_scrub(&world),
         other => Err(Error::invalid(format!("unknown command {other}; try --help"))),
     }
 }
@@ -327,12 +330,28 @@ fn cmd_run(world: &Path, opts: &[&str]) -> Result<String> {
         host.prune_incarnation(old)?;
     }
     Ok(format!(
-        "{name}: {report}; checkpoint {} ({} pages, stop {})\n  state: {}\n",
+        "{name}: {report}; checkpoint {} ({} pages, stop {}){}\n  state: {}\n",
         bd.ckpt.map(|c| c.0).unwrap_or(0),
         bd.pages,
         bd.stop_time,
+        outcome_note(&bd),
         describe(&mut host, pid),
     ))
+}
+
+/// Formats a warning suffix when a checkpoint did not commit cleanly.
+fn outcome_note(bd: &aurora_core::CheckpointBreakdown) -> String {
+    if bd.outcome == aurora_core::CheckpointOutcome::Committed {
+        return String::new();
+    }
+    format!(
+        " [{}{}]",
+        bd.outcome.as_str(),
+        bd.fault
+            .as_deref()
+            .map(|f| format!(": {f}"))
+            .unwrap_or_default()
+    )
 }
 
 fn cmd_checkpoint(world: &Path, opts: &[&str]) -> Result<String> {
@@ -349,11 +368,12 @@ fn cmd_checkpoint(world: &Path, opts: &[&str]) -> Result<String> {
         host.prune_incarnation(old)?;
     }
     Ok(format!(
-        "checkpointed {name}: id {}{}, metadata {}, stop {}\n",
+        "checkpointed {name}: id {}{}, metadata {}, stop {}{}\n",
         bd.ckpt.map(|c| c.0).unwrap_or(0),
         tag.map(|t| format!(" (tag {t})")).unwrap_or_default(),
         bd.metadata_copy,
         bd.stop_time,
+        outcome_note(&bd),
     ))
 }
 
@@ -530,8 +550,11 @@ fn cmd_info(world: &Path) -> Result<String> {
     } else {
         format!("{} problems: {:?}", problems.len(), problems)
     };
+    let dev = store.device();
+    let rs = dev.retry_stats();
+    let sls = &host.sls.stats;
     Ok(format!(
-        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n",
+        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n  checkpoints this session: {} degraded, {} aborted\n",
         world.display(),
         store.checkpoints().len(),
         store.blocks_in_use(),
@@ -541,5 +564,55 @@ fn cmd_info(world: &Path) -> Result<String> {
         stats.compactions,
         stats.gc_runs,
         health,
+        dev.health().as_str(),
+        rs.writes_retried,
+        rs.transient_absorbed,
+        rs.failures_surfaced,
+        sls.checkpoints_degraded,
+        sls.checkpoints_aborted,
     ))
+}
+
+/// `sls scrub`: walk every committed checkpoint, re-read each page from
+/// the device, and verify it against the recorded content hash. This is
+/// the offline half of the fault-tolerance story: faults the retry layer
+/// absorbed leave no trace, and anything it could not absorb shows up
+/// here before it can poison an incremental chain.
+fn cmd_scrub(world: &Path) -> Result<String> {
+    let host = open_host(world)?;
+    let store = host.sls.primary.clone();
+    let problems = store.borrow_mut().scrub();
+    let st = store.borrow();
+    let rs = st.device().retry_stats();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "scrubbed {} checkpoint(s) in {}: device {}",
+        st.checkpoints().len(),
+        world.display(),
+        st.device().health().as_str(),
+    )
+    .ok();
+    if rs.writes_retried > 0 || rs.failures_surfaced > 0 {
+        writeln!(
+            out,
+            "  retries: {} writes retried, {} transient errors absorbed, {} failures surfaced",
+            rs.writes_retried, rs.transient_absorbed, rs.failures_surfaced,
+        )
+        .ok();
+    }
+    if problems.is_empty() {
+        writeln!(out, "  clean: every page matches its content hash").ok();
+    } else {
+        for p in &problems {
+            writeln!(out, "  PROBLEM: {p}").ok();
+        }
+        writeln!(
+            out,
+            "  {} problem(s); the next checkpoint of each affected group will degrade to full",
+            problems.len()
+        )
+        .ok();
+    }
+    Ok(out)
 }

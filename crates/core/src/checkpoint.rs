@@ -28,9 +28,23 @@ use aurora_vm::cow::{self, Capture};
 use aurora_vm::VmoId;
 
 use crate::group::{Group, GroupId};
-use crate::metrics::CheckpointBreakdown;
+use crate::metrics::{CheckpointBreakdown, CheckpointOutcome};
 use crate::serialize::*;
 use crate::{Host, Sls};
+
+/// Whether a flush-path error aborts the checkpoint (device trouble the
+/// pipeline degrades around) rather than surfacing as a pipeline bug.
+fn aborts_checkpoint(e: &Error) -> bool {
+    use aurora_sim::error::ErrorKind;
+    matches!(
+        e.kind(),
+        ErrorKind::Io
+            | ErrorKind::DeviceDead
+            | ErrorKind::Corrupt
+            | ErrorKind::NoSpace
+            | ErrorKind::WouldBlock
+    )
+}
 
 /// Everything captured at the barrier, ready to flush.
 pub(crate) struct CapturedState {
@@ -61,7 +75,8 @@ impl Host {
                 gid.0
             )));
         }
-        let full = full
+        let requested_full = full;
+        let mut full = requested_full
             || self
                 .sls
                 .group_ref(gid)?
@@ -69,8 +84,45 @@ impl Host {
                 .iter()
                 .any(|b| b.needs_full);
 
+        // The caller asked for an incremental checkpoint but a backend
+        // needs a full base (fresh attach, or recovery from an earlier
+        // abort): report the degradation instead of silently upgrading.
+        let mut fault: Option<String> = None;
+        if full && !requested_full {
+            fault = Some("backend requires a full base: degraded to full".into());
+            self.sls.stats.checkpoints_degraded += 1;
+        }
+
+        // An incremental checkpoint is only as good as the base it
+        // extends: if any backend's head chain has unreadable or corrupt
+        // blocks, every later incremental would be unrestorable too.
+        // Degrade to a full checkpoint, which rewrites the whole working
+        // set and does not depend on the damaged base.
+        if !full {
+            let group = self.sls.group_ref(gid)?;
+            for backend in &group.backends {
+                let mut store = backend.store.borrow_mut();
+                let Some(head) = store.head() else { continue };
+                let problems = store.verify_checkpoint(head);
+                if let Some(p) = problems.first() {
+                    fault = Some(format!("incremental base damaged: {p}"));
+                    full = true;
+                    break;
+                }
+            }
+            if full {
+                self.sls.stats.checkpoints_degraded += 1;
+            }
+        }
+
         let mut breakdown = CheckpointBreakdown {
             full,
+            outcome: if fault.is_some() {
+                CheckpointOutcome::DegradedToFull
+            } else {
+                CheckpointOutcome::Committed
+            },
+            fault,
             ..CheckpointBreakdown::default()
         };
 
@@ -131,7 +183,14 @@ impl Host {
             barrier_entry + breakdown.metadata_copy + breakdown.lazy_data_copy + resume;
 
         // --- Background flush to every backend. ------------------------------
-        let durable = flush_capture(&mut self.kernel, &mut self.sls, gid, &captured, full, name)?;
+        let durable =
+            match flush_capture(&mut self.kernel, &mut self.sls, gid, &captured, full, name) {
+                Ok(d) => d,
+                Err(e) if aborts_checkpoint(&e) => {
+                    return self.abort_checkpoint(gid, &captured, breakdown, e);
+                }
+                Err(e) => return Err(e),
+            };
         breakdown.flush_bytes = captured.plan.flush_bytes();
         breakdown.durable_at = durable;
         breakdown.ckpt = self.sls.group_ref(gid)?.last_checkpoint();
@@ -148,6 +207,39 @@ impl Host {
         // History-window GC on every backend, then release holds whose
         // checkpoints already became durable.
         gc_history(&mut self.sls, gid)?;
+        self.poll_durability();
+        Ok(breakdown)
+    }
+
+    /// Concludes a checkpoint whose flush failed permanently.
+    ///
+    /// The committed chain on every backend is untouched — the previous
+    /// durable snapshot remains the latest and stays restorable. The
+    /// frozen COW frames are released (their contents still live in the
+    /// VM objects), and every backend is marked `needs_full` so the next
+    /// checkpoint rewrites the whole working set rather than building an
+    /// incremental on top of the unfinished capture. Output held for
+    /// external consistency stays held until a later checkpoint commits;
+    /// that checkpoint covers this epoch's sends, so releasing on its
+    /// durability is correct.
+    fn abort_checkpoint(
+        &mut self,
+        gid: GroupId,
+        captured: &CapturedState,
+        mut breakdown: CheckpointBreakdown,
+        cause: Error,
+    ) -> Result<CheckpointBreakdown> {
+        cow::release_flushed(&mut self.kernel.vm, &captured.plan);
+        if let Ok(group) = self.sls.group_mut(gid) {
+            for backend in group.backends.iter_mut() {
+                backend.needs_full = true;
+            }
+        }
+        self.sls.stats.checkpoints_aborted += 1;
+        breakdown.outcome = CheckpointOutcome::Aborted;
+        breakdown.fault = Some(cause.to_string());
+        breakdown.durable_at = SimTime::ZERO;
+        breakdown.ckpt = None;
         self.poll_durability();
         Ok(breakdown)
     }

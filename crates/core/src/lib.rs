@@ -35,6 +35,7 @@
 //! matching the rows of the paper's Tables 3 and 4.
 
 pub mod api;
+pub mod campaign;
 pub mod checkpoint;
 pub mod debug;
 pub mod group;
@@ -51,7 +52,7 @@ use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
-use aurora_hw::BlockDev;
+use aurora_hw::{BlockDev, ResilientDev};
 use aurora_objstore::{CkptId, ObjectStore, StoreConfig};
 use aurora_posix::{Kernel, MountId, Pid};
 use aurora_sim::error::{Error, Result};
@@ -59,7 +60,7 @@ use aurora_sim::SimClock;
 use aurora_slsfs::{SlsFs, StoreHandle};
 
 pub use group::{Backend, BackendKind, Group, GroupId};
-pub use metrics::{CheckpointBreakdown, RestoreBreakdown};
+pub use metrics::{CheckpointBreakdown, CheckpointOutcome, RestoreBreakdown};
 
 /// Namespace base for SLSFS store objects on the primary store.
 pub const SLSFS_NS: u64 = 1 << 48;
@@ -78,6 +79,12 @@ pub struct SlsStats {
     pub rollbacks: u64,
     /// Bytes of page data handed to backends.
     pub flushed_bytes: u64,
+    /// Checkpoints that degraded from incremental to full because the
+    /// incremental base was damaged or a backend was recovering.
+    pub checkpoints_degraded: u64,
+    /// Checkpoints aborted by a permanent flush failure (the previous
+    /// durable snapshot remains the latest).
+    pub checkpoints_aborted: u64,
 }
 
 /// The SLS state attached to one kernel.
@@ -112,8 +119,13 @@ pub struct Host {
 
 impl Host {
     /// Boots a host: kernel + primary store on `dev` + SLSFS at `/sls`.
+    ///
+    /// The device is wrapped in a [`ResilientDev`], so transient I/O
+    /// errors are absorbed with bounded backoff before the store or the
+    /// checkpoint pipeline ever sees them.
     pub fn boot(name: &str, dev: Box<dyn BlockDev>, config: StoreConfig) -> Result<Host> {
         let clock = dev.clock().clone();
+        let dev: Box<dyn BlockDev> = Box::new(ResilientDev::with_defaults(dev));
         let mut kernel = Kernel::boot(clock.clone(), name);
         let store: StoreHandle = Rc::new(RefCell::new(ObjectStore::format(dev, config)?));
         let fs = SlsFs::format(store.clone(), SLSFS_NS);
@@ -138,6 +150,7 @@ impl Host {
     /// CLI world file): recovers the store and remounts SLSFS.
     pub fn boot_existing(name: &str, dev: Box<dyn BlockDev>, config: StoreConfig) -> Result<Host> {
         let clock = dev.clock().clone();
+        let dev: Box<dyn BlockDev> = Box::new(ResilientDev::with_defaults(dev));
         let mut kernel = Kernel::boot(clock.clone(), name);
         let store: StoreHandle = Rc::new(RefCell::new(ObjectStore::open(dev, config)?));
         let next_group = load_next_group(&store);

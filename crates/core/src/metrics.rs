@@ -2,9 +2,50 @@
 
 use aurora_sim::time::{SimDuration, SimTime};
 
+/// How a checkpoint concluded.
+///
+/// The pipeline reports degraded and aborted checkpoints through the
+/// breakdown instead of a bare error, so periodic drivers keep running
+/// and callers can distinguish "this snapshot is durable" from "the
+/// previous snapshot is still the latest durable state".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointOutcome {
+    /// Committed and durable on every backend.
+    #[default]
+    Committed,
+    /// The caller asked for an incremental checkpoint but the pipeline
+    /// degraded to a full one (damaged incremental base, or a backend
+    /// recovering from an earlier abort). The result is still durable.
+    DegradedToFull,
+    /// Flushing failed permanently after retries. No new checkpoint was
+    /// committed; the previous durable snapshot is untouched and the
+    /// next checkpoint will be full.
+    Aborted,
+}
+
+impl CheckpointOutcome {
+    /// Short lowercase label for logs and the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckpointOutcome::Committed => "committed",
+            CheckpointOutcome::DegradedToFull => "degraded-to-full",
+            CheckpointOutcome::Aborted => "aborted",
+        }
+    }
+
+    /// True when a new durable checkpoint exists after the call.
+    pub fn committed(self) -> bool {
+        self != CheckpointOutcome::Aborted
+    }
+}
+
 /// Stop-time breakdown of one checkpoint (the rows of Table 3).
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointBreakdown {
+    /// How the checkpoint concluded (committed / degraded / aborted).
+    pub outcome: CheckpointOutcome,
+    /// Human-readable cause when `outcome` is not `Committed`.
+    pub fault: Option<String>,
     /// Whether this was a full or incremental checkpoint.
     pub full: bool,
     /// "Metadata copy": serializing every kernel object at the barrier.

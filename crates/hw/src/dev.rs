@@ -24,6 +24,7 @@ use aurora_sim::time::{SimDuration, SimTime};
 use aurora_sim::SimClock;
 
 use crate::fault::{FaultAction, FaultPlan};
+use crate::retry::{DevHealth, RetryStats};
 use crate::BLOCK_SIZE;
 
 /// Static device description.
@@ -123,6 +124,26 @@ pub trait BlockDev {
     ///
     /// Default: ignored. [`ModelDev`] honours it; see [`crate::fault`].
     fn install_fault_plan(&mut self, _plan: FaultPlan) {}
+
+    /// Device health as judged by the resilience layer.
+    ///
+    /// Default: bare devices report [`DevHealth::Dead`] when unpowered
+    /// and [`DevHealth::Healthy`] otherwise; [`crate::retry::ResilientDev`]
+    /// refines this with failure-history tracking.
+    fn health(&self) -> DevHealth {
+        if self.powered() {
+            DevHealth::Healthy
+        } else {
+            DevHealth::Dead
+        }
+    }
+
+    /// Retry/fault-absorption counters, if the device tracks them.
+    ///
+    /// Default: all zero (bare devices do not retry).
+    fn retry_stats(&self) -> RetryStats {
+        RetryStats::default()
+    }
 }
 
 /// Queue depth assumed for bulk asynchronous writes: per-request access
@@ -282,10 +303,10 @@ impl ModelDev {
     }
 
     /// Checks the fault plan before a write; returns the fault action.
-    fn fault_action(&mut self) -> FaultAction {
+    fn fault_action(&mut self, lba: u64) -> FaultAction {
         self.writes_seen += 1;
         match &self.fault {
-            Some(plan) => plan.action_for_write(self.writes_seen),
+            Some(plan) => plan.action_for_write(self.writes_seen, lba),
             None => FaultAction::None,
         }
     }
@@ -347,8 +368,23 @@ impl BlockDev for ModelDev {
     fn submit_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime> {
         self.check_powered()?;
         self.check_range(lba, data.len())?;
-        match self.fault_action() {
+        match self.fault_action(lba) {
             FaultAction::None => {}
+            FaultAction::TransientError => {
+                // The request bounces with a retryable error: no data
+                // lands, the device stays powered, and a retry of the
+                // same write may succeed.
+                return Err(Error::io(format!(
+                    "{}: transient write error at lba {lba}",
+                    self.info.name
+                )));
+            }
+            FaultAction::LatencySpike { extra_ns } => {
+                // Firmware stall: the queue blocks for extra_ns before
+                // this request is serviced. The write itself proceeds.
+                let stall_from = self.clock.now().max(self.busy_until);
+                self.busy_until = stall_from + SimDuration::from_nanos(extra_ns);
+            }
             FaultAction::PowerCut { torn_bytes } => {
                 // The interrupted write lands torn directly in stable
                 // storage (it raced the capacitors), then power dies.

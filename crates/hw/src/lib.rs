@@ -29,11 +29,13 @@ pub mod dev;
 pub mod fault;
 pub mod file_dev;
 pub mod net;
+pub mod retry;
 pub mod stripe;
 
 pub use dev::{BlockDev, DevInfo, DevStats, ModelDev};
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, FaultRates};
 pub use net::{LinkModel, RemoteDev};
+pub use retry::{DevHealth, ResilientDev, RetryPolicy, RetryStats};
 pub use stripe::StripedDev;
 
 /// Block size used by every simulated device (one page).

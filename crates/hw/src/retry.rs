@@ -1,0 +1,435 @@
+//! Retry, backoff and device-health tracking.
+//!
+//! Real NVMe devices bounce requests transiently — firmware GC pauses,
+//! thermal throttling, link resets — and a storage stack that treats
+//! every `EIO` as fatal aborts checkpoints it could have completed. This
+//! module classifies errors into *transient* (worth retrying) and
+//! *permanent* (power loss, corruption, out of space), and wraps any
+//! [`BlockDev`] in a [`ResilientDev`] that absorbs transient faults with
+//! bounded exponential backoff.
+//!
+//! Backoff delays are charged to the device's [`SimClock`] — never
+//! wall-clock — and jitter is derived from `mix64`, so a run with a given
+//! fault schedule is exactly reproducible.
+//!
+//! The wrapper also tracks health: consecutive failures mark the device
+//! [`DevHealth::Degraded`]; power loss or a dead inner device marks it
+//! [`DevHealth::Dead`] until power returns. The checkpoint pipeline reads
+//! this to decide between retrying, degrading to a full checkpoint, or
+//! aborting while the previous snapshot stays intact.
+
+use aurora_sim::error::{Error, ErrorKind, Result};
+use aurora_sim::rng::mix64;
+use aurora_sim::time::{SimDuration, SimTime};
+use aurora_sim::SimClock;
+use std::sync::Arc;
+
+use crate::dev::{BlockDev, DevInfo, DevStats};
+use crate::fault::FaultPlan;
+
+/// Whether an error is worth retrying at the device layer.
+///
+/// `Io` models a request the device bounced (it may succeed on retry);
+/// `WouldBlock` models a momentarily full queue. Everything else —
+/// power loss, corruption, out-of-space, invalid arguments — will not be
+/// cured by resubmitting the same request.
+pub fn is_transient(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::Io | ErrorKind::WouldBlock)
+}
+
+/// Device health as judged by the resilience layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DevHealth {
+    /// Operating normally.
+    #[default]
+    Healthy,
+    /// Recent consecutive failures; still accepting requests.
+    Degraded,
+    /// Powered off or failed permanently; requests will not succeed.
+    Dead,
+}
+
+impl DevHealth {
+    /// Short lowercase label for logs and the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DevHealth::Healthy => "healthy",
+            DevHealth::Degraded => "degraded",
+            DevHealth::Dead => "dead",
+        }
+    }
+}
+
+/// Counters kept by the resilience layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retry attempts issued (each resubmission counts once).
+    pub writes_retried: u64,
+    /// Transient faults masked by an eventually-successful retry.
+    pub transient_absorbed: u64,
+    /// Errors returned to the caller after retries were exhausted or the
+    /// error was permanent.
+    pub failures_surfaced: u64,
+    /// Current run of consecutive failed requests.
+    pub consecutive_failures: u32,
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry (ns); doubles per attempt.
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling (ns).
+    pub max_backoff_ns: u64,
+    /// Seed for the jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 50 µs base, 10 ms ceiling: enough to ride out a
+    /// several-write transient window without stalling a checkpoint
+    /// noticeably.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 50_000,
+            max_backoff_ns: 10_000_000,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based) of request `salt`.
+    ///
+    /// Exponential in the attempt with a ±50% deterministic jitter, so
+    /// retries from different requests decorrelate without any shared
+    /// RNG state.
+    pub fn backoff_ns(&self, attempt: u32, salt: u64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        let exp = self
+            .base_backoff_ns
+            .checked_shl(shift)
+            .unwrap_or(u64::MAX)
+            .min(self.max_backoff_ns);
+        // Jitter in [50%, 150%) of the exponential value.
+        let j = mix64(self.jitter_seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt));
+        exp / 2 + j % exp.max(1)
+    }
+}
+
+/// How many consecutive failures flip a device to [`DevHealth::Degraded`].
+const DEGRADE_THRESHOLD: u32 = 3;
+
+/// A [`BlockDev`] wrapper that retries transient write/flush failures
+/// with backoff and tracks device health.
+pub struct ResilientDev {
+    inner: Box<dyn BlockDev>,
+    policy: RetryPolicy,
+    health: DevHealth,
+    retry_stats: RetryStats,
+    /// Monotonic request counter, used as the jitter salt.
+    requests: u64,
+}
+
+impl ResilientDev {
+    /// Wraps `inner` with the given retry policy.
+    pub fn new(inner: Box<dyn BlockDev>, policy: RetryPolicy) -> Self {
+        ResilientDev {
+            inner,
+            policy,
+            health: DevHealth::Healthy,
+            retry_stats: RetryStats::default(),
+            requests: 0,
+        }
+    }
+
+    /// Wraps `inner` with the default policy.
+    pub fn with_defaults(inner: Box<dyn BlockDev>) -> Self {
+        ResilientDev::new(inner, RetryPolicy::default())
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &dyn BlockDev {
+        self.inner.as_ref()
+    }
+
+    /// The wrapped device, mutably.
+    pub fn inner_mut(&mut self) -> &mut dyn BlockDev {
+        self.inner.as_mut()
+    }
+
+    fn note_success(&mut self, retries_used: u32) {
+        if retries_used > 0 {
+            self.retry_stats.transient_absorbed += u64::from(retries_used);
+        }
+        self.retry_stats.consecutive_failures = 0;
+        if self.health == DevHealth::Degraded {
+            self.health = DevHealth::Healthy;
+        }
+    }
+
+    fn note_failure(&mut self, err: &Error) {
+        self.retry_stats.failures_surfaced += 1;
+        self.retry_stats.consecutive_failures =
+            self.retry_stats.consecutive_failures.saturating_add(1);
+        if err.kind() == ErrorKind::DeviceDead || !self.inner.powered() {
+            self.health = DevHealth::Dead;
+        } else if self.retry_stats.consecutive_failures >= DEGRADE_THRESHOLD {
+            self.health = DevHealth::Degraded;
+        }
+    }
+
+    /// Runs `op` against the inner device with retry/backoff. Backoff is
+    /// charged to the device clock between attempts.
+    fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut dyn BlockDev) -> Result<T>,
+    ) -> Result<T> {
+        self.requests += 1;
+        let salt = self.requests;
+        let mut attempt: u32 = 1;
+        loop {
+            match op(self.inner.as_mut()) {
+                Ok(v) => {
+                    self.note_success(attempt - 1);
+                    return Ok(v);
+                }
+                Err(e) if is_transient(e.kind()) && attempt < self.policy.max_attempts => {
+                    self.retry_stats.writes_retried += 1;
+                    let backoff = self.policy.backoff_ns(attempt, salt);
+                    self.inner
+                        .clock()
+                        .charge(SimDuration::from_nanos(backoff));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.note_failure(&e);
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl BlockDev for ResilientDev {
+    fn info(&self) -> &DevInfo {
+        self.inner.info()
+    }
+
+    fn stats(&self) -> &DevStats {
+        self.inner.stats()
+    }
+
+    fn read(&mut self, lba: u64, buf: &mut [u8]) -> Result<()> {
+        // Reads are not retried: the fault model only bounces writes, and
+        // a read that fails permanently should surface immediately.
+        self.inner.read(lba, buf)
+    }
+
+    fn submit_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime> {
+        self.with_retries(|d| d.submit_write(lba, data))
+    }
+
+    fn write(&mut self, lba: u64, data: &[u8]) -> Result<()> {
+        let done = self.submit_write(lba, data)?;
+        self.inner.clock().advance_to(done);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<SimTime> {
+        self.with_retries(|d| d.flush())
+    }
+
+    fn submit_write_timing(&mut self, nbytes: u64) -> Result<SimTime> {
+        self.inner.submit_write_timing(nbytes)
+    }
+
+    fn charge_read_timing(&mut self, nbytes: u64) -> Result<()> {
+        self.inner.charge_read_timing(nbytes)
+    }
+
+    fn power_fail(&mut self) {
+        self.inner.power_fail();
+        self.health = DevHealth::Dead;
+    }
+
+    fn power_on(&mut self) {
+        self.inner.power_on();
+        self.health = DevHealth::Healthy;
+        self.retry_stats.consecutive_failures = 0;
+    }
+
+    fn powered(&self) -> bool {
+        self.inner.powered()
+    }
+
+    fn clock(&self) -> &Arc<SimClock> {
+        self.inner.clock()
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.inner.install_fault_plan(plan);
+    }
+
+    fn health(&self) -> DevHealth {
+        // Dead is sticky until power returns, even if the store has not
+        // issued a request since the failure.
+        if !self.inner.powered() {
+            DevHealth::Dead
+        } else {
+            self.health
+        }
+    }
+
+    fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
+    }
+}
+
+impl core::fmt::Debug for ResilientDev {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ResilientDev")
+            .field("name", &self.inner.info().name)
+            .field("health", &self.health)
+            .field("retry_stats", &self.retry_stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dev::ModelDev;
+    use crate::fault::FaultRates;
+    use crate::BLOCK_SIZE;
+
+    fn resilient(blocks: u64) -> ResilientDev {
+        let clock = SimClock::new();
+        ResilientDev::with_defaults(Box::new(ModelDev::nvme(clock, "nvme0", blocks)))
+    }
+
+    #[test]
+    fn classification_matches_retryability() {
+        assert!(is_transient(ErrorKind::Io));
+        assert!(is_transient(ErrorKind::WouldBlock));
+        assert!(!is_transient(ErrorKind::DeviceDead));
+        assert!(!is_transient(ErrorKind::Corrupt));
+        assert!(!is_transient(ErrorKind::NoSpace));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ns: 1000,
+            max_backoff_ns: 8000,
+            jitter_seed: 3,
+        };
+        // Jitter keeps each value in [exp/2, 3*exp/2).
+        for attempt in 1..8 {
+            let exp = (1000u64 << (attempt - 1)).min(8000);
+            let b = p.backoff_ns(attempt, 17);
+            assert!(b >= exp / 2 && b < exp + exp / 2, "attempt {attempt}: {b}");
+        }
+        // Deterministic for the same (attempt, salt).
+        assert_eq!(p.backoff_ns(3, 17), p.backoff_ns(3, 17));
+    }
+
+    #[test]
+    fn transient_faults_absorbed_by_retry() {
+        let mut d = resilient(64);
+        d.install_fault_plan(FaultPlan::transient(1, 2));
+        // Two bounces, then success — the caller never sees an error.
+        d.write(0, &vec![0x5Au8; BLOCK_SIZE]).unwrap();
+        assert_eq!(d.retry_stats().writes_retried, 2);
+        assert_eq!(d.retry_stats().transient_absorbed, 2);
+        assert_eq!(d.retry_stats().failures_surfaced, 0);
+        assert_eq!(d.health(), DevHealth::Healthy);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(buf, vec![0x5Au8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn backoff_charges_sim_time() {
+        let mut d = resilient(64);
+        let clock = d.clock().clone();
+        d.install_fault_plan(FaultPlan::transient(1, 1));
+        let before = clock.now();
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        let elapsed = clock.now().since(before);
+        // At least the base backoff's jitter floor.
+        assert!(elapsed.as_nanos() >= 25_000, "backoff charged: {elapsed:?}");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_error() {
+        let mut d = resilient(64);
+        // Longer than max_attempts; the error escapes.
+        d.install_fault_plan(FaultPlan::transient(1, 100));
+        let err = d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert_eq!(d.retry_stats().writes_retried, 3);
+        assert_eq!(d.retry_stats().failures_surfaced, 1);
+    }
+
+    #[test]
+    fn repeated_failures_degrade_then_recover() {
+        let mut d = resilient(64);
+        d.install_fault_plan(FaultPlan::transient(1, 1000));
+        for _ in 0..DEGRADE_THRESHOLD {
+            assert!(d.write(0, &vec![1u8; BLOCK_SIZE]).is_err());
+        }
+        assert_eq!(d.health(), DevHealth::Degraded);
+        // Clear the plan: the next success restores health.
+        d.install_fault_plan(FaultPlan::default());
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        assert_eq!(d.health(), DevHealth::Healthy);
+        assert_eq!(d.retry_stats().consecutive_failures, 0);
+    }
+
+    #[test]
+    fn power_cut_is_permanent_and_marks_dead() {
+        let mut d = resilient(64);
+        d.install_fault_plan(FaultPlan::power_cut(1));
+        let err = d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::DeviceDead);
+        // No retries burned on a permanent fault.
+        assert_eq!(d.retry_stats().writes_retried, 0);
+        assert_eq!(d.health(), DevHealth::Dead);
+        d.power_on();
+        assert_eq!(d.health(), DevHealth::Healthy);
+    }
+
+    #[test]
+    fn randomized_flaky_device_still_makes_progress() {
+        let mut d = resilient(4096);
+        let rates = FaultRates {
+            transient_ppm: 120_000,
+            latency_spike_ppm: 30_000,
+            ..FaultRates::default()
+        };
+        d.install_fault_plan(FaultPlan::random(11, rates));
+        let mut ok = 0u32;
+        for i in 0..500u64 {
+            if d.write(i % 4096, &vec![i as u8; BLOCK_SIZE]).is_ok() {
+                ok += 1;
+            }
+        }
+        // With 12% per-attempt failure and 4 attempts, nearly every write
+        // succeeds.
+        assert!(ok >= 495, "only {ok}/500 writes succeeded");
+        assert!(d.retry_stats().transient_absorbed > 0);
+    }
+}

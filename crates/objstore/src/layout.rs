@@ -3,7 +3,11 @@
 //! ```text
 //! block 0      superblock slot A \  alternating commits; recovery picks
 //! block 1      superblock slot B /  the valid slot with the higher epoch
-//! block 2..J   metadata journal (append-only, reset by compaction)
+//! block 2..J   metadata journal (two ping-pong halves; records append
+//!              into the active half, compaction writes its snapshot to
+//!              the idle half and the superblock flip switches halves,
+//!              so a power cut mid-compaction never destroys the journal
+//!              the durable superblock points at)
 //! block J..    data region (refcounted 4 KiB blocks)
 //! ```
 
@@ -17,7 +21,7 @@ use aurora_hw::BLOCK_SIZE;
 pub const MAGIC: u64 = 0x4155_524F_5253_4C53;
 
 /// On-disk format version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// First journal block.
 pub const JOURNAL_START: u64 = 2;
@@ -27,10 +31,12 @@ pub const JOURNAL_START: u64 = 2;
 pub struct Superblock {
     /// Commit epoch (monotonic across the store's life).
     pub epoch: u64,
-    /// Journal length in blocks.
+    /// Journal length in blocks (both halves).
     pub journal_blocks: u64,
-    /// Bytes of valid journal content.
+    /// Bytes of valid journal content in the active half.
     pub journal_used: u64,
+    /// First block of the active journal half.
+    pub journal_base: u64,
     /// Total device blocks.
     pub total_blocks: u64,
     /// Next checkpoint id to assign.
@@ -43,6 +49,20 @@ impl Superblock {
     /// First data-region block for this geometry.
     pub fn data_start(&self) -> u64 {
         JOURNAL_START + self.journal_blocks
+    }
+
+    /// Blocks in one journal half (records must fit in a half).
+    pub fn journal_half_blocks(&self) -> u64 {
+        self.journal_blocks / 2
+    }
+
+    /// First block of the idle journal half (compaction's target).
+    pub fn journal_other_half(&self) -> u64 {
+        if self.journal_base == JOURNAL_START {
+            JOURNAL_START + self.journal_half_blocks()
+        } else {
+            JOURNAL_START
+        }
     }
 
     /// Number of data blocks.
@@ -58,6 +78,7 @@ impl Superblock {
         e.u64(self.epoch);
         e.u64(self.journal_blocks);
         e.u64(self.journal_used);
+        e.u64(self.journal_base);
         e.u64(self.total_blocks);
         e.u64(self.next_ckpt);
         e.u64(self.next_obj);
@@ -70,8 +91,8 @@ impl Superblock {
 
     /// Parses and validates a superblock from a device block.
     pub fn from_block(block: &[u8]) -> Result<Superblock> {
-        // Body length: 8 + 2 + 6*8 = 58 bytes, then 4 bytes CRC.
-        const BODY: usize = 58;
+        // Body length: 8 + 2 + 7*8 = 66 bytes, then 4 bytes CRC.
+        const BODY: usize = 66;
         if block.len() < BODY + 4 {
             return Err(Error::corrupt("superblock too short"));
         }
@@ -95,6 +116,7 @@ impl Superblock {
             epoch: d.u64()?,
             journal_blocks: d.u64()?,
             journal_used: d.u64()?,
+            journal_base: d.u64()?,
             total_blocks: d.u64()?,
             next_ckpt: d.u64()?,
             next_obj: d.u64()?,
@@ -111,6 +133,7 @@ mod tests {
             epoch: 42,
             journal_blocks: 1024,
             journal_used: 12345,
+            journal_base: JOURNAL_START,
             total_blocks: 1 << 20,
             next_ckpt: 7,
             next_obj: 99,

@@ -68,6 +68,69 @@ struct LiveObject {
     size_pages: u64,
 }
 
+/// Folds the committed chain ending at `head` into live object maps —
+/// the authoritative reconstruction used by recovery and by
+/// [`ObjectStore::rollback_pending`].
+fn fold_live(
+    ckpts: &BTreeMap<u64, Checkpoint>,
+    head: Option<CkptId>,
+) -> Result<HashMap<ObjId, LiveObject>> {
+    let mut live: HashMap<ObjId, LiveObject> = HashMap::new();
+    let Some(h) = head else {
+        return Ok(live);
+    };
+    let mut chain = Vec::new();
+    let mut cur = Some(h);
+    while let Some(c) = cur {
+        let ck = ckpts
+            .get(&c.0)
+            .ok_or_else(|| Error::corrupt(format!("dangling parent {}", c.0)))?;
+        chain.push(c.0);
+        cur = ck.parent;
+    }
+    for id in chain.iter().rev() {
+        let ck = &ckpts[id];
+        for (oid, size) in &ck.new_objects {
+            live.insert(
+                *oid,
+                LiveObject {
+                    map: BTreeMap::new(),
+                    size_pages: *size,
+                },
+            );
+        }
+        for ((oid, idx), ptr) in &ck.pages {
+            if let Some(obj) = live.get_mut(oid) {
+                obj.map.insert(*idx, *ptr);
+            }
+        }
+        for oid in &ck.deleted_objects {
+            live.remove(oid);
+        }
+    }
+    Ok(live)
+}
+
+/// Expected block refcounts for committed state: one per
+/// checkpoint-delta pointer plus one per live-map pointer.
+fn committed_refs(
+    ckpts: &BTreeMap<u64, Checkpoint>,
+    live: &HashMap<ObjId, LiveObject>,
+) -> HashMap<u64, u32> {
+    let mut refs: HashMap<u64, u32> = HashMap::new();
+    for ck in ckpts.values() {
+        for ptr in ck.pages.values() {
+            *refs.entry(ptr.0).or_insert(0) += 1;
+        }
+    }
+    for obj in live.values() {
+        for ptr in obj.map.values() {
+            *refs.entry(ptr.0).or_insert(0) += 1;
+        }
+    }
+    refs
+}
+
 /// The object store.
 pub struct ObjectStore {
     dev: Box<dyn BlockDev>,
@@ -107,6 +170,7 @@ impl ObjectStore {
             epoch: 1,
             journal_blocks: config.journal_blocks,
             journal_used: 0,
+            journal_base: JOURNAL_START,
             total_blocks,
             next_ckpt: 1,
             next_obj: 1,
@@ -174,7 +238,7 @@ impl ObjectStore {
         let used = sb.journal_used as usize;
         let mut journal_bytes = vec![0u8; used.div_ceil(BLOCK_SIZE) * BLOCK_SIZE];
         if !journal_bytes.is_empty() {
-            dev.read(JOURNAL_START, &mut journal_bytes)?;
+            dev.read(sb.journal_base, &mut journal_bytes)?;
         }
         let records = journal::decode_records(&journal_bytes, sb.journal_used);
         let ckpts = journal::replay_lossy(records);
@@ -182,52 +246,11 @@ impl ObjectStore {
         // Rebuild live state by folding the chain from the head (the
         // newest checkpoint).
         let head = ckpts.keys().next_back().map(|&id| CkptId(id));
-        let mut live: HashMap<ObjId, LiveObject> = HashMap::new();
-        if let Some(h) = head {
-            let mut chain = Vec::new();
-            let mut cur = Some(h);
-            while let Some(c) = cur {
-                let ck = ckpts
-                    .get(&c.0)
-                    .ok_or_else(|| Error::corrupt(format!("dangling parent {}", c.0)))?;
-                chain.push(c.0);
-                cur = ck.parent;
-            }
-            for id in chain.iter().rev() {
-                let ck = &ckpts[id];
-                for (oid, size) in &ck.new_objects {
-                    live.insert(
-                        *oid,
-                        LiveObject {
-                            map: BTreeMap::new(),
-                            size_pages: *size,
-                        },
-                    );
-                }
-                for ((oid, idx), ptr) in &ck.pages {
-                    if let Some(obj) = live.get_mut(oid) {
-                        obj.map.insert(*idx, *ptr);
-                    }
-                }
-                for oid in &ck.deleted_objects {
-                    live.remove(oid);
-                }
-            }
-        }
+        let live = fold_live(&ckpts, head)?;
 
         // Rebuild refcounts: one per checkpoint-delta pointer plus one per
         // live-map pointer.
-        let mut refs: HashMap<u64, u32> = HashMap::new();
-        for ck in ckpts.values() {
-            for ptr in ck.pages.values() {
-                *refs.entry(ptr.0).or_insert(0) += 1;
-            }
-        }
-        for obj in live.values() {
-            for ptr in obj.map.values() {
-                *refs.entry(ptr.0).or_insert(0) += 1;
-            }
-        }
+        let refs = committed_refs(&ckpts, &live);
         let mut alloc = BlockAlloc::new(sb.data_blocks());
         for (&b, &r) in &refs {
             alloc.set_refs(BlockPtr(b), r);
@@ -574,43 +597,67 @@ impl ObjectStore {
     ///
     /// Returns the checkpoint id and the virtual instant at which it is
     /// durable. The caller's clock is *not* advanced to that instant.
+    ///
+    /// Failure atomicity: the pending delta, refcounts and checkpoint
+    /// table are only mutated after every device write has succeeded. A
+    /// commit that fails mid-flush (transient fault, dead device) leaves
+    /// the store exactly as it was — still consistent, still holding the
+    /// staged delta — so the caller can retry or abandon it.
     pub fn commit(&mut self, name: Option<&str>) -> Result<(CkptId, SimTime)> {
         let id = CkptId(self.sb.next_ckpt);
         let ck = Checkpoint {
             id,
             parent: self.head,
             name: name.map(str::to_string),
-            new_objects: core::mem::take(&mut self.pending_new_objects),
-            deleted_objects: core::mem::take(&mut self.pending_deleted),
-            pages: core::mem::take(&mut self.pending_pages),
-            blobs: core::mem::take(&mut self.pending_blobs),
+            new_objects: self.pending_new_objects.clone(),
+            deleted_objects: self.pending_deleted.clone(),
+            pages: self.pending_pages.clone(),
+            blobs: self.pending_blobs.clone(),
             durable_at: SimTime::ZERO,
         };
-        // Checkpoint references on every delta block.
-        for ptr in ck.pages.values() {
-            self.alloc.incref(*ptr);
-        }
 
         let bytes = journal::encode_record(&JournalRecord::Commit(ck.clone()));
-        let journal_capacity = self.sb.journal_blocks * BLOCK_SIZE as u64;
+        let journal_capacity = self.sb.journal_half_blocks() * BLOCK_SIZE as u64;
         if self.sb.journal_used + bytes.len() as u64 > journal_capacity {
             self.compact()?;
             if self.sb.journal_used + bytes.len() as u64 > journal_capacity {
                 return Err(Error::no_space("journal cannot hold this checkpoint"));
             }
         }
-        let lba = JOURNAL_START + self.sb.journal_used / BLOCK_SIZE as u64;
+        let lba = self.sb.journal_base + self.sb.journal_used / BLOCK_SIZE as u64;
         self.dev.submit_write(lba, &bytes)?;
+        self.dev.flush()?;
+        // The record is on the platter; account for it only now so a
+        // failed attempt rewrites the same journal offset on retry.
         self.stats.bytes_journaled += bytes.len() as u64;
         self.sb.journal_used += bytes.len() as u64;
-        self.dev.flush()?;
 
         self.sb.epoch += 1;
         self.sb.next_ckpt += 1;
         let slot = self.sb.epoch % 2;
-        self.dev.submit_write(slot, &self.sb.to_block())?;
+        match self.dev.submit_write(slot, &self.sb.to_block()) {
+            Ok(_) => {}
+            Err(e) => {
+                // The record sits in the journal but no durable superblock
+                // covers it; roll the in-memory geometry back so a retried
+                // commit overwrites it.
+                self.sb.journal_used -= bytes.len() as u64;
+                self.sb.epoch -= 1;
+                self.sb.next_ckpt -= 1;
+                return Err(e);
+            }
+        }
         let durable = self.dev.flush()?;
 
+        // Every write landed: consume the pending delta and publish.
+        self.pending_new_objects.clear();
+        self.pending_deleted.clear();
+        self.pending_pages.clear();
+        self.pending_blobs.clear();
+        // Checkpoint references on every delta block.
+        for ptr in ck.pages.values() {
+            self.alloc.incref(*ptr);
+        }
         let mut ck = ck;
         ck.durable_at = durable;
         self.ckpts.insert(id.0, ck);
@@ -621,21 +668,29 @@ impl ObjectStore {
 
     /// Rewrites the checkpoint table as one snapshot record, resetting
     /// the journal.
+    ///
+    /// Crash safety: the snapshot lands in the *idle* journal half and
+    /// only the subsequent superblock write switches halves. A power cut
+    /// at any point leaves a durable superblock pointing at an intact
+    /// journal — either the old records or the complete snapshot, never
+    /// a half-overwritten mix.
     fn compact(&mut self) -> Result<()> {
         let list: Vec<Checkpoint> = self.ckpts.values().cloned().collect();
         let bytes = journal::encode_record(&JournalRecord::Snapshot(list));
-        let capacity = self.sb.journal_blocks * BLOCK_SIZE as u64;
+        let capacity = self.sb.journal_half_blocks() * BLOCK_SIZE as u64;
         // Snapshot + one guard block + room to grow.
         if bytes.len() as u64 + BLOCK_SIZE as u64 > capacity {
             return Err(Error::no_space("journal too small for metadata snapshot"));
         }
-        self.dev.submit_write(JOURNAL_START, &bytes)?;
+        let base = self.sb.journal_other_half();
+        self.dev.submit_write(base, &bytes)?;
         // A zero guard block stops recovery from replaying stale records
         // that happen to align after the snapshot.
-        let guard_lba = JOURNAL_START + (bytes.len() / BLOCK_SIZE) as u64;
+        let guard_lba = base + (bytes.len() / BLOCK_SIZE) as u64;
         self.dev.submit_write(guard_lba, &vec![0u8; BLOCK_SIZE])?;
         self.dev.flush()?;
         self.sb.epoch += 1;
+        self.sb.journal_base = base;
         self.sb.journal_used = bytes.len() as u64;
         let slot = self.sb.epoch % 2;
         self.dev.submit_write(slot, &self.sb.to_block())?;
@@ -656,14 +711,14 @@ impl ObjectStore {
             self.release_block(ptr);
         }
         let bytes = journal::encode_record(&JournalRecord::Delete(id));
-        let capacity = self.sb.journal_blocks * BLOCK_SIZE as u64;
+        let capacity = self.sb.journal_half_blocks() * BLOCK_SIZE as u64;
         if self.sb.journal_used + bytes.len() as u64 > capacity {
             self.compact()?;
             // The compacted snapshot already reflects the deletion.
             self.stats.gc_runs += 1;
             return Ok(());
         }
-        let lba = JOURNAL_START + self.sb.journal_used / BLOCK_SIZE as u64;
+        let lba = self.sb.journal_base + self.sb.journal_used / BLOCK_SIZE as u64;
         self.dev.submit_write(lba, &bytes)?;
         self.sb.journal_used += bytes.len() as u64;
         self.dev.flush()?;
@@ -710,15 +765,13 @@ impl ObjectStore {
         self.head
     }
 
-    /// Logical (uncompressed) size of a checkpoint's chain-merged state:
-    /// what actually crosses a wire when the image moves, regardless of
-    /// how compactly pages encode. Pages count 4 KiB each.
-    pub fn logical_size(&self, ckpt: CkptId) -> Result<u64> {
-        let mut total = 0u64;
+    /// Objects visible at a checkpoint (born in its chain, not deleted
+    /// by a newer chain entry).
+    fn objects_at(&self, ckpt: CkptId) -> Result<Vec<ObjId>> {
         let mut objects: Vec<ObjId> = Vec::new();
-        let mut cur = Some(ckpt);
         let mut dead: Vec<ObjId> = Vec::new();
         let mut chain = Vec::new();
+        let mut cur = Some(ckpt);
         while let Some(c) = cur {
             let ck = self.checkpoint(c)?;
             chain.push(c);
@@ -735,7 +788,15 @@ impl ObjectStore {
                 }
             }
         }
-        for oid in objects {
+        Ok(objects)
+    }
+
+    /// Logical (uncompressed) size of a checkpoint's chain-merged state:
+    /// what actually crosses a wire when the image moves, regardless of
+    /// how compactly pages encode. Pages count 4 KiB each.
+    pub fn logical_size(&self, ckpt: CkptId) -> Result<u64> {
+        let mut total = 0u64;
+        for oid in self.objects_at(ckpt)? {
             total += self.object_map_at(ckpt, oid).len() as u64 * BLOCK_SIZE as u64;
         }
         for key in self.blob_keys_at(ckpt, "") {
@@ -804,6 +865,138 @@ impl ObjectStore {
                 expected.len()
             ));
         }
+        problems
+    }
+
+    /// True if an uncommitted delta is staged (pages, blobs, object
+    /// births or deletions since the last commit).
+    pub fn has_pending(&self) -> bool {
+        !self.pending_pages.is_empty()
+            || !self.pending_blobs.is_empty()
+            || !self.pending_new_objects.is_empty()
+            || !self.pending_deleted.is_empty()
+    }
+
+    /// Discards the staged (uncommitted) delta and rebuilds live maps,
+    /// refcounts and dedup state from the committed chain — the
+    /// store-side half of aborting a failed checkpoint.
+    ///
+    /// Afterwards the store is indistinguishable from one freshly
+    /// recovered at the current head: [`ObjectStore::fsck`] is clean and
+    /// every committed checkpoint restores. Callers that share the store
+    /// with live clients holding uncommitted state (SLSFS file writes on
+    /// the primary store) must resynchronize those clients; the SLS
+    /// checkpoint pipeline therefore aborts by forcing the next
+    /// checkpoint full instead of rolling the primary store back.
+    pub fn rollback_pending(&mut self) -> Result<()> {
+        self.pending_pages.clear();
+        self.pending_blobs.clear();
+        self.pending_new_objects.clear();
+        self.pending_deleted.clear();
+        let live = fold_live(&self.ckpts, self.head)?;
+        let refs = committed_refs(&self.ckpts, &live);
+        let mut alloc = BlockAlloc::new(self.sb.data_blocks());
+        for (&b, &r) in &refs {
+            alloc.set_refs(BlockPtr(b), r);
+        }
+        self.alloc = alloc;
+        self.data.retain(|b, _| refs.contains_key(b));
+        self.dedup.clear();
+        self.block_hash.clear();
+        if self.config.dedup {
+            for (&b, page) in &self.data {
+                let h = page.content_hash();
+                self.dedup.entry(h).or_default().push(BlockPtr(b));
+                self.block_hash.insert(b, h);
+            }
+        }
+        self.live = live;
+        Ok(())
+    }
+
+    /// Verifies that one committed checkpoint is fully restorable:
+    ///
+    /// * its parent chain resolves;
+    /// * every block its effective object maps reference has recoverable
+    ///   contents (in the page table, or readable from the medium with a
+    ///   matching content hash when data is materialized).
+    ///
+    /// Returns the violations (empty = restorable). The checkpoint
+    /// pipeline runs this on the incremental base and degrades to a full
+    /// checkpoint when the base is damaged.
+    pub fn verify_checkpoint(&mut self, ckpt: CkptId) -> Vec<String> {
+        let mut problems = Vec::new();
+        // Chain resolution first: a broken chain makes the maps moot.
+        let mut cur = Some(ckpt);
+        while let Some(c) = cur {
+            match self.ckpts.get(&c.0) {
+                Some(ck) => cur = ck.parent,
+                None => {
+                    problems.push(format!("checkpoint {} missing from the table", c.0));
+                    return problems;
+                }
+            }
+        }
+        let objects = match self.objects_at(ckpt) {
+            Ok(o) => o,
+            Err(e) => {
+                problems.push(format!("object walk failed: {e}"));
+                return problems;
+            }
+        };
+        for oid in objects {
+            for (idx, ptr) in self.object_map_at(ckpt, oid) {
+                // Materialized stores verify the platter copy even when a
+                // clean copy is cached in memory: a write-time corruption
+                // would otherwise hide until the cache is dropped.
+                if self.data.contains_key(&ptr.0) && !self.config.materialize_data {
+                    continue;
+                }
+                if !self.config.materialize_data {
+                    problems.push(format!(
+                        "object {} page {idx}: block {} unrecoverable",
+                        oid.0, ptr.0
+                    ));
+                    continue;
+                }
+                let lba = self.sb.data_start() + ptr.0;
+                let mut buf = vec![0u8; BLOCK_SIZE];
+                match self.dev.read(lba, &mut buf) {
+                    Ok(()) => {
+                        if let Some(&expect) = self.block_hash.get(&ptr.0) {
+                            let page = PageData::from_bytes(&buf);
+                            if page.content_hash() != expect {
+                                problems.push(format!(
+                                    "object {} page {idx}: block {} content hash mismatch",
+                                    oid.0, ptr.0
+                                ));
+                            }
+                        }
+                    }
+                    Err(e) => problems.push(format!(
+                        "object {} page {idx}: block {} unreadable: {e}",
+                        oid.0, ptr.0
+                    )),
+                }
+            }
+        }
+        problems
+    }
+
+    /// Full offline-quality audit: [`ObjectStore::fsck`] invariants plus
+    /// a restorability check of every committed checkpoint. Backs the
+    /// `sls scrub` CLI command and the crash campaign's per-iteration
+    /// invariant.
+    pub fn scrub(&mut self) -> Vec<String> {
+        let mut problems = self.fsck();
+        let ids: Vec<CkptId> = self.ckpts.keys().map(|&i| CkptId(i)).collect();
+        for id in ids {
+            for p in self.verify_checkpoint(id) {
+                problems.push(format!("ckpt {}: {p}", id.0));
+            }
+        }
+        problems.sort();
+        problems.dedup();
         problems
     }
 

@@ -132,3 +132,22 @@ fn errors_are_reported_not_panicked() {
     assert!(sls(&base, &["persist"]).is_err(), "missing name");
     assert!(sls(&base, &["persist", "x", "--app", "nope"]).is_err());
 }
+
+#[test]
+fn scrub_and_info_report_health() {
+    let (_dir, base) = world();
+    sls(&base, &["init"]).unwrap();
+    sls(&base, &["persist", "app", "--app", "kv"]).unwrap();
+    sls(&base, &["run", "app", "--steps", "10"]).unwrap();
+
+    let out = sls(&base, &["scrub"]).unwrap();
+    assert!(out.contains("device healthy"), "scrub health: {out}");
+    assert!(out.contains("clean"), "scrub verdict: {out}");
+
+    let out = sls(&base, &["info"]).unwrap();
+    assert!(out.contains("device: healthy"), "info health: {out}");
+    assert!(out.contains("degraded"), "info counters: {out}");
+
+    let help = sls(&base, &["--help"]).unwrap();
+    assert!(help.contains("scrub"), "help mentions scrub");
+}

@@ -1,0 +1,74 @@
+//! Seeded crash campaign: hundreds of randomized fault schedules, each
+//! driven through checkpoint → crash → recover → restore, asserting
+//! after every crash that (1) the recovered store scrubs clean and
+//! (2) every surviving checkpoint restores to exactly the state
+//! captured at its barrier.
+//!
+//! The campaign size defaults to 200 schedules per profile and scales
+//! through `AURORA_CRASH_ITERS` (CI nightly runs set it much higher).
+
+use aurora::core::campaign::{run_campaign, schedules_from_env, CampaignConfig};
+use aurora::hw::FaultRates;
+
+#[test]
+fn campaign_flaky_device() {
+    let cfg = CampaignConfig {
+        seed: 0xa070_5175,
+        schedules: schedules_from_env(200),
+        rounds: 6,
+        rates: FaultRates::flaky(),
+    };
+    let report = run_campaign(&cfg);
+    assert!(
+        report.passed(),
+        "campaign violations:\n{}",
+        report.violations.join("\n")
+    );
+    assert_eq!(report.schedules, cfg.schedules);
+    // The schedule rates must actually exercise the pipeline: some
+    // checkpoints abort, some crashes land mid-flush, retries absorb
+    // transient errors, and every surviving checkpoint is re-verified.
+    assert!(report.committed > report.schedules, "baselines + survivors");
+    assert!(report.aborted > 0, "no checkpoint ever aborted");
+    assert!(report.crashes > report.schedules, "no mid-schedule crash");
+    assert!(report.transient_absorbed > 0, "retries never exercised");
+    assert!(report.restores_verified > report.schedules);
+}
+
+#[test]
+fn campaign_hostile_device() {
+    // Adds silent bit corruption on top of the flaky profile; the CRC
+    // journal and scrub must keep every surviving state bit-exact.
+    let cfg = CampaignConfig {
+        seed: 0x5c2b_0b5e,
+        schedules: schedules_from_env(200),
+        rounds: 6,
+        rates: FaultRates::hostile(),
+    };
+    let report = run_campaign(&cfg);
+    assert!(
+        report.passed(),
+        "campaign violations:\n{}",
+        report.violations.join("\n")
+    );
+    assert!(report.aborted > 0);
+    assert!(report.restores_verified > 0);
+}
+
+#[test]
+fn campaign_is_reproducible_from_its_seed() {
+    let cfg = CampaignConfig {
+        seed: 7,
+        schedules: 16,
+        rounds: 6,
+        rates: FaultRates::flaky(),
+    };
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.degraded, b.degraded);
+    assert_eq!(a.aborted, b.aborted);
+    assert_eq!(a.crashes, b.crashes);
+    assert_eq!(a.restores_verified, b.restores_verified);
+    assert_eq!(a.transient_absorbed, b.transient_absorbed);
+}

@@ -148,3 +148,258 @@ fn repeated_crashes_never_lose_committed_history() {
     let host = host.crash_and_reboot().unwrap();
     assert!(host.sls.primary.borrow().head().is_some());
 }
+
+/// A permanent run of transient faults exhausts the retry budget: the
+/// checkpoint must abort WITHOUT touching the previous durable snapshot,
+/// and the pipeline must recover with a full checkpoint once the device
+/// heals.
+#[test]
+fn aborted_checkpoint_leaves_previous_snapshot_restorable() {
+    use aurora::core::CheckpointOutcome;
+    use aurora::hw::DevHealth;
+
+    let mut host = boot();
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, 4 * 4096, false).unwrap();
+    host.kernel.mem_write(pid, addr, b"state-v1").unwrap();
+    let gid = host.persist("app", pid).unwrap();
+    let bd = host.checkpoint(gid, true, Some("v1")).unwrap();
+    host.clock.advance_to(bd.durable_at);
+    let v1 = bd.ckpt.unwrap();
+
+    // Every write fails with a transient error for longer than the retry
+    // budget: a permanent fault as far as the pipeline can tell.
+    host.kernel.mem_write(pid, addr, b"state-v2").unwrap();
+    host.sls
+        .primary
+        .borrow_mut()
+        .device_mut()
+        .install_fault_plan(FaultPlan::transient(1, 10_000));
+    let bd = host.checkpoint(gid, false, Some("v2")).unwrap();
+    assert_eq!(bd.outcome, CheckpointOutcome::Aborted);
+    assert!(bd.fault.is_some(), "abort reports its cause");
+    assert!(bd.ckpt.is_none(), "no checkpoint id for an aborted attempt");
+    assert_eq!(host.sls.stats.checkpoints_aborted, 1);
+
+    // Each aborted flush surfaces one exhausted retry; after three in a
+    // row with no intervening success the device is marked degraded.
+    for _ in 0..2 {
+        let bd = host.checkpoint(gid, true, None).unwrap();
+        assert_eq!(bd.outcome, CheckpointOutcome::Aborted);
+    }
+    assert_eq!(host.sls.stats.checkpoints_aborted, 3);
+    assert_eq!(
+        host.sls.primary.borrow().device().health(),
+        DevHealth::Degraded,
+        "repeated failures degrade the device"
+    );
+
+    // The previous snapshot is untouched and restorable right now.
+    let store = host.sls.primary.clone();
+    assert_eq!(store.borrow().head(), Some(v1), "head still the old snapshot");
+    assert!(store.borrow().fsck().is_empty(), "store consistent after abort");
+    let r = host.restore(&store, v1, RestoreMode::Eager).unwrap();
+    let np = r.root_pid().unwrap();
+    let mut buf = [0u8; 8];
+    host.kernel.mem_read(np, addr, &mut buf).unwrap();
+    assert_eq!(&buf, b"state-v1");
+    let _ = host.kernel.exit(np, 0);
+    host.kernel.procs.remove(&np);
+
+    // Device heals; the next checkpoint degrades to full and commits.
+    host.sls
+        .primary
+        .borrow_mut()
+        .device_mut()
+        .install_fault_plan(FaultPlan::default());
+    host.kernel.mem_write(pid, addr, b"state-v3").unwrap();
+    let bd = host.checkpoint(gid, false, Some("v3")).unwrap();
+    assert_eq!(bd.outcome, CheckpointOutcome::DegradedToFull);
+    assert!(bd.full, "abort forces the next checkpoint full");
+    assert_eq!(host.sls.stats.checkpoints_degraded, 1);
+    host.clock.advance_to(bd.durable_at);
+    assert_eq!(
+        host.sls.primary.borrow().device().health(),
+        DevHealth::Healthy,
+        "a successful write heals the device"
+    );
+
+    // And the committed chain survives a crash.
+    drop(store);
+    let mut host = host.crash_and_reboot().unwrap();
+    let store = host.sls.primary.clone();
+    assert!(store.borrow_mut().scrub().is_empty());
+    let head = store.borrow().head().unwrap();
+    let r = host.restore(&store, head, RestoreMode::Eager).unwrap();
+    let np = r.root_pid().unwrap();
+    host.kernel.mem_read(np, addr, &mut buf).unwrap();
+    assert_eq!(&buf, b"state-v3");
+}
+
+/// Power-cut sweep during journal garbage collection: compaction writes
+/// its snapshot into the idle journal half, so a cut at ANY write during
+/// GC must leave a durable superblock pointing at an intact journal.
+#[test]
+fn power_cut_sweep_during_journal_gc() {
+    use aurora::objstore::{ObjId, ObjectStore};
+    use aurora::vm::PageData;
+
+    fn small_store() -> ObjectStore {
+        let clock = SimClock::new();
+        let dev = Box::new(aurora::hw::ModelDev::nvme(clock, "nvme0", 64 * 1024));
+        ObjectStore::format(
+            dev,
+            StoreConfig {
+                journal_blocks: 8, // tiny: half = 16 KiB, compacts quickly
+                dedup: true,
+                materialize_data: false,
+            },
+        )
+        .unwrap()
+    }
+
+    // Probe: find the commit that triggers the first compaction.
+    let trigger = {
+        let mut s = small_store();
+        s.create_object(ObjId(1), 4).unwrap();
+        let mut n = 0u64;
+        loop {
+            s.write_page(ObjId(1), n % 4, &PageData::Seeded(n)).unwrap();
+            s.commit(Some(&format!("c{n}"))).unwrap();
+            n += 1;
+            if s.stats.compactions > 0 {
+                break n;
+            }
+            assert!(n < 10_000, "compaction never triggered");
+        }
+    };
+
+    // Sweep: cut power at each of the writes the compacting commit
+    // issues (snapshot, guard block, journal record, superblock).
+    for cut_at in 1..=6u64 {
+        let mut s = small_store();
+        s.create_object(ObjId(1), 4).unwrap();
+        for n in 0..trigger - 1 {
+            s.write_page(ObjId(1), n % 4, &PageData::Seeded(n)).unwrap();
+            s.commit(Some(&format!("c{n}"))).unwrap();
+        }
+        s.device_mut().install_fault_plan(FaultPlan::power_cut(cut_at));
+        s.write_page(ObjId(1), (trigger - 1) % 4, &PageData::Seeded(trigger - 1))
+            .unwrap();
+        let _ = s.commit(Some(&format!("c{}", trigger - 1)));
+
+        let mut s = s.recover().unwrap();
+        let problems = s.scrub();
+        assert!(
+            problems.is_empty(),
+            "cut at {cut_at} during GC left damage: {problems:?}"
+        );
+        let head = s.head().expect("committed history survives GC cut");
+        // The head must be a complete committed state: its page readable
+        // and matching the round that committed it.
+        let name = s.checkpoint(head).unwrap().name.clone().unwrap();
+        let round: u64 = name[1..].parse().unwrap();
+        assert!(
+            s.read_page(ObjId(1), round % 4)
+                .unwrap()
+                .unwrap()
+                .content_eq(&PageData::Seeded(round)),
+            "cut at {cut_at}: head {name} torn"
+        );
+    }
+}
+
+/// Power-cut sweep while SLSFS file writes are being checkpointed: after
+/// reboot the file must hold the old or the new contents, never a mix,
+/// and the store must scrub clean.
+#[test]
+fn power_cut_sweep_during_slsfs_file_writes() {
+    for cut_at in 1..=8u64 {
+        let mut host = boot();
+        let pid = host.kernel.spawn("app");
+        let fd = host.kernel.open(pid, "/sls/data.txt", true).unwrap();
+        host.kernel.write(pid, fd, b"file-v1").unwrap();
+        let gid = host.persist("app", pid).unwrap();
+        let bd = host.checkpoint(gid, true, Some("v1")).unwrap();
+        host.clock.advance_to(bd.durable_at);
+
+        // Append more file data, then cut power mid-checkpoint.
+        host.kernel.write(pid, fd, b"file-v2").unwrap();
+        host.sls
+            .primary
+            .borrow_mut()
+            .device_mut()
+            .install_fault_plan(FaultPlan::power_cut(cut_at));
+        let _ = host.checkpoint(gid, false, Some("v2"));
+
+        let mut host = host.crash_and_reboot().unwrap();
+        assert!(
+            host.sls.primary.borrow_mut().scrub().is_empty(),
+            "cut at {cut_at}: store damaged"
+        );
+        let reader = host.kernel.spawn("reader");
+        let fd = host.kernel.open(reader, "/sls/data.txt", false).unwrap();
+        let content = host.kernel.read(reader, fd, 64).unwrap();
+        assert!(
+            content == b"file-v1" || content == b"file-v1file-v2",
+            "cut at {cut_at}: torn file contents {:?}",
+            String::from_utf8_lossy(&content)
+        );
+    }
+}
+
+/// A corrupted superblock slot must not take the store down: recovery
+/// falls back to the other (older but valid) slot and lands on a
+/// committed state.
+#[test]
+fn corrupted_superblock_falls_back_to_the_other_slot() {
+    let mut host = boot();
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, 4096, false).unwrap();
+    let gid = host.persist("app", pid).unwrap();
+
+    let mut committed = Vec::new();
+    for round in 0..3u64 {
+        host.kernel
+            .mem_write(pid, addr, format!("round-{round}").as_bytes())
+            .unwrap();
+        let bd = host
+            .checkpoint(gid, round == 0, Some(&format!("r{round}")))
+            .unwrap();
+        host.clock.advance_to(bd.durable_at);
+        committed.push(format!("round-{round}"));
+    }
+
+    // From now on every write to superblock slot 0 (LBA 0) is silently
+    // corrupted on the platter; slot 1 stays good.
+    host.sls
+        .primary
+        .borrow_mut()
+        .device_mut()
+        .install_fault_plan(FaultPlan::corrupt_blocks(0, 1, 100, 2));
+    for round in 3..5u64 {
+        host.kernel
+            .mem_write(pid, addr, format!("round-{round}").as_bytes())
+            .unwrap();
+        let bd = host
+            .checkpoint(gid, false, Some(&format!("r{round}")))
+            .unwrap();
+        host.clock.advance_to(bd.durable_at);
+        committed.push(format!("round-{round}"));
+    }
+
+    // Recovery must reject the corrupt slot (CRC) and pick the other.
+    let mut host = host.crash_and_reboot().unwrap();
+    let store = host.sls.primary.clone();
+    assert!(store.borrow_mut().scrub().is_empty());
+    let head = store.borrow().head().expect("fallback slot recovers history");
+    let r = host.restore(&store, head, RestoreMode::Eager).unwrap();
+    let np = r.root_pid().unwrap();
+    let mut buf = [0u8; 7];
+    host.kernel.mem_read(np, addr, &mut buf).unwrap();
+    assert!(
+        committed.iter().any(|c| c.as_bytes() == buf),
+        "recovered state {:?} is not a committed round",
+        String::from_utf8_lossy(&buf)
+    );
+}
