@@ -543,6 +543,60 @@ impl KvClient {
 }
 
 #[cfg(test)]
+mod codec_tests {
+    use super::*;
+
+    #[test]
+    fn kv_op_roundtrip() {
+        for op in [
+            KvOp::Set(b"key".to_vec(), b"value".to_vec()),
+            KvOp::Set(Vec::new(), Vec::new()),
+            KvOp::Get(b"key".to_vec()),
+            KvOp::Del(vec![0u8; 300]),
+        ] {
+            let bytes = op.encode();
+            let (out, consumed) = KvOp::decode(&bytes).unwrap();
+            assert_eq!(out, op);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn kv_ops_replay_record_by_record() {
+        // The framing contract the WAL and ntlog replay paths rely on:
+        // concatenated records decode back in order via `consumed`.
+        let ops = [
+            KvOp::Set(b"a".to_vec(), b"1".to_vec()),
+            KvOp::Del(b"a".to_vec()),
+            KvOp::Get(b"a".to_vec()),
+        ];
+        let mut log = Vec::new();
+        for op in &ops {
+            log.extend_from_slice(&op.encode());
+        }
+        let mut at = 0;
+        let mut replayed = Vec::new();
+        while at < log.len() {
+            let (op, n) = KvOp::decode(&log[at..]).unwrap();
+            replayed.push(op);
+            at += n;
+        }
+        assert_eq!(replayed, ops);
+    }
+
+    #[test]
+    fn kv_op_bad_input_rejected() {
+        // Unknown tag.
+        let mut e = aurora_sim::codec::Encoder::new();
+        e.bytes(&[9u8]);
+        assert!(KvOp::decode(&e.into_vec()).is_err());
+        // Truncated frame.
+        let bytes = KvOp::Set(b"k".to_vec(), b"v".to_vec()).encode();
+        assert!(KvOp::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}
+
+#[cfg(test)]
 mod socket_tests {
     use super::*;
     use aurora_hw::ModelDev;

@@ -15,7 +15,7 @@ fn bench_kv(c: &mut Criterion) {
         ("wal_fsync", PersistMode::WalFsync),
         ("aurora_port", PersistMode::AuroraPort),
     ] {
-        group.bench_function(format!("set_64x_{name}"), |b| {
+        group.bench_function(&format!("set_64x_{name}"), |b| {
             b.iter_batched(
                 || {
                     let mut host = bench_host(256 * 1024);

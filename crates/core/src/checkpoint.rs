@@ -28,7 +28,8 @@ use aurora_vm::cow::{self, Capture};
 use aurora_vm::VmoId;
 
 use crate::group::{Group, GroupId};
-use crate::metrics::{CheckpointBreakdown, CheckpointOutcome};
+use crate::lockdep::{OrderedMutex, RANK_CKPT_BARRIER};
+use crate::metrics::{self, CheckpointBreakdown, CheckpointOutcome};
 use crate::serialize::*;
 use crate::{Host, Sls};
 
@@ -45,6 +46,12 @@ fn aborts_checkpoint(e: &Error) -> bool {
             | ErrorKind::WouldBlock
     )
 }
+
+/// Serializes whole checkpoint cycles: the capture/flush pipeline
+/// mutates per-group COW epochs and backend chains that would interleave
+/// incoherently if two cycles overlapped. Outermost rank in the lock
+/// hierarchy — nothing may be held when a cycle begins.
+static CKPT_BARRIER: OrderedMutex<()> = OrderedMutex::new(RANK_CKPT_BARRIER, "ckpt_barrier", ());
 
 /// Everything captured at the barrier, ready to flush.
 pub(crate) struct CapturedState {
@@ -75,6 +82,7 @@ impl Host {
                 gid.0
             )));
         }
+        let _cycle = CKPT_BARRIER.lock();
         let requested_full = full;
         let mut full = requested_full
             || self
@@ -166,8 +174,12 @@ impl Host {
             };
             let maps: Vec<&aurora_vm::VmMap> = members
                 .iter()
-                .map(|pid| &self.kernel.procs.get(pid).expect("member exists").map)
-                .collect();
+                .map(|pid| {
+                    self.kernel.procs.get(pid).map(|p| &p.map).ok_or_else(|| {
+                        Error::internal(format!("group member pid {} vanished at barrier", pid.0))
+                    })
+                })
+                .collect::<Result<_>>()?;
             captured.plan = cow::begin_epoch(&mut self.kernel.vm, &maps, capture);
         }
         breakdown.lazy_data_copy = sw.lap();
@@ -203,6 +215,7 @@ impl Host {
         group.ec_outstanding.push_back((ec_seq, durable));
         self.sls.stats.checkpoints += 1;
         self.sls.stats.flushed_bytes += breakdown.flush_bytes;
+        metrics::METRICS.lock().checkpoints_committed += 1;
 
         // History-window GC on every backend, then release holds whose
         // checkpoints already became durable.
@@ -236,6 +249,7 @@ impl Host {
             }
         }
         self.sls.stats.checkpoints_aborted += 1;
+        metrics::METRICS.lock().checkpoints_aborted += 1;
         breakdown.outcome = CheckpointOutcome::Aborted;
         breakdown.fault = Some(cause.to_string());
         breakdown.durable_at = SimTime::ZERO;
@@ -480,15 +494,16 @@ fn capture_metadata(
     // --- Serialize VM objects. ---------------------------------------------
     for &(v, oid) in &vmo_oid {
         let obj = kernel.vm.object(v);
-        let backing = obj.backing.map(|(b, off)| {
-            let buid = kernel.vm.object(b).uid;
-            let boid = group
-                .vmo_oids
-                .get(&buid)
-                .copied()
-                .expect("backing captured in the same walk");
-            (boid, off)
-        });
+        let backing = match obj.backing {
+            None => None,
+            Some((b, off)) => {
+                let buid = kernel.vm.object(b).uid;
+                let boid = group.vmo_oids.get(&buid).copied().ok_or_else(|| {
+                    Error::internal(format!("backing object uid {buid} missing from walk"))
+                })?;
+                Some((boid, off))
+            }
+        };
         let hot = kernel.vm.hottest_pages(v, 32);
         let rec = VmoRec {
             oid: oid.0,
@@ -569,7 +584,10 @@ fn capture_metadata(
 
     // --- Serialize open-file descriptions. -----------------------------------
     for &fid in &files {
-        let file = kernel.files.get(fid).expect("checked during discovery");
+        let file = kernel
+            .files
+            .get(fid)
+            .ok_or_else(|| Error::internal(format!("file {fid} closed during serialize")))?;
         let kind = match &file.kind {
             FileKind::Vnode(vref) => FileKindRec::Vnode(vref.node),
             FileKind::PipeRead(p) => FileKindRec::PipeRead(p.0),
@@ -665,7 +683,10 @@ fn capture_metadata(
 
     // --- System V shared memory. -------------------------------------------------
     for key in shm_keys {
-        let seg = kernel.sysv_shms.get(&key).expect("key listed above");
+        let seg = kernel
+            .sysv_shms
+            .get(&key)
+            .ok_or_else(|| Error::internal(format!("sysv shm key {key} removed during walk")))?;
         let uid = kernel.vm.object(seg.object).uid;
         let rec = ShmRec {
             key,
@@ -787,7 +808,12 @@ fn flush_capture(
         }
         durable = durable.max(backend_durable);
     }
-    group.history = group.backends[0].history.clone();
+    group.history = group
+        .backends
+        .first()
+        .ok_or_else(|| Error::internal("group has no backends"))?
+        .history
+        .clone();
     Ok(durable)
 }
 
@@ -811,6 +837,11 @@ fn gc_history(sls: &mut Sls, gid: GroupId) -> Result<()> {
             backend.store.borrow_mut().delete_checkpoint(victim)?;
         }
     }
-    group.history = group.backends[0].history.clone();
+    group.history = group
+        .backends
+        .first()
+        .ok_or_else(|| Error::internal("group has no backends"))?
+        .history
+        .clone();
     Ok(())
 }

@@ -39,6 +39,7 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod debug;
 pub mod group;
+pub mod lockdep;
 pub mod metrics;
 pub mod migrate;
 pub mod ntlog;

@@ -1,6 +1,35 @@
-//! Phase breakdowns matching the paper's tables.
+//! Phase breakdowns matching the paper's tables, plus the process-wide
+//! counter registry.
 
 use aurora_sim::time::{SimDuration, SimTime};
+
+use crate::lockdep::{OrderedMutex, RANK_METRICS};
+
+/// Process-wide counters, aggregated across every [`crate::Host`] in
+/// the process (a test or campaign binary runs many).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalCounters {
+    /// Checkpoints that committed (including degraded-to-full).
+    pub checkpoints_committed: u64,
+    /// Checkpoints that aborted without committing.
+    pub checkpoints_aborted: u64,
+    /// Restores that completed.
+    pub restores_completed: u64,
+}
+
+/// The global counter registry. Innermost rank in the lock hierarchy,
+/// so any path may bump counters while holding anything else.
+pub static METRICS: OrderedMutex<GlobalCounters> =
+    OrderedMutex::new(RANK_METRICS, "metrics", GlobalCounters {
+        checkpoints_committed: 0,
+        checkpoints_aborted: 0,
+        restores_completed: 0,
+    });
+
+/// Snapshot of the global counters.
+pub fn global_counters() -> GlobalCounters {
+    *METRICS.lock()
+}
 
 /// How a checkpoint concluded.
 ///

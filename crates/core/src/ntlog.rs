@@ -209,3 +209,28 @@ impl Host {
         Ok(())
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ntlog_state_roundtrip() {
+        for state in [
+            NtLogState { oid: 0, len: 0 },
+            NtLogState { oid: 7, len: 4096 },
+            NtLogState { oid: u64::MAX, len: u64::MAX },
+        ] {
+            let bytes = state.encode();
+            let out = NtLogState::decode(&bytes).unwrap();
+            assert_eq!(out.oid, state.oid);
+            assert_eq!(out.len, state.len);
+        }
+    }
+
+    #[test]
+    fn ntlog_state_truncated_rejected() {
+        let bytes = NtLogState { oid: 1, len: 2 }.encode();
+        assert!(NtLogState::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -38,7 +38,7 @@ use aurora_vm::map::RestoreHint;
 use aurora_vm::object::ResidentPage;
 use aurora_vm::{MapEntry, Pager, PageData, Prot, SlsPolicy, VmoId, VmoKind};
 
-use crate::metrics::RestoreBreakdown;
+use crate::metrics::{self, RestoreBreakdown};
 use crate::serialize::*;
 use crate::Host;
 
@@ -163,7 +163,9 @@ impl Host {
         // every level keeps its own image pages).
         for rec in &vmo_recs {
             if let Some((boid, off)) = rec.backing {
-                let v = oid_vmo[&rec.oid];
+                let v = *oid_vmo.get(&rec.oid).ok_or_else(|| {
+                    Error::internal(format!("vm object for oid {} vanished", rec.oid))
+                })?;
                 let b = *oid_vmo
                     .get(&boid)
                     .ok_or_else(|| Error::bad_image(format!("missing backing object {boid}")))?;
@@ -231,7 +233,9 @@ impl Host {
 
         // Eager/prefetch page-in.
         for rec in &vmo_recs {
-            let v = oid_vmo[&rec.oid];
+            let v = *oid_vmo.get(&rec.oid).ok_or_else(|| {
+                Error::internal(format!("vm object for oid {} vanished", rec.oid))
+            })?;
             let eager = match mode {
                 RestoreMode::Eager => !force_lazy.contains(&rec.oid),
                 _ => force_eager.contains(&rec.oid),
@@ -328,7 +332,9 @@ impl Host {
 
         // Wire socket state, queues and bindings.
         for rec in &usock_recs {
-            let sid = usock_map[&rec.id];
+            let sid = *usock_map.get(&rec.id).ok_or_else(|| {
+                Error::internal(format!("unix socket {} missing from shell pass", rec.id))
+            })?;
             let state = match &rec.state {
                 SockStateRec::Unbound => UsockState::Unbound,
                 SockStateRec::Listening => UsockState::Listening,
@@ -372,18 +378,18 @@ impl Host {
                 }
                 other => other.clone(),
             };
-            let sock = self
-                .kernel
-                .usocks
-                .get_mut(sid.0)
-                .expect("socket shell created above");
+            let sock = self.kernel.usocks.get_mut(sid.0).ok_or_else(|| {
+                Error::internal(format!("unix socket {} missing after shell pass", sid.0))
+            })?;
             sock.state = state;
             sock.recv = recv.into();
             sock.backlog = backlog;
             sock.bound_path = bound_path;
         }
         for rec in &isock_recs {
-            let sid = isock_map[&rec.id];
+            let sid = *isock_map.get(&rec.id).ok_or_else(|| {
+                Error::internal(format!("inet socket {} missing from shell pass", rec.id))
+            })?;
             let state = match &rec.state {
                 SockStateRec::Unbound => IsockState::Unbound,
                 SockStateRec::Listening => IsockState::Listening,
@@ -407,11 +413,9 @@ impl Host {
                 }
                 other => other,
             };
-            let sock = self
-                .kernel
-                .isocks
-                .get_mut(sid.0)
-                .expect("socket shell created above");
+            let sock = self.kernel.isocks.get_mut(sid.0).ok_or_else(|| {
+                Error::internal(format!("inet socket {} missing after shell pass", sid.0))
+            })?;
             sock.state = state;
             sock.backlog = backlog;
             sock.local_port = port;
@@ -419,7 +423,9 @@ impl Host {
 
         // Descriptor tables, threads, credentials, signals, parenthood.
         for rec in &proc_recs {
-            let new_pid = pid_map[&rec.pid];
+            let new_pid = *pid_map.get(&rec.pid).ok_or_else(|| {
+                Error::internal(format!("pid {} missing from shell pass", rec.pid))
+            })?;
             {
                 let proc = self.kernel.proc_mut(new_pid)?;
                 proc.cwd = rec.cwd.clone();
@@ -553,6 +559,7 @@ impl Host {
         pid_pairs.sort();
         breakdown.pid_map = pid_pairs;
         self.sls.stats.restores += 1;
+        metrics::METRICS.lock().restores_completed += 1;
         Ok(breakdown)
     }
 
@@ -623,7 +630,11 @@ impl Host {
                     .last_checkpoint()
                     .ok_or_else(|| Error::invalid("group has no checkpoints"))?,
             };
-            (group.backends[0].store.clone(), ckpt)
+            let backend = group
+                .backends
+                .first()
+                .ok_or_else(|| Error::internal("group has no backends"))?;
+            (backend.store.clone(), ckpt)
         };
         // Kill the current incarnation.
         let members = self.group_members(gid);

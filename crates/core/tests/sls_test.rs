@@ -2,6 +2,9 @@
 //! incremental checkpointing, external consistency, lazy restore,
 //! rollback, migration, ntlogs and speculation.
 
+// Test code asserts invariants; the workspace unwrap/expect denial is
+// for production flush paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::cell::RefCell;
 use std::rc::Rc;
 

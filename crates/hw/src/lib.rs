@@ -35,7 +35,7 @@ pub mod stripe;
 pub use dev::{BlockDev, DevInfo, DevStats, ModelDev};
 pub use fault::{FaultPlan, FaultRates};
 pub use net::{LinkModel, RemoteDev};
-pub use retry::{DevHealth, ResilientDev, RetryPolicy, RetryStats};
+pub use retry::{classify, DevHealth, FaultClass, ResilientDev, RetryPolicy, RetryStats};
 pub use stripe::StripedDev;
 
 /// Block size used by every simulated device (one page).

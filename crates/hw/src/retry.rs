@@ -27,14 +27,53 @@ use std::sync::Arc;
 use crate::dev::{BlockDev, DevInfo, DevStats};
 use crate::fault::FaultPlan;
 
-/// Whether an error is worth retrying at the device layer.
+/// Transient-vs-permanent classification of an [`ErrorKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Worth resubmitting the same request.
+    Transient,
+    /// Retrying cannot cure it; surface to the caller.
+    Permanent,
+}
+
+/// Classifies every error kind for the retry layer.
 ///
 /// `Io` models a request the device bounced (it may succeed on retry);
 /// `WouldBlock` models a momentarily full queue. Everything else —
 /// power loss, corruption, out-of-space, invalid arguments — will not be
 /// cured by resubmitting the same request.
+///
+/// The match is deliberately exhaustive with no `_` arm and `aurora-lint`
+/// keeps it that way: adding an `ErrorKind` variant without deciding its
+/// class is a compile error, never a silent fall-through.
+pub fn classify(kind: ErrorKind) -> FaultClass {
+    match kind {
+        ErrorKind::Io | ErrorKind::WouldBlock => FaultClass::Transient,
+        ErrorKind::NotFound
+        | ErrorKind::AlreadyExists
+        | ErrorKind::InvalidArgument
+        | ErrorKind::BadDescriptor
+        | ErrorKind::NotPermitted
+        | ErrorKind::NoMemory
+        | ErrorKind::NoSpace
+        | ErrorKind::Fault
+        | ErrorKind::BrokenPipe
+        | ErrorKind::NotConnected
+        | ErrorKind::NotEmpty
+        | ErrorKind::IsDirectory
+        | ErrorKind::NotDirectory
+        | ErrorKind::CrossDevice
+        | ErrorKind::DeviceDead
+        | ErrorKind::Corrupt
+        | ErrorKind::BadImage
+        | ErrorKind::Unsupported
+        | ErrorKind::Internal => FaultClass::Permanent,
+    }
+}
+
+/// Whether an error is worth retrying at the device layer.
 pub fn is_transient(kind: ErrorKind) -> bool {
-    matches!(kind, ErrorKind::Io | ErrorKind::WouldBlock)
+    classify(kind) == FaultClass::Transient
 }
 
 /// Device health as judged by the resilience layer.
@@ -326,6 +365,11 @@ mod tests {
         assert!(!is_transient(ErrorKind::DeviceDead));
         assert!(!is_transient(ErrorKind::Corrupt));
         assert!(!is_transient(ErrorKind::NoSpace));
+        // The only transient kinds are the two the device model bounces;
+        // everything else must surface so callers can degrade or abort.
+        assert_eq!(classify(ErrorKind::Io), FaultClass::Transient);
+        assert_eq!(classify(ErrorKind::Internal), FaultClass::Permanent);
+        assert_eq!(classify(ErrorKind::BadImage), FaultClass::Permanent);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Check `error-class`: every `ErrorKind` is classified transient vs
+//! permanent.
+//!
+//! The PR-1 retry layer decides per error whether to resubmit a request
+//! or surface the failure. A new `ErrorKind` variant that never gets a
+//! classification silently falls into whichever bucket a wildcard arm
+//! picks — exactly the bug class this check removes. `aurora-hw` must
+//! expose `fn classify(ErrorKind) -> FaultClass` whose match names every
+//! variant explicitly and has no `_` arm, so the *compiler* rejects new
+//! unclassified variants and this check rejects re-introduction of a
+//! wildcard.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+use super::Violation;
+
+/// Where the error enum lives.
+const ERROR_FILE: &str = "crates/sim/src/error.rs";
+/// Where the classification must live.
+const CLASSIFY_FILE: &str = "crates/hw/src/retry.rs";
+
+/// Runs the check.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(error_file) = files.iter().find(|f| f.rel == ERROR_FILE) else {
+        return out; // not this workspace slice (e.g. a fixture subset)
+    };
+    let variants = enum_variants(error_file, "ErrorKind");
+    if variants.is_empty() {
+        out.push(Violation {
+            check: "error-class",
+            path: ERROR_FILE.into(),
+            line: 0,
+            msg: "could not find `enum ErrorKind` variants".into(),
+        });
+        return out;
+    }
+    let Some(classify_file) = files.iter().find(|f| f.rel == CLASSIFY_FILE) else {
+        out.push(Violation {
+            check: "error-class",
+            path: CLASSIFY_FILE.into(),
+            line: 0,
+            msg: "missing — `fn classify(ErrorKind) -> FaultClass` must live here".into(),
+        });
+        return out;
+    };
+    match classify_match(classify_file) {
+        None => out.push(Violation {
+            check: "error-class",
+            path: CLASSIFY_FILE.into(),
+            line: 0,
+            msg: "no `fn classify` with a `match` found; the retry layer needs an \
+                  exhaustive transient-vs-permanent classification"
+                .into(),
+        }),
+        Some((mentioned, wildcard_line, fn_line)) => {
+            for v in &variants {
+                if !mentioned.contains(v) {
+                    out.push(Violation {
+                        check: "error-class",
+                        path: CLASSIFY_FILE.into(),
+                        line: fn_line,
+                        msg: format!(
+                            "`ErrorKind::{v}` is not classified in `classify`; add it to the \
+                             Transient or Permanent arm"
+                        ),
+                    });
+                }
+            }
+            if let Some(line) = wildcard_line {
+                out.push(Violation {
+                    check: "error-class",
+                    path: CLASSIFY_FILE.into(),
+                    line,
+                    msg: "wildcard `_` arm in `classify` defeats compiler exhaustiveness — \
+                          new ErrorKind variants would be classified silently"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Collects unit-variant names of `enum <name>` (attributes inside the
+/// body are skipped).
+fn enum_variants(f: &SourceFile, name: &str) -> Vec<String> {
+    let t = &f.tokens;
+    let mut i = 0usize;
+    while i + 2 < t.len() {
+        if t[i].is_ident("enum") && t[i + 1].is_ident(name) {
+            // Find the opening brace.
+            let mut j = i + 2;
+            while j < t.len() && !t[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            let mut vars = Vec::new();
+            while j < t.len() {
+                if t[j].is_punct('{') {
+                    depth += 1;
+                } else if t[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return vars;
+                    }
+                } else if t[j].is_punct('#') && t.get(j + 1).is_some_and(|n| n.is_punct('[')) {
+                    // Skip attribute tokens.
+                    let mut adepth = 0i32;
+                    j += 1;
+                    while j < t.len() {
+                        if t[j].is_punct('[') {
+                            adepth += 1;
+                        } else if t[j].is_punct(']') {
+                            adepth -= 1;
+                            if adepth == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                } else if depth == 1
+                    && t[j].kind == TokenKind::Ident
+                    && t.get(j + 1).is_some_and(|n| {
+                        n.is_punct(',') || n.is_punct('}') || n.is_punct('(')
+                    })
+                {
+                    vars.push(t[j].text.clone());
+                    // Skip any payload `( ... )`.
+                    if t[j + 1].is_punct('(') {
+                        let mut pdepth = 0i32;
+                        j += 1;
+                        while j < t.len() {
+                            if t[j].is_punct('(') {
+                                pdepth += 1;
+                            } else if t[j].is_punct(')') {
+                                pdepth -= 1;
+                                if pdepth == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            return vars;
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// Finds `fn classify`, returns (`ErrorKind::X` variants mentioned in its
+/// body, line of a `_ =>` wildcard arm if any, line of the fn).
+fn classify_match(f: &SourceFile) -> Option<(Vec<String>, Option<u32>, u32)> {
+    let t = &f.tokens;
+    let mut i = 0usize;
+    while i + 1 < t.len() {
+        if t[i].is_ident("fn") && t[i + 1].is_ident("classify") {
+            let fn_line = t[i].line;
+            // Find body braces.
+            let mut j = i + 2;
+            while j < t.len() && !t[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            let mut mentioned = Vec::new();
+            let mut wildcard = None;
+            while j < t.len() {
+                if t[j].is_punct('{') {
+                    depth += 1;
+                } else if t[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((mentioned, wildcard, fn_line));
+                    }
+                } else if t[j].is_ident("ErrorKind")
+                    && t.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && t.get(j + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    if let Some(v) = t.get(j + 3) {
+                        if v.kind == TokenKind::Ident {
+                            mentioned.push(v.text.clone());
+                        }
+                    }
+                } else if t[j].is_ident("_")
+                    && t.get(j + 1).is_some_and(|n| n.is_punct('='))
+                    && t.get(j + 2).is_some_and(|n| n.is_punct('>'))
+                    && wildcard.is_none()
+                {
+                    wildcard = Some(t[j].line);
+                }
+                j += 1;
+            }
+            return Some((mentioned, wildcard, fn_line));
+        }
+        i += 1;
+    }
+    None
+}

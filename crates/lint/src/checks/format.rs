@@ -1,0 +1,349 @@
+//! Check `format`: on-disk format hygiene.
+//!
+//! Two rules keep the persistent format honest:
+//!
+//! 1. **Round-trip registry.** Every type with both `encode` and `decode`
+//!    methods, and every `encode_x`/`decode_x` free-function pair, must
+//!    be registered in `[roundtrip]` in `lint-allow.toml`, mapping it to
+//!    the file whose tests round-trip it. Registering is deliberate: a
+//!    codec without a round-trip test is exactly how an asymmetric
+//!    encode/decode ships.
+//! 2. **Fingerprint vs `layout.rs::VERSION`.** The token stream of the
+//!    format-bearing files (`[format] files`, production lines only) is
+//!    hashed into `crates/lint/format.lock` together with the `VERSION`
+//!    it was blessed under. Editing format-bearing code without bumping
+//!    `VERSION` fails the lint until the change is consciously blessed
+//!    with `cargo run -p aurora-lint -- --bless-format` — a visible act
+//!    in review, like the allowlist.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::source::SourceFile;
+
+use super::Violation;
+
+/// Where the blessed fingerprint is recorded (workspace-relative).
+pub const LOCK_PATH: &str = "crates/lint/format.lock";
+/// The file that owns `VERSION`.
+const LAYOUT_FILE: &str = "crates/objstore/src/layout.rs";
+
+/// Runs both rules. `root` is used to read `format.lock`.
+pub fn check(files: &[SourceFile], cfg: &Config, root: &Path) -> Vec<Violation> {
+    let mut out = check_roundtrip(files, cfg);
+    out.extend(check_fingerprint(files, cfg, root));
+    out
+}
+
+/// Rule 1: registry completeness and validity.
+fn check_roundtrip(files: &[SourceFile], cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut required: Vec<(String, String, u32)> = Vec::new(); // (key, path, line)
+    let mut encode_fns: Vec<(String, String, u32)> = Vec::new(); // (suffix, path, line)
+    let mut decode_fns: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        if f.all_test {
+            continue;
+        }
+        for (ty, fns, line) in impl_blocks(f) {
+            if fns.iter().any(|n| n == "encode") && fns.iter().any(|n| n == "decode") {
+                required.push((ty, f.rel.clone(), line));
+            }
+        }
+        for (name, line) in free_fns(f) {
+            if let Some(suffix) = name.strip_prefix("encode_") {
+                encode_fns.push((normalize(suffix), f.rel.clone(), line));
+            } else if let Some(suffix) = name.strip_prefix("decode_") {
+                decode_fns.insert(normalize(suffix));
+            }
+        }
+    }
+    for (suffix, path, line) in encode_fns {
+        if decode_fns.contains(&suffix) {
+            required.push((suffix, path, line));
+        }
+    }
+    let mut used_keys = BTreeSet::new();
+    for (key, path, line) in required {
+        used_keys.insert(key.clone());
+        match cfg.roundtrip.get(&key) {
+            None => out.push(Violation {
+                check: "format",
+                path,
+                line,
+                msg: format!(
+                    "`{key}` both encodes and decodes but is not registered in [roundtrip]; \
+                     add a round-trip test and register it in lint-allow.toml"
+                ),
+            }),
+            Some(test_file) => {
+                let Some(tf) = files.iter().find(|f| &f.rel == test_file) else {
+                    out.push(Violation {
+                        check: "format",
+                        path: "lint-allow.toml".into(),
+                        line: 0,
+                        msg: format!("[roundtrip] {key}: file `{test_file}` does not exist"),
+                    });
+                    continue;
+                };
+                let mentions = tf.tokens.iter().any(|t| {
+                    t.text == key
+                        || t.text == format!("encode_{key}")
+                        || t.text.strip_prefix("encode_").map(normalize).as_deref()
+                            == Some(key.as_str())
+                });
+                let has_tests = tf.all_test || !tf.test_spans.is_empty();
+                if !mentions || !has_tests {
+                    out.push(Violation {
+                        check: "format",
+                        path: "lint-allow.toml".into(),
+                        line: 0,
+                        msg: format!(
+                            "[roundtrip] {key}: `{test_file}` must contain tests that \
+                             mention `{key}`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for key in cfg.roundtrip.keys() {
+        if !used_keys.contains(key) {
+            out.push(Violation {
+                check: "format",
+                path: "lint-allow.toml".into(),
+                line: 0,
+                msg: format!(
+                    "[roundtrip] entry `{key}` matches no encode/decode pair — remove it"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Rule 2: fingerprint drift vs VERSION.
+fn check_fingerprint(files: &[SourceFile], cfg: &Config, root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if cfg.format_files.is_empty() {
+        return out;
+    }
+    for path in &cfg.format_files {
+        if !files.iter().any(|f| &f.rel == path) {
+            out.push(Violation {
+                check: "format",
+                path: "lint-allow.toml".into(),
+                line: 0,
+                msg: format!("[format] files entry `{path}` does not exist"),
+            });
+        }
+    }
+    let computed = fingerprint(files, cfg);
+    let Some(version) = layout_version(files) else {
+        out.push(Violation {
+            check: "format",
+            path: LAYOUT_FILE.into(),
+            line: 0,
+            msg: "could not find `const VERSION: u16 = ...`".into(),
+        });
+        return out;
+    };
+    let lock = std::fs::read_to_string(root.join(LOCK_PATH)).ok();
+    let Some((rec_version, rec_fp)) = lock.as_deref().and_then(parse_lock) else {
+        out.push(Violation {
+            check: "format",
+            path: LOCK_PATH.into(),
+            line: 0,
+            msg: "missing or unparsable; run `cargo run -p aurora-lint -- --bless-format`"
+                .into(),
+        });
+        return out;
+    };
+    if computed != rec_fp && version == rec_version {
+        out.push(Violation {
+            check: "format",
+            path: LOCK_PATH.into(),
+            line: 0,
+            msg: format!(
+                "format-bearing sources changed (fingerprint {computed:#018x} != blessed \
+                 {rec_fp:#018x}) but layout.rs VERSION is still {version}; if the on-disk \
+                 layout changed, bump VERSION — then (or for a compatible refactor) run \
+                 `cargo run -p aurora-lint -- --bless-format`"
+            ),
+        });
+    } else if version != rec_version {
+        out.push(Violation {
+            check: "format",
+            path: LOCK_PATH.into(),
+            line: 0,
+            msg: format!(
+                "layout.rs VERSION is {version} but format.lock was blessed under \
+                 {rec_version}; run `cargo run -p aurora-lint -- --bless-format`"
+            ),
+        });
+    }
+    out
+}
+
+/// FNV-1a over the production token texts of the format-bearing files.
+pub fn fingerprint(files: &[SourceFile], cfg: &Config) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for path in &cfg.format_files {
+        let Some(f) = files.iter().find(|f| &f.rel == path) else {
+            continue;
+        };
+        mix(f.rel.as_bytes());
+        mix(&[0xFF]);
+        for t in &f.tokens {
+            if f.is_test_line(t.line) {
+                continue;
+            }
+            mix(t.text.as_bytes());
+            mix(&[0]);
+        }
+    }
+    h
+}
+
+/// Renders the contents of `format.lock`.
+pub fn render_lock(version: u16, fp: u64) -> String {
+    format!(
+        "# Blessed on-disk format fingerprint; maintained by `aurora-lint --bless-format`.\n\
+         # Any edit to a [format] file must either bump layout.rs VERSION or be\n\
+         # consciously re-blessed here (compatible refactor).\n\
+         version = {version}\nfingerprint = \"{fp:#018x}\"\n"
+    )
+}
+
+fn parse_lock(src: &str) -> Option<(u16, u64)> {
+    let mut version = None;
+    let mut fp = None;
+    for line in src.lines() {
+        let line = line.trim();
+        if let Some(v) = line.strip_prefix("version = ") {
+            version = v.trim().parse::<u16>().ok();
+        } else if let Some(v) = line.strip_prefix("fingerprint = ") {
+            let v = v.trim().trim_matches('"');
+            fp = u64::from_str_radix(v.trim_start_matches("0x"), 16).ok();
+        }
+    }
+    Some((version?, fp?))
+}
+
+/// Extracts `pub const VERSION: u16 = N;` from the layout file.
+pub fn layout_version(files: &[SourceFile]) -> Option<u16> {
+    let f = files.iter().find(|f| f.rel == LAYOUT_FILE)?;
+    let t = &f.tokens;
+    for i in 0..t.len() {
+        if t[i].is_ident("VERSION") && i + 1 < t.len() {
+            // Scan a few tokens ahead for `= <num>`.
+            for j in i + 1..(i + 8).min(t.len() - 1) {
+                if t[j].is_punct('=') {
+                    return t[j + 1].text.replace('_', "").parse::<u16>().ok();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Yields `(type name, method names, line)` for each inherent impl block.
+fn impl_blocks(f: &SourceFile) -> Vec<(String, Vec<String>, u32)> {
+    let t = &f.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if !t[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let impl_line = t[i].line;
+        let mut j = i + 1;
+        // Skip generic params `<...>`.
+        if j < t.len() && t[j].is_punct('<') {
+            let mut depth = 0i32;
+            while j < t.len() {
+                if t[j].is_punct('<') {
+                    depth += 1;
+                } else if t[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Collect the path up to `{` or `for`; `impl Trait for Type`
+        // takes the segment after `for`.
+        let mut ty = None;
+        let mut after_for = false;
+        while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+            if t[j].is_ident("for") {
+                after_for = true;
+                ty = None;
+            } else if t[j].kind == crate::lexer::TokenKind::Ident
+                && t[j].text != "where"
+                && (ty.is_none() || !after_for)
+            {
+                ty = Some(t[j].text.clone());
+            }
+            j += 1;
+        }
+        let Some(ty) = ty else {
+            i = j + 1;
+            continue;
+        };
+        if j >= t.len() || !t[j].is_punct('{') {
+            i = j;
+            continue;
+        }
+        // Walk the body; collect `fn <name>` at depth 1.
+        let mut depth = 0i32;
+        let mut fns = Vec::new();
+        while j < t.len() {
+            if t[j].is_punct('{') {
+                depth += 1;
+            } else if t[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1
+                && t[j].is_ident("fn")
+                && t.get(j + 1).map(|n| n.kind) == Some(crate::lexer::TokenKind::Ident)
+            {
+                fns.push(t[j + 1].text.clone());
+            }
+            j += 1;
+        }
+        out.push((ty, fns, impl_line));
+        i = j + 1;
+    }
+    out
+}
+
+/// Yields `(name, line)` of every `fn` in the file (any nesting).
+fn free_fns(f: &SourceFile) -> Vec<(String, u32)> {
+    let t = &f.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len().saturating_sub(1) {
+        if t[i].is_ident("fn") && t[i + 1].kind == crate::lexer::TokenKind::Ident {
+            out.push((t[i + 1].text.clone(), t[i].line));
+        }
+    }
+    out
+}
+
+/// `records` and `record` register under the same key.
+fn normalize(suffix: &str) -> String {
+    suffix.strip_suffix('s').unwrap_or(suffix).to_string()
+}

@@ -1,0 +1,116 @@
+//! Checks `no-panic` and `no-panic-index`: durability paths must return
+//! typed errors, never abort.
+//!
+//! Aurora's pitch is that the OS guarantees persistence; a panic in the
+//! flush or restore path tears the process down mid-commit and turns a
+//! recoverable device fault into data loss. In the durability region —
+//! `objstore`, `slsfs`, `hw`, and `core::{checkpoint,restore,serialize}`
+//! — production code may not call `unwrap`/`expect`, may not use the
+//! aborting macros, and unguarded index expressions are budgeted per
+//! file with `count` ratchets in `lint-allow.toml` so they can only
+//! decrease.
+
+use crate::source::SourceFile;
+use crate::lexer::TokenKind;
+
+use super::Violation;
+
+/// Crates entirely inside the durability region.
+const DURABILITY_CRATES: &[&str] = &["objstore", "slsfs", "hw"];
+
+/// Individual files inside the durability region.
+const DURABILITY_FILES: &[&str] = &[
+    "crates/core/src/checkpoint.rs",
+    "crates/core/src/restore.rs",
+    "crates/core/src/serialize.rs",
+];
+
+/// Macros that abort the process.
+const ABORT_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may legitimately precede `[` (array literals, types) —
+/// they lex as identifiers but do not make `[` an index expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "return", "in", "else", "break", "match", "loop", "move", "as", "const", "static", "mut",
+    "ref", "dyn", "where", "yield",
+];
+
+/// True when `f` is in the durability region.
+pub fn in_durability_region(f: &SourceFile) -> bool {
+    if DURABILITY_FILES.contains(&f.rel.as_str()) {
+        return true;
+    }
+    match f.crate_name() {
+        Some(c) => DURABILITY_CRATES.contains(&c) && f.rel.contains("/src/"),
+        None => false,
+    }
+}
+
+/// Runs both checks over every file.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        if !in_durability_region(f) {
+            continue;
+        }
+        let t = &f.tokens;
+        for i in 0..t.len() {
+            if f.is_test_line(t[i].line) {
+                continue;
+            }
+            // `.unwrap()` / `.expect(...)`.
+            if i > 0
+                && t[i - 1].is_punct('.')
+                && (t[i].is_ident("unwrap") || t[i].is_ident("expect"))
+                && t.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                out.push(Violation {
+                    check: "no-panic",
+                    path: f.rel.clone(),
+                    line: t[i].line,
+                    msg: format!(
+                        "`.{}()` in a durability path aborts mid-commit; propagate a typed \
+                         Error (e.g. `.ok_or_else(|| Error::internal(...))?`)",
+                        t[i].text
+                    ),
+                });
+            }
+            // Aborting macros.
+            if t[i].kind == TokenKind::Ident
+                && ABORT_MACROS.contains(&t[i].text.as_str())
+                && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(Violation {
+                    check: "no-panic",
+                    path: f.rel.clone(),
+                    line: t[i].line,
+                    msg: format!(
+                        "`{}!` in a durability path aborts mid-commit; return a typed Error",
+                        t[i].text
+                    ),
+                });
+            }
+            // Index expressions: `expr[...]` where `expr` ends with an
+            // identifier, `)` or `]`. Type positions (`&[u8]`, `[u8; 4]`)
+            // and macro brackets (`vec![..]`) are preceded by other
+            // punctuation and do not fire.
+            if t[i].is_punct('[')
+                && i > 0
+                && ((t[i - 1].kind == TokenKind::Ident
+                    && !NON_INDEX_KEYWORDS.contains(&t[i - 1].text.as_str()))
+                    || t[i - 1].is_punct(')')
+                    || t[i - 1].is_punct(']'))
+            {
+                out.push(Violation {
+                    check: "no-panic-index",
+                    path: f.rel.clone(),
+                    line: t[i].line,
+                    msg: "index expression can panic on out-of-range; prefer `.get()` or keep \
+                          it within this file's ratcheted `count` in lint-allow.toml"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,56 @@
+//! Check `wall-clock`: no real-time sources outside the simulation clock.
+//!
+//! The crash campaign replays seeded fault schedules and asserts exact
+//! outcomes; a single `Instant::now()` (or a wall-clock sleep) in
+//! simulated code makes backoff, retry windows and flush deadlines depend
+//! on host scheduling, silently breaking reproducibility. All time must
+//! flow through `aurora_sim::SimClock`.
+//!
+//! Forbidden everywhere — including tests, which also replay seeded
+//! schedules — except the `crates/sim` clock layer itself. The criterion
+//! bench shim legitimately measures real elapsed time and carries
+//! `lint-allow.toml` entries.
+
+use crate::source::SourceFile;
+
+use super::Violation;
+
+/// Files allowed to touch real time: the virtual-clock layer itself.
+const ALLOWED: &[&str] = &["crates/sim/src/clock.rs", "crates/sim/src/time.rs"];
+
+/// `A::b` patterns that read or depend on the host clock.
+const FORBIDDEN: &[(&str, &str, &str)] = &[
+    ("Instant", "now", "use the shared SimClock instead"),
+    ("SystemTime", "now", "use the shared SimClock instead"),
+    ("thread", "sleep", "charge a SimDuration to the SimClock instead"),
+];
+
+/// Runs the check over every file.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        if ALLOWED.contains(&f.rel.as_str()) {
+            continue;
+        }
+        let t = &f.tokens;
+        for i in 0..t.len().saturating_sub(3) {
+            for &(module, func, fix) in FORBIDDEN {
+                if t[i].is_ident(module)
+                    && t[i + 1].is_punct(':')
+                    && t[i + 2].is_punct(':')
+                    && t[i + 3].is_ident(func)
+                {
+                    out.push(Violation {
+                        check: "wall-clock",
+                        path: f.rel.clone(),
+                        line: t[i].line,
+                        msg: format!(
+                            "`{module}::{func}` breaks seeded-campaign determinism; {fix}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}

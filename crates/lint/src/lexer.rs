@@ -1,0 +1,332 @@
+//! A minimal Rust lexer: just enough to walk token streams with line
+//! numbers, skipping comments and string contents, so checks never fire
+//! on text inside a comment or a format string.
+//!
+//! This is deliberately not a parser. Every check in `checks/` works on
+//! token patterns (`Ident "Instant"`, `:`, `:`, `Ident "now"`) plus
+//! brace-depth tracking, which is robust against formatting and cheap
+//! enough to run over the whole workspace on every `cargo test`.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String or byte-string literal (text is the placeholder `"str"`).
+    Str,
+    /// Character literal.
+    Char,
+    /// Numeric literal (text preserved — tags and magics matter to the
+    /// format fingerprint).
+    Num,
+    /// Lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token text (see [`TokenKind`] for what each kind stores).
+    pub text: String,
+    /// Classification.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into tokens. Unterminated constructs (possible in lint
+/// fixtures) end at EOF rather than erroring: the analyzer must never
+/// panic on weird input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_string(b, i + 1, &mut line);
+                out.push(Token {
+                    text: "\"str\"".into(),
+                    kind: TokenKind::Str,
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. A char literal is 'x' or an
+                // escape '\n'; a lifetime is 'ident with no closing quote.
+                let start_line = line;
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    // Escape: definitely a char literal.
+                    i += 2; // consume quote + backslash
+                    if i < b.len() {
+                        i += 1; // escaped char (or start of \u{...})
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                    out.push(Token {
+                        text: "'c'".into(),
+                        kind: TokenKind::Char,
+                        line: start_line,
+                    });
+                } else {
+                    // Scan the ident run after the quote.
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' && j > i + 1 {
+                        // 'a' — single char in quotes.
+                        if j == i + 2 {
+                            i = j + 1;
+                            out.push(Token {
+                                text: "'c'".into(),
+                                kind: TokenKind::Char,
+                                line: start_line,
+                            });
+                        } else {
+                            // 'abc' is not valid Rust; treat as lifetime
+                            // plus stray quote to stay robust.
+                            let text = String::from_utf8_lossy(&b[i + 1..j]).into_owned();
+                            i = j;
+                            out.push(Token {
+                                text,
+                                kind: TokenKind::Lifetime,
+                                line: start_line,
+                            });
+                        }
+                    } else if j > i + 1 {
+                        // Lifetime 'ident.
+                        let text = String::from_utf8_lossy(&b[i + 1..j]).into_owned();
+                        i = j;
+                        out.push(Token {
+                            text,
+                            kind: TokenKind::Lifetime,
+                            line: start_line,
+                        });
+                    } else {
+                        // Bare quote (e.g. inside a macro); skip it.
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                // Raw / byte string prefixes: r"...", r#"..."#, b"...", br#"..."#.
+                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+                if is_str_prefix && i < b.len() && (b[i] == b'"' || b[i] == b'#') {
+                    let start_line = line;
+                    if let Some(next) = skip_raw_or_byte_string(b, i, &mut line) {
+                        i = next;
+                        out.push(Token {
+                            text: "\"str\"".into(),
+                            kind: TokenKind::Str,
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                }
+                out.push(Token {
+                    text,
+                    kind: TokenKind::Ident,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Stop a range expression `0..n` from being glued to
+                    // the number.
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token {
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    kind: TokenKind::Num,
+                    line,
+                });
+            }
+            _ => {
+                out.push(Token {
+                    text: (c as char).to_string(),
+                    kind: TokenKind::Punct,
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a normal string body starting after the opening quote; returns
+/// the index after the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw or byte string starting at the `#`/`"` after the prefix.
+/// Returns `None` when this is not actually a string start (e.g. `r#foo`
+/// raw identifiers).
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> Option<usize> {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return None; // raw identifier like r#match
+    }
+    i += 1;
+    if hashes == 0 {
+        return Some(skip_string_raw(b, i, line, 0));
+    }
+    Some(skip_string_raw(b, i, line, hashes))
+}
+
+/// Skips a raw string body (no escapes); terminates on `"` followed by
+/// `hashes` `#` characters.
+fn skip_string_raw(b: &[u8], mut i: usize, line: &mut u32, hashes: usize) -> usize {
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = texts(
+            "let x = \"Instant::now()\"; // Instant::now\n/* SystemTime::now */ let y = 1;",
+        );
+        assert!(!toks.iter().any(|t| t == "Instant" || t == "SystemTime"));
+        assert!(toks.contains(&"\"str\"".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = texts("let s = r#\"unwrap() \"quoted\" panic!\"#; let c = '\\n';");
+        assert!(!toks.iter().any(|t| t == "unwrap" || t == "panic"));
+        let toks = texts("let id = r#match; id");
+        assert!(toks.iter().any(|t| t == "match"));
+    }
+
+    #[test]
+    fn lines_survive_multiline_constructs() {
+        let toks = lex("let a = \"x\ny\";\nlet b = 2;");
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn numbers_keep_separators_and_ranges_split() {
+        let toks = texts("const M: u64 = 0x4155_524F; for i in 0..n {}");
+        assert!(toks.contains(&"0x4155_524F".to_string()));
+        assert!(toks.contains(&"0".to_string()));
+    }
+}

@@ -1,0 +1,78 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p aurora-lint                   # check, exit 1 on violations
+//! cargo run -p aurora-lint -- --root DIR     # check another tree
+//! cargo run -p aurora-lint -- --bless-format # re-record format.lock
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut bless = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--bless-format" => bless = true,
+            "--help" | "-h" => {
+                eprintln!("usage: aurora-lint [--root DIR] [--bless-format]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // When invoked via `cargo run -p aurora-lint` the cwd is already the
+    // workspace root; when invoked from a crate dir, walk up to the
+    // workspace Cargo.toml.
+    if !root.join("lint-allow.toml").exists() {
+        let mut up = root.clone();
+        for _ in 0..4 {
+            up = up.join("..");
+            if up.join("lint-allow.toml").exists() {
+                root = up;
+                break;
+            }
+        }
+    }
+    if bless {
+        return match aurora_lint::bless_format(&root) {
+            Ok(msg) => {
+                println!("aurora-lint: {msg}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("aurora-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    match aurora_lint::analyze(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("aurora-lint: ok (0 violations)");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{}", v.render());
+            }
+            println!("aurora-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("aurora-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Workspace file loading and test-region detection.
+//!
+//! Checks distinguish *production* code from *test* code: a `.unwrap()`
+//! in a `#[cfg(test)]` module asserts a test invariant, while the same
+//! call in the flush path voids the crash-consistency guarantee. A line
+//! is test code when it sits in a `tests/`, `benches/` or `examples/`
+//! tree, or inside an item annotated `#[cfg(test)]` / `#[test]`.
+
+use std::fs;
+use std::path::Path;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One lexed workspace file.
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Whole file is test/bench/example code (by directory).
+    pub all_test: bool,
+    /// Line spans (1-based, inclusive) covered by `#[cfg(test)]` or
+    /// `#[test]` items.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `src` as `rel`.
+    pub fn from_source(rel: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let all_test = rel.split('/').any(|c| {
+            c == "tests" || c == "benches" || c == "examples" || c == "fixtures"
+        });
+        let test_spans = find_test_spans(&tokens);
+        SourceFile {
+            rel: rel.to_string(),
+            tokens,
+            all_test,
+            test_spans,
+        }
+    }
+
+    /// True when `line` is test code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.all_test || self.test_spans.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// The crate this file belongs to (`crates/<name>/...`), if any.
+    pub fn crate_name(&self) -> Option<&str> {
+        let mut parts = self.rel.split('/');
+        if parts.next() == Some("crates") {
+            parts.next()
+        } else {
+            None
+        }
+    }
+}
+
+/// Finds line spans of items annotated `#[cfg(test)]` or `#[test]`.
+///
+/// The span runs from the attribute to the closing brace (or `;`) of the
+/// annotated item. Nested attributes between the cfg and the item are
+/// included.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            // Collect attribute tokens up to the matching `]`.
+            let attr_start_line = tokens[i].line;
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut words: Vec<&str> = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                } else if tokens[j].kind == TokenKind::Ident {
+                    words.push(&tokens[j].text);
+                }
+                j += 1;
+            }
+            let is_test_attr = words.as_slice() == ["test"]
+                || (words.contains(&"cfg") && words.contains(&"test"));
+            if is_test_attr {
+                if let Some(end_line) = item_end_line(tokens, j) {
+                    spans.push((attr_start_line, end_line));
+                    // Continue after the attribute (not the item): items
+                    // rarely nest another cfg(test), and rescanning inside
+                    // is harmless because spans merely accumulate.
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Given the token index just past an attribute, returns the last line
+/// of the annotated item (closing brace of its block, or the `;` for a
+/// bodyless item).
+fn item_end_line(tokens: &[Token], mut i: usize) -> Option<u32> {
+    // Skip any further attributes.
+    while i + 1 < tokens.len() && tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+        let mut depth = 0i32;
+        loop {
+            if i >= tokens.len() {
+                return None;
+            }
+            if tokens[i].is_punct('[') {
+                depth += 1;
+            } else if tokens[i].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Scan to the item body `{` (skipping any `{ ... }` that appear in
+    // where-clauses is unnecessary: the first `{` at angle-depth 0 is the
+    // body for fn/mod/impl items) or a terminating `;`.
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct(';') && angle <= 0 {
+            return Some(t.line);
+        } else if t.is_punct('{') && angle <= 0 {
+            // Match braces to the end of the block.
+            let mut depth = 0i32;
+            while i < tokens.len() {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(tokens[i].line);
+                    }
+                }
+                i += 1;
+            }
+            return tokens.last().map(|t| t.line);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Recursively collects workspace `.rs` files, excluding build output and
+/// the lint fixtures (fixtures are analyzer *input data*, checked by the
+/// fixture self-tests with their own allowlists).
+pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = rel_path(root, &path);
+                let src = fs::read_to_string(&path)?;
+                files.push(SourceFile::from_source(&rel, &src));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_span() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fn_and_dirs() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn other() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+        let f = SourceFile::from_source("crates/x/tests/it.rs", "fn a() {}");
+        assert!(f.is_test_line(1));
+        assert_eq!(f.crate_name(), Some("x"));
+    }
+
+    #[test]
+    fn attr_stacking() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() {\n  1;\n}\nfn p() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+}

@@ -1,0 +1,13 @@
+//! Violation-free production code.
+
+pub fn double(x: u32) -> u32 {
+    x.saturating_mul(2)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubles() {
+        assert_eq!(super::double(2), 4);
+    }
+}

@@ -1,0 +1,13 @@
+use crate::ErrorKind;
+
+pub enum FaultClass {
+    Transient,
+    Permanent,
+}
+
+pub fn classify(kind: ErrorKind) -> FaultClass {
+    match kind {
+        ErrorKind::Alpha => FaultClass::Transient,
+        _ => FaultClass::Permanent,
+    }
+}

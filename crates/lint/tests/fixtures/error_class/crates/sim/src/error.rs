@@ -1,0 +1,10 @@
+/// Error kinds for the fixture.
+#[derive(Debug, Clone, Copy)]
+pub enum ErrorKind {
+    /// Classified below.
+    Alpha,
+    /// Not classified.
+    Beta,
+    /// Not classified, with payload.
+    Gamma(u32),
+}

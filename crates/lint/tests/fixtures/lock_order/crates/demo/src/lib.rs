@@ -1,0 +1,20 @@
+//! Lock nesting, right and wrong.
+
+pub fn in_order() {
+    let _a = A_LOCK.lock();
+    let _b = B_LOCK.lock();
+}
+
+pub fn inverted() {
+    let _b = B_LOCK.lock();
+    let _a = A_LOCK.lock();
+}
+
+pub fn raw() {
+    let m = std::sync::Mutex::new(0u32);
+    drop(m);
+}
+
+pub fn unregistered() {
+    let _g = MYSTERY.lock();
+}

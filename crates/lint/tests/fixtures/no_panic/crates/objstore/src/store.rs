@@ -1,0 +1,19 @@
+//! Durability-region file with panics the lint must flag.
+
+pub fn flush(blocks: &[u8], table: &std::collections::BTreeMap<u64, u64>) -> u64 {
+    let first = table.get(&0).unwrap();
+    let second = table.get(&1).expect("slot 1");
+    if blocks.is_empty() {
+        panic!("empty flush");
+    }
+    first + second + u64::from(blocks[0])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = vec![1u8];
+        assert_eq!(*v.first().unwrap(), v[0]);
+    }
+}

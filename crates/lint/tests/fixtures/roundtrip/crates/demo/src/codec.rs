@@ -1,0 +1,17 @@
+//! A codec pair with no registered round-trip test.
+
+pub struct Rec {
+    pub id: u64,
+}
+
+impl Rec {
+    pub fn encode(&self) -> Vec<u8> {
+        self.id.to_le_bytes().to_vec()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Rec> {
+        Some(Rec {
+            id: u64::from_le_bytes(bytes.try_into().ok()?),
+        })
+    }
+}

@@ -1,0 +1,3 @@
+//! Nothing to suppress here.
+
+pub fn noop() {}

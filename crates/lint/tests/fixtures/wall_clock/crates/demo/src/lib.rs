@@ -1,0 +1,11 @@
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn measure() -> Duration {
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_millis(1));
+    start.elapsed()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

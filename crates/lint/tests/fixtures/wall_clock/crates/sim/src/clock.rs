@@ -1,0 +1,5 @@
+//! The clock layer itself may read real time.
+
+pub fn host_now() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,24 @@
+//! The tier-1 gate: `cargo test` fails whenever the workspace tree
+//! violates an invariant, so the lint cannot rot silently between CI
+//! configurations.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_no_unsuppressed_violations() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root must resolve");
+    let violations = aurora_lint::analyze(&root).expect("workspace must analyze");
+    assert!(
+        violations.is_empty(),
+        "aurora-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

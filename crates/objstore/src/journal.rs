@@ -179,9 +179,9 @@ pub fn apply_delete(
             dropped.extend(victim.pages.values().copied());
         }
         Some(&child_id) => {
-            let child = ckpts
-                .get_mut(&child_id)
-                .expect("child listed above exists");
+            let child = ckpts.get_mut(&child_id).ok_or_else(|| {
+                Error::internal(format!("checkpoint {child_id} vanished during delete"))
+            })?;
             child.parent = victim.parent;
             for (key, ptr) in victim.pages {
                 // A child that deleted or re-created the object does not

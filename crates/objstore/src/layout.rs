@@ -96,11 +96,10 @@ impl Superblock {
         if block.len() < BODY + 4 {
             return Err(Error::corrupt("superblock too short"));
         }
-        let crc_stored = u32::from_le_bytes(
-            block[BODY..BODY + 4]
-                .try_into()
-                .expect("slice is 4 bytes by construction"),
-        );
+        let crc_stored = block[BODY..BODY + 4]
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| Error::corrupt("superblock CRC field truncated"))?;
         if crc32c(&block[..BODY]) != crc_stored {
             return Err(Error::corrupt("superblock CRC mismatch"));
         }

@@ -439,7 +439,7 @@ impl ObjectStore {
         let old = self
             .live
             .get_mut(&oid)
-            .expect("checked above: object exists")
+            .ok_or_else(|| Error::internal(format!("object {} vanished during write", oid.0)))?
             .map
             .insert(idx, ptr);
         if let Some(old) = old {

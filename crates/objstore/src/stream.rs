@@ -122,7 +122,9 @@ impl ObjectStore {
         e.varint(keys.len() as u64);
         for key in keys {
             let v = checkpoint::resolve_blob(self.table(), ckpt, &key)
-                .expect("key listed above resolves")
+                .ok_or_else(|| {
+                    Error::internal(format!("blob `{key}` vanished while streaming"))
+                })?
                 .to_vec();
             e.str(&key);
             e.bytes(&v);

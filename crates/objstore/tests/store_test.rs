@@ -2,6 +2,9 @@
 //! recovery, dedup, in-place GC, export/import, and a model-based
 //! property test against a reference store.
 
+// Test code asserts invariants; the workspace unwrap/expect denial is
+// for production flush paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::collections::HashMap;
 
 use aurora_hw::{FaultPlan, ModelDev};

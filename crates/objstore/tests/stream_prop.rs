@@ -4,6 +4,9 @@
 //! and truncated streams always error instead of panicking or applying
 //! silently-wrong state.
 
+// Test code asserts invariants; the workspace unwrap/expect denial is
+// for production flush paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use aurora_hw::ModelDev;
 use aurora_objstore::{ObjId, ObjectStore, StoreConfig};
 use aurora_sim::SimClock;

@@ -1,6 +1,9 @@
 //! SLSFS integration tests: persistence across crashes, open-unlinked
 //! survival, zero-copy clones, and behavioural equivalence with tmpfs.
 
+// Test code asserts invariants; the workspace unwrap/expect denial is
+// for production flush paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
