@@ -158,7 +158,7 @@ fn cmd_init(world: &Path, opts: &[&str]) -> Result<String> {
 /// Finds the newest checkpoint whose manifest carries `name`.
 fn find_app(host: &mut Host, name: &str) -> Result<(CkptId, ManifestRec)> {
     let store = host.sls.primary.clone();
-    let mut st = store.borrow_mut();
+    let st = store.borrow_mut();
     let ids: Vec<CkptId> = st.checkpoints().iter().map(|c| c.id).collect();
     for id in ids.into_iter().rev() {
         // Only the manifest this checkpoint's group committed (nearest in
@@ -423,7 +423,7 @@ fn cmd_ps(world: &Path) -> Result<String> {
             .collect()
     };
     for (id, tag) in infos {
-        let mut st = store.borrow_mut();
+        let st = store.borrow_mut();
         let keys = st.blob_keys_at(id, "g");
         for key in keys.into_iter().filter(|k| k.ends_with("/manifest")) {
             if let Some(blob) = st.get_blob(id, &key)? {
@@ -553,8 +553,9 @@ fn cmd_info(world: &Path) -> Result<String> {
     let dev = store.device();
     let rs = dev.retry_stats();
     let sls = &host.sls.stats;
+    let m = aurora_core::metrics::global_counters();
     Ok(format!(
-        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n  checkpoints this session: {} degraded, {} aborted\n",
+        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n  checkpoints this session: {} degraded, {} aborted\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n",
         world.display(),
         store.checkpoints().len(),
         store.blocks_in_use(),
@@ -570,6 +571,12 @@ fn cmd_info(world: &Path) -> Result<String> {
         rs.failures_surfaced,
         sls.checkpoints_degraded,
         sls.checkpoints_aborted,
+        host.sls.flush_workers,
+        m.flush_pages_hashed,
+        m.flush_hash_ns as f64 / 1e6,
+        m.flush_write_ns as f64 / 1e6,
+        m.flush_extents,
+        m.flush_extent_blocks,
     ))
 }
 

@@ -1,0 +1,128 @@
+//! The parallel flush pipeline's hash stage.
+//!
+//! A checkpoint's flush plan is partitioned into contiguous shards, one
+//! per worker; a scoped thread pool content-hashes every page, and the
+//! driving thread reassembles the shards in plan order. The output is a
+//! [`PageWrite`] list whose hashes feed the object store's sharded dedup
+//! index (`write_pages_coalesced`) on *every* backend — the serial path
+//! re-hashed the whole plan once per backend.
+//!
+//! Determinism: shard boundaries depend only on plan length and worker
+//! count, workers never touch shared mutable state except the
+//! [`FLUSH_SHARD`] collector, and reassembly sorts by shard index — so
+//! the resulting write sequence is byte-identical to a serial hash pass
+//! regardless of worker count or scheduling. The differential test in
+//! `tests/parallel_flush_diff.rs` checks exactly this.
+
+use std::thread;
+
+use aurora_objstore::{ObjId, PageWrite};
+use aurora_vm::PageData;
+
+use crate::lockdep::{OrderedMutex, RANK_FLUSH_SHARD};
+
+/// Plans smaller than this are hashed inline: spawning threads costs
+/// more than hashing a handful of 4 KiB pages.
+pub const PARALLEL_THRESHOLD: usize = 64;
+
+/// Collector for hashed shards: workers push `(shard index, hashes)`
+/// pairs as they finish. The checkpoint barrier serializes whole
+/// cycles, so at most one hash stage uses this at a time.
+static FLUSH_SHARD: OrderedMutex<Vec<(usize, Vec<u64>)>> =
+    OrderedMutex::new(RANK_FLUSH_SHARD, "flush_shard", Vec::new());
+
+/// One resolved page of the flush plan: destination object, page index,
+/// and the frozen contents.
+pub type PlanPage = (ObjId, u64, PageData);
+
+/// Content-hashes the resolved flush plan on `workers` threads and
+/// returns the writes in plan order.
+pub fn hash_plan(pages: Vec<PlanPage>, workers: usize) -> Vec<PageWrite> {
+    let workers = workers.max(1);
+    if workers == 1 || pages.len() < PARALLEL_THRESHOLD {
+        return hash_serial(pages);
+    }
+
+    let shard_len = pages.len().div_ceil(workers);
+    {
+        FLUSH_SHARD.lock().clear();
+    }
+    thread::scope(|s| {
+        for (shard_idx, shard) in pages.chunks(shard_len).enumerate() {
+            s.spawn(move || {
+                let hashes: Vec<u64> = shard.iter().map(|(_, _, p)| p.content_hash()).collect();
+                {
+                    FLUSH_SHARD.lock().push((shard_idx, hashes));
+                }
+            });
+        }
+    });
+
+    let mut shards = std::mem::take(&mut *FLUSH_SHARD.lock());
+    shards.sort_unstable_by_key(|&(idx, _)| idx);
+    let hashes: Vec<u64> = shards.into_iter().flat_map(|(_, h)| h).collect();
+    if hashes.len() != pages.len() {
+        // A worker vanished (spawn failure). Fall back to the serial
+        // pass rather than writing pages with missing hashes.
+        return hash_serial(pages);
+    }
+    pages
+        .into_iter()
+        .zip(hashes)
+        .map(|((oid, idx, page), hash)| PageWrite { oid, idx, page, hash })
+        .collect()
+}
+
+/// The single-threaded reference pass.
+fn hash_serial(pages: Vec<PlanPage>) -> Vec<PageWrite> {
+    pages
+        .into_iter()
+        .map(|(oid, idx, page)| {
+            let hash = page.content_hash();
+            PageWrite { oid, idx, page, hash }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(n: usize) -> Vec<PlanPage> {
+        (0..n)
+            .map(|i| {
+                let data = match i % 3 {
+                    0 => PageData::Zero,
+                    1 => PageData::Seeded(i as u64 / 3),
+                    _ => PageData::Seeded(0xABCD),
+                };
+                (ObjId(1 + (i as u64 % 4)), i as u64, data)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_worker_count() {
+        for n in [0, 1, PARALLEL_THRESHOLD - 1, PARALLEL_THRESHOLD, 257, 1000] {
+            let reference = hash_serial(plan(n));
+            for workers in [1, 2, 3, 4, 8] {
+                let out = hash_plan(plan(n), workers);
+                assert_eq!(out.len(), reference.len());
+                for (a, b) in out.iter().zip(reference.iter()) {
+                    assert_eq!(a.oid, b.oid);
+                    assert_eq!(a.idx, b.idx);
+                    assert_eq!(a.hash, b.hash);
+                    assert!(a.page.content_eq(&b.page));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hashes_match_page_contents() {
+        let out = hash_plan(plan(PARALLEL_THRESHOLD * 2), 4);
+        for w in &out {
+            assert_eq!(w.hash, w.page.content_hash());
+        }
+    }
+}

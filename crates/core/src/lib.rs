@@ -38,6 +38,7 @@ pub mod api;
 pub mod campaign;
 pub mod checkpoint;
 pub mod debug;
+pub mod flush;
 pub mod group;
 pub mod lockdep;
 pub mod metrics;
@@ -102,9 +103,15 @@ pub struct Sls {
     /// One pager per (store, checkpoint): restores from the same image
     /// share it, which is what lets sibling instances share frames.
     pub(crate) pager_cache: std::collections::HashMap<(usize, u64), aurora_vm::PagerId>,
+    /// Worker threads for the parallel flush hash stage (see
+    /// `crate::flush`). 1 selects the serial path.
+    pub flush_workers: usize,
     /// Counters.
     pub stats: SlsStats,
 }
+
+/// Default worker count for the parallel flush hash stage.
+pub const DEFAULT_FLUSH_WORKERS: usize = 4;
 
 /// A simulated machine: kernel + SLS.
 pub struct Host {
@@ -142,6 +149,7 @@ impl Host {
                 next_group: 1,
                 rolled_back: HashSet::new(),
                 pager_cache: std::collections::HashMap::new(),
+                flush_workers: DEFAULT_FLUSH_WORKERS,
                 stats: SlsStats::default(),
             },
         })
@@ -169,6 +177,7 @@ impl Host {
                 next_group,
                 rolled_back: HashSet::new(),
                 pager_cache: std::collections::HashMap::new(),
+                flush_workers: DEFAULT_FLUSH_WORKERS,
                 stats: SlsStats::default(),
             },
         })
@@ -195,6 +204,7 @@ impl Host {
             next_group: _,
             rolled_back: _,
             pager_cache: _,
+            flush_workers,
             stats: _,
         } = sls;
         drop(groups);
@@ -219,6 +229,7 @@ impl Host {
                 next_group,
                 rolled_back: HashSet::new(),
                 pager_cache: std::collections::HashMap::new(),
+                flush_workers,
                 stats: SlsStats::default(),
             },
         })
@@ -479,7 +490,7 @@ impl Sls {
 /// Reads the durable group-id allocator from the store head (group ids
 /// are never reused across reboots; see `checkpoint.rs`).
 fn load_next_group(store: &StoreHandle) -> u32 {
-    let mut st = store.borrow_mut();
+    let st = store.borrow_mut();
     let Some(head) = st.head() else { return 1 };
     st.get_blob(head, "sls/host")
         .ok()

@@ -26,15 +26,20 @@ use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub const RANK_CKPT_BARRIER: u32 = 0;
 /// Rank of the persistence-group table.
 pub const RANK_GROUP_TABLE: u32 = 1;
+/// Rank of the parallel flush pipeline's shard-result collector. The
+/// driving thread holds `ckpt_barrier` while it gathers hashed shards,
+/// so this must rank inside the barrier; workers take it with nothing
+/// else held.
+pub const RANK_FLUSH_SHARD: u32 = 2;
 /// Rank of per-store metadata.
-pub const RANK_STORE_META: u32 = 2;
+pub const RANK_STORE_META: u32 = 3;
 /// Rank of the journal append buffer.
-pub const RANK_JOURNAL_BUF: u32 = 3;
+pub const RANK_JOURNAL_BUF: u32 = 4;
 /// Rank of a device submission queue.
-pub const RANK_DEV_QUEUE: u32 = 4;
+pub const RANK_DEV_QUEUE: u32 = 5;
 /// Rank of the global metrics registry (innermost: any path may record
 /// counters while holding anything else).
-pub const RANK_METRICS: u32 = 5;
+pub const RANK_METRICS: u32 = 6;
 
 /// A mutex that participates in lock-order verification.
 pub struct OrderedMutex<T> {

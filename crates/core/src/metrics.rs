@@ -15,6 +15,21 @@ pub struct GlobalCounters {
     pub checkpoints_aborted: u64,
     /// Restores that completed.
     pub restores_completed: u64,
+    /// Worker-thread count of the most recent parallel flush.
+    pub flush_workers: u64,
+    /// Pages content-hashed by the parallel flush hash stage.
+    pub flush_pages_hashed: u64,
+    /// Hash-stage duration (sim ns): page bytes over the per-core hash
+    /// bandwidth, divided across the workers. Charged to the simulation
+    /// clock, so checkpoint latency reflects the configured parallelism.
+    pub flush_hash_ns: u64,
+    /// Sim-time span of the flush/commit stage (ns): submission of the
+    /// first page to the durable instant of the slowest backend.
+    pub flush_write_ns: u64,
+    /// Vectored extents issued by write coalescing.
+    pub flush_extents: u64,
+    /// Blocks carried by those extents.
+    pub flush_extent_blocks: u64,
 }
 
 /// The global counter registry. Innermost rank in the lock hierarchy,
@@ -24,6 +39,12 @@ pub static METRICS: OrderedMutex<GlobalCounters> =
         checkpoints_committed: 0,
         checkpoints_aborted: 0,
         restores_completed: 0,
+        flush_workers: 0,
+        flush_pages_hashed: 0,
+        flush_hash_ns: 0,
+        flush_write_ns: 0,
+        flush_extents: 0,
+        flush_extent_blocks: 0,
     });
 
 /// Snapshot of the global counters.
@@ -95,6 +116,12 @@ pub struct CheckpointBreakdown {
     pub durable_at: SimTime,
     /// Checkpoint id on the primary backend.
     pub ckpt: Option<aurora_objstore::CkptId>,
+    /// Worker threads used by the parallel flush hash stage.
+    pub flush_workers: u64,
+    /// Duration of the hash stage, charged to the virtual clock.
+    pub hash_stage: SimDuration,
+    /// Sim-time span from flush submission to the durable instant.
+    pub flush_span: SimDuration,
 }
 
 /// Restore-time breakdown (the rows of Table 4).

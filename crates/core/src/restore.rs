@@ -681,7 +681,7 @@ fn fetch_records(
     Vec<MsgqRec>,
     Vec<PshmRec>,
 )> {
-    let mut st = store.borrow_mut();
+    let st = store.borrow_mut();
     // The manifest key embeds the group id. Several groups can share a
     // store, so take the manifest written nearest to this checkpoint in
     // its chain — that is the group the checkpoint belongs to.
@@ -694,7 +694,7 @@ fn fetch_records(
     )?;
     let gid = manifest.gid;
 
-    let mut fetch = |key: String| -> Result<Vec<u8>> {
+    let fetch = |key: String| -> Result<Vec<u8>> {
         st.get_blob(ckpt, &key)?
             .ok_or_else(|| Error::bad_image(format!("missing record {key}")))
     };

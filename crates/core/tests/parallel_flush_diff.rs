@@ -1,0 +1,146 @@
+//! Differential test for the parallel flush pipeline.
+//!
+//! For random workloads, the coalesced parallel path (`hash_plan` at
+//! 1/2/8 workers feeding `write_pages_coalesced`) must leave the store
+//! in *exactly* the state the serial `write_page` loop does: the same
+//! bytes on the device, the same dedup hit count, the same number of
+//! live blocks. Worker count and extent batching are pure performance
+//! knobs — any divergence here is a correctness bug.
+
+// Test code asserts invariants; the workspace unwrap/expect denial is
+// for production flush paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use std::collections::BTreeMap;
+
+use aurora_core::flush;
+use aurora_hw::ModelDev;
+use aurora_objstore::{ObjId, ObjectStore, StoreConfig};
+use aurora_sim::SimClock;
+use aurora_vm::PageData;
+use proptest::prelude::*;
+
+/// Device size in blocks (small: images are digested block by block).
+const DEV_BLOCKS: u64 = 4096;
+
+/// Objects the workload spreads writes across.
+const OBJECTS: u64 = 3;
+
+fn new_store() -> ObjectStore {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", DEV_BLOCKS));
+    let mut s = ObjectStore::format(
+        dev,
+        StoreConfig {
+            journal_blocks: 256,
+            materialize_data: true,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    for obj in 0..OBJECTS {
+        s.create_object(ObjId(obj), 64).unwrap();
+    }
+    s.commit(None).unwrap();
+    s
+}
+
+/// FNV-1a digest over the whole device image.
+fn device_digest(store: &mut ObjectStore) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut buf = vec![0u8; 4096];
+    let dev = store.device_mut();
+    for lba in 0..DEV_BLOCKS {
+        if dev.read(lba, &mut buf).is_err() {
+            continue;
+        }
+        for &b in &buf {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One workload entry: (object, page index, content seed). Low seed
+/// cardinality on purpose so dedup hits are common.
+type Write = (u64, u64, u64);
+
+fn write_strategy() -> impl Strategy<Value = Write> {
+    (0u64..OBJECTS, 0u64..64, 0u64..12)
+}
+
+/// Applies the workload in checkpoint-sized batches and returns
+/// (device digest, dedup_hits, blocks_in_use).
+fn run_variant(writes: &[Write], workers: Option<usize>) -> (u64, u64, u64) {
+    let mut store = new_store();
+    for batch in writes.chunks(24) {
+        match workers {
+            // Serial reference: the pre-pipeline write_page loop.
+            None => {
+                for &(obj, idx, seed) in batch {
+                    store
+                        .write_page(ObjId(obj), idx, &PageData::Seeded(seed))
+                        .unwrap();
+                }
+            }
+            // Parallel pipeline: hash stage + coalesced apply.
+            Some(w) => {
+                let plan: Vec<flush::PlanPage> = batch
+                    .iter()
+                    .map(|&(obj, idx, seed)| (ObjId(obj), idx, PageData::Seeded(seed)))
+                    .collect();
+                let hashed = flush::hash_plan(plan, w);
+                store.write_pages_coalesced(&hashed).unwrap();
+            }
+        }
+        store.commit(None).unwrap();
+    }
+    let dedup_hits = store.stats.dedup_hits;
+    let blocks = store.blocks_in_use();
+    (device_digest(&mut store), dedup_hits, blocks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Serial write_page, and the coalesced pipeline at 1, 2 and 8
+    /// workers, all converge on byte-identical device images with
+    /// identical dedup and allocation counters.
+    #[test]
+    fn parallel_flush_matches_serial(
+        writes in proptest::collection::vec(write_strategy(), 1..120)
+    ) {
+        let reference = run_variant(&writes, None);
+        let mut results = BTreeMap::new();
+        for workers in [1usize, 2, 8] {
+            results.insert(workers, run_variant(&writes, Some(workers)));
+        }
+        for (workers, got) in results {
+            prop_assert_eq!(
+                got, reference,
+                "divergence at {} workers: (digest, dedup_hits, blocks_in_use)",
+                workers
+            );
+        }
+    }
+}
+
+/// The coalescer actually batches: a contiguous fresh run lands as few
+/// extents, and the stats counters prove it.
+#[test]
+fn coalescing_batches_adjacent_blocks() {
+    let mut store = new_store();
+    let plan: Vec<flush::PlanPage> = (0..128u64)
+        .map(|i| (ObjId(0), i % 64, PageData::Seeded(1000 + i)))
+        .collect();
+    let hashed = flush::hash_plan(plan, 4);
+    store.write_pages_coalesced(&hashed).unwrap();
+    store.commit(None).unwrap();
+    assert!(store.stats.extents_coalesced > 0);
+    assert!(
+        store.stats.blocks_coalesced > store.stats.extents_coalesced,
+        "adjacent fresh blocks must share extents: {} extents / {} blocks",
+        store.stats.extents_coalesced,
+        store.stats.blocks_coalesced
+    );
+}

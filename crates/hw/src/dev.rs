@@ -88,6 +88,24 @@ pub trait BlockDev {
     /// Synchronously writes and waits for completion (not durability).
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<()>;
 
+    /// Submits a run of adjacent blocks starting at `lba` as one vectored
+    /// request; returns the completion instant of the whole extent. Does
+    /// not advance the caller's clock.
+    ///
+    /// Coalescing changes cost, never contents: the default
+    /// implementation degenerates to one [`BlockDev::submit_write`] per
+    /// block. [`ModelDev`] overrides it to charge a single access latency
+    /// for the extent while still consulting the fault plan once per
+    /// block, so power cuts and transient errors land mid-extent exactly
+    /// where they would on the serial path.
+    fn write_blocks(&mut self, lba: u64, blocks: &[&[u8]]) -> Result<SimTime> {
+        let mut done = self.clock().now();
+        for (i, b) in blocks.iter().enumerate() {
+            done = done.max(self.submit_write(lba + i as u64, b)?);
+        }
+        Ok(done)
+    }
+
     /// Issues a flush barrier; returns the instant at which every write
     /// submitted so far is durable. Does not advance the caller's clock.
     fn flush(&mut self) -> Result<SimTime>;
@@ -431,6 +449,92 @@ impl BlockDev for ModelDev {
         Ok(done)
     }
 
+    fn write_blocks(&mut self, lba: u64, blocks: &[&[u8]]) -> Result<SimTime> {
+        self.check_powered()?;
+        if blocks.is_empty() {
+            return Ok(self.clock.now());
+        }
+        let mut total = 0usize;
+        for b in blocks {
+            if b.len() != BLOCK_SIZE {
+                return Err(Error::invalid(format!(
+                    "vectored write block is {} bytes on {}",
+                    b.len(),
+                    self.info.name
+                )));
+            }
+            total += b.len();
+        }
+        self.check_range(lba, total)?;
+        // The fault plan is consulted once per block — the same write
+        // ordinals the serial path would burn — so a schedule that cuts
+        // power on write N lands mid-extent here.
+        let mut payload: Vec<(u64, Vec<u8>)> = Vec::with_capacity(blocks.len());
+        for (i, b) in blocks.iter().enumerate() {
+            let blba = lba + i as u64;
+            match self.fault_action(blba) {
+                FaultAction::None => payload.push((blba, b.to_vec())),
+                FaultAction::TransientError => {
+                    // The whole extent bounces atomically: nothing before
+                    // the faulting block has landed, so a retry may
+                    // resubmit the identical extent.
+                    return Err(Error::io(format!(
+                        "{}: transient write error at lba {blba}",
+                        self.info.name
+                    )));
+                }
+                FaultAction::LatencySpike { extra_ns } => {
+                    let stall_from = self.clock.now().max(self.busy_until);
+                    self.busy_until = stall_from + SimDuration::from_nanos(extra_ns);
+                    payload.push((blba, b.to_vec()));
+                }
+                FaultAction::PowerCut { torn_bytes } => {
+                    // Blocks ahead of the interrupted one behave as on the
+                    // serial path: durable inside the persistence domain,
+                    // lost with the volatile cache otherwise. The
+                    // interrupted block itself lands torn.
+                    if self.info.persistent {
+                        if self.info.persistence_domain {
+                            for (plba, pdata) in &payload {
+                                self.apply_stable(*plba, pdata, None);
+                            }
+                        }
+                        let torn = torn_bytes.min(b.len());
+                        self.apply_stable(blba, b, Some(torn));
+                    }
+                    self.power_fail();
+                    return Err(Error::device_dead(format!(
+                        "{}: power cut during write",
+                        self.info.name
+                    )));
+                }
+                FaultAction::CorruptBit { byte, bit } => {
+                    let mut corrupted = b.to_vec();
+                    let idx = byte % corrupted.len().max(1);
+                    if let Some(target) = corrupted.get_mut(idx) {
+                        *target ^= 1 << (bit % 8);
+                    }
+                    payload.push((blba, corrupted));
+                }
+            }
+        }
+        // One queue occupancy for the whole extent — a single access
+        // latency plus the extent's bytes. This is the coalescing win.
+        let done = self.service(total as u64, self.model.write_bw);
+        if self.info.persistence_domain {
+            for (blba, data) in &payload {
+                self.apply_stable(*blba, data, None);
+            }
+        } else {
+            for (blba, data) in payload {
+                self.cache.push(CachedWrite { lba: blba, data });
+            }
+        }
+        self.stats.writes += 1;
+        self.stats.bytes_written += total as u64;
+        Ok(done)
+    }
+
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<()> {
         let done = self.submit_write(lba, data)?;
         self.clock.advance_to(done);
@@ -640,6 +744,123 @@ mod tests {
         assert!(d.flush().is_err());
         d.power_on();
         assert!(d.write(0, &block(0)).is_ok());
+    }
+
+    #[test]
+    fn write_blocks_lands_every_block() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        let bufs = [block(0x10), block(0x11), block(0x12), block(0x13)];
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let done = d.write_blocks(8, &refs).unwrap();
+        d.clock().advance_to(done);
+        let flushed = d.flush().unwrap();
+        d.clock().advance_to(flushed);
+        for (i, expect) in bufs.iter().enumerate() {
+            let mut buf = block(0);
+            d.read(8 + i as u64, &mut buf).unwrap();
+            assert_eq!(&buf, expect, "block {i}");
+        }
+        assert_eq!(d.stats().writes, 1, "one request for the whole extent");
+        assert_eq!(d.stats().bytes_written, 4 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn write_blocks_charges_one_access_latency() {
+        let clock = SimClock::new();
+        let mut serial = ModelDev::nvme(clock.clone(), "serial", 128);
+        let mut vectored = ModelDev::nvme(clock, "vectored", 128);
+        let bufs: Vec<Vec<u8>> = (0..8u8).map(block).collect();
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let mut serial_done = SimTime::ZERO;
+        for (i, b) in bufs.iter().enumerate() {
+            serial_done = serial_done.max(serial.submit_write(i as u64, b).unwrap());
+        }
+        let vectored_done = vectored.write_blocks(0, &refs).unwrap();
+        assert!(
+            vectored_done < serial_done,
+            "extent {vectored_done:?} should beat serial {serial_done:?}"
+        );
+    }
+
+    #[test]
+    fn write_blocks_power_cut_tears_mid_extent() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        // Durable old contents on the block the cut will tear.
+        d.write(2, &block(0xAA)).unwrap();
+        let done = d.flush().unwrap();
+        d.clock().advance_to(done);
+        // The first block of the extent is write ordinal 1 post-install.
+        d.set_fault_plan(FaultPlan::torn_write(1, 100));
+        let bufs = [block(0xB0), block(0xB1), block(0xB2)];
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let err = d.write_blocks(0, &refs).unwrap_err();
+        assert!(!d.powered());
+        assert!(err.to_string().contains("power cut"), "{err}");
+        d.power_on();
+        // Torn block: 100-byte prefix of the new data over zeroes (the
+        // block had never been written); blocks 1 and 2 never landed —
+        // block 2 keeps its old durable contents.
+        let mut buf = block(0);
+        d.read(0, &mut buf).unwrap();
+        assert!(buf[..100].iter().all(|&b| b == 0xB0), "torn prefix landed");
+        assert!(buf[100..].iter().all(|&b| b == 0), "suffix untouched");
+        d.read(1, &mut buf).unwrap();
+        assert_eq!(buf, block(0), "block behind the cut never landed");
+        d.read(2, &mut buf).unwrap();
+        assert_eq!(buf, block(0xAA), "old durable data survives");
+    }
+
+    #[test]
+    fn write_blocks_transient_bounces_whole_extent() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        d.set_fault_plan(FaultPlan::transient(2, 1));
+        let bufs = [block(1), block(2), block(3)];
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        assert!(d.write_blocks(0, &refs).is_err());
+        // Nothing landed: the extent bounces atomically, so the retry
+        // below rewrites all three blocks.
+        assert_eq!(d.cached_bytes(), 0);
+        let done = d.write_blocks(0, &refs).unwrap();
+        d.clock().advance_to(done);
+        let flushed = d.flush().unwrap();
+        d.clock().advance_to(flushed);
+        let mut buf = block(0);
+        d.read(1, &mut buf).unwrap();
+        assert_eq!(buf, block(2));
+    }
+
+    #[test]
+    fn write_blocks_nvdimm_durable_at_completion() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvdimm(clock, "nvd0", 128);
+        let bufs = [block(0x61), block(0x62)];
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        d.write_blocks(4, &refs).unwrap();
+        d.power_fail();
+        d.power_on();
+        let mut buf = block(0);
+        d.read(4, &mut buf).unwrap();
+        assert_eq!(buf, block(0x61));
+        d.read(5, &mut buf).unwrap();
+        assert_eq!(buf, block(0x62));
+    }
+
+    #[test]
+    fn write_blocks_rejects_bad_geometry() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 4);
+        let ok = block(0);
+        let short = vec![0u8; 100];
+        assert!(d.write_blocks(0, &[ok.as_slice(), short.as_slice()]).is_err());
+        // Extent running past the device end.
+        let bufs: Vec<Vec<u8>> = (0..3u8).map(block).collect();
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        assert!(d.write_blocks(2, &refs).is_err());
+        // Empty extent is a no-op.
+        assert!(d.write_blocks(0, &[]).is_ok());
     }
 
     #[test]

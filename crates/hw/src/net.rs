@@ -129,6 +129,15 @@ impl<D: BlockDev> BlockDev for RemoteDev<D> {
         Ok(dev_done.max(arrive))
     }
 
+    fn write_blocks(&mut self, lba: u64, blocks: &[&[u8]]) -> Result<SimTime> {
+        // The whole extent crosses the wire as one message — coalescing
+        // saves per-message latency on the link as well as on the device.
+        let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+        let arrive = self.link.transfer(total);
+        let dev_done = self.inner.write_blocks(lba, blocks)?;
+        Ok(dev_done.max(arrive))
+    }
+
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<()> {
         let done = self.submit_write(lba, data)?;
         self.link.clock.advance_to(done);

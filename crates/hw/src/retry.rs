@@ -286,6 +286,13 @@ impl BlockDev for ResilientDev {
         Ok(())
     }
 
+    fn write_blocks(&mut self, lba: u64, blocks: &[&[u8]]) -> Result<SimTime> {
+        // One retry scope per extent: the model device bounces a
+        // transient extent atomically (nothing lands), so resubmitting
+        // the whole extent is idempotent.
+        self.with_retries(|d| d.write_blocks(lba, blocks))
+    }
+
     fn flush(&mut self) -> Result<SimTime> {
         self.with_retries(|d| d.flush())
     }
@@ -441,6 +448,38 @@ mod tests {
         d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap();
         assert_eq!(d.health(), DevHealth::Healthy);
         assert_eq!(d.retry_stats().consecutive_failures, 0);
+    }
+
+    #[test]
+    fn transient_extent_fault_absorbed_by_retry() {
+        let mut d = resilient(64);
+        // The second per-block fault consultation bounces: mid-extent.
+        d.install_fault_plan(FaultPlan::transient(2, 1));
+        let bufs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; BLOCK_SIZE]).collect();
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let done = d.write_blocks(0, &refs).unwrap();
+        d.clock().advance_to(done);
+        assert_eq!(d.retry_stats().writes_retried, 1);
+        assert_eq!(d.retry_stats().failures_surfaced, 0);
+        let flushed = d.flush().unwrap();
+        d.clock().advance_to(flushed);
+        for (i, expect) in bufs.iter().enumerate() {
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            d.read(i as u64, &mut buf).unwrap();
+            assert_eq!(&buf, expect, "block {i} after extent retry");
+        }
+    }
+
+    #[test]
+    fn extent_power_cut_surfaces_and_marks_dead() {
+        let mut d = resilient(64);
+        d.install_fault_plan(FaultPlan::power_cut(3));
+        let bufs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; BLOCK_SIZE]).collect();
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let err = d.write_blocks(0, &refs).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::DeviceDead);
+        assert_eq!(d.retry_stats().writes_retried, 0);
+        assert_eq!(d.health(), DevHealth::Dead);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! at zero — this is the "lower overhead COW layout" that lets old
 //! checkpoints be garbage collected in place.
 
+use std::collections::BTreeSet;
+
 use aurora_sim::error::{Error, Result};
 
 use crate::BlockPtr;
@@ -14,7 +16,10 @@ use crate::BlockPtr;
 #[derive(Debug, Clone)]
 pub struct BlockAlloc {
     refs: Vec<u32>,
-    free: Vec<u64>,
+    /// Free blocks, reused lowest-first: consecutive allocations land on
+    /// adjacent blocks whenever possible, which is what lets the flush
+    /// path coalesce them into extent-sized device writes.
+    free: BTreeSet<u64>,
     /// Next never-used block (bump frontier).
     frontier: u64,
     total: u64,
@@ -26,7 +31,7 @@ impl BlockAlloc {
     pub fn new(total: u64) -> Self {
         BlockAlloc {
             refs: Vec::new(),
-            free: Vec::new(),
+            free: BTreeSet::new(),
             frontier: 0,
             total,
             in_use: 0,
@@ -35,7 +40,7 @@ impl BlockAlloc {
 
     /// Allocates a block with refcount 1.
     pub fn alloc(&mut self) -> Result<BlockPtr> {
-        let idx = match self.free.pop() {
+        let idx = match self.free.pop_first() {
             Some(i) => i,
             None => {
                 if self.frontier >= self.total {
@@ -67,7 +72,7 @@ impl BlockAlloc {
         debug_assert!(*r > 0, "decref of free block");
         *r -= 1;
         if *r == 0 {
-            self.free.push(b.0);
+            self.free.insert(b.0);
             self.in_use -= 1;
             true
         } else {
@@ -91,11 +96,11 @@ impl BlockAlloc {
             (0, r) if r > 0 => {
                 self.in_use += 1;
                 self.frontier = self.frontier.max(b.0 + 1);
-                self.free.retain(|&f| f != b.0);
+                self.free.remove(&b.0);
             }
             (o, 0) if o > 0 => {
                 self.in_use -= 1;
-                self.free.push(b.0);
+                self.free.insert(b.0);
             }
             _ => {}
         }
@@ -150,6 +155,19 @@ mod tests {
         assert!(a.alloc().is_err());
         a.decref(b);
         assert!(a.alloc().is_ok());
+    }
+
+    #[test]
+    fn reuse_is_lowest_first() {
+        let mut a = BlockAlloc::new(8);
+        let blocks: Vec<BlockPtr> = (0..6).map(|_| a.alloc().unwrap()).collect();
+        // Free out of order; reallocation hands back ascending blocks.
+        a.decref(blocks[4]);
+        a.decref(blocks[1]);
+        a.decref(blocks[3]);
+        assert_eq!(a.alloc().unwrap(), blocks[1]);
+        assert_eq!(a.alloc().unwrap(), blocks[3]);
+        assert_eq!(a.alloc().unwrap(), blocks[4]);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod store;
 pub mod stream;
 
 pub use checkpoint::{Checkpoint, CkptId};
-pub use store::{ObjectStore, StoreConfig, StoreStats};
+pub use store::{ObjectStore, PageWrite, StoreConfig, StoreStats, DEDUP_SHARDS, EXTENT_BLOCKS};
 
 /// Identifier of a stored object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

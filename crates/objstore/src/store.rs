@@ -8,6 +8,7 @@
 //! application execution. Anything not yet committed is discarded by
 //! [`ObjectStore::recover`], exactly like a real crash.
 
+use std::cell::{Ref, RefCell};
 use std::collections::{BTreeMap, HashMap};
 
 use aurora_hw::{BlockDev, BLOCK_SIZE};
@@ -59,6 +60,10 @@ pub struct StoreStats {
     pub gc_runs: u64,
     /// Journal bytes written.
     pub bytes_journaled: u64,
+    /// Vectored extent writes issued by the batch flush path.
+    pub extents_coalesced: u64,
+    /// Blocks carried by those extents.
+    pub blocks_coalesced: u64,
 }
 
 /// One live object.
@@ -131,9 +136,144 @@ fn committed_refs(
     refs
 }
 
+/// Number of shards in the dedup index — a power of two so a shard is
+/// selected by masking the content hash.
+pub const DEDUP_SHARDS: usize = 16;
+
+/// Longest run of adjacent blocks submitted as one vectored device
+/// write by [`ObjectStore::write_pages_coalesced`].
+pub const EXTENT_BLOCKS: usize = 64;
+
+/// The content-hash dedup index, partitioned into fixed shards by hash.
+///
+/// Sharding mirrors the parallel hash stage's partitioning of a flush
+/// plan, so a shard's candidate lists are only ever touched for hashes
+/// it owns. All mutation still happens on the store's owning thread;
+/// determinism across worker counts comes from rebuilds walking blocks
+/// in ascending id order, which fixes candidate-list order regardless
+/// of who computed the hashes.
+struct DedupIndex {
+    shards: Vec<HashMap<u64, Vec<BlockPtr>>>,
+}
+
+impl DedupIndex {
+    fn new() -> Self {
+        DedupIndex {
+            shards: (0..DEDUP_SHARDS).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// The shard owning hash `h` (mask — always in range).
+    fn shard_of(h: u64) -> usize {
+        (h as usize) & (DEDUP_SHARDS - 1)
+    }
+
+    /// Candidate blocks for hash `h`, in insertion order.
+    fn candidates(&self, h: u64) -> Option<&[BlockPtr]> {
+        self.shards
+            .get(Self::shard_of(h))
+            .and_then(|s| s.get(&h))
+            .map(Vec::as_slice)
+    }
+
+    fn insert(&mut self, h: u64, ptr: BlockPtr) {
+        if let Some(s) = self.shards.get_mut(Self::shard_of(h)) {
+            s.entry(h).or_default().push(ptr);
+        }
+    }
+
+    fn remove(&mut self, h: u64, ptr: BlockPtr) {
+        if let Some(s) = self.shards.get_mut(Self::shard_of(h)) {
+            if let Some(cands) = s.get_mut(&h) {
+                cands.retain(|&c| c != ptr);
+                if cands.is_empty() {
+                    s.remove(&h);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.shards {
+            s.clear();
+        }
+    }
+}
+
+/// Page contents plus the dedup index, behind one cell so the read
+/// paths can stay `&self`: a cache fill is not a logical mutation.
+struct PageCache {
+    /// Authoritative page contents by block (compact representation).
+    data: HashMap<u64, PageData>,
+    /// Content-hash index: hash -> candidate blocks, sharded by hash.
+    dedup: DedupIndex,
+    /// Block -> content hash (reverse index for release).
+    block_hash: HashMap<u64, u64>,
+}
+
+impl PageCache {
+    fn new(data: HashMap<u64, PageData>) -> Self {
+        PageCache {
+            data,
+            dedup: DedupIndex::new(),
+            block_hash: HashMap::new(),
+        }
+    }
+
+    /// Rebuilds the dedup index over the current contents, walking
+    /// blocks in ascending id order: candidate lists come out identical
+    /// no matter the `HashMap` iteration order or how many flush
+    /// workers produced the hashes.
+    fn rebuild_dedup(&mut self) {
+        self.dedup.clear();
+        self.block_hash.clear();
+        let mut blocks: Vec<u64> = self.data.keys().copied().collect();
+        blocks.sort_unstable();
+        for b in blocks {
+            if let Some(page) = self.data.get(&b) {
+                let h = page.content_hash();
+                self.dedup.insert(h, BlockPtr(b));
+                self.block_hash.insert(b, h);
+            }
+        }
+    }
+
+    /// Caches freshly written contents and indexes them for dedup.
+    fn install(&mut self, ptr: BlockPtr, page: &PageData, hash: Option<u64>) {
+        self.data.insert(ptr.0, page.clone());
+        if let Some(h) = hash {
+            self.dedup.insert(h, ptr);
+            self.block_hash.insert(ptr.0, h);
+        }
+    }
+
+    /// Drops a freed block's contents and index entries.
+    fn evict(&mut self, ptr: BlockPtr) {
+        self.data.remove(&ptr.0);
+        if let Some(h) = self.block_hash.remove(&ptr.0) {
+            self.dedup.remove(h, ptr);
+        }
+    }
+}
+
+/// One page of a flush plan with its content hash already computed (by
+/// the parallel hash stage) — the unit of
+/// [`ObjectStore::write_pages_coalesced`].
+#[derive(Debug, Clone)]
+pub struct PageWrite {
+    /// Destination object.
+    pub oid: ObjId,
+    /// Page index within the object.
+    pub idx: u64,
+    /// Page contents.
+    pub page: PageData,
+    /// FNV-1a content hash of `page`.
+    pub hash: u64,
+}
+
 /// The object store.
 pub struct ObjectStore {
-    dev: Box<dyn BlockDev>,
+    dev: RefCell<Box<dyn BlockDev>>,
     config: StoreConfig,
     sb: Superblock,
     alloc: BlockAlloc,
@@ -147,11 +287,8 @@ pub struct ObjectStore {
     pending_blobs: BTreeMap<String, Vec<u8>>,
     pending_new_objects: Vec<(ObjId, u64)>,
     pending_deleted: Vec<ObjId>,
-    /// Content-hash index: hash -> candidate blocks.
-    dedup: HashMap<u64, Vec<BlockPtr>>,
-    block_hash: HashMap<u64, u64>,
-    /// Authoritative page contents by block (compact representation).
-    data: HashMap<u64, PageData>,
+    /// Page contents and the dedup index.
+    cache: RefCell<PageCache>,
     /// Counters.
     pub stats: StoreStats,
 }
@@ -181,7 +318,7 @@ impl ObjectStore {
         dev.clock().advance_to(done);
         let data_blocks = sb.data_blocks();
         Ok(ObjectStore {
-            dev,
+            dev: RefCell::new(dev),
             config,
             sb,
             alloc: BlockAlloc::new(data_blocks),
@@ -192,9 +329,7 @@ impl ObjectStore {
             pending_blobs: BTreeMap::new(),
             pending_new_objects: Vec::new(),
             pending_deleted: Vec::new(),
-            dedup: HashMap::new(),
-            block_hash: HashMap::new(),
-            data: HashMap::new(),
+            cache: RefCell::new(PageCache::new(HashMap::new())),
             stats: StoreStats::default(),
         })
     }
@@ -211,9 +346,10 @@ impl ObjectStore {
     /// Simulates a reboot: power-cycles the device and rebuilds all
     /// metadata from the medium. Uncommitted state is lost; committed
     /// page contents are retained (they stand for what is on disk).
-    pub fn recover(mut self) -> Result<Self> {
-        self.dev.power_on();
-        Self::open_with_data(self.dev, self.config, self.data)
+    pub fn recover(self) -> Result<Self> {
+        let mut dev = self.dev.into_inner();
+        dev.power_on();
+        Self::open_with_data(dev, self.config, self.cache.into_inner().data)
     }
 
     fn open_with_data(
@@ -256,21 +392,16 @@ impl ObjectStore {
             alloc.set_refs(BlockPtr(b), r);
         }
 
-        // Retain contents only for referenced blocks; rebuild dedup.
-        let mut data = data;
-        data.retain(|b, _| refs.contains_key(b));
-        let mut dedup = HashMap::new();
-        let mut block_hash = HashMap::new();
+        // Retain contents only for referenced blocks; rebuild dedup in
+        // ascending block order (deterministic candidate lists).
+        let mut cache = PageCache::new(data);
+        cache.data.retain(|b, _| refs.contains_key(b));
         if config.dedup {
-            for (&b, page) in &data {
-                let h = page.content_hash();
-                dedup.entry(h).or_insert_with(Vec::new).push(BlockPtr(b));
-                block_hash.insert(b, h);
-            }
+            cache.rebuild_dedup();
         }
 
         Ok(ObjectStore {
-            dev,
+            dev: RefCell::new(dev),
             config,
             sb,
             alloc,
@@ -281,21 +412,19 @@ impl ObjectStore {
             pending_blobs: BTreeMap::new(),
             pending_new_objects: Vec::new(),
             pending_deleted: Vec::new(),
-            dedup,
-            block_hash,
-            data,
+            cache: RefCell::new(cache),
             stats: StoreStats::default(),
         })
     }
 
     /// The device (stats, fault injection in tests).
-    pub fn device(&self) -> &dyn BlockDev {
-        self.dev.as_ref()
+    pub fn device(&self) -> Ref<'_, dyn BlockDev> {
+        Ref::map(self.dev.borrow(), |d| d.as_ref())
     }
 
     /// Mutable device access (fault injection in tests).
     pub fn device_mut(&mut self) -> &mut dyn BlockDev {
-        self.dev.as_mut()
+        self.dev.get_mut().as_mut()
     }
 
     /// Data blocks currently referenced.
@@ -391,15 +520,7 @@ impl ObjectStore {
 
     fn release_block(&mut self, ptr: BlockPtr) {
         if self.alloc.decref(ptr) {
-            self.data.remove(&ptr.0);
-            if let Some(h) = self.block_hash.remove(&ptr.0) {
-                if let Some(cands) = self.dedup.get_mut(&h) {
-                    cands.retain(|&c| c != ptr);
-                    if cands.is_empty() {
-                        self.dedup.remove(&h);
-                    }
-                }
-            }
+            self.cache.get_mut().evict(ptr);
         }
     }
 
@@ -409,11 +530,31 @@ impl ObjectStore {
     /// block and submits the 4 KiB payload asynchronously (the commit's
     /// flush barrier covers it).
     pub fn write_page(&mut self, oid: ObjId, idx: u64, page: &PageData) -> Result<()> {
+        self.write_page_hashed(oid, idx, page, None)
+    }
+
+    /// Like [`ObjectStore::write_page`] with the content hash already
+    /// computed — the parallel flush pipeline hashes pages off-thread
+    /// before touching the store. `hash` is ignored when dedup is off
+    /// and computed here when dedup is on but `None` was passed, so the
+    /// resulting state never depends on which variant the caller used.
+    pub fn write_page_hashed(
+        &mut self,
+        oid: ObjId,
+        idx: u64,
+        page: &PageData,
+        hash: Option<u64>,
+    ) -> Result<()> {
         if !self.live.contains_key(&oid) {
             return Err(Error::not_found(format!("object {}", oid.0)));
         }
         self.stats.pages_written += 1;
-        let ptr = match self.find_dedup(page) {
+        let hash = if self.config.dedup {
+            hash.or_else(|| Some(page.content_hash()))
+        } else {
+            None
+        };
+        let ptr = match self.find_dedup(page, hash) {
             Some(existing) => {
                 self.alloc.incref(existing);
                 self.stats.dedup_hits += 1;
@@ -423,16 +564,11 @@ impl ObjectStore {
                 let ptr = self.alloc.alloc()?;
                 if self.config.materialize_data {
                     let lba = self.sb.data_start() + ptr.0;
-                    self.dev.submit_write(lba, &page.materialize())?;
+                    self.dev.get_mut().submit_write(lba, &page.materialize())?;
                 } else {
-                    self.dev.submit_write_timing(BLOCK_SIZE as u64)?;
+                    self.dev.get_mut().submit_write_timing(BLOCK_SIZE as u64)?;
                 }
-                self.data.insert(ptr.0, page.clone());
-                if self.config.dedup {
-                    let h = page.content_hash();
-                    self.dedup.entry(h).or_default().push(ptr);
-                    self.block_hash.insert(ptr.0, h);
-                }
+                self.cache.get_mut().install(ptr, page, hash);
                 ptr
             }
         };
@@ -449,13 +585,121 @@ impl ObjectStore {
         Ok(())
     }
 
-    fn find_dedup(&self, page: &PageData) -> Option<BlockPtr> {
-        if !self.config.dedup {
-            return None;
+    /// Writes a batch of pages, coalescing adjacent fresh blocks into
+    /// extent-sized vectored device writes.
+    ///
+    /// Dedup decisions, allocations and live-map updates happen in plan
+    /// order — exactly the sequence a `write_page` loop produces — so
+    /// the resulting store state (and, for materialized stores, the
+    /// device image) is identical to the serial path; only the shape of
+    /// the device traffic changes. Fresh blocks then sort into runs of
+    /// adjacent lbas, each submitted with one
+    /// [`BlockDev::write_blocks`] extent of at most [`EXTENT_BLOCKS`].
+    ///
+    /// If an extent write fails, contents that never reached the
+    /// platter are dropped from the page cache before the error
+    /// surfaces, so no later dedup hit or cache read can serve bytes
+    /// the medium does not hold. The checkpoint pipeline then aborts
+    /// without committing and forces the next checkpoint full.
+    pub fn write_pages_coalesced(&mut self, writes: &[PageWrite]) -> Result<()> {
+        // Plan-order pass: dedup, allocation, live-map publication.
+        let mut fresh: BTreeMap<u64, PageData> = BTreeMap::new();
+        for w in writes {
+            if !self.live.contains_key(&w.oid) {
+                return Err(Error::not_found(format!("object {}", w.oid.0)));
+            }
+            self.stats.pages_written += 1;
+            let hash = self.config.dedup.then_some(w.hash);
+            let ptr = match self.find_dedup(&w.page, hash) {
+                Some(existing) => {
+                    self.alloc.incref(existing);
+                    self.stats.dedup_hits += 1;
+                    existing
+                }
+                None => {
+                    let ptr = self.alloc.alloc()?;
+                    self.cache.get_mut().install(ptr, &w.page, hash);
+                    fresh.insert(ptr.0, w.page.clone());
+                    ptr
+                }
+            };
+            let old = self
+                .live
+                .get_mut(&w.oid)
+                .ok_or_else(|| {
+                    Error::internal(format!("object {} vanished during write", w.oid.0))
+                })?
+                .map
+                .insert(w.idx, ptr);
+            if let Some(old) = old {
+                self.release_block(old);
+            }
+            self.pending_pages.insert((w.oid, w.idx), ptr);
         }
-        let h = page.content_hash();
-        for &cand in self.dedup.get(&h)? {
-            if let Some(existing) = self.data.get(&cand.0) {
+        // A block allocated for an early write can be released (and
+        // even reallocated) by a later write in the same batch; only
+        // blocks still referenced go to the device.
+        fresh.retain(|&b, _| self.alloc.refs(BlockPtr(b)) > 0);
+
+        // Extent pass: each run of adjacent blocks becomes one
+        // vectored write.
+        let blocks: Vec<u64> = fresh.keys().copied().collect();
+        let mut i = 0usize;
+        while let Some(&start) = blocks.get(i) {
+            let mut len = 1usize;
+            while len < EXTENT_BLOCKS
+                && blocks.get(i + len).copied() == Some(start + len as u64)
+            {
+                len += 1;
+            }
+            if let Err(e) = self.write_extent(&fresh, start, len) {
+                // Nothing from this run onward reached the platter:
+                // drop the unbacked contents so the cache never claims
+                // bytes the medium does not hold.
+                for &b in blocks.iter().skip(i) {
+                    self.cache.get_mut().evict(BlockPtr(b));
+                }
+                return Err(e);
+            }
+            self.stats.extents_coalesced += 1;
+            self.stats.blocks_coalesced += len as u64;
+            i += len;
+        }
+        Ok(())
+    }
+
+    /// Submits one run of adjacent fresh blocks as a vectored write.
+    fn write_extent(
+        &mut self,
+        fresh: &BTreeMap<u64, PageData>,
+        start: u64,
+        len: usize,
+    ) -> Result<()> {
+        if self.config.materialize_data {
+            let bufs: Vec<Vec<u8>> = (start..start + len as u64)
+                .map(|b| {
+                    fresh
+                        .get(&b)
+                        .map(PageData::materialize)
+                        .ok_or_else(|| Error::internal(format!("extent block {b} missing")))
+                })
+                .collect::<Result<_>>()?;
+            let refs: Vec<&[u8]> = bufs.iter().map(Vec::as_slice).collect();
+            let lba = self.sb.data_start() + start;
+            self.dev.get_mut().write_blocks(lba, &refs)?;
+        } else {
+            self.dev
+                .get_mut()
+                .submit_write_timing((len * BLOCK_SIZE) as u64)?;
+        }
+        Ok(())
+    }
+
+    fn find_dedup(&self, page: &PageData, hash: Option<u64>) -> Option<BlockPtr> {
+        let h = hash?;
+        let cache = self.cache.borrow();
+        for &cand in cache.dedup.candidates(h)? {
+            if let Some(existing) = cache.data.get(&cand.0) {
                 if existing.content_eq(page) {
                     return Some(cand);
                 }
@@ -465,7 +709,7 @@ impl ObjectStore {
     }
 
     /// Reads a page from the live state, charging device time.
-    pub fn read_page(&mut self, oid: ObjId, idx: u64) -> Result<Option<PageData>> {
+    pub fn read_page(&self, oid: ObjId, idx: u64) -> Result<Option<PageData>> {
         let ptr = match self.live.get(&oid) {
             Some(obj) => obj.map.get(&idx).copied(),
             None => return Err(Error::not_found(format!("object {}", oid.0))),
@@ -477,7 +721,7 @@ impl ObjectStore {
     }
 
     /// Reads a page as of a checkpoint, charging device time.
-    pub fn read_page_at(&mut self, ckpt: CkptId, oid: ObjId, idx: u64) -> Result<Option<PageData>> {
+    pub fn read_page_at(&self, ckpt: CkptId, oid: ObjId, idx: u64) -> Result<Option<PageData>> {
         match checkpoint::resolve_page(&self.ckpts, ckpt, oid, idx) {
             Some(ptr) => self.fetch_block(ptr).map(Some),
             None => Ok(None),
@@ -496,22 +740,23 @@ impl ObjectStore {
         checkpoint::resolve_page(&self.ckpts, ckpt, oid, idx).is_some()
     }
 
-    fn fetch_block(&mut self, ptr: BlockPtr) -> Result<PageData> {
-        if let Some(page) = self.data.get(&ptr.0) {
-            self.dev.charge_read_timing(BLOCK_SIZE as u64)?;
-            return Ok(page.clone());
+    fn fetch_block(&self, ptr: BlockPtr) -> Result<PageData> {
+        let cached = self.cache.borrow().data.get(&ptr.0).cloned();
+        if let Some(page) = cached {
+            self.dev.borrow_mut().charge_read_timing(BLOCK_SIZE as u64)?;
+            return Ok(page);
         }
         if self.config.materialize_data {
             let lba = self.sb.data_start() + ptr.0;
             let mut buf = vec![0u8; BLOCK_SIZE];
-            self.dev.read(lba, &mut buf)?;
+            self.dev.borrow_mut().read(lba, &mut buf)?;
             let page = PageData::from_bytes(&buf);
-            self.data.insert(ptr.0, page.clone());
-            if self.config.dedup {
-                let h = page.content_hash();
-                self.dedup.entry(h).or_default().push(ptr);
-                self.block_hash.insert(ptr.0, h);
-            }
+            let hash = if self.config.dedup {
+                Some(page.content_hash())
+            } else {
+                None
+            };
+            self.cache.borrow_mut().install(ptr, &page, hash);
             return Ok(page);
         }
         Err(Error::corrupt(format!(
@@ -546,10 +791,11 @@ impl ObjectStore {
 
     /// Reads a blob as of a checkpoint, charging device time for its
     /// size (blobs live in journal blocks).
-    pub fn get_blob(&mut self, ckpt: CkptId, key: &str) -> Result<Option<Vec<u8>>> {
+    pub fn get_blob(&self, ckpt: CkptId, key: &str) -> Result<Option<Vec<u8>>> {
         let found = checkpoint::resolve_blob(&self.ckpts, ckpt, key).map(<[u8]>::to_vec);
         if let Some(v) = &found {
             self.dev
+                .borrow_mut()
                 .charge_read_timing(v.len().div_ceil(BLOCK_SIZE) as u64 * BLOCK_SIZE as u64)?;
         }
         Ok(found)
@@ -625,8 +871,8 @@ impl ObjectStore {
             }
         }
         let lba = self.sb.journal_base + self.sb.journal_used / BLOCK_SIZE as u64;
-        self.dev.submit_write(lba, &bytes)?;
-        self.dev.flush()?;
+        self.dev.get_mut().submit_write(lba, &bytes)?;
+        self.dev.get_mut().flush()?;
         // The record is on the platter; account for it only now so a
         // failed attempt rewrites the same journal offset on retry.
         self.stats.bytes_journaled += bytes.len() as u64;
@@ -635,7 +881,7 @@ impl ObjectStore {
         self.sb.epoch += 1;
         self.sb.next_ckpt += 1;
         let slot = self.sb.epoch % 2;
-        match self.dev.submit_write(slot, &self.sb.to_block()) {
+        match self.dev.get_mut().submit_write(slot, &self.sb.to_block()) {
             Ok(_) => {}
             Err(e) => {
                 // The record sits in the journal but no durable superblock
@@ -647,7 +893,7 @@ impl ObjectStore {
                 return Err(e);
             }
         }
-        let durable = self.dev.flush()?;
+        let durable = self.dev.get_mut().flush()?;
 
         // Every write landed: consume the pending delta and publish.
         self.pending_new_objects.clear();
@@ -683,19 +929,19 @@ impl ObjectStore {
             return Err(Error::no_space("journal too small for metadata snapshot"));
         }
         let base = self.sb.journal_other_half();
-        self.dev.submit_write(base, &bytes)?;
+        self.dev.get_mut().submit_write(base, &bytes)?;
         // A zero guard block stops recovery from replaying stale records
         // that happen to align after the snapshot.
         let guard_lba = base + (bytes.len() / BLOCK_SIZE) as u64;
-        self.dev.submit_write(guard_lba, &vec![0u8; BLOCK_SIZE])?;
-        self.dev.flush()?;
+        self.dev.get_mut().submit_write(guard_lba, &vec![0u8; BLOCK_SIZE])?;
+        self.dev.get_mut().flush()?;
         self.sb.epoch += 1;
         self.sb.journal_base = base;
         self.sb.journal_used = bytes.len() as u64;
         let slot = self.sb.epoch % 2;
-        self.dev.submit_write(slot, &self.sb.to_block())?;
-        let done = self.dev.flush()?;
-        self.dev.clock().advance_to(done);
+        self.dev.get_mut().submit_write(slot, &self.sb.to_block())?;
+        let done = self.dev.get_mut().flush()?;
+        self.dev.get_mut().clock().advance_to(done);
         self.stats.compactions += 1;
         Ok(())
     }
@@ -719,14 +965,14 @@ impl ObjectStore {
             return Ok(());
         }
         let lba = self.sb.journal_base + self.sb.journal_used / BLOCK_SIZE as u64;
-        self.dev.submit_write(lba, &bytes)?;
+        self.dev.get_mut().submit_write(lba, &bytes)?;
         self.sb.journal_used += bytes.len() as u64;
-        self.dev.flush()?;
+        self.dev.get_mut().flush()?;
         self.sb.epoch += 1;
         let slot = self.sb.epoch % 2;
-        self.dev.submit_write(slot, &self.sb.to_block())?;
-        let done = self.dev.flush()?;
-        self.dev.clock().advance_to(done);
+        self.dev.get_mut().submit_write(slot, &self.sb.to_block())?;
+        let done = self.dev.get_mut().flush()?;
+        self.dev.get_mut().clock().advance_to(done);
         self.stats.gc_runs += 1;
         Ok(())
     }
@@ -735,8 +981,9 @@ impl ObjectStore {
     /// it — the extra data/metadata ordering point a filesystem fsync
     /// pays that Aurora's log flush does not.
     pub fn barrier_flush(&mut self) -> Result<()> {
-        let done = self.dev.flush()?;
-        self.dev.clock().advance_to(done);
+        let dev = self.dev.get_mut();
+        let done = dev.flush()?;
+        dev.clock().advance_to(done);
         Ok(())
     }
 
@@ -854,7 +1101,7 @@ impl ObjectStore {
                     "block {block}: refcount {actual}, {refs} referents"
                 ));
             }
-            if !self.data.contains_key(&block) && !self.config.materialize_data {
+            if !self.cache.borrow().data.contains_key(&block) && !self.config.materialize_data {
                 problems.push(format!("block {block}: contents unrecoverable"));
             }
         }
@@ -900,15 +1147,13 @@ impl ObjectStore {
             alloc.set_refs(BlockPtr(b), r);
         }
         self.alloc = alloc;
-        self.data.retain(|b, _| refs.contains_key(b));
-        self.dedup.clear();
-        self.block_hash.clear();
+        let cache = self.cache.get_mut();
+        cache.data.retain(|b, _| refs.contains_key(b));
         if self.config.dedup {
-            for (&b, page) in &self.data {
-                let h = page.content_hash();
-                self.dedup.entry(h).or_default().push(BlockPtr(b));
-                self.block_hash.insert(b, h);
-            }
+            cache.rebuild_dedup();
+        } else {
+            cache.dedup.clear();
+            cache.block_hash.clear();
         }
         self.live = live;
         Ok(())
@@ -924,7 +1169,7 @@ impl ObjectStore {
     /// Returns the violations (empty = restorable). The checkpoint
     /// pipeline runs this on the incremental base and degrades to a full
     /// checkpoint when the base is damaged.
-    pub fn verify_checkpoint(&mut self, ckpt: CkptId) -> Vec<String> {
+    pub fn verify_checkpoint(&self, ckpt: CkptId) -> Vec<String> {
         let mut problems = Vec::new();
         // Chain resolution first: a broken chain makes the maps moot.
         let mut cur = Some(ckpt);
@@ -949,7 +1194,7 @@ impl ObjectStore {
                 // Materialized stores verify the platter copy even when a
                 // clean copy is cached in memory: a write-time corruption
                 // would otherwise hide until the cache is dropped.
-                if self.data.contains_key(&ptr.0) && !self.config.materialize_data {
+                if self.cache.borrow().data.contains_key(&ptr.0) && !self.config.materialize_data {
                     continue;
                 }
                 if !self.config.materialize_data {
@@ -961,9 +1206,10 @@ impl ObjectStore {
                 }
                 let lba = self.sb.data_start() + ptr.0;
                 let mut buf = vec![0u8; BLOCK_SIZE];
-                match self.dev.read(lba, &mut buf) {
+                match self.dev.borrow_mut().read(lba, &mut buf) {
                     Ok(()) => {
-                        if let Some(&expect) = self.block_hash.get(&ptr.0) {
+                        let expect = self.cache.borrow().block_hash.get(&ptr.0).copied();
+                        if let Some(expect) = expect {
                             let page = PageData::from_bytes(&buf);
                             if page.content_hash() != expect {
                                 problems.push(format!(
@@ -987,7 +1233,7 @@ impl ObjectStore {
     /// a restorability check of every committed checkpoint. Backs the
     /// `sls scrub` CLI command and the crash campaign's per-iteration
     /// invariant.
-    pub fn scrub(&mut self) -> Vec<String> {
+    pub fn scrub(&self) -> Vec<String> {
         let mut problems = self.fsck();
         let ids: Vec<CkptId> = self.ckpts.keys().map(|&i| CkptId(i)).collect();
         for id in ids {
@@ -1001,7 +1247,7 @@ impl ObjectStore {
     }
 
     /// Internal: contents of a block (export path).
-    pub(crate) fn block_content(&mut self, ptr: BlockPtr) -> Result<PageData> {
+    pub(crate) fn block_content(&self, ptr: BlockPtr) -> Result<PageData> {
         self.fetch_block(ptr)
     }
 

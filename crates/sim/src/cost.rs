@@ -95,6 +95,21 @@ pub const CTXSW_NS: u64 = 1_100;
 /// (pipe/socket copyin+copyout).
 pub const IPC_BYTE_NS_PER_64: u64 = 14;
 
+/// Per-core FNV-1a content-hash bandwidth (bytes/sec). One-byte-at-a-time
+/// FNV is serialized on its multiply dependency chain (~4 cycles/byte),
+/// which lands near 0.7 GB/s on the paper's Xeon Silver 4116 — confirmed
+/// by `bench_checkpoint --hash-micro`, which times the real `hash_plan`
+/// implementation (≈6 µs per 4 KiB page). Charged to the simulation
+/// clock by the flush pipeline's hash stage, divided by worker count.
+pub const HASH_BW_PER_CORE: u64 = 700_000_000;
+
+/// Returns the modeled duration of content-hashing `pages` 4 KiB pages
+/// spread across `workers` cores.
+pub fn hash_stage(pages: u64, workers: u64) -> SimDuration {
+    let bw = HASH_BW_PER_CORE * workers.max(1);
+    SimDuration::for_bytes(pages * PAGE_SIZE as u64, bw)
+}
+
 /// Returns the serialization cost for a metadata record of `bytes` bytes.
 pub fn meta_serialize(bytes: usize) -> SimDuration {
     SimDuration::from_nanos(META_OBJ_BASE_NS + (bytes as u64).div_ceil(64) * META_BYTE_NS_PER_64)

@@ -94,7 +94,7 @@ impl SlsFs {
     /// Loads the filesystem from the store's newest checkpoint.
     pub fn load(store: StoreHandle, ns: u64) -> Result<SlsFs> {
         let (head, blob) = {
-            let mut st = store.borrow_mut();
+            let st = store.borrow_mut();
             let head = st
                 .head()
                 .ok_or_else(|| Error::not_found("store has no checkpoints"))?;
@@ -482,7 +482,7 @@ impl Filesystem for SlsFs {
         let end = (off + len as u64).min(size);
         let mut out = Vec::with_capacity((end - off) as usize);
         let mut pos = off;
-        let mut store = self.store.borrow_mut();
+        let store = self.store.borrow_mut();
         while pos < end {
             let page_idx = pos / PAGE_SIZE as u64;
             let page_off = (pos % PAGE_SIZE as u64) as usize;

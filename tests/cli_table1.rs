@@ -97,9 +97,12 @@ fn full_cli_lifecycle() {
     assert!(out.contains("detached backend"));
     assert!(sls(&base, &["detach", "counter", "--index", "5"]).is_err());
 
-    // info
+    // info: health plus the flush-pipeline telemetry (worker count and
+    // per-stage timing from the global counters).
     let out = sls(&base, &["info"]).unwrap();
     assert!(out.contains("checkpoints:"));
+    assert!(out.contains("flush pipeline:"), "info flush stage: {out}");
+    assert!(out.contains("workers configured"), "info workers: {out}");
 }
 
 #[test]

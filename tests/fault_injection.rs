@@ -288,7 +288,7 @@ fn power_cut_sweep_during_journal_gc() {
             .unwrap();
         let _ = s.commit(Some(&format!("c{}", trigger - 1)));
 
-        let mut s = s.recover().unwrap();
+        let s = s.recover().unwrap();
         let problems = s.scrub();
         assert!(
             problems.is_empty(),
