@@ -114,6 +114,7 @@ fn store_config() -> StoreConfig {
         journal_blocks: 2048,
         dedup: true,
         materialize_data: true,
+        ..StoreConfig::default()
     }
 }
 
@@ -555,7 +556,7 @@ fn cmd_info(world: &Path) -> Result<String> {
     let sls = &host.sls.stats;
     let m = aurora_core::metrics::global_counters();
     Ok(format!(
-        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n  checkpoints this session: {} degraded, {} aborted\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n",
+        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n  checkpoints this session: {} degraded, {} aborted\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n  restore pipeline: {} workers configured; {} pages hashed, {} extent reads\n  read cache: {} of {} pages resident, {} hits / {} misses ({} content hits), {} evictions\n",
         world.display(),
         store.checkpoints().len(),
         store.blocks_in_use(),
@@ -577,6 +578,15 @@ fn cmd_info(world: &Path) -> Result<String> {
         m.flush_write_ns as f64 / 1e6,
         m.flush_extents,
         m.flush_extent_blocks,
+        host.sls.restore_workers,
+        m.restore_pages_hashed,
+        m.restore_extents,
+        store.read_cache_len(),
+        store.read_cache_capacity(),
+        stats.read_cache_hits,
+        stats.read_cache_misses,
+        stats.read_cache_content_hits,
+        store.read_cache_evictions(),
     ))
 }
 

@@ -51,7 +51,8 @@ fn aborts_checkpoint(e: &Error) -> bool {
 /// mutates per-group COW epochs and backend chains that would interleave
 /// incoherently if two cycles overlapped. Outermost rank in the lock
 /// hierarchy — nothing may be held when a cycle begins.
-static CKPT_BARRIER: OrderedMutex<()> = OrderedMutex::new(RANK_CKPT_BARRIER, "ckpt_barrier", ());
+pub(crate) static CKPT_BARRIER: OrderedMutex<()> =
+    OrderedMutex::new(RANK_CKPT_BARRIER, "ckpt_barrier", ());
 
 /// Everything captured at the barrier, ready to flush.
 pub(crate) struct CapturedState {

@@ -40,7 +40,6 @@ pub mod checkpoint;
 pub mod debug;
 pub mod flush;
 pub mod group;
-pub mod lockdep;
 pub mod metrics;
 pub mod migrate;
 pub mod ntlog;
@@ -63,6 +62,10 @@ use aurora_slsfs::{SlsFs, StoreHandle};
 
 pub use group::{Backend, BackendKind, Group, GroupId};
 pub use metrics::{CheckpointBreakdown, CheckpointOutcome, RestoreBreakdown};
+// Lockdep moved down to `aurora-sim` so the object store's page-cache
+// lock can carry a rank; existing `aurora_core::lockdep` paths keep
+// working through this re-export.
+pub use aurora_sim::lockdep;
 
 /// Namespace base for SLSFS store objects on the primary store.
 pub const SLSFS_NS: u64 = 1 << 48;
@@ -106,12 +109,18 @@ pub struct Sls {
     /// Worker threads for the parallel flush hash stage (see
     /// `crate::flush`). 1 selects the serial path.
     pub flush_workers: usize,
+    /// Worker threads for the batched restore pipeline's hash stage
+    /// (see `crate::restore`). 1 selects the serial per-page path.
+    pub restore_workers: usize,
     /// Counters.
     pub stats: SlsStats,
 }
 
 /// Default worker count for the parallel flush hash stage.
 pub const DEFAULT_FLUSH_WORKERS: usize = 4;
+
+/// Default worker count for the batched restore pipeline.
+pub const DEFAULT_RESTORE_WORKERS: usize = 4;
 
 /// A simulated machine: kernel + SLS.
 pub struct Host {
@@ -150,6 +159,7 @@ impl Host {
                 rolled_back: HashSet::new(),
                 pager_cache: std::collections::HashMap::new(),
                 flush_workers: DEFAULT_FLUSH_WORKERS,
+                restore_workers: DEFAULT_RESTORE_WORKERS,
                 stats: SlsStats::default(),
             },
         })
@@ -178,6 +188,7 @@ impl Host {
                 rolled_back: HashSet::new(),
                 pager_cache: std::collections::HashMap::new(),
                 flush_workers: DEFAULT_FLUSH_WORKERS,
+                restore_workers: DEFAULT_RESTORE_WORKERS,
                 stats: SlsStats::default(),
             },
         })
@@ -205,6 +216,7 @@ impl Host {
             rolled_back: _,
             pager_cache: _,
             flush_workers,
+            restore_workers,
             stats: _,
         } = sls;
         drop(groups);
@@ -230,6 +242,7 @@ impl Host {
                 rolled_back: HashSet::new(),
                 pager_cache: std::collections::HashMap::new(),
                 flush_workers,
+                restore_workers,
                 stats: SlsStats::default(),
             },
         })

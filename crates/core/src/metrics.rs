@@ -30,6 +30,16 @@ pub struct GlobalCounters {
     pub flush_extents: u64,
     /// Blocks carried by those extents.
     pub flush_extent_blocks: u64,
+    /// Worker-thread count of the most recent batched restore.
+    pub restore_workers: u64,
+    /// Pages content-hashed by the restore pipeline's hash stage.
+    pub restore_pages_hashed: u64,
+    /// Restore read-cache hits (pages served without device access).
+    pub restore_cache_hits: u64,
+    /// Restore read-cache misses (pages that charged device time).
+    pub restore_cache_misses: u64,
+    /// Vectored extent reads issued by batched restores.
+    pub restore_extents: u64,
 }
 
 /// The global counter registry. Innermost rank in the lock hierarchy,
@@ -45,6 +55,11 @@ pub static METRICS: OrderedMutex<GlobalCounters> =
         flush_write_ns: 0,
         flush_extents: 0,
         flush_extent_blocks: 0,
+        restore_workers: 0,
+        restore_pages_hashed: 0,
+        restore_cache_hits: 0,
+        restore_cache_misses: 0,
+        restore_extents: 0,
     });
 
 /// Snapshot of the global counters.
@@ -139,6 +154,20 @@ pub struct RestoreBreakdown {
     pub total: SimDuration,
     /// Pages eagerly paged in (prefetch/eager modes).
     pub pages_prefetched: u64,
+    /// Sim time spent in the batched read stage (device extents plus
+    /// cache hits); zero on the serial path.
+    pub read_stage: SimDuration,
+    /// Sim time charged for the restore hash stage; zero on the serial
+    /// path.
+    pub hash_stage: SimDuration,
+    /// Worker threads the batched pipeline ran with (0 = serial path).
+    pub restore_workers: u64,
+    /// Pages served by the store's read cache.
+    pub cache_hits: u64,
+    /// Pages that charged device time.
+    pub cache_misses: u64,
+    /// Vectored extent reads issued.
+    pub extents_read: u64,
     /// The pid map: original pid -> restored pid.
     pub pid_map: Vec<(u32, u32)>,
 }

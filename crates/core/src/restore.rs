@@ -21,6 +21,7 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::thread;
 
 use aurora_objstore::{CkptId, ObjId};
 use aurora_posix::fd::{FileId, FileKind, OpenFile};
@@ -38,6 +39,7 @@ use aurora_vm::map::RestoreHint;
 use aurora_vm::object::ResidentPage;
 use aurora_vm::{MapEntry, Pager, PageData, Prot, SlsPolicy, VmoId, VmoKind};
 
+use crate::lockdep::{OrderedMutex, RANK_RESTORE_SHARD};
 use crate::metrics::{self, RestoreBreakdown};
 use crate::serialize::*;
 use crate::Host;
@@ -231,7 +233,10 @@ impl Host {
             }
         }
 
-        // Eager/prefetch page-in.
+        // Eager/prefetch page-in. The target list is built in the same
+        // order the serial loop visits pages, so the batched pipeline
+        // below installs a byte-identical memory image.
+        let mut targets: Vec<(VmoId, u64, u64)> = Vec::new();
         for rec in &vmo_recs {
             let v = *oid_vmo.get(&rec.oid).ok_or_else(|| {
                 Error::internal(format!("vm object for oid {} vanished", rec.oid))
@@ -242,14 +247,18 @@ impl Host {
             };
             if eager {
                 let map = store.borrow_mut().object_map_at(ckpt, ObjId(rec.oid));
-                for (idx, _) in map {
-                    breakdown.pages_prefetched += self.page_in_image(v, pager_id, rec.oid, idx)?;
-                }
+                targets.extend(map.into_iter().map(|(idx, _)| (v, rec.oid, idx)));
             } else if mode == RestoreMode::LazyPrefetch && !force_lazy.contains(&rec.oid) {
-                for &idx in &rec.hot {
-                    breakdown.pages_prefetched += self.page_in_image(v, pager_id, rec.oid, idx)?;
-                }
+                targets.extend(rec.hot.iter().map(|&idx| (v, rec.oid, idx)));
             }
+        }
+        let workers = self.sls.restore_workers.max(1);
+        if workers == 1 || targets.len() < crate::flush::PARALLEL_THRESHOLD {
+            for &(v, oid, idx) in &targets {
+                breakdown.pages_prefetched += self.page_in_image(v, pager_id, oid, idx)?;
+            }
+        } else {
+            self.batched_page_in(store, ckpt, pager_id, &targets, workers, &mut breakdown)?;
         }
         breakdown.memory_state = sw.lap();
 
@@ -563,6 +572,142 @@ impl Host {
         Ok(breakdown)
     }
 
+    /// The batched page-in pipeline: resolves every target against the
+    /// checkpoint in one pass, reads the missing blocks as vectored
+    /// extents through the store's bounded read cache, content-hashes
+    /// the fetched pages on `workers` threads, and wires frames in the
+    /// same order the serial loop would — so the resulting memory image
+    /// is byte-identical for any worker count (the differential test in
+    /// `tests/parallel_restore_diff.rs` checks exactly this).
+    fn batched_page_in(
+        &mut self,
+        store: &StoreHandle,
+        ckpt: CkptId,
+        pager: aurora_vm::PagerId,
+        targets: &[(VmoId, u64, u64)],
+        workers: usize,
+        breakdown: &mut RestoreBreakdown,
+    ) -> Result<()> {
+        let clock = self.clock.clone();
+        let mut sw = Stopwatch::start(&clock);
+
+        // Pass 1: wire what is already resident — shared image frames
+        // from sibling restores — and collect the rest for the fetch.
+        let mut fetch: Vec<(VmoId, u64, u64)> = Vec::new();
+        let mut queued: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        for &(v, oid, idx) in targets {
+            if self.kernel.vm.object(v).page(idx).is_some() || !queued.insert((oid, idx)) {
+                continue;
+            }
+            if let Some(frame) = self
+                .kernel
+                .vm
+                .image_cache_get(pager, oid, idx)
+                .filter(|f| self.kernel.vm.frames.exists(*f))
+            {
+                self.kernel.vm.frames.ref_frame(frame);
+                self.kernel.vm.object_mut(v).insert_page(
+                    idx,
+                    ResidentPage {
+                        frame,
+                        write_epoch: 0,
+                        cow_protected: false,
+                        referenced: true,
+                        heat: 1,
+                    },
+                );
+                self.clock
+                    .charge(SimDuration::from_nanos(cost::RESTORE_PAGE_WIRE_NS));
+                breakdown.pages_prefetched += 1;
+                continue;
+            }
+            fetch.push((v, oid, idx));
+        }
+        breakdown.restore_workers = workers as u64;
+        if fetch.is_empty() {
+            breakdown.read_stage += sw.lap();
+            return Ok(());
+        }
+
+        // Pass 2: one read plan for every missing page; dedup-shared
+        // blocks resolve once, adjacent blocks coalesce into extents.
+        let plan_targets: Vec<(ObjId, u64)> =
+            fetch.iter().map(|&(_, oid, idx)| (ObjId(oid), idx)).collect();
+        let (plan, outcome) = {
+            let mut st = store.borrow_mut();
+            let plan = st.plan_reads_at(ckpt, &plan_targets);
+            let outcome = st.execute_read_plan(&plan)?;
+            (plan, outcome)
+        };
+        breakdown.read_stage += sw.lap();
+
+        // Pass 3: content-hash the freshly fetched pages in parallel.
+        // The hashes feed the store's content index (warm twin blocks)
+        // and the cost is divided across the workers. The checkpoint
+        // barrier serializes use of the shard collector.
+        let fetched: Vec<(u64, PageData)> = outcome
+            .fetched
+            .iter()
+            .filter_map(|b| outcome.pages.get(b).map(|p| (*b, p.clone())))
+            .collect();
+        let pairs = {
+            let _cycle = crate::checkpoint::CKPT_BARRIER.lock();
+            hash_fetched(&fetched, workers)
+        };
+        self.clock
+            .charge(cost::hash_stage(fetched.len() as u64, workers as u64));
+        store.borrow_mut().note_read_hashes(&pairs);
+        breakdown.hash_stage += sw.lap();
+
+        // Pass 4: wire frames in serial target order.
+        for (i, &(v, oid, idx)) in fetch.iter().enumerate() {
+            let data = match plan.resolved.get(i).copied().flatten() {
+                Some(ptr) => outcome.pages.get(&ptr.0).cloned().ok_or_else(|| {
+                    Error::internal(format!("planned block {} missing from read outcome", ptr.0))
+                })?,
+                None => PageData::Zero,
+            };
+            let frame = self.kernel.vm.frames.alloc(data);
+            self.kernel.vm.image_cache_put(pager, oid, idx, frame);
+            self.kernel.vm.object_mut(v).insert_page(
+                idx,
+                ResidentPage {
+                    frame,
+                    write_epoch: 0,
+                    cow_protected: false,
+                    referenced: true,
+                    heat: 1,
+                },
+            );
+            breakdown.pages_prefetched += 1;
+        }
+
+        breakdown.cache_hits += outcome.cache_hits;
+        breakdown.cache_misses += outcome.cache_misses;
+        breakdown.extents_read += outcome.extents_read;
+        {
+            let mut m = metrics::METRICS.lock();
+            m.restore_workers = workers as u64;
+            m.restore_pages_hashed += fetched.len() as u64;
+            m.restore_cache_hits += outcome.cache_hits;
+            m.restore_cache_misses += outcome.cache_misses;
+            m.restore_extents += outcome.extents_read;
+        }
+        Ok(())
+    }
+
+    /// Forgets the shared restore image for (`store`, `ckpt`): the
+    /// cached pager is unregistered and its image-cache frames dropped.
+    /// Subsequent restores from the checkpoint start cold, as on a
+    /// machine that has never run the application — the state warm-start
+    /// benchmarks measure against.
+    pub fn release_image(&mut self, store: &StoreHandle, ckpt: CkptId) {
+        let cache_key = (Rc::as_ptr(store) as usize, ckpt.0);
+        if let Some(pager) = self.sls.pager_cache.remove(&cache_key) {
+            self.kernel.vm.unregister_pager(pager);
+        }
+    }
+
     /// Pages one image page into an object, counting it when resident
     /// work actually happened.
     fn page_in_image(
@@ -661,6 +806,53 @@ impl Host {
         self.sls.stats.rollbacks += 1;
         Ok(breakdown)
     }
+}
+
+/// Collector for the restore hash stage: workers push
+/// `(shard index, hashes)` pairs as they finish. The checkpoint barrier
+/// serializes whole batched restores against flush cycles, so at most
+/// one hash stage uses this at a time.
+static RESTORE_SHARD: OrderedMutex<Vec<(usize, Vec<u64>)>> =
+    OrderedMutex::new(RANK_RESTORE_SHARD, "restore_shard", Vec::new());
+
+/// Content-hashes fetched `(block, page)` pairs on `workers` threads
+/// and returns `(block, hash)` pairs in input order. Mirrors
+/// `crate::flush::hash_plan`: shard boundaries depend only on input
+/// length and worker count, and reassembly sorts by shard index, so the
+/// output is byte-identical to a serial pass for any worker count.
+fn hash_fetched(pages: &[(u64, PageData)], workers: usize) -> Vec<(u64, u64)> {
+    let workers = workers.max(1);
+    if workers == 1 || pages.len() < crate::flush::PARALLEL_THRESHOLD {
+        return hash_fetched_serial(pages);
+    }
+    let shard_len = pages.len().div_ceil(workers);
+    {
+        RESTORE_SHARD.lock().clear();
+    }
+    thread::scope(|s| {
+        for (shard_idx, shard) in pages.chunks(shard_len).enumerate() {
+            s.spawn(move || {
+                let hashes: Vec<u64> = shard.iter().map(|(_, p)| p.content_hash()).collect();
+                {
+                    RESTORE_SHARD.lock().push((shard_idx, hashes));
+                }
+            });
+        }
+    });
+    let mut shards = std::mem::take(&mut *RESTORE_SHARD.lock());
+    shards.sort_unstable_by_key(|&(idx, _)| idx);
+    let hashes: Vec<u64> = shards.into_iter().flat_map(|(_, h)| h).collect();
+    if hashes.len() != pages.len() {
+        // A worker vanished (spawn failure). Fall back to the serial
+        // pass rather than wiring pages with missing hashes.
+        return hash_fetched_serial(pages);
+    }
+    pages.iter().map(|&(b, _)| b).zip(hashes).collect()
+}
+
+/// The single-threaded reference pass.
+fn hash_fetched_serial(pages: &[(u64, PageData)]) -> Vec<(u64, u64)> {
+    pages.iter().map(|(b, p)| (*b, p.content_hash())).collect()
 }
 
 /// Fetches and parses every record of a checkpoint. All device read

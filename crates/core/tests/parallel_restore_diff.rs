@@ -1,0 +1,207 @@
+//! Differential test for the batched restore pipeline.
+//!
+//! For random workloads, restoring a checkpoint through the batched
+//! read pipeline (extent-coalesced reads + parallel hash stage) at 2
+//! and 8 workers must produce *exactly* the memory image the serial
+//! per-page loop (1 worker) does, for every restore mode — and once all
+//! pages are touched, eager, lazy and lazy-prefetch restores must
+//! converge on identical bytes. Worker count, extent batching and the
+//! read cache are pure performance knobs — any divergence here is a
+//! correctness bug.
+
+// Test code asserts invariants; the workspace unwrap/expect denial is
+// for production flush paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use std::collections::BTreeMap;
+
+use aurora_core::restore::RestoreMode;
+use aurora_core::Host;
+use aurora_hw::ModelDev;
+use aurora_objstore::StoreConfig;
+use aurora_sim::SimClock;
+use proptest::prelude::*;
+
+const DEV_BLOCKS: u64 = 64 * 1024;
+
+/// Pages in the workload's mapped region. Above the batched pipeline's
+/// threshold so eager restores exercise the parallel path.
+const REGION_PAGES: u64 = 96;
+
+/// One workload entry: (page index, content seed). Low seed cardinality
+/// on purpose so identical pages (and dedup-shared blocks) are common.
+type Write = (u64, u64);
+
+fn write_strategy() -> impl Strategy<Value = Write> {
+    (0u64..REGION_PAGES, 0u64..8)
+}
+
+/// Builds the deterministic world for `writes`, checkpoints it, crashes
+/// the machine, and restores with `mode` at `workers`. Returns
+/// (restored memory digest, pages_prefetched).
+///
+/// Every variant rebuilds the world from scratch: the workload is
+/// deterministic, so the checkpoint images are identical and the
+/// restored memory may be compared across variants byte for byte.
+fn run_variant(writes: &[Write], mode: RestoreMode, workers: usize) -> (u64, u64) {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", DEV_BLOCKS));
+    let mut host = Host::boot(
+        "diff",
+        dev,
+        StoreConfig {
+            journal_blocks: 2048,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let pid = host.kernel.spawn("workload");
+    let addr = host
+        .kernel
+        .mmap_anon(pid, REGION_PAGES * 4096, false)
+        .unwrap();
+    // Deterministic base pattern on every page, then the random writes.
+    for i in 0..REGION_PAGES {
+        let base = [(i % 251) as u8; 32];
+        host.kernel.mem_write(pid, addr + i * 4096, &base).unwrap();
+    }
+    for &(idx, seed) in writes {
+        let marker = [0xB0 + (seed as u8), (idx % 250) as u8, 0x5E, seed as u8];
+        host.kernel
+            .mem_write(pid, addr + idx * 4096 + 64 + seed * 8, &marker)
+            .unwrap();
+    }
+    let gid = host.persist("workload", pid).unwrap();
+    let bd = host.checkpoint(gid, true, Some("snap")).unwrap();
+    host.clock.advance_to(bd.durable_at);
+    let ckpt = bd.ckpt.unwrap();
+
+    // The machine dies: the image cache, pagers and processes are gone,
+    // so every variant starts from the same cold store.
+    let mut host = host.crash_and_reboot().unwrap();
+    host.sls.restore_workers = workers;
+    let store = host.sls.primary.clone();
+    let r = host.restore(&store, ckpt, mode).unwrap();
+    let new_pid = r.restored_pid(pid.0).unwrap();
+
+    // Touch every page (lazy modes fault the remainder in) and digest.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut buf = vec![0u8; 4096];
+    for i in 0..REGION_PAGES {
+        host.kernel.mem_read(new_pid, addr + i * 4096, &mut buf).unwrap();
+        for &b in &buf {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (h, r.pages_prefetched)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The batched pipeline at 2 and 8 workers matches the serial
+    /// 1-worker path exactly (digest and prefetch count) for every
+    /// mode, and all modes converge on the same final bytes.
+    #[test]
+    fn parallel_restore_matches_serial(
+        writes in proptest::collection::vec(write_strategy(), 1..80)
+    ) {
+        let mut digests = Vec::new();
+        for mode in [RestoreMode::Eager, RestoreMode::Lazy, RestoreMode::LazyPrefetch] {
+            let reference = run_variant(&writes, mode, 1);
+            let mut results = BTreeMap::new();
+            for workers in [2usize, 8] {
+                results.insert(workers, run_variant(&writes, mode, workers));
+            }
+            for (workers, got) in results {
+                prop_assert_eq!(
+                    got, reference,
+                    "divergence at {} workers in {:?}: (digest, pages_prefetched)",
+                    workers, mode
+                );
+            }
+            digests.push(reference.0);
+        }
+        // Once touched, every mode holds the same bytes.
+        prop_assert_eq!(digests[0], digests[1], "eager vs lazy");
+        prop_assert_eq!(digests[0], digests[2], "eager vs lazy-prefetch");
+    }
+}
+
+/// The batched path actually engages: an eager 4-worker restore of a
+/// REGION_PAGES image reports coalesced extent reads and a populated
+/// read cache, and a sibling restore wires straight from the shared
+/// image cache without device reads.
+#[test]
+fn batched_restore_reports_extents_and_shares_frames() {
+    let writes: Vec<Write> = (0..REGION_PAGES).map(|i| (i, i % 5)).collect();
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", DEV_BLOCKS));
+    let mut host = Host::boot(
+        "batched",
+        dev,
+        StoreConfig {
+            journal_blocks: 2048,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let pid = host.kernel.spawn("workload");
+    let addr = host
+        .kernel
+        .mmap_anon(pid, REGION_PAGES * 4096, false)
+        .unwrap();
+    for &(idx, seed) in &writes {
+        host.kernel
+            .mem_write(pid, addr + idx * 4096, &[seed as u8 + 1; 16])
+            .unwrap();
+    }
+    let gid = host.persist("workload", pid).unwrap();
+    let bd = host.checkpoint(gid, true, None).unwrap();
+    host.clock.advance_to(bd.durable_at);
+    let ckpt = bd.ckpt.unwrap();
+    let mut host = host.crash_and_reboot().unwrap();
+    host.sls.restore_workers = 4;
+    let store = host.sls.primary.clone();
+
+    let first = host.restore(&store, ckpt, RestoreMode::Eager).unwrap();
+    assert_eq!(first.restore_workers, 4);
+    assert!(first.pages_prefetched >= REGION_PAGES);
+    assert!(first.extents_read > 0, "device reads must be extent-coalesced");
+    assert!(
+        first.cache_misses > first.extents_read,
+        "extents carry multiple blocks: {} misses over {} extents",
+        first.cache_misses,
+        first.extents_read
+    );
+
+    // A sibling instance restored from the same image shares frames
+    // through the image cache: no further device reads at all.
+    let second = host.restore(&store, ckpt, RestoreMode::Eager).unwrap();
+    assert!(second.pages_prefetched >= REGION_PAGES);
+    assert_eq!(second.extents_read, 0, "sibling restore must not touch the device");
+    assert_eq!(second.cache_misses, 0);
+}
+
+/// The read-cache capacity knob is part of the store's runtime config:
+/// a capacity set before a crash governs the rebooted store too, and
+/// residency stays bounded by it across warm restores.
+#[test]
+fn read_cache_capacity_knob_survives_reboot() {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", DEV_BLOCKS));
+    let host = Host::boot(
+        "knob",
+        dev,
+        StoreConfig {
+            journal_blocks: 2048,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    host.sls.primary.borrow_mut().set_read_cache_capacity(17);
+    let host = host.crash_and_reboot().unwrap();
+    let store = host.sls.primary.borrow();
+    assert_eq!(store.read_cache_capacity(), 17);
+    assert!(store.read_cache_len() <= 17);
+}

@@ -106,6 +106,23 @@ pub trait BlockDev {
         Ok(done)
     }
 
+    /// Reads a run of adjacent blocks starting at `lba` as one vectored
+    /// request, filling each buffer in `bufs` with one block. Advances
+    /// the virtual clock to the request's completion.
+    ///
+    /// Coalescing changes cost, never contents: the default
+    /// implementation degenerates to one [`BlockDev::read`] per block.
+    /// [`ModelDev`] overrides it to charge a single access latency for
+    /// the extent while still consulting the fault plan once per block,
+    /// so read faults land mid-extent exactly where they would on the
+    /// serial path.
+    fn read_blocks(&mut self, lba: u64, bufs: &mut [Vec<u8>]) -> Result<()> {
+        for (i, b) in bufs.iter_mut().enumerate() {
+            self.read(lba + i as u64, b)?;
+        }
+        Ok(())
+    }
+
     /// Issues a flush barrier; returns the instant at which every write
     /// submitted so far is durable. Does not advance the caller's clock.
     fn flush(&mut self) -> Result<SimTime>;
@@ -189,6 +206,7 @@ pub struct ModelDev {
     stats: DevStats,
     fault: Option<FaultPlan>,
     writes_seen: u64,
+    reads_seen: u64,
 }
 
 impl ModelDev {
@@ -205,6 +223,7 @@ impl ModelDev {
             stats: DevStats::default(),
             fault: None,
             writes_seen: 0,
+            reads_seen: 0,
         }
     }
 
@@ -262,11 +281,13 @@ impl ModelDev {
         )
     }
 
-    /// Installs a fault-injection plan. Write counting restarts at the
-    /// installation point, so `power_cut(1)` hits the next write.
+    /// Installs a fault-injection plan. Request counting restarts at the
+    /// installation point, so `power_cut(1)` hits the next write and
+    /// `power_cut_on_read(1)` the next read.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.fault = Some(plan);
         self.writes_seen = 0;
+        self.reads_seen = 0;
     }
 
     fn check_powered(&self) -> Result<()> {
@@ -329,6 +350,35 @@ impl ModelDev {
         }
     }
 
+    /// Checks the fault plan before a read; returns the fault action.
+    /// Reads burn their own ordinal space, so a read-side schedule does
+    /// not shift write faults (and vice versa).
+    fn read_fault_action(&mut self, lba: u64) -> FaultAction {
+        self.reads_seen += 1;
+        match &self.fault {
+            Some(plan) => plan.action_for_read(self.reads_seen, lba),
+            None => FaultAction::None,
+        }
+    }
+
+    /// Fills one block-sized buffer from stable storage with the
+    /// volatile write cache overlaid in submission order.
+    fn fill_block(&self, block: u64, out: &mut [u8]) {
+        match self.stable.get(&block) {
+            Some(data) => out.copy_from_slice(data),
+            None => out.fill(0),
+        }
+        for w in &self.cache {
+            let wblocks = (w.data.len() / BLOCK_SIZE) as u64;
+            if block >= w.lba && block < w.lba + wblocks {
+                let off = ((block - w.lba) as usize) * BLOCK_SIZE;
+                if let Some(src) = w.data.get(off..off + BLOCK_SIZE) {
+                    out.copy_from_slice(src);
+                }
+            }
+        }
+    }
+
     fn drain_cache_to_stable(&mut self) {
         let cache = core::mem::take(&mut self.cache);
         for w in cache {
@@ -355,6 +405,32 @@ impl BlockDev for ModelDev {
     fn read(&mut self, lba: u64, buf: &mut [u8]) -> Result<()> {
         self.check_powered()?;
         self.check_range(lba, buf.len())?;
+        // One fault ordinal per request, like `submit_write`.
+        let mut corrupt = None;
+        match self.read_fault_action(lba) {
+            FaultAction::None => {}
+            FaultAction::TransientError => {
+                // The request bounces with a retryable error before any
+                // data moves; a retry of the same read may succeed.
+                return Err(Error::io(format!(
+                    "{}: transient read error at lba {lba}",
+                    self.info.name
+                )));
+            }
+            FaultAction::LatencySpike { extra_ns } => {
+                let stall_from = self.clock.now().max(self.busy_until);
+                self.busy_until = stall_from + SimDuration::from_nanos(extra_ns);
+            }
+            FaultAction::PowerCut { .. } => {
+                // Reads never mutate media: power just dies mid-request.
+                self.power_fail();
+                return Err(Error::device_dead(format!(
+                    "{}: power cut during read",
+                    self.info.name
+                )));
+            }
+            FaultAction::CorruptBit { byte, bit } => corrupt = Some((byte, bit)),
+        }
         let done = self.service(buf.len() as u64, self.model.read_bw);
         self.clock.advance_to(done);
         // Cache hits: a read must observe acknowledged writes even before
@@ -378,8 +454,83 @@ impl BlockDev for ModelDev {
                 }
             }
         }
+        if let Some((byte, bit)) = corrupt {
+            // Damaged media: the corruption lands in the *returned* data,
+            // so a retry re-reads the same flipped bit.
+            let idx = byte % buf.len().max(1);
+            if let Some(target) = buf.get_mut(idx) {
+                *target ^= 1 << (bit % 8);
+            }
+        }
         self.stats.reads += 1;
         self.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    fn read_blocks(&mut self, lba: u64, bufs: &mut [Vec<u8>]) -> Result<()> {
+        self.check_powered()?;
+        if bufs.is_empty() {
+            return Ok(());
+        }
+        let mut total = 0usize;
+        for b in bufs.iter() {
+            if b.len() != BLOCK_SIZE {
+                return Err(Error::invalid(format!(
+                    "vectored read block is {} bytes on {}",
+                    b.len(),
+                    self.info.name
+                )));
+            }
+            total += b.len();
+        }
+        self.check_range(lba, total)?;
+        // The fault plan is consulted once per block — the same read
+        // ordinals the serial path would burn — before any data moves,
+        // so a transient error bounces the whole extent atomically and
+        // a retry may resubmit the identical request.
+        let mut corrupt: Vec<(usize, usize, u8)> = Vec::new();
+        for i in 0..bufs.len() {
+            let blba = lba + i as u64;
+            match self.read_fault_action(blba) {
+                FaultAction::None => {}
+                FaultAction::TransientError => {
+                    return Err(Error::io(format!(
+                        "{}: transient read error at lba {blba}",
+                        self.info.name
+                    )));
+                }
+                FaultAction::LatencySpike { extra_ns } => {
+                    let stall_from = self.clock.now().max(self.busy_until);
+                    self.busy_until = stall_from + SimDuration::from_nanos(extra_ns);
+                }
+                FaultAction::PowerCut { .. } => {
+                    self.power_fail();
+                    return Err(Error::device_dead(format!(
+                        "{}: power cut during read",
+                        self.info.name
+                    )));
+                }
+                FaultAction::CorruptBit { byte, bit } => corrupt.push((i, byte, bit)),
+            }
+        }
+        // One queue occupancy for the whole extent — a single access
+        // latency plus the extent's bytes. This is the coalescing win.
+        let done = self.service(total as u64, self.model.read_bw);
+        self.clock.advance_to(done);
+        for (i, chunk) in bufs.iter_mut().enumerate() {
+            let block = lba + i as u64;
+            self.fill_block(block, chunk);
+        }
+        for (i, byte, bit) in corrupt {
+            if let Some(buf) = bufs.get_mut(i) {
+                let idx = byte % buf.len().max(1);
+                if let Some(target) = buf.get_mut(idx) {
+                    *target ^= 1 << (bit % 8);
+                }
+            }
+        }
+        self.stats.reads += 1;
+        self.stats.bytes_read += total as u64;
         Ok(())
     }
 
@@ -592,6 +743,7 @@ impl BlockDev for ModelDev {
     fn power_on(&mut self) {
         self.powered = true;
         self.writes_seen = 0;
+        self.reads_seen = 0;
     }
 
     fn powered(&self) -> bool {
@@ -861,6 +1013,113 @@ mod tests {
         assert!(d.write_blocks(2, &refs).is_err());
         // Empty extent is a no-op.
         assert!(d.write_blocks(0, &[]).is_ok());
+    }
+
+    #[test]
+    fn read_blocks_returns_every_block() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        let bufs = [block(0x20), block(0x21), block(0x22)];
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let done = d.write_blocks(8, &refs).unwrap();
+        d.clock().advance_to(done);
+        let reads_before = d.stats().reads;
+        let mut out = vec![block(0); 3];
+        d.read_blocks(8, &mut out).unwrap();
+        assert_eq!(out, bufs.to_vec());
+        assert_eq!(
+            d.stats().reads,
+            reads_before + 1,
+            "one request for the whole extent"
+        );
+    }
+
+    #[test]
+    fn read_blocks_charges_one_access_latency() {
+        let clock = SimClock::new();
+        let mut serial = ModelDev::nvme(clock.clone(), "serial", 128);
+        let mut vectored = ModelDev::nvme(clock, "vectored", 128);
+        let serial_clock = serial.clock().clone();
+        let before = serial_clock.now();
+        let mut buf = block(0);
+        for i in 0..8u64 {
+            serial.read(i, &mut buf).unwrap();
+        }
+        let serial_elapsed = serial_clock.now().since(before);
+        let before = vectored.clock().now();
+        let mut out = vec![block(0); 8];
+        vectored.read_blocks(0, &mut out).unwrap();
+        let vectored_elapsed = vectored.clock().now().since(before);
+        assert!(
+            vectored_elapsed < serial_elapsed,
+            "extent read {vectored_elapsed:?} should beat serial {serial_elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn read_blocks_transient_bounces_whole_extent_then_recovers() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        d.write(3, &block(0x77)).unwrap();
+        let done = d.flush().unwrap();
+        d.clock().advance_to(done);
+        d.set_fault_plan(crate::fault::FaultPlan::transient_reads(1, 2));
+        let mut out = vec![block(0); 4];
+        // Each bounced attempt burns one read ordinal (the faulting first
+        // block); the third attempt clears the window and succeeds.
+        assert!(d.read_blocks(0, &mut out).is_err());
+        assert!(d.read_blocks(0, &mut out).is_err());
+        d.read_blocks(0, &mut out).unwrap();
+        assert_eq!(out.get(3), Some(&block(0x77)));
+        assert!(d.powered());
+    }
+
+    #[test]
+    fn read_blocks_power_cut_kills_device() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        d.set_fault_plan(crate::fault::FaultPlan::power_cut_on_read(2));
+        let mut out = vec![block(0); 4];
+        let err = d.read_blocks(0, &mut out).unwrap_err();
+        assert!(err.to_string().contains("power cut"), "{err}");
+        assert!(!d.powered());
+        d.power_on();
+        // Ordinals restart on power-on and the plan is still armed, so
+        // only the first read is safe.
+        let mut one = vec![block(0); 1];
+        d.read_blocks(0, &mut one).unwrap();
+    }
+
+    #[test]
+    fn read_blocks_region_corruption_flips_returned_bit() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 128);
+        d.write(5, &block(0)).unwrap();
+        let done = d.flush().unwrap();
+        d.clock().advance_to(done);
+        d.set_fault_plan(crate::fault::FaultPlan::corrupt_read_blocks(5, 6, 10, 3));
+        let mut out = vec![block(0); 2];
+        d.read_blocks(4, &mut out).unwrap();
+        assert_eq!(out.first(), Some(&block(0)), "block outside region clean");
+        let hit = out.get(1).cloned().unwrap_or_default();
+        assert_eq!(hit.get(10), Some(&(1u8 << 3)), "one bit flipped");
+        assert_eq!(hit.iter().filter(|&&b| b != 0).count(), 1);
+        // A retry re-reads the same damaged media.
+        let mut again = vec![block(0); 2];
+        d.read_blocks(4, &mut again).unwrap();
+        assert_eq!(again.get(1), Some(&hit));
+    }
+
+    #[test]
+    fn read_blocks_rejects_bad_geometry() {
+        let clock = SimClock::new();
+        let mut d = ModelDev::nvme(clock, "nvme0", 4);
+        let mut short = vec![block(0), vec![0u8; 100]];
+        assert!(d.read_blocks(0, &mut short).is_err());
+        let mut past_end = vec![block(0); 3];
+        assert!(d.read_blocks(2, &mut past_end).is_err());
+        let mut empty: Vec<Vec<u8>> = Vec::new();
+        assert!(d.read_blocks(0, &mut empty).is_ok());
     }
 
     #[test]

@@ -177,6 +177,16 @@ pub struct FaultPlan {
     /// Seeded randomized schedule, consulted after the deterministic
     /// fields above.
     pub random: Option<RandomFaults>,
+    /// Cut power on the Nth *read* (1-based): the restore pipeline's
+    /// mid-page-in crash. No media changes — reads never mutate state.
+    pub power_cut_on_read: Option<u64>,
+    /// Fail reads `first..first + count` (1-based) with transient I/O
+    /// errors; reads after the window succeed again.
+    pub transient_read_window: Option<(u64, u64)>,
+    /// Flip one bit in the data *returned* by every read landing in a
+    /// block region: damaged media that a retry re-reads unchanged, so
+    /// only end-to-end content verification catches it.
+    pub corrupt_read_region: Option<CorruptRegion>,
 }
 
 impl FaultPlan {
@@ -242,6 +252,36 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that cuts power on read `n` (1-based).
+    pub fn power_cut_on_read(n: u64) -> Self {
+        FaultPlan {
+            power_cut_on_read: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that fails reads `n..n + count` with transient I/O errors.
+    pub fn transient_reads(n: u64, count: u64) -> Self {
+        FaultPlan {
+            transient_read_window: Some((n, count)),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that corrupts the data returned by every read of a block
+    /// in `[start_lba, end_lba)`.
+    pub fn corrupt_read_blocks(start_lba: u64, end_lba: u64, byte: usize, bit: u8) -> Self {
+        FaultPlan {
+            corrupt_read_region: Some(CorruptRegion {
+                start_lba,
+                end_lba,
+                byte,
+                bit,
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
     /// Resolves the action for the `nth` write (1-based) starting at
     /// block `lba`.
     pub fn action_for_write(&self, nth: u64, lba: u64) -> FaultAction {
@@ -277,6 +317,33 @@ impl FaultPlan {
         }
         if let Some(random) = &self.random {
             return random.action_for_write(nth);
+        }
+        FaultAction::None
+    }
+
+    /// Resolves the action for the `nth` read (1-based) of block `lba`.
+    ///
+    /// Reads have their own ordinal space and their own deterministic
+    /// fields; the seeded `random` schedule only covers writes, since
+    /// its rates are calibrated against write traffic.
+    pub fn action_for_read(&self, nth: u64, lba: u64) -> FaultAction {
+        if let Some(cut) = self.power_cut_on_read {
+            if nth == cut {
+                return FaultAction::PowerCut { torn_bytes: 0 };
+            }
+        }
+        if let Some((first, count)) = self.transient_read_window {
+            if nth >= first && nth < first.saturating_add(count) {
+                return FaultAction::TransientError;
+            }
+        }
+        if let Some(region) = self.corrupt_read_region {
+            if lba >= region.start_lba && lba < region.end_lba {
+                return FaultAction::CorruptBit {
+                    byte: region.byte,
+                    bit: region.bit,
+                };
+            }
         }
         FaultAction::None
     }
@@ -437,5 +504,40 @@ mod tests {
         for n in 1..1000 {
             assert_eq!(plan.action_for_write(n, 0), FaultAction::None);
         }
+    }
+
+    #[test]
+    fn read_faults_have_their_own_ordinal_space() {
+        let plan = FaultPlan::transient_reads(2, 2);
+        // Writes are untouched by a read-only plan.
+        assert_eq!(plan.action_for_write(2, 0), FaultAction::None);
+        assert_eq!(plan.action_for_read(1, 0), FaultAction::None);
+        assert_eq!(plan.action_for_read(2, 0), FaultAction::TransientError);
+        assert_eq!(plan.action_for_read(3, 0), FaultAction::TransientError);
+        assert_eq!(plan.action_for_read(4, 0), FaultAction::None);
+    }
+
+    #[test]
+    fn read_power_cut_triggers_on_exact_read() {
+        let plan = FaultPlan::power_cut_on_read(3);
+        assert_eq!(plan.action_for_read(2, 0), FaultAction::None);
+        assert_eq!(
+            plan.action_for_read(3, 0),
+            FaultAction::PowerCut { torn_bytes: 0 }
+        );
+        assert_eq!(plan.action_for_write(3, 0), FaultAction::None);
+    }
+
+    #[test]
+    fn read_region_corruption_hits_only_the_region() {
+        let plan = FaultPlan::corrupt_read_blocks(10, 20, 4, 1);
+        assert_eq!(plan.action_for_read(1, 9), FaultAction::None);
+        assert_eq!(
+            plan.action_for_read(2, 10),
+            FaultAction::CorruptBit { byte: 4, bit: 1 }
+        );
+        assert_eq!(plan.action_for_read(3, 20), FaultAction::None);
+        // The write path never sees the read region.
+        assert_eq!(plan.action_for_write(4, 10), FaultAction::None);
     }
 }

@@ -102,8 +102,10 @@ impl DevHealth {
 /// Counters kept by the resilience layer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RetryStats {
-    /// Retry attempts issued (each resubmission counts once).
+    /// Write retry attempts issued (each resubmission counts once).
     pub writes_retried: u64,
+    /// Read retry attempts issued (each resubmission counts once).
+    pub reads_retried: u64,
     /// Transient faults masked by an eventually-successful retry.
     pub transient_absorbed: u64,
     /// Errors returned to the caller after retries were exhausted or the
@@ -230,9 +232,11 @@ impl ResilientDev {
     }
 
     /// Runs `op` against the inner device with retry/backoff. Backoff is
-    /// charged to the device clock between attempts.
+    /// charged to the device clock between attempts. `is_read` routes the
+    /// per-resubmission counter to [`RetryStats::reads_retried`].
     fn with_retries<T>(
         &mut self,
+        is_read: bool,
         mut op: impl FnMut(&mut dyn BlockDev) -> Result<T>,
     ) -> Result<T> {
         self.requests += 1;
@@ -245,7 +249,11 @@ impl ResilientDev {
                     return Ok(v);
                 }
                 Err(e) if is_transient(e.kind()) && attempt < self.policy.max_attempts => {
-                    self.retry_stats.writes_retried += 1;
+                    if is_read {
+                        self.retry_stats.reads_retried += 1;
+                    } else {
+                        self.retry_stats.writes_retried += 1;
+                    }
                     let backoff = self.policy.backoff_ns(attempt, salt);
                     self.inner
                         .clock()
@@ -271,13 +279,22 @@ impl BlockDev for ResilientDev {
     }
 
     fn read(&mut self, lba: u64, buf: &mut [u8]) -> Result<()> {
-        // Reads are not retried: the fault model only bounces writes, and
-        // a read that fails permanently should surface immediately.
-        self.inner.read(lba, buf)
+        // Reads are idempotent, so transient bounces retry like writes.
+        // Corruption is *not* retried here: the model flips bits in the
+        // returned data of a successful read, so detection belongs to the
+        // content-hash verification above the device layer.
+        self.with_retries(true, |d| d.read(lba, buf))
+    }
+
+    fn read_blocks(&mut self, lba: u64, bufs: &mut [Vec<u8>]) -> Result<()> {
+        // One retry scope per extent: the model device bounces a
+        // transient extent atomically (nothing is filled), so
+        // resubmitting the whole extent is idempotent.
+        self.with_retries(true, |d| d.read_blocks(lba, bufs))
     }
 
     fn submit_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime> {
-        self.with_retries(|d| d.submit_write(lba, data))
+        self.with_retries(false, |d| d.submit_write(lba, data))
     }
 
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<()> {
@@ -290,11 +307,11 @@ impl BlockDev for ResilientDev {
         // One retry scope per extent: the model device bounces a
         // transient extent atomically (nothing lands), so resubmitting
         // the whole extent is idempotent.
-        self.with_retries(|d| d.write_blocks(lba, blocks))
+        self.with_retries(false, |d| d.write_blocks(lba, blocks))
     }
 
     fn flush(&mut self) -> Result<SimTime> {
-        self.with_retries(|d| d.flush())
+        self.with_retries(false, |d| d.flush())
     }
 
     fn submit_write_timing(&mut self, nbytes: u64) -> Result<SimTime> {
@@ -493,6 +510,62 @@ mod tests {
         assert_eq!(d.health(), DevHealth::Dead);
         d.power_on();
         assert_eq!(d.health(), DevHealth::Healthy);
+    }
+
+    #[test]
+    fn transient_read_faults_absorbed_by_retry() {
+        let mut d = resilient(64);
+        d.write(0, &vec![0x5Au8; BLOCK_SIZE]).unwrap();
+        let done = d.flush().unwrap();
+        d.clock().advance_to(done);
+        d.install_fault_plan(FaultPlan::transient_reads(1, 2));
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(buf, vec![0x5Au8; BLOCK_SIZE]);
+        assert_eq!(d.retry_stats().reads_retried, 2);
+        assert_eq!(d.retry_stats().writes_retried, 0);
+        assert_eq!(d.retry_stats().transient_absorbed, 2);
+        assert_eq!(d.health(), DevHealth::Healthy);
+    }
+
+    #[test]
+    fn transient_read_extent_fault_absorbed_by_retry() {
+        let mut d = resilient(64);
+        let bufs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; BLOCK_SIZE]).collect();
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let done = d.write_blocks(0, &refs).unwrap();
+        d.clock().advance_to(done);
+        let flushed = d.flush().unwrap();
+        d.clock().advance_to(flushed);
+        // Mid-extent bounce on the second per-block consultation.
+        d.install_fault_plan(FaultPlan::transient_reads(2, 1));
+        let mut out = vec![vec![0u8; BLOCK_SIZE]; 4];
+        d.read_blocks(0, &mut out).unwrap();
+        assert_eq!(out, bufs);
+        assert_eq!(d.retry_stats().reads_retried, 1);
+        assert_eq!(d.retry_stats().failures_surfaced, 0);
+    }
+
+    #[test]
+    fn read_power_cut_surfaces_and_marks_dead() {
+        let mut d = resilient(64);
+        d.install_fault_plan(FaultPlan::power_cut_on_read(1));
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let err = d.read(0, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::DeviceDead);
+        assert_eq!(d.retry_stats().reads_retried, 0);
+        assert_eq!(d.health(), DevHealth::Dead);
+    }
+
+    #[test]
+    fn exhausted_read_retries_surface_the_error() {
+        let mut d = resilient(64);
+        d.install_fault_plan(FaultPlan::transient_reads(1, 100));
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let err = d.read(0, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert_eq!(d.retry_stats().reads_retried, 3);
+        assert_eq!(d.retry_stats().failures_surfaced, 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! Three rules:
 //!
 //! - **raw-lock** — `Mutex`/`RwLock` may not appear in production code
-//!   outside `aurora-core`'s `lockdep` module: untracked locks are
+//!   outside `aurora-sim`'s `lockdep` module: untracked locks are
 //!   invisible to both this check and the runtime cycle detector.
 //! - **lock-site** — every `X.lock()` receiver must be a registered site
 //!   so the static order check knows its rank.
@@ -23,7 +23,7 @@
 //!   Guards are assumed held to the end of their enclosing block, which
 //!   is conservative in the right direction.
 //!
-//! The runtime tracker in `aurora_core::lockdep` catches dynamic
+//! The runtime tracker in `aurora_sim::lockdep` catches dynamic
 //! orderings this scope-local analysis cannot see.
 
 use std::collections::BTreeMap;
@@ -36,7 +36,7 @@ use super::Violation;
 
 /// The lockdep implementation itself (holds the one raw mutex guarding
 /// the edge graph).
-const LOCKDEP_IMPL: &str = "crates/core/src/lockdep.rs";
+const LOCKDEP_IMPL: &str = "crates/sim/src/lockdep.rs";
 
 /// Runs the three lock checks.
 pub fn check(files: &[SourceFile], cfg: &Config) -> Vec<Violation> {
@@ -91,7 +91,7 @@ pub fn check(files: &[SourceFile], cfg: &Config) -> Vec<Violation> {
                     line: t[i].line,
                     msg: format!(
                         "raw `{}` is invisible to lockdep; use \
-                         `aurora_core::lockdep::Ordered{}` with a declared rank",
+                         `aurora_sim::lockdep::Ordered{}` with a declared rank",
                         t[i].text, t[i].text
                     ),
                 });

@@ -38,7 +38,10 @@ pub mod store;
 pub mod stream;
 
 pub use checkpoint::{Checkpoint, CkptId};
-pub use store::{ObjectStore, PageWrite, StoreConfig, StoreStats, DEDUP_SHARDS, EXTENT_BLOCKS};
+pub use store::{
+    ObjectStore, PageWrite, ReadOutcome, ReadPlan, StoreConfig, StoreStats, DEDUP_SHARDS,
+    DEFAULT_READ_CACHE_PAGES, EXTENT_BLOCKS,
+};
 
 /// Identifier of a stored object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

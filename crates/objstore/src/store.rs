@@ -12,8 +12,10 @@ use std::cell::{Ref, RefCell};
 use std::collections::{BTreeMap, HashMap};
 
 use aurora_hw::{BlockDev, BLOCK_SIZE};
+use aurora_sim::cost::RESTORE_CACHE_HIT_NS;
 use aurora_sim::error::{Error, Result};
-use aurora_sim::time::SimTime;
+use aurora_sim::lockdep::{OrderedMutex, RANK_PAGE_CACHE};
+use aurora_sim::time::{SimDuration, SimTime};
 use aurora_vm::PageData;
 
 use crate::alloc::BlockAlloc;
@@ -33,7 +35,12 @@ pub struct StoreConfig {
     /// must be reopened from the medium alone, e.g. the CLI's file-backed
     /// worlds). Off for simulation-scale benchmarks.
     pub materialize_data: bool,
+    /// Capacity of the bounded read cache in pages (0 disables it).
+    pub read_cache_pages: usize,
 }
+
+/// Default bounded read-cache capacity: 4096 pages = 16 MiB of DRAM.
+pub const DEFAULT_READ_CACHE_PAGES: usize = 4096;
 
 impl Default for StoreConfig {
     fn default() -> Self {
@@ -41,6 +48,7 @@ impl Default for StoreConfig {
             journal_blocks: 16 * 1024, // 64 MiB of metadata journal
             dedup: true,
             materialize_data: false,
+            read_cache_pages: DEFAULT_READ_CACHE_PAGES,
         }
     }
 }
@@ -64,6 +72,17 @@ pub struct StoreStats {
     pub extents_coalesced: u64,
     /// Blocks carried by those extents.
     pub blocks_coalesced: u64,
+    /// Vectored extent reads issued by the batched restore path.
+    pub read_extents_coalesced: u64,
+    /// Blocks carried by those extent reads.
+    pub read_blocks_coalesced: u64,
+    /// Batched-read probes served by the bounded read cache.
+    pub read_cache_hits: u64,
+    /// Batched-read probes that charged device time.
+    pub read_cache_misses: u64,
+    /// Hits served through the content index: the probed block's bytes
+    /// were already resident under a different block id.
+    pub read_cache_content_hits: u64,
 }
 
 /// One live object.
@@ -200,8 +219,173 @@ impl DedupIndex {
     }
 }
 
-/// Page contents plus the dedup index, behind one cell so the read
-/// paths can stay `&self`: a cache fill is not a logical mutation.
+/// The bounded LRU read cache with a content-hash index.
+///
+/// This models the DRAM the paged-in working set occupies: a probe for a
+/// recently read block — or, through the content index, for a block whose
+/// *bytes* are already resident under a different block id — is an index
+/// lookup plus a frame adoption, not a device access. Page contents stay
+/// in the unbounded authoritative table ([`PageCache::data`]); the bound
+/// governs what the cost model treats as resident, never what the
+/// simulation can recall.
+///
+/// Eviction order is a deterministic LRU: a monotonic stamp counter
+/// replaces wall-clock recency, so runs are reproducible byte-for-byte.
+struct ReadCache {
+    /// Capacity in pages; 0 disables the cache.
+    capacity: usize,
+    /// block -> LRU stamp (higher = touched more recently).
+    stamps: HashMap<u64, u64>,
+    /// stamp -> block: oldest-first iteration drives eviction.
+    by_stamp: BTreeMap<u64, u64>,
+    /// block -> content hash of the resident bytes.
+    hashes: HashMap<u64, u64>,
+    /// content hash -> resident blocks holding those bytes.
+    by_hash: HashMap<u64, Vec<u64>>,
+    next_stamp: u64,
+    /// Lifetime evictions (capacity pressure, not explicit removal).
+    evictions: u64,
+}
+
+impl ReadCache {
+    fn new(capacity: usize) -> Self {
+        ReadCache {
+            capacity,
+            stamps: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            hashes: HashMap::new(),
+            by_hash: HashMap::new(),
+            next_stamp: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Refreshes a resident block's LRU position.
+    fn touch(&mut self, block: u64) {
+        if let Some(stamp) = self.stamps.get(&block).copied() {
+            self.by_stamp.remove(&stamp);
+            self.next_stamp += 1;
+            self.stamps.insert(block, self.next_stamp);
+            self.by_stamp.insert(self.next_stamp, block);
+        }
+    }
+
+    /// Whether `block` is resident; refreshes its LRU position if so.
+    fn probe(&mut self, block: u64) -> bool {
+        if self.stamps.contains_key(&block) {
+            self.touch(block);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Admits `block` (with its content hash when known), evicting the
+    /// least recently used entries past capacity.
+    fn admit(&mut self, block: u64, hash: Option<u64>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.stamps.contains_key(&block) {
+            self.touch(block);
+        } else {
+            self.next_stamp += 1;
+            self.stamps.insert(block, self.next_stamp);
+            self.by_stamp.insert(self.next_stamp, block);
+        }
+        if let Some(h) = hash {
+            self.set_hash(block, h);
+        }
+        self.evict_overflow();
+    }
+
+    /// Records or updates the content hash of a resident block.
+    fn set_hash(&mut self, block: u64, h: u64) {
+        if !self.stamps.contains_key(&block) {
+            return;
+        }
+        if self.hashes.get(&block) == Some(&h) {
+            return;
+        }
+        self.drop_hash(block);
+        self.hashes.insert(block, h);
+        self.by_hash.entry(h).or_default().push(block);
+    }
+
+    /// A resident block holding bytes with content hash `h`, if any.
+    fn resident_with_hash(&self, h: u64) -> Option<u64> {
+        self.by_hash.get(&h).and_then(|l| l.first()).copied()
+    }
+
+    /// Unlinks a block from the content index.
+    fn drop_hash(&mut self, block: u64) {
+        if let Some(h) = self.hashes.remove(&block) {
+            if let Some(list) = self.by_hash.get_mut(&h) {
+                list.retain(|&b| b != block);
+                if list.is_empty() {
+                    self.by_hash.remove(&h);
+                }
+            }
+        }
+    }
+
+    /// Removes a block entirely (freed block, stale entry).
+    fn forget(&mut self, block: u64) {
+        if let Some(stamp) = self.stamps.remove(&block) {
+            self.by_stamp.remove(&stamp);
+        }
+        self.drop_hash(block);
+    }
+
+    fn evict_overflow(&mut self) {
+        while self.stamps.len() > self.capacity {
+            let Some((&stamp, &block)) = self.by_stamp.iter().next() else {
+                break;
+            };
+            self.by_stamp.remove(&stamp);
+            self.stamps.remove(&block);
+            self.drop_hash(block);
+            self.evictions += 1;
+        }
+    }
+
+    /// Drops every entry; the eviction counter is cumulative and stays.
+    fn clear(&mut self) {
+        self.stamps.clear();
+        self.by_stamp.clear();
+        self.hashes.clear();
+        self.by_hash.clear();
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if capacity == 0 {
+            self.clear();
+        } else {
+            self.evict_overflow();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
+/// One probe against the read cache, resolved under a single lock hold.
+enum ReadProbe {
+    /// The block itself is resident; its contents ride along.
+    Hit(PageData),
+    /// A different resident block holds identical bytes.
+    ContentHit(PageData),
+    /// Device read required.
+    Miss,
+}
+
+/// Page contents plus the dedup index and the bounded read cache,
+/// behind one lock so the read paths can stay `&self`: a cache fill is
+/// not a logical mutation. The lock carries lockdep rank `page_cache`
+/// because batched restores touch it from inside the checkpoint
+/// barrier while flush workers run.
 struct PageCache {
     /// Authoritative page contents by block (compact representation).
     data: HashMap<u64, PageData>,
@@ -209,15 +393,51 @@ struct PageCache {
     dedup: DedupIndex,
     /// Block -> content hash (reverse index for release).
     block_hash: HashMap<u64, u64>,
+    /// Bounded LRU over recently read blocks.
+    read: ReadCache,
 }
 
 impl PageCache {
-    fn new(data: HashMap<u64, PageData>) -> Self {
+    fn new(data: HashMap<u64, PageData>, read_cache_pages: usize) -> Self {
         PageCache {
             data,
             dedup: DedupIndex::new(),
             block_hash: HashMap::new(),
+            read: ReadCache::new(read_cache_pages),
         }
+    }
+
+    /// Probes the read cache for `block`: identity hit, content hit, or
+    /// miss. Hits hand back the resident bytes; a content hit also
+    /// adopts them under the probed block id so later probes hit
+    /// directly.
+    fn probe_read(&mut self, block: u64) -> ReadProbe {
+        if self.read.probe(block) {
+            if let Some(page) = self.data.get(&block).cloned() {
+                return ReadProbe::Hit(page);
+            }
+            // Contents vanished without eviction bookkeeping (e.g. a
+            // rollback rebuilt the table): drop the stale entry.
+            self.read.forget(block);
+        }
+        if let Some(&h) = self.block_hash.get(&block) {
+            if let Some(twin) = self.read.resident_with_hash(h) {
+                if let Some(page) = self.data.get(&twin).cloned() {
+                    // Guard against hash collisions when the probed
+                    // block's own bytes are recallable.
+                    let collision = self
+                        .data
+                        .get(&block)
+                        .is_some_and(|own| !own.content_eq(&page));
+                    if !collision {
+                        self.data.insert(block, page.clone());
+                        self.read.admit(block, Some(h));
+                        return ReadProbe::ContentHit(page);
+                    }
+                }
+            }
+        }
+        ReadProbe::Miss
     }
 
     /// Rebuilds the dedup index over the current contents, walking
@@ -253,6 +473,7 @@ impl PageCache {
         if let Some(h) = self.block_hash.remove(&ptr.0) {
             self.dedup.remove(h, ptr);
         }
+        self.read.forget(ptr.0);
     }
 }
 
@@ -271,6 +492,43 @@ pub struct PageWrite {
     pub hash: u64,
 }
 
+/// A batched read plan: per-target block resolutions plus an extent
+/// schedule over the unique blocks. Built by
+/// [`ObjectStore::plan_reads_at`], executed by
+/// [`ObjectStore::execute_read_plan`].
+#[derive(Debug, Clone, Default)]
+pub struct ReadPlan {
+    /// Per-target resolved block, aligned with the target slice handed
+    /// to the planner; `None` is a hole (the page restores as zeros).
+    pub resolved: Vec<Option<BlockPtr>>,
+    /// Unique referenced blocks, ascending. Dedup-shared blocks appear
+    /// once no matter how many targets they serve — they are read once
+    /// and fanned out.
+    pub blocks: Vec<u64>,
+    /// Extent schedule: `(offset, len)` runs into `blocks`, each a run
+    /// of adjacent block ids at most [`EXTENT_BLOCKS`] long.
+    pub extents: Vec<(usize, usize)>,
+}
+
+/// What executing a [`ReadPlan`] produced.
+#[derive(Debug, Default)]
+pub struct ReadOutcome {
+    /// Contents for every planned block.
+    pub pages: HashMap<u64, PageData>,
+    /// Blocks whose contents came off the device (or the timing-mode
+    /// page table) rather than the read cache — the ones the restore
+    /// pipeline still owes a content-hash pass.
+    pub fetched: Vec<u64>,
+    /// Probes served by the bounded read cache (identity or content).
+    pub cache_hits: u64,
+    /// Probes that charged device time.
+    pub cache_misses: u64,
+    /// The subset of hits served through the content index.
+    pub content_hits: u64,
+    /// Vectored extent reads issued.
+    pub extents_read: u64,
+}
+
 /// The object store.
 pub struct ObjectStore {
     dev: RefCell<Box<dyn BlockDev>>,
@@ -287,8 +545,8 @@ pub struct ObjectStore {
     pending_blobs: BTreeMap<String, Vec<u8>>,
     pending_new_objects: Vec<(ObjId, u64)>,
     pending_deleted: Vec<ObjId>,
-    /// Page contents and the dedup index.
-    cache: RefCell<PageCache>,
+    /// Page contents, the dedup index and the bounded read cache.
+    cache: OrderedMutex<PageCache>,
     /// Counters.
     pub stats: StoreStats,
 }
@@ -317,6 +575,7 @@ impl ObjectStore {
         let done = dev.flush()?;
         dev.clock().advance_to(done);
         let data_blocks = sb.data_blocks();
+        let cache = PageCache::new(HashMap::new(), config.read_cache_pages);
         Ok(ObjectStore {
             dev: RefCell::new(dev),
             config,
@@ -329,7 +588,7 @@ impl ObjectStore {
             pending_blobs: BTreeMap::new(),
             pending_new_objects: Vec::new(),
             pending_deleted: Vec::new(),
-            cache: RefCell::new(PageCache::new(HashMap::new())),
+            cache: OrderedMutex::new(RANK_PAGE_CACHE, "page_cache", cache),
             stats: StoreStats::default(),
         })
     }
@@ -394,7 +653,7 @@ impl ObjectStore {
 
         // Retain contents only for referenced blocks; rebuild dedup in
         // ascending block order (deterministic candidate lists).
-        let mut cache = PageCache::new(data);
+        let mut cache = PageCache::new(data, config.read_cache_pages);
         cache.data.retain(|b, _| refs.contains_key(b));
         if config.dedup {
             cache.rebuild_dedup();
@@ -412,7 +671,7 @@ impl ObjectStore {
             pending_blobs: BTreeMap::new(),
             pending_new_objects: Vec::new(),
             pending_deleted: Vec::new(),
-            cache: RefCell::new(cache),
+            cache: OrderedMutex::new(RANK_PAGE_CACHE, "page_cache", cache),
             stats: StoreStats::default(),
         })
     }
@@ -697,7 +956,7 @@ impl ObjectStore {
 
     fn find_dedup(&self, page: &PageData, hash: Option<u64>) -> Option<BlockPtr> {
         let h = hash?;
-        let cache = self.cache.borrow();
+        let cache = self.cache.lock();
         for &cand in cache.dedup.candidates(h)? {
             if let Some(existing) = cache.data.get(&cand.0) {
                 if existing.content_eq(page) {
@@ -741,8 +1000,14 @@ impl ObjectStore {
     }
 
     fn fetch_block(&self, ptr: BlockPtr) -> Result<PageData> {
-        let cached = self.cache.borrow().data.get(&ptr.0).cloned();
-        if let Some(page) = cached {
+        // One lock hold covers lookup, the medium fill-in, and the
+        // read-cache touch, so a concurrent batched restore can never
+        // observe a half-installed block.
+        let mut cache = self.cache.lock();
+        if let Some(page) = cache.data.get(&ptr.0).cloned() {
+            let hash = cache.block_hash.get(&ptr.0).copied();
+            cache.read.admit(ptr.0, hash);
+            drop(cache);
             self.dev.borrow_mut().charge_read_timing(BLOCK_SIZE as u64)?;
             return Ok(page);
         }
@@ -756,13 +1021,240 @@ impl ObjectStore {
             } else {
                 None
             };
-            self.cache.borrow_mut().install(ptr, &page, hash);
+            cache.install(ptr, &page, hash);
+            cache.read.admit(ptr.0, hash);
             return Ok(page);
         }
         Err(Error::corrupt(format!(
             "block {} has no recoverable contents",
             ptr.0
         )))
+    }
+
+    /// Resolves a set of `(object, page)` targets as of a checkpoint
+    /// into a batched read plan: per-target block pointers, the unique
+    /// block set (dedup-shared blocks once), and runs of adjacent
+    /// blocks coalesced into extents of at most [`EXTENT_BLOCKS`].
+    pub fn plan_reads_at(&self, ckpt: CkptId, targets: &[(ObjId, u64)]) -> ReadPlan {
+        let mut resolved = Vec::with_capacity(targets.len());
+        let mut uniq = std::collections::BTreeSet::new();
+        for &(oid, idx) in targets {
+            let ptr = checkpoint::resolve_page(&self.ckpts, ckpt, oid, idx);
+            if let Some(p) = ptr {
+                uniq.insert(p.0);
+            }
+            resolved.push(ptr);
+        }
+        let blocks: Vec<u64> = uniq.into_iter().collect();
+        let mut extents = Vec::new();
+        let mut i = 0usize;
+        while let Some(&start) = blocks.get(i) {
+            let mut len = 1usize;
+            while len < EXTENT_BLOCKS
+                && blocks.get(i + len).copied() == Some(start + len as u64)
+            {
+                len += 1;
+            }
+            extents.push((i, len));
+            i += len;
+        }
+        ReadPlan {
+            resolved,
+            blocks,
+            extents,
+        }
+    }
+
+    /// Executes a read plan: probes the bounded read cache per block,
+    /// issues one vectored device read per extent that missed, and
+    /// returns contents for every planned block.
+    ///
+    /// Charging: an all-hit extent costs [`RESTORE_CACHE_HIT_NS`] per
+    /// block (index probe + frame adoption); an extent with any miss
+    /// charges one vectored read — a single access latency amortized
+    /// over the run. Materialized reads are verified against the
+    /// recorded content hashes; damaged bytes get exactly one re-read
+    /// (transient electronics) before the plan aborts with
+    /// `ErrorKind::Corrupt`, leaving the store intact.
+    pub fn execute_read_plan(&mut self, plan: &ReadPlan) -> Result<ReadOutcome> {
+        let mut out = ReadOutcome::default();
+        for &(off, len) in &plan.extents {
+            let Some(run) = plan.blocks.get(off..off + len) else {
+                return Err(Error::invalid("read plan extent out of range"));
+            };
+            let run = run.to_vec();
+            self.read_extent(&run, &mut out)?;
+        }
+        self.stats.read_cache_hits += out.cache_hits;
+        self.stats.read_cache_misses += out.cache_misses;
+        self.stats.read_cache_content_hits += out.content_hits;
+        Ok(out)
+    }
+
+    /// Reads one extent run (adjacent ascending blocks) for
+    /// [`ObjectStore::execute_read_plan`].
+    fn read_extent(&mut self, run: &[u64], out: &mut ReadOutcome) -> Result<()> {
+        let Some(&start) = run.first() else {
+            return Ok(());
+        };
+        let mut missed = false;
+        {
+            let mut cache = self.cache.lock();
+            for &b in run {
+                match cache.probe_read(b) {
+                    ReadProbe::Hit(page) => {
+                        out.cache_hits += 1;
+                        out.pages.insert(b, page);
+                    }
+                    ReadProbe::ContentHit(page) => {
+                        out.cache_hits += 1;
+                        out.content_hits += 1;
+                        out.pages.insert(b, page);
+                    }
+                    ReadProbe::Miss => {
+                        out.cache_misses += 1;
+                        missed = true;
+                    }
+                }
+            }
+        }
+        if !missed {
+            let dur = SimDuration::from_nanos(RESTORE_CACHE_HIT_NS * run.len() as u64);
+            self.dev.borrow().clock().charge(dur);
+            return Ok(());
+        }
+        // Any miss reads the whole run: the vectored request covers the
+        // extent either way, and hits in it ride along for free.
+        out.extents_read += 1;
+        self.stats.read_extents_coalesced += 1;
+        self.stats.read_blocks_coalesced += run.len() as u64;
+        if self.config.materialize_data {
+            let lba = self.sb.data_start() + start;
+            let mut bufs = vec![vec![0u8; BLOCK_SIZE]; run.len()];
+            self.dev.get_mut().read_blocks(lba, &mut bufs)?;
+            if self.extent_hash_mismatch(run, &bufs) {
+                // Damaged bytes came back. One re-read gives transient
+                // electronics the benefit of the doubt; damaged media
+                // re-reads identically and the restore aborts while the
+                // committed store stays untouched.
+                let mut again = vec![vec![0u8; BLOCK_SIZE]; run.len()];
+                self.dev.get_mut().read_blocks(lba, &mut again)?;
+                if self.extent_hash_mismatch(run, &again) {
+                    return Err(Error::corrupt(format!(
+                        "extent at block {start}: content hash mismatch on read"
+                    )));
+                }
+                bufs = again;
+            }
+            let mut cache = self.cache.lock();
+            for (&b, buf) in run.iter().zip(&bufs) {
+                if out.pages.contains_key(&b) {
+                    continue; // probe already served it
+                }
+                let page = PageData::from_bytes(buf);
+                cache.data.insert(b, page.clone());
+                let hash = cache.block_hash.get(&b).copied();
+                cache.read.admit(b, hash);
+                out.fetched.push(b);
+                out.pages.insert(b, page);
+            }
+        } else {
+            {
+                let mut cache = self.cache.lock();
+                for &b in run {
+                    if out.pages.contains_key(&b) {
+                        continue;
+                    }
+                    let Some(page) = cache.data.get(&b).cloned() else {
+                        return Err(Error::corrupt(format!(
+                            "block {b} has no recoverable contents"
+                        )));
+                    };
+                    let hash = cache.block_hash.get(&b).copied();
+                    cache.read.admit(b, hash);
+                    out.fetched.push(b);
+                    out.pages.insert(b, page);
+                }
+            }
+            self.dev
+                .get_mut()
+                .charge_read_timing((run.len() * BLOCK_SIZE) as u64)?;
+        }
+        Ok(())
+    }
+
+    /// True if any block in `run` whose content hash is recorded came
+    /// back from the medium with different bytes.
+    fn extent_hash_mismatch(&self, run: &[u64], bufs: &[Vec<u8>]) -> bool {
+        let cache = self.cache.lock();
+        run.iter().zip(bufs).any(|(&b, buf)| {
+            cache
+                .block_hash
+                .get(&b)
+                .is_some_and(|&h| PageData::from_bytes(buf).content_hash() != h)
+        })
+    }
+
+    /// Records content hashes computed by the restore pipeline's
+    /// parallel hash stage for blocks a read plan fetched: they feed
+    /// the read cache's content index (and, for stores without a
+    /// write-time hash record, the per-block reverse index the
+    /// corruption check and content probes rely on).
+    pub fn note_read_hashes(&mut self, pairs: &[(u64, u64)]) {
+        let cache = self.cache.get_mut();
+        for &(block, h) in pairs {
+            cache.block_hash.entry(block).or_insert(h);
+            cache.read.set_hash(block, h);
+        }
+    }
+
+    /// Sets the bounded read cache's capacity in pages (0 disables it),
+    /// evicting down if needed.
+    pub fn set_read_cache_capacity(&mut self, pages: usize) {
+        self.config.read_cache_pages = pages;
+        self.cache.get_mut().read.set_capacity(pages);
+    }
+
+    /// The bounded read cache's capacity in pages.
+    pub fn read_cache_capacity(&self) -> usize {
+        self.config.read_cache_pages
+    }
+
+    /// Current read-cache occupancy in pages.
+    pub fn read_cache_len(&self) -> usize {
+        self.cache.lock().read.len()
+    }
+
+    /// Lifetime read-cache evictions (capacity pressure).
+    pub fn read_cache_evictions(&self) -> u64 {
+        self.cache.lock().read.evictions
+    }
+
+    /// Drops the read cache alone — the cold-start state for a
+    /// measurement run. Contents and indices are untouched.
+    pub fn clear_read_cache(&mut self) {
+        self.cache.get_mut().read.clear();
+    }
+
+    /// Drops every cached page body and the read cache, forcing
+    /// subsequent reads back to the medium — the state after an image
+    /// lands on a machine that has never run it. Only materialized
+    /// stores can re-read contents; for timing-only stores the page
+    /// table *is* the medium, so dropping it would destroy data.
+    ///
+    /// Recorded content hashes and the dedup index survive: the hashes
+    /// are the read path's corruption check, and the index entries go
+    /// inert until their blocks are re-read.
+    pub fn drop_caches(&mut self) -> Result<()> {
+        if !self.config.materialize_data {
+            return Err(Error::unsupported(
+                "drop_caches requires materialized data; the page table is the only copy",
+            ));
+        }
+        let cache = self.cache.get_mut();
+        cache.data.clear();
+        cache.read.clear();
+        Ok(())
     }
 
     /// The live page map of an object (restore / export walks).
@@ -1101,7 +1593,7 @@ impl ObjectStore {
                     "block {block}: refcount {actual}, {refs} referents"
                 ));
             }
-            if !self.cache.borrow().data.contains_key(&block) && !self.config.materialize_data {
+            if !self.cache.lock().data.contains_key(&block) && !self.config.materialize_data {
                 problems.push(format!("block {block}: contents unrecoverable"));
             }
         }
@@ -1193,8 +1685,16 @@ impl ObjectStore {
             for (idx, ptr) in self.object_map_at(ckpt, oid) {
                 // Materialized stores verify the platter copy even when a
                 // clean copy is cached in memory: a write-time corruption
-                // would otherwise hide until the cache is dropped.
-                if self.cache.borrow().data.contains_key(&ptr.0) && !self.config.materialize_data {
+                // would otherwise hide until the cache is dropped. One
+                // lock hold answers both questions for this block.
+                let (recallable, expect) = {
+                    let cache = self.cache.lock();
+                    (
+                        cache.data.contains_key(&ptr.0),
+                        cache.block_hash.get(&ptr.0).copied(),
+                    )
+                };
+                if recallable && !self.config.materialize_data {
                     continue;
                 }
                 if !self.config.materialize_data {
@@ -1208,7 +1708,6 @@ impl ObjectStore {
                 let mut buf = vec![0u8; BLOCK_SIZE];
                 match self.dev.borrow_mut().read(lba, &mut buf) {
                     Ok(()) => {
-                        let expect = self.cache.borrow().block_hash.get(&ptr.0).copied();
                         if let Some(expect) = expect {
                             let page = PageData::from_bytes(&buf);
                             if page.content_hash() != expect {

@@ -107,6 +107,7 @@ fn power_cut_during_commit_preserves_previous_checkpoint() {
                 journal_blocks: 512,
                 materialize_data: false,
                 dedup: true,
+                ..StoreConfig::default()
             },
         )
         .unwrap();
@@ -256,6 +257,7 @@ fn journal_compaction_preserves_state() {
             journal_blocks: 8, // 32 KiB: compacts every few commits
             dedup: true,
             materialize_data: false,
+            ..StoreConfig::default()
         },
     )
     .unwrap();
@@ -498,6 +500,7 @@ fn scrub_detects_silent_data_corruption_on_the_platter() {
             journal_blocks: 1024,
             dedup: true,
             materialize_data: true,
+            ..StoreConfig::default()
         },
     )
     .unwrap();
@@ -547,4 +550,204 @@ fn rollback_pending_discards_staged_writes() {
     let (c2, _) = s.commit(Some("after")).unwrap();
     assert!(s.read_page_at(c2, ObjId(1), 1).unwrap().unwrap().content_eq(&page(4)));
     assert!(s.scrub().is_empty());
+}
+
+fn materialized_store(dedup: bool) -> (ObjectStore, std::sync::Arc<SimClock>) {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock.clone(), "nvme0", DEV_BLOCKS));
+    let s = ObjectStore::format(
+        dev,
+        StoreConfig {
+            journal_blocks: 1024,
+            dedup,
+            materialize_data: true,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    (s, clock)
+}
+
+#[test]
+fn read_plan_coalesces_extents_and_dedups_shared_blocks() {
+    let (mut s, clock) = materialized_store(true);
+    s.create_object(ObjId(1), 128).unwrap();
+    s.create_object(ObjId(2), 4).unwrap();
+    for i in 0..100u64 {
+        s.write_page(ObjId(1), i, &PageData::Seeded(i + 1)).unwrap();
+    }
+    // Identical bytes: dedup resolves both targets to one block.
+    s.write_page(ObjId(2), 0, &PageData::Seeded(1)).unwrap();
+    let (ck, _) = s.commit(Some("plan")).unwrap();
+
+    let mut targets: Vec<(ObjId, u64)> = (0..100).map(|i| (ObjId(1), i)).collect();
+    targets.push((ObjId(2), 0));
+    targets.push((ObjId(1), 120)); // sparse: never written
+    let plan = s.plan_reads_at(ck, &targets);
+
+    assert_eq!(plan.resolved.len(), 102);
+    assert_eq!(plan.resolved[100], plan.resolved[0], "dedup shares the block");
+    assert_eq!(plan.resolved[101], None, "sparse page resolves to nothing");
+    assert_eq!(plan.blocks.len(), 100, "unique blocks only");
+    assert!(plan.blocks.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+    let total: usize = plan.extents.iter().map(|&(_, len)| len).sum();
+    assert_eq!(total, plan.blocks.len());
+    assert!(plan.extents.iter().all(|&(_, len)| len <= aurora_objstore::EXTENT_BLOCKS));
+    assert!(
+        plan.extents.len() < plan.blocks.len(),
+        "adjacent blocks must coalesce: {} extents for {} blocks",
+        plan.extents.len(),
+        plan.blocks.len()
+    );
+
+    // Cold: every block comes off the device in vectored extent reads.
+    s.drop_caches().unwrap();
+    let t0 = clock.now();
+    let cold = s.execute_read_plan(&plan).unwrap();
+    let cold_elapsed = clock.now() - t0;
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses, 100);
+    assert_eq!(cold.fetched.len(), 100);
+    assert_eq!(cold.extents_read as usize, plan.extents.len());
+    for (t, r) in targets.iter().zip(&plan.resolved) {
+        let serial = s.read_page_at(ck, t.0, t.1).unwrap();
+        match (r, serial) {
+            (Some(ptr), Some(page)) => {
+                assert!(cold.pages.get(&ptr.0).unwrap().content_eq(&page))
+            }
+            (None, None) => {}
+            (r, s) => panic!("plan {r:?} vs serial {s:?} for {t:?}"),
+        }
+    }
+
+    // Warm: same plan, all hits, no device reads, cheaper in virtual time.
+    let t1 = clock.now();
+    let warm = s.execute_read_plan(&plan).unwrap();
+    let warm_elapsed = clock.now() - t1;
+    assert_eq!(warm.cache_hits, 100);
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(warm.extents_read, 0);
+    assert!(warm.fetched.is_empty());
+    assert!(
+        warm_elapsed < cold_elapsed,
+        "warm {warm_elapsed:?} must undercut cold {cold_elapsed:?}"
+    );
+    assert_eq!(s.stats.read_cache_hits, 100);
+    assert_eq!(s.stats.read_cache_misses, 100);
+}
+
+#[test]
+fn read_cache_content_index_serves_twin_blocks_without_dedup() {
+    let (mut s, _clock) = materialized_store(false);
+    s.create_object(ObjId(1), 4).unwrap();
+    s.create_object(ObjId(2), 4).unwrap();
+    // Dedup is off, so identical bytes land in two distinct blocks.
+    s.write_page(ObjId(1), 0, &page(0x5A)).unwrap();
+    s.write_page(ObjId(2), 0, &page(0x5A)).unwrap();
+    let (ck, _) = s.commit(Some("twins")).unwrap();
+
+    let plan_a = s.plan_reads_at(ck, &[(ObjId(1), 0)]);
+    let plan_b = s.plan_reads_at(ck, &[(ObjId(2), 0)]);
+    let a = plan_a.resolved[0].unwrap().0;
+    let b = plan_b.resolved[0].unwrap().0;
+    assert_ne!(a, b, "dedup off: twin pages occupy separate blocks");
+
+    s.drop_caches().unwrap();
+    let out_a = s.execute_read_plan(&plan_a).unwrap();
+    assert_eq!(out_a.fetched, vec![a]);
+
+    // The restore pipeline's hash stage reports content hashes; the
+    // store wires them into the content index.
+    let h = page(0x5A).content_hash();
+    s.note_read_hashes(&[(a, h), (b, h)]);
+
+    // Block b was never read, but its bytes are resident under a.
+    let out_b = s.execute_read_plan(&plan_b).unwrap();
+    assert_eq!(out_b.cache_hits, 1);
+    assert_eq!(out_b.content_hits, 1);
+    assert_eq!(out_b.extents_read, 0, "no device read for a content hit");
+    assert!(out_b.pages.get(&b).unwrap().content_eq(&page(0x5A)));
+    assert_eq!(s.stats.read_cache_content_hits, 1);
+}
+
+#[test]
+fn read_cache_capacity_bounds_residency_with_deterministic_lru() {
+    let (mut s, _clock) = materialized_store(true);
+    s.create_object(ObjId(1), 8).unwrap();
+    for i in 0..4u64 {
+        s.write_page(ObjId(1), i, &PageData::Seeded(100 + i)).unwrap();
+    }
+    let (ck, _) = s.commit(Some("lru")).unwrap();
+    s.set_read_cache_capacity(2);
+    assert_eq!(s.read_cache_capacity(), 2);
+
+    let targets: Vec<(ObjId, u64)> = (0..4).map(|i| (ObjId(1), i)).collect();
+    let plan = s.plan_reads_at(ck, &targets);
+    s.drop_caches().unwrap();
+    s.execute_read_plan(&plan).unwrap();
+    assert_eq!(s.read_cache_len(), 2, "capacity caps residency");
+    assert_eq!(s.read_cache_evictions(), 2);
+
+    // LRU admits blocks in ascending run order, so the two lowest are
+    // out and the two highest are in — deterministically.
+    let first = s.plan_reads_at(ck, &[(ObjId(1), 0)]);
+    let out = s.execute_read_plan(&first).unwrap();
+    assert_eq!(out.cache_misses, 1, "evicted block must re-read");
+    let last = s.plan_reads_at(ck, &[(ObjId(1), 3)]);
+    let out = s.execute_read_plan(&last).unwrap();
+    assert_eq!(out.cache_hits, 1, "most recent block stays resident");
+}
+
+#[test]
+fn batched_read_detects_wire_corruption_and_leaves_store_intact() {
+    let (mut s, _clock) = materialized_store(true);
+    s.create_object(ObjId(1), 8).unwrap();
+    for i in 0..4u64 {
+        s.write_page(ObjId(1), i, &PageData::Seeded(200 + i)).unwrap();
+    }
+    let (ck, _) = s.commit(Some("victim")).unwrap();
+    let targets: Vec<(ObjId, u64)> = (0..4).map(|i| (ObjId(1), i)).collect();
+    let plan = s.plan_reads_at(ck, &targets);
+
+    // Damaged media: every read in the data region hands back a page
+    // with one bit flipped. The re-read sees the same damage, so the
+    // batched read must refuse the data rather than install garbage.
+    s.drop_caches().unwrap();
+    s.device_mut()
+        .install_fault_plan(FaultPlan::corrupt_read_blocks(0, u64::MAX, 100, 3));
+    let err = s.execute_read_plan(&plan).unwrap_err();
+    assert!(
+        err.to_string().contains("content hash mismatch"),
+        "corruption must surface as corrupt, got: {err}"
+    );
+
+    // The platter itself was never touched: disarm the fault and the
+    // same plan reads clean, and scrub agrees the store is intact.
+    s.device_mut().install_fault_plan(FaultPlan::default());
+    let out = s.execute_read_plan(&plan).unwrap();
+    assert_eq!(out.fetched.len(), 4);
+    for (i, r) in plan.resolved.iter().enumerate() {
+        let ptr = r.unwrap();
+        assert!(out
+            .pages
+            .get(&ptr.0)
+            .unwrap()
+            .content_eq(&PageData::Seeded(200 + i as u64)));
+    }
+    assert!(s.scrub().is_empty());
+}
+
+#[test]
+fn drop_caches_requires_materialized_data() {
+    let mut s = new_store();
+    s.create_object(ObjId(1), 4).unwrap();
+    s.write_page(ObjId(1), 0, &page(0x33)).unwrap();
+    s.commit(Some("timing-only")).unwrap();
+    let err = s.drop_caches().unwrap_err();
+    assert!(err.to_string().contains("materialized"));
+    // Timing-only stores still serve batched plans from the page table.
+    let ck = s.head().unwrap();
+    let plan = s.plan_reads_at(ck, &[(ObjId(1), 0)]);
+    let out = s.execute_read_plan(&plan).unwrap();
+    assert_eq!(out.pages.len(), 1);
 }

@@ -31,15 +31,23 @@ pub const RANK_GROUP_TABLE: u32 = 1;
 /// so this must rank inside the barrier; workers take it with nothing
 /// else held.
 pub const RANK_FLUSH_SHARD: u32 = 2;
+/// Rank of the parallel restore pipeline's shard-result collector.
+/// Mirrors `flush_shard`: the driving thread serializes batched
+/// restores on `ckpt_barrier`, workers take this with nothing held.
+pub const RANK_RESTORE_SHARD: u32 = 3;
 /// Rank of per-store metadata.
-pub const RANK_STORE_META: u32 = 3;
+pub const RANK_STORE_META: u32 = 4;
+/// Rank of the object store's shared page cache. The restore read
+/// pipeline takes it while the barrier is held; nothing below it but
+/// the device queue and metrics may nest inside.
+pub const RANK_PAGE_CACHE: u32 = 5;
 /// Rank of the journal append buffer.
-pub const RANK_JOURNAL_BUF: u32 = 4;
+pub const RANK_JOURNAL_BUF: u32 = 6;
 /// Rank of a device submission queue.
-pub const RANK_DEV_QUEUE: u32 = 5;
+pub const RANK_DEV_QUEUE: u32 = 7;
 /// Rank of the global metrics registry (innermost: any path may record
 /// counters while holding anything else).
-pub const RANK_METRICS: u32 = 6;
+pub const RANK_METRICS: u32 = 8;
 
 /// A mutex that participates in lock-order verification.
 pub struct OrderedMutex<T> {
@@ -77,6 +85,23 @@ impl<T> OrderedMutex<T> {
             Err(poisoned) => poisoned.into_inner(),
         };
         OrderedMutexGuard { guard, _token: token }
+    }
+
+    /// Exclusive access through `&mut self`: no locking, no hierarchy
+    /// slot — the borrow checker already proves no other holder exists.
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
     }
 }
 

@@ -253,6 +253,7 @@ fn power_cut_sweep_during_journal_gc() {
                 journal_blocks: 8, // tiny: half = 16 KiB, compacts quickly
                 dedup: true,
                 materialize_data: false,
+                ..StoreConfig::default()
             },
         )
         .unwrap()
@@ -402,4 +403,107 @@ fn corrupted_superblock_falls_back_to_the_other_slot() {
         "recovered state {:?} is not a committed round",
         String::from_utf8_lossy(&buf)
     );
+}
+
+/// Boots a host on a materialized store (page bytes really live on the
+/// device) with a wide workload committed, ready for restore-path fault
+/// injection. Returns (host, addr, ckpt).
+fn boot_materialized_with_baseline() -> (Host, u64, aurora::objstore::CkptId) {
+    let clock = SimClock::new();
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", 64 * 1024));
+    let mut host = Host::boot(
+        "read-fault",
+        dev,
+        StoreConfig {
+            journal_blocks: 512,
+            materialize_data: true,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let pid = host.kernel.spawn("app");
+    let pages = 96u64;
+    let addr = host.kernel.mmap_anon(pid, pages * 4096, false).unwrap();
+    for p in 0..pages {
+        let body = format!("read-fault-p{p:04}");
+        host.kernel
+            .mem_write(pid, addr + p * 4096, body.as_bytes())
+            .unwrap();
+    }
+    let gid = host.persist("app", pid).unwrap();
+    let bd = host.checkpoint(gid, true, Some("base")).unwrap();
+    host.clock.advance_to(bd.durable_at);
+    let ckpt = bd.ckpt.unwrap();
+    // Cold store: the restore must read the device.
+    host.sls.primary.borrow_mut().drop_caches().unwrap();
+    (host, addr, ckpt)
+}
+
+/// Transient read errors during a batched restore are absorbed by the
+/// resilient device's bounded retries: the restore succeeds, the
+/// restored memory is exact, and the retry counters prove the faults
+/// actually fired.
+#[test]
+fn transient_read_errors_absorbed_during_batched_restore() {
+    let (mut host, addr, ckpt) = boot_materialized_with_baseline();
+    host.sls.restore_workers = 4;
+    host.sls
+        .primary
+        .borrow_mut()
+        .device_mut()
+        .install_fault_plan(FaultPlan::transient_reads(3, 2));
+
+    let store = host.sls.primary.clone();
+    let r = host.restore(&store, ckpt, RestoreMode::Eager).unwrap();
+    let np = r.root_pid().unwrap();
+    let mut buf = [0u8; 15];
+    host.kernel.mem_read(np, addr + 17 * 4096, &mut buf).unwrap();
+    assert_eq!(&buf, b"read-fault-p001".as_slice().get(0..15).unwrap());
+    let mut buf = [0u8; 15];
+    host.kernel.mem_read(np, addr, &mut buf).unwrap();
+    assert_eq!(&buf[..14], b"read-fault-p00");
+
+    let rs = host.sls.primary.borrow().device().retry_stats();
+    assert!(
+        rs.reads_retried > 0,
+        "the transient window must force read retries"
+    );
+    assert!(rs.transient_absorbed > 0);
+}
+
+/// Damaged media during a batched restore: every read in the data
+/// region returns a flipped bit. The restore must refuse the data
+/// (content-hash mismatch) instead of wiring garbage — and because
+/// reads mutate nothing, disarming the fault leaves a fully intact
+/// store behind.
+#[test]
+fn read_corruption_aborts_restore_and_store_survives() {
+    let (mut host, addr, ckpt) = boot_materialized_with_baseline();
+    host.sls.restore_workers = 4;
+    host.sls
+        .primary
+        .borrow_mut()
+        .device_mut()
+        .install_fault_plan(FaultPlan::corrupt_read_blocks(0, u64::MAX, 100, 3));
+
+    let store = host.sls.primary.clone();
+    let err = host.restore(&store, ckpt, RestoreMode::Eager).unwrap_err();
+    assert!(
+        err.to_string().contains("content hash mismatch"),
+        "restore must surface the corruption, got: {err}"
+    );
+
+    // Healthy electronics again: the store is untouched and the same
+    // checkpoint restores exactly.
+    host.sls
+        .primary
+        .borrow_mut()
+        .device_mut()
+        .install_fault_plan(FaultPlan::default());
+    assert!(store.borrow_mut().scrub().is_empty(), "platter never damaged");
+    let r = host.restore(&store, ckpt, RestoreMode::Eager).unwrap();
+    let np = r.root_pid().unwrap();
+    let mut buf = [0u8; 14];
+    host.kernel.mem_read(np, addr, &mut buf).unwrap();
+    assert_eq!(&buf, b"read-fault-p00");
 }
