@@ -28,6 +28,7 @@ use aurora_core::restore::RestoreMode;
 use aurora_core::serialize::ManifestRec;
 use aurora_core::{BackendKind, GroupId, Host};
 use aurora_hw::file_dev::FileDev;
+use aurora_hw::{BlockDev, MirrorDev, ReplicaState};
 use aurora_objstore::{CkptId, ObjectStore, StoreConfig};
 use aurora_posix::Pid;
 use aurora_sim::error::{Error, Result};
@@ -55,11 +56,13 @@ COMMANDS (Table 1 of the paper):
   recv --in FILE                  Receive an application (import a checkpoint)
 
 WORLD MANAGEMENT:
-  init [--blocks N]               Create a new world
+  init [--blocks N] [--mirror R]  Create a new world (R-way mirrored when R >= 2)
   run <name> [--steps N]          Advance an application, then checkpoint it
   info                            Show object-store statistics
   scrub                           Verify every checkpoint against its content
                                   hashes and report device health
+  mirror [--kill I] [--revive I]  Show replica states; detach or readmit one
+  resilver                        Rebuild rebuilding replicas from the live store
 ";
 
 /// Runs one `sls` invocation; returns what should be printed.
@@ -95,6 +98,8 @@ pub fn run(args: &[&str]) -> Result<String> {
         "recv" => cmd_recv(&world, opts),
         "info" => cmd_info(&world),
         "scrub" => cmd_scrub(&world),
+        "mirror" => cmd_mirror(&world, opts),
+        "resilver" => cmd_resilver(&world),
         other => Err(Error::invalid(format!("unknown command {other}; try --help"))),
     }
 }
@@ -107,6 +112,61 @@ fn flag_value<'a>(opts: &[&'a str], flag: &str) -> Option<&'a str> {
 
 fn disk_path(world: &Path) -> PathBuf {
     world.join("disk.img")
+}
+
+/// Backing file of mirror replica `i` (replica 0 is the plain disk).
+fn replica_path(world: &Path, i: usize) -> PathBuf {
+    if i == 0 {
+        disk_path(world)
+    } else {
+        world.join(format!("disk.{i}.img"))
+    }
+}
+
+fn mirror_meta_path(world: &Path) -> PathBuf {
+    world.join("mirror.meta")
+}
+
+/// Reads the persisted replica states of a mirrored world: one state
+/// word per replica, in replica order. `None` for unmirrored worlds.
+fn load_mirror_states(world: &Path) -> Result<Option<Vec<ReplicaState>>> {
+    let path = mirror_meta_path(world);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| Error::io(e.to_string()))?;
+    let mut states = Vec::new();
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        states.push(
+            ReplicaState::parse(line)
+                .ok_or_else(|| Error::corrupt(format!("mirror.meta: bad replica state {line:?}")))?,
+        );
+    }
+    if states.len() < 2 {
+        return Err(Error::corrupt("mirror.meta lists fewer than two replicas"));
+    }
+    Ok(Some(states))
+}
+
+/// Persists the current replica states so the next invocation reopens
+/// the mirror in the same shape: a detached replica stays detached, and
+/// a crash mid-resilver leaves the target rebuilding (never trusted for
+/// reads) until `sls resilver` finishes the copy.
+fn save_mirror_states(world: &Path, host: &Host) -> Result<()> {
+    let store = host.sls.primary.borrow();
+    let dev = store.device();
+    let Some(m) = dev.as_mirror() else {
+        return Ok(());
+    };
+    let text: String = (0..m.width())
+        .map(|i| {
+            format!(
+                "{}\n",
+                m.replica_state(i).unwrap_or(ReplicaState::Active).as_str()
+            )
+        })
+        .collect();
+    std::fs::write(mirror_meta_path(world), text).map_err(|e| Error::io(e.to_string()))
 }
 
 fn store_config() -> StoreConfig {
@@ -131,6 +191,21 @@ fn open_host(world: &Path) -> Result<Host> {
         .map_err(|e| Error::io(e.to_string()))?
         .len()
         / 4096;
+    if let Some(states) = load_mirror_states(world)? {
+        let mut members: Vec<Box<dyn BlockDev>> = Vec::with_capacity(states.len());
+        for i in 0..states.len() {
+            members.push(Box::new(FileDev::open(
+                clock.clone(),
+                &replica_path(world, i),
+                blocks,
+            )?));
+        }
+        let mut mirror = MirrorDev::new(members)?;
+        for (i, &state) in states.iter().enumerate() {
+            mirror.restore_replica_state(i, state)?;
+        }
+        return Host::boot_existing("sls-world", Box::new(mirror), store_config());
+    }
     let dev = Box::new(FileDev::open(clock, &path, blocks)?);
     Host::boot_existing("sls-world", dev, store_config())
 }
@@ -140,12 +215,37 @@ fn cmd_init(world: &Path, opts: &[&str]) -> Result<String> {
         .map(|v| v.parse().map_err(|_| Error::invalid("bad --blocks")))
         .transpose()?
         .unwrap_or(DEFAULT_BLOCKS);
+    let mirror: usize = flag_value(opts, "--mirror")
+        .map(|v| v.parse().map_err(|_| Error::invalid("bad --mirror")))
+        .transpose()?
+        .unwrap_or(1);
+    if mirror == 0 || mirror > 8 {
+        return Err(Error::invalid("--mirror takes a replica count from 1 to 8"));
+    }
     std::fs::create_dir_all(world).map_err(|e| Error::io(e.to_string()))?;
     let path = disk_path(world);
     if path.exists() {
         return Err(Error::already_exists(format!("{}", path.display())));
     }
     let clock = SimClock::new();
+    if mirror >= 2 {
+        let mut members: Vec<Box<dyn BlockDev>> = Vec::with_capacity(mirror);
+        for i in 0..mirror {
+            members.push(Box::new(FileDev::open(
+                clock.clone(),
+                &replica_path(world, i),
+                blocks,
+            )?));
+        }
+        let host = Host::boot_mirrored("sls-world", members, store_config())?;
+        save_mirror_states(world, &host)?;
+        drop(host);
+        return Ok(format!(
+            "initialized world at {} ({} blocks, {mirror}-way mirror)\n",
+            world.display(),
+            blocks,
+        ));
+    }
     let dev = Box::new(FileDev::open(clock, &path, blocks)?);
     let host = Host::boot("sls-world", dev, store_config())?;
     drop(host);
@@ -520,24 +620,120 @@ fn cmd_send(world: &Path, opts: &[&str]) -> Result<String> {
         |oid| oid & !0xFFFF_FFFF_FFFF == ns,
         |key| key.starts_with(&prefix),
     )?;
-    std::fs::write(out_path, &stream).map_err(|e| Error::io(e.to_string()))?;
+    // Seal the stream in the image envelope: magic, version, and a
+    // whole-image digest, so a truncated or bit-flipped file fails
+    // `sls recv` loudly instead of importing garbage.
+    let image = aurora_core::migrate::encode_image(&stream);
+    std::fs::write(out_path, &image).map_err(|e| Error::io(e.to_string()))?;
     Ok(format!(
         "sent {name} (checkpoint {}) to {out_path}: {} bytes\n",
         ckpt.0,
-        stream.len()
+        image.len()
     ))
 }
 
 fn cmd_recv(world: &Path, opts: &[&str]) -> Result<String> {
     let in_path = flag_value(opts, "--in").ok_or_else(|| Error::invalid("recv needs --in"))?;
-    let stream = std::fs::read(in_path).map_err(|e| Error::io(e.to_string()))?;
-    let host = open_host(world)?;
-    let (ckpt, durable) = host.sls.primary.borrow_mut().import_stream(&stream)?;
-    host.clock.advance_to(durable);
+    let image = std::fs::read(in_path).map_err(|e| Error::io(e.to_string()))?;
+    let mut host = open_host(world)?;
+    let ckpt = host.recv_checkpoint(&image)?;
     Ok(format!(
         "received checkpoint {} from {in_path} ({} bytes); `sls ps` to inspect, `sls restore` to run\n",
         ckpt.0,
-        stream.len()
+        image.len()
+    ))
+}
+
+/// `sls mirror`: show per-replica states and stats; `--kill I` detaches
+/// a replica (simulating its death), `--revive I` powers it back on as
+/// rebuilding — it receives new writes but serves no reads until
+/// `sls resilver` copies it back in and promotes it.
+fn cmd_mirror(world: &Path, opts: &[&str]) -> Result<String> {
+    let parse_idx = |flag: &str| -> Result<Option<usize>> {
+        flag_value(opts, flag)
+            .map(|v| v.parse().map_err(|_| Error::invalid(format!("bad {flag}"))))
+            .transpose()
+    };
+    let kill = parse_idx("--kill")?;
+    let revive = parse_idx("--revive")?;
+    let host = open_host(world)?;
+    let mut out = String::new();
+    {
+        let mut store = host.sls.primary.borrow_mut();
+        let m = store.device_mut().as_mirror_mut().ok_or_else(|| {
+            Error::unsupported("this world is not mirrored (create one with `sls init --mirror N`)")
+        })?;
+        if let Some(i) = kill {
+            m.kill_replica(i)?;
+            writeln!(out, "killed replica {i}: detached; writes continue degraded").ok();
+        }
+        if let Some(i) = revive {
+            m.revive_replica(i)?;
+            writeln!(
+                out,
+                "revived replica {i}: rebuilding; run `sls resilver` to copy it back in"
+            )
+            .ok();
+        }
+    }
+    save_mirror_states(world, &host)?;
+    let store = host.sls.primary.borrow();
+    let dev = store.device();
+    let Some(m) = dev.as_mirror() else {
+        return Err(Error::unsupported("this world is not mirrored"));
+    };
+    writeln!(
+        out,
+        "mirror: {} of {} replicas active{}",
+        m.active_width(),
+        m.width(),
+        if m.is_degraded() { " (DEGRADED)" } else { "" },
+    )
+    .ok();
+    for i in 0..m.width() {
+        writeln!(
+            out,
+            "  replica {i}: {:<10} {} ({})",
+            m.replica_state(i).unwrap_or(ReplicaState::Active).as_str(),
+            m.replica_name(i).unwrap_or_default(),
+            m.replica_health(i)
+                .unwrap_or(aurora_hw::DevHealth::Healthy)
+                .as_str(),
+        )
+        .ok();
+    }
+    let ms = m.mirror_stats();
+    writeln!(
+        out,
+        "  stats: {} failovers, {} read repairs, {} degraded writes, {} blocks resilvered in {} extents",
+        ms.failovers, ms.read_repairs, ms.degraded_writes, ms.resilvered_blocks, ms.resilvered_extents,
+    )
+    .ok();
+    Ok(out)
+}
+
+/// `sls resilver`: copy the live metadata region and every allocated
+/// extent from the surviving replicas onto any rebuilding replica, then
+/// promote it to active. Safe to re-run after a crash: the target stays
+/// rebuilding (never read) until the copy completes.
+fn cmd_resilver(world: &Path) -> Result<String> {
+    let mut host = open_host(world)?;
+    if host.sls.primary.borrow().device().as_mirror().is_none() {
+        return Err(Error::unsupported(
+            "this world is not mirrored (create one with `sls init --mirror N`)",
+        ));
+    }
+    let report = host.resilver()?;
+    save_mirror_states(world, &host)?;
+    if report.replicas_promoted == 0 {
+        return Ok(
+            "nothing to resilver: no replica is rebuilding (revive one with `sls mirror --revive I`)\n"
+                .to_string(),
+        );
+    }
+    Ok(format!(
+        "resilvered {} blocks in {} extent batches; {} replica(s) promoted to active\n",
+        report.blocks, report.extents, report.replicas_promoted,
     ))
 }
 
@@ -553,10 +749,33 @@ fn cmd_info(world: &Path) -> Result<String> {
     };
     let dev = store.device();
     let rs = dev.retry_stats();
+    let mirror_note = dev
+        .as_mirror()
+        .map(|m| {
+            let ms = m.mirror_stats();
+            let states: Vec<String> = (0..m.width())
+                .map(|i| {
+                    m.replica_state(i)
+                        .unwrap_or(ReplicaState::Active)
+                        .as_str()
+                        .to_string()
+                })
+                .collect();
+            format!(
+                "  mirror: {} of {} replicas active [{}]; {} failovers, {} read repairs, {} degraded writes\n",
+                m.active_width(),
+                m.width(),
+                states.join(", "),
+                ms.failovers,
+                ms.read_repairs,
+                ms.degraded_writes,
+            )
+        })
+        .unwrap_or_default();
     let sls = &host.sls.stats;
     let m = aurora_core::metrics::global_counters();
     Ok(format!(
-        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n  checkpoints this session: {} degraded, {} aborted\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n  restore pipeline: {} workers configured; {} pages hashed, {} extent reads\n  read cache: {} of {} pages resident, {} hits / {} misses ({} content hits), {} evictions\n",
+        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n{mirror_note}  checkpoints this session: {} degraded, {} aborted\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n  restore pipeline: {} workers configured; {} pages hashed, {} extent reads\n  read cache: {} of {} pages resident, {} hits / {} misses ({} content hits), {} evictions\n",
         world.display(),
         store.checkpoints().len(),
         store.blocks_in_use(),
@@ -615,6 +834,18 @@ fn cmd_scrub(world: &Path) -> Result<String> {
             out,
             "  retries: {} writes retried, {} transient errors absorbed, {} failures surfaced",
             rs.writes_retried, rs.transient_absorbed, rs.failures_surfaced,
+        )
+        .ok();
+    }
+    if let Some(m) = st.device().as_mirror() {
+        let ms = m.mirror_stats();
+        writeln!(
+            out,
+            "  mirror: {} of {} replicas active; {} read repair(s), {} failover(s)",
+            m.active_width(),
+            m.width(),
+            ms.read_repairs,
+            ms.failovers,
         )
         .ok();
     }

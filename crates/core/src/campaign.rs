@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use aurora_hw::{DevHealth, FaultPlan, FaultRates, ModelDev};
+use aurora_hw::{BlockDev, DevHealth, FaultPlan, FaultRates, MirrorDev, ModelDev, ReplicaState};
 use aurora_objstore::{CkptId, StoreConfig};
 use aurora_sim::error::{Error, Result};
 use aurora_sim::SimClock;
@@ -71,6 +71,9 @@ pub struct CampaignReport {
     pub committed: u64,
     /// Checkpoints that degraded from incremental to full.
     pub degraded: u64,
+    /// Checkpoints that committed with a degraded mirror (a replica
+    /// detached, rebuilding, or unhealthy).
+    pub degraded_mirror: u64,
     /// Checkpoints aborted by exhausted retries or a dead device.
     pub aborted: u64,
     /// Simulated whole-machine crashes (and recoveries).
@@ -82,6 +85,11 @@ pub struct CampaignReport {
     pub transient_absorbed: u64,
     /// Writes that needed at least one retry across all schedules.
     pub writes_retried: u64,
+    /// Mirror read failovers (a preferred replica failed mid-read and a
+    /// twin served the data) across all schedules.
+    pub failovers: u64,
+    /// Blocks the mirror rewrote from a twin during read repair.
+    pub read_repairs: u64,
     /// Invariant violations; empty means the campaign passed.
     pub violations: Vec<String>,
 }
@@ -95,12 +103,13 @@ impl CampaignReport {
     /// One-line summary for logs and the CLI.
     pub fn summary(&self) -> String {
         format!(
-            "{} schedules: {} committed ({} degraded), {} aborted, \
-             {} crashes, {} restores verified, {} transient errors absorbed, \
-             {} violations",
+            "{} schedules: {} committed ({} degraded, {} degraded-mirror), \
+             {} aborted, {} crashes, {} restores verified, \
+             {} transient errors absorbed, {} violations",
             self.schedules,
             self.committed,
             self.degraded,
+            self.degraded_mirror,
             self.aborted,
             self.crashes,
             self.restores_verified,
@@ -199,6 +208,10 @@ fn run_schedule(cfg: &CampaignConfig, idx: u64, report: &mut CampaignReport) -> 
                     CheckpointOutcome::DegradedToFull => {
                         report.committed += 1;
                         report.degraded += 1;
+                    }
+                    CheckpointOutcome::DegradedMirror => {
+                        report.committed += 1;
+                        report.degraded_mirror += 1;
                     }
                     CheckpointOutcome::Aborted => report.aborted += 1,
                 }
@@ -423,6 +436,324 @@ fn run_restore_cut_iteration(n: u64, workers: usize, report: &mut CampaignReport
     Ok(())
 }
 
+/// Boots a campaign host whose primary store sits on a `width`-way
+/// mirror of simulated NVMe devices sharing one clock.
+fn boot_mirror_host(width: usize, config: StoreConfig) -> Result<Host> {
+    let clock = SimClock::new();
+    let members: Vec<Box<dyn BlockDev>> = (0..width)
+        .map(|i| {
+            Box::new(ModelDev::nvme(clock.clone(), &format!("nvme{i}"), 64 * 1024))
+                as Box<dyn BlockDev>
+        })
+        .collect();
+    Host::boot_mirrored("campaign", members, config)
+}
+
+/// Runs `f` against the primary store's mirror device.
+fn with_mirror<T>(host: &Host, f: impl FnOnce(&mut MirrorDev) -> T) -> Result<T> {
+    let mut store = host.sls.primary.borrow_mut();
+    let m = store
+        .device_mut()
+        .as_mirror_mut()
+        .ok_or_else(|| Error::internal("campaign host has no mirror"))?;
+    Ok(f(m))
+}
+
+/// Replica-death sweep across the checkpoint flush.
+///
+/// Iteration `n` kills one replica (rotating through all of them) at
+/// exactly its `n`-th device write while a multi-extent checkpoint is
+/// flushing. The mirror must absorb the death: the checkpoint commits
+/// (flagged `DegradedMirror`), no data is lost, and after reviving and
+/// resilvering the victim the whole store must verify when served by
+/// the *resilvered replica alone* — proving the rebuild copied every
+/// live extent, not just the ones the failed write touched.
+pub fn run_mirror_kill_sweep(cuts: u64, width: usize) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for n in 1..=cuts {
+        if let Err(e) = run_mirror_kill_iteration(n, width, &mut report) {
+            report
+                .violations
+                .push(format!("mirror-kill {n}: harness error: {e}"));
+        }
+        report.schedules += 1;
+    }
+    report
+}
+
+/// One sweep iteration: replica `n % width` dies at its `n`-th write.
+fn run_mirror_kill_iteration(n: u64, width: usize, report: &mut CampaignReport) -> Result<()> {
+    let mut host = boot_mirror_host(
+        width,
+        StoreConfig {
+            journal_blocks: 512,
+            materialize_data: true,
+            ..StoreConfig::default()
+        },
+    )?;
+    host.sls.flush_workers = 4;
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, SWEEP_PAGES * 4096, false)?;
+    let gid = host.persist("app", pid)?;
+    let victim = (n as usize - 1) % width;
+
+    let mut expected: HashMap<String, Vec<u8>> = HashMap::new();
+    for round in 0..2u32 {
+        let tag = format!("mkill{n:04}-r{round}");
+        for p in 0..SWEEP_PAGES {
+            let body = format!("{tag}-p{p:04}");
+            host.kernel.mem_write(pid, addr + p * 4096, body.as_bytes())?;
+        }
+        expected.insert(format!("r{round}"), format!("{tag}-p0000").into_bytes());
+
+        if round == 1 {
+            with_mirror(&host, |m| m.install_replica_fault_plan(victim, FaultPlan::power_cut(n)))??;
+        }
+        let bd = host.checkpoint(gid, round == 0, Some(&format!("r{round}")))?;
+        match bd.outcome {
+            CheckpointOutcome::DegradedMirror => {
+                report.committed += 1;
+                report.degraded_mirror += 1;
+            }
+            o if o.committed() => report.committed += 1,
+            _ => {
+                report.aborted += 1;
+                report.violations.push(format!(
+                    "mirror-kill {n}: checkpoint aborted despite {} surviving replica(s): {:?}",
+                    width - 1,
+                    bd.fault,
+                ));
+            }
+        }
+        if bd.outcome.committed() {
+            host.clock.advance_to(bd.durable_at);
+        }
+    }
+
+    // Revive the victim and rebuild it from the survivors.
+    let degraded = with_mirror(&host, |m| m.is_degraded())?;
+    if degraded {
+        with_mirror(&host, |m| {
+            m.install_replica_fault_plan(victim, FaultPlan::default())?;
+            m.revive_replica(victim)
+        })??;
+        host.resilver()?;
+    }
+    verify_recovered(&mut host, addr, &expected, n, report);
+
+    // Zero-data-loss proof: detach every *other* replica and verify the
+    // whole store — scrub and both restores — from the rebuilt one.
+    if degraded {
+        with_mirror(&host, |m| -> Result<()> {
+            for i in (0..width).filter(|&i| i != victim) {
+                m.kill_replica(i)?;
+            }
+            Ok(())
+        })??;
+        verify_recovered(&mut host, addr, &expected, n, report);
+    }
+    let (f, rr) = with_mirror(&host, |m| {
+        let ms = m.mirror_stats();
+        (ms.failovers, ms.read_repairs)
+    })?;
+    report.failovers += f;
+    report.read_repairs += rr;
+    Ok(())
+}
+
+/// Replica-death sweep across the batched restore.
+///
+/// Iteration `n` cuts the *preferred* replica's power at exactly its
+/// `n`-th device read while an eager cold-cache restore is running. The
+/// mirror must fail over mid-restore: the restore succeeds from a twin
+/// (no abort — reads are the whole point of redundancy), the victim is
+/// detached, and the store verifies clean afterwards.
+pub fn run_mirror_restore_failover_sweep(cuts: u64, width: usize) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for n in 1..=cuts {
+        if let Err(e) = run_mirror_restore_iteration(n, width, &mut report) {
+            report
+                .violations
+                .push(format!("mirror-restore {n}: harness error: {e}"));
+        }
+        report.schedules += 1;
+    }
+    report
+}
+
+/// One sweep iteration: the preferred replica dies at its `n`-th read.
+fn run_mirror_restore_iteration(n: u64, width: usize, report: &mut CampaignReport) -> Result<()> {
+    let mut host = boot_mirror_host(
+        width,
+        StoreConfig {
+            journal_blocks: 512,
+            materialize_data: true,
+            ..StoreConfig::default()
+        },
+    )?;
+    host.sls.restore_workers = 4;
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, SWEEP_PAGES * 4096, false)?;
+    let gid = host.persist("app", pid)?;
+
+    let tag = format!("mrest{n:04}");
+    for p in 0..SWEEP_PAGES {
+        let body = format!("{tag}-p{p:04}");
+        host.kernel.mem_write(pid, addr + p * 4096, body.as_bytes())?;
+    }
+    let mut expected: HashMap<String, Vec<u8>> = HashMap::new();
+    expected.insert("r0".to_string(), format!("{tag}-p0000").into_bytes());
+    let bd = host.checkpoint(gid, true, Some("r0"))?;
+    host.clock.advance_to(bd.durable_at);
+    report.committed += 1;
+    let ckpt = bd
+        .ckpt
+        .ok_or_else(|| Error::internal("baseline did not commit"))?;
+
+    // Cold cache, then kill the read-preferred replica mid-restore.
+    host.sls.primary.borrow_mut().drop_caches()?;
+    with_mirror(&host, |m| {
+        m.install_replica_fault_plan(0, FaultPlan::power_cut_on_read(n))
+    })??;
+    let restore_result = {
+        let store = host.sls.primary.clone();
+        host.restore(&store, ckpt, RestoreMode::Eager)
+    };
+    match restore_result {
+        Ok(r) => {
+            if let Some(np) = r.root_pid() {
+                let want = format!("{tag}-p0000").into_bytes();
+                let mut buf = vec![0u8; want.len()];
+                host.kernel.mem_read(np, addr, &mut buf)?;
+                if buf != want {
+                    report.violations.push(format!(
+                        "mirror-restore {n}: failover restore returned torn memory"
+                    ));
+                }
+                let _ = host.kernel.exit(np, 0);
+                host.kernel.procs.remove(&np);
+            }
+        }
+        Err(e) => {
+            report.aborted += 1;
+            report.violations.push(format!(
+                "mirror-restore {n}: restore failed despite {} surviving replica(s): {e}",
+                width - 1
+            ));
+        }
+    }
+    with_mirror(&host, |m| m.install_replica_fault_plan(0, FaultPlan::default()))??;
+    verify_recovered(&mut host, addr, &expected, n, report);
+    report.failovers += with_mirror(&host, |m| m.mirror_stats().failovers)?;
+    Ok(())
+}
+
+/// Power-cut sweep across the background resilver.
+///
+/// Iteration `n` rebuilds a revived replica and cuts its power at
+/// exactly its `n`-th resilver write, then crashes and reboots the
+/// whole machine. The half-copied replica must come back *rebuilding* —
+/// never trusted for reads — so recovery sees only complete replicas;
+/// re-running the resilver finishes the copy, after which the store
+/// must verify served by the once-half-copied replica alone.
+pub fn run_resilver_power_cut_sweep(cuts: u64, width: usize) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for n in 1..=cuts {
+        if let Err(e) = run_resilver_cut_iteration(n, width, &mut report) {
+            report
+                .violations
+                .push(format!("resilver-cut {n}: harness error: {e}"));
+        }
+        report.schedules += 1;
+    }
+    report
+}
+
+/// One sweep iteration: the rebuild target dies at resilver write `n`.
+fn run_resilver_cut_iteration(n: u64, width: usize, report: &mut CampaignReport) -> Result<()> {
+    let mut host = boot_mirror_host(
+        width,
+        StoreConfig {
+            journal_blocks: 512,
+            materialize_data: true,
+            ..StoreConfig::default()
+        },
+    )?;
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, SWEEP_PAGES * 4096, false)?;
+    let gid = host.persist("app", pid)?;
+    let victim = width - 1;
+
+    let mut expected: HashMap<String, Vec<u8>> = HashMap::new();
+    let tag0 = format!("rsc{n:04}-r0");
+    for p in 0..SWEEP_PAGES {
+        let body = format!("{tag0}-p{p:04}");
+        host.kernel.mem_write(pid, addr + p * 4096, body.as_bytes())?;
+    }
+    expected.insert("r0".to_string(), format!("{tag0}-p0000").into_bytes());
+    let bd = host.checkpoint(gid, true, Some("r0"))?;
+    host.clock.advance_to(bd.durable_at);
+    report.committed += 1;
+
+    // The victim dies cleanly; the next checkpoint runs degraded, so the
+    // victim's contents are genuinely stale when it comes back.
+    with_mirror(&host, |m| m.kill_replica(victim))??;
+    let tag1 = format!("rsc{n:04}-r1");
+    for p in 0..SWEEP_PAGES {
+        let body = format!("{tag1}-p{p:04}");
+        host.kernel.mem_write(pid, addr + p * 4096, body.as_bytes())?;
+    }
+    expected.insert("r1".to_string(), format!("{tag1}-p0000").into_bytes());
+    let bd = host.checkpoint(gid, false, Some("r1"))?;
+    if bd.outcome != CheckpointOutcome::DegradedMirror {
+        report.violations.push(format!(
+            "resilver-cut {n}: degraded checkpoint reported {:?}, expected DegradedMirror",
+            bd.outcome
+        ));
+    }
+    report.committed += 1;
+    report.degraded_mirror += 1;
+    host.clock.advance_to(bd.durable_at);
+
+    // Revive the victim and cut its power mid-rebuild.
+    with_mirror(&host, |m| {
+        m.revive_replica(victim)?;
+        m.install_replica_fault_plan(victim, FaultPlan::power_cut(n))
+    })??;
+    let resilver_result = host.resilver();
+    let cut_fired = resilver_result.is_err();
+    if cut_fired {
+        report.aborted += 1;
+    }
+
+    // Whole-machine crash with the replica half-copied.
+    with_mirror(&host, |m| m.install_replica_fault_plan(victim, FaultPlan::default()))??;
+    let mut host = host.crash_and_reboot()?;
+    report.crashes += 1;
+
+    // A half-copied replica must never come back authoritative.
+    let state = with_mirror(&host, |m| m.replica_state(victim))?;
+    if cut_fired && state != Some(ReplicaState::Rebuilding) {
+        report.violations.push(format!(
+            "resilver-cut {n}: half-copied replica rebooted as {state:?}, not rebuilding"
+        ));
+    }
+    verify_recovered(&mut host, addr, &expected, n, report);
+
+    // Finish the rebuild, then verify from the rebuilt replica alone.
+    if with_mirror(&host, |m| m.needs_resilver())? {
+        host.resilver()?;
+    }
+    with_mirror(&host, |m| -> Result<()> {
+        for i in (0..width).filter(|&i| i != victim) {
+            m.kill_replica(i)?;
+        }
+        Ok(())
+    })??;
+    verify_recovered(&mut host, addr, &expected, n, report);
+    Ok(())
+}
+
 /// Arms a single scheduled power cut at the `n`-th device write.
 fn arm_faults_cut(host: &mut Host, n: u64) {
     host.sls
@@ -569,6 +900,53 @@ mod tests {
         assert_eq!(
             report.restores_verified, 12,
             "a read-side cut can never damage the baseline"
+        );
+    }
+
+    #[test]
+    fn mirror_kill_sweep_mid_flush_loses_nothing() {
+        let report = run_mirror_kill_sweep(12, 2);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(
+            report.degraded_mirror > 0,
+            "some kills must land inside the flush and degrade the mirror"
+        );
+        assert!(
+            report.restores_verified >= 12,
+            "every surviving checkpoint must verify, including from the rebuilt replica alone"
+        );
+    }
+
+    #[test]
+    fn mirror_kill_sweep_width_three() {
+        let report = run_mirror_kill_sweep(6, 3);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.degraded_mirror > 0);
+    }
+
+    #[test]
+    fn mirror_restore_sweep_fails_over_instead_of_aborting() {
+        let report = run_mirror_restore_failover_sweep(10, 2);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.aborted, 0, "a mirrored restore never aborts on one dead replica");
+        assert!(
+            report.failovers > 0,
+            "some cuts must land inside the restore's reads and fail over"
+        );
+    }
+
+    #[test]
+    fn resilver_power_cut_never_promotes_a_half_copied_replica() {
+        let report = run_resilver_power_cut_sweep(8, 2);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(
+            report.aborted > 0,
+            "some cuts must land inside the resilver copy"
+        );
+        assert_eq!(report.crashes, 8, "every iteration reboots mid-rebuild");
+        assert!(
+            report.restores_verified >= 16,
+            "both rounds verify after reboot and again from the rebuilt replica alone"
         );
     }
 

@@ -219,7 +219,31 @@ impl Host {
         group.ec_outstanding.push_back((ec_seq, durable));
         self.sls.stats.checkpoints += 1;
         self.sls.stats.flushed_bytes += breakdown.flush_bytes;
-        metrics::METRICS.lock().checkpoints_committed += 1;
+
+        // A checkpoint that committed while a mirror replica was
+        // detached, rebuilding, or unhealthy is durable but
+        // under-replicated: keep the pipeline flowing, report it.
+        if breakdown.outcome == CheckpointOutcome::Committed {
+            let degraded_mirror = self.sls.group_ref(gid)?.backends.iter().any(|b| {
+                b.store
+                    .borrow()
+                    .device()
+                    .as_mirror()
+                    .is_some_and(|m| m.is_degraded())
+            });
+            if degraded_mirror {
+                breakdown.outcome = CheckpointOutcome::DegradedMirror;
+                breakdown.fault =
+                    Some("mirror degraded: a replica is detached or rebuilding".into());
+            }
+        }
+        {
+            let mut m = metrics::METRICS.lock();
+            m.checkpoints_committed += 1;
+            if breakdown.outcome == CheckpointOutcome::DegradedMirror {
+                m.checkpoints_degraded_mirror += 1;
+            }
+        }
 
         // History-window GC on every backend, then release holds whose
         // checkpoints already became durable.

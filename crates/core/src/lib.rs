@@ -112,6 +112,10 @@ pub struct Sls {
     /// Worker threads for the batched restore pipeline's hash stage
     /// (see `crate::restore`). 1 selects the serial per-page path.
     pub restore_workers: usize,
+    /// Replica count of the primary store's mirror (1 = unmirrored).
+    /// Derived from the device at boot and carried across
+    /// [`Host::crash_and_reboot`].
+    pub mirror_width: usize,
     /// Counters.
     pub stats: SlsStats,
 }
@@ -142,6 +146,7 @@ impl Host {
     /// checkpoint pipeline ever sees them.
     pub fn boot(name: &str, dev: Box<dyn BlockDev>, config: StoreConfig) -> Result<Host> {
         let clock = dev.clock().clone();
+        let mirror_width = dev.as_mirror().map(|m| m.width()).unwrap_or(1);
         let dev: Box<dyn BlockDev> = Box::new(ResilientDev::with_defaults(dev));
         let mut kernel = Kernel::boot(clock.clone(), name);
         let store: StoreHandle = Rc::new(RefCell::new(ObjectStore::format(dev, config)?));
@@ -160,15 +165,29 @@ impl Host {
                 pager_cache: std::collections::HashMap::new(),
                 flush_workers: DEFAULT_FLUSH_WORKERS,
                 restore_workers: DEFAULT_RESTORE_WORKERS,
+                mirror_width,
                 stats: SlsStats::default(),
             },
         })
+    }
+
+    /// Boots a host whose primary store sits on an N-way [`MirrorDev`]
+    /// over `members` (each member gets its own retry layer inside the
+    /// mirror). `Sls::mirror_width` reports the replica count.
+    pub fn boot_mirrored(
+        name: &str,
+        members: Vec<Box<dyn BlockDev>>,
+        config: StoreConfig,
+    ) -> Result<Host> {
+        let mirror = aurora_hw::MirrorDev::new(members)?;
+        Host::boot(name, Box::new(mirror), config)
     }
 
     /// Re-boots a host from an existing store (after a crash or from a
     /// CLI world file): recovers the store and remounts SLSFS.
     pub fn boot_existing(name: &str, dev: Box<dyn BlockDev>, config: StoreConfig) -> Result<Host> {
         let clock = dev.clock().clone();
+        let mirror_width = dev.as_mirror().map(|m| m.width()).unwrap_or(1);
         let dev: Box<dyn BlockDev> = Box::new(ResilientDev::with_defaults(dev));
         let mut kernel = Kernel::boot(clock.clone(), name);
         let store: StoreHandle = Rc::new(RefCell::new(ObjectStore::open(dev, config)?));
@@ -189,6 +208,7 @@ impl Host {
                 pager_cache: std::collections::HashMap::new(),
                 flush_workers: DEFAULT_FLUSH_WORKERS,
                 restore_workers: DEFAULT_RESTORE_WORKERS,
+                mirror_width,
                 stats: SlsStats::default(),
             },
         })
@@ -217,6 +237,7 @@ impl Host {
             pager_cache: _,
             flush_workers,
             restore_workers,
+            mirror_width,
             stats: _,
         } = sls;
         drop(groups);
@@ -243,9 +264,18 @@ impl Host {
                 pager_cache: std::collections::HashMap::new(),
                 flush_workers,
                 restore_workers,
+                mirror_width,
                 stats: SlsStats::default(),
             },
         })
+    }
+
+    /// Rebuilds every rebuilding mirror replica of the primary store
+    /// from its live allocation maps and promotes them to active; see
+    /// [`ObjectStore::resilver`]. A no-op report when the primary is
+    /// unmirrored or fully in sync.
+    pub fn resilver(&mut self) -> Result<aurora_objstore::ResilverReport> {
+        self.sls.primary.borrow_mut().resilver()
     }
 
     /// Registers a process tree as a persistence group (`sls persist`).

@@ -40,6 +40,9 @@ pub struct GlobalCounters {
     pub restore_cache_misses: u64,
     /// Vectored extent reads issued by batched restores.
     pub restore_extents: u64,
+    /// Checkpoints that committed while the mirror was degraded (a
+    /// replica detached, rebuilding, or unhealthy).
+    pub checkpoints_degraded_mirror: u64,
 }
 
 /// The global counter registry. Innermost rank in the lock hierarchy,
@@ -60,6 +63,7 @@ pub static METRICS: OrderedMutex<GlobalCounters> =
         restore_cache_hits: 0,
         restore_cache_misses: 0,
         restore_extents: 0,
+        checkpoints_degraded_mirror: 0,
     });
 
 /// Snapshot of the global counters.
@@ -82,6 +86,11 @@ pub enum CheckpointOutcome {
     /// degraded to a full one (damaged incremental base, or a backend
     /// recovering from an earlier abort). The result is still durable.
     DegradedToFull,
+    /// Committed and durable, but the mirror under a backend was running
+    /// degraded (a replica detached, rebuilding, or unhealthy): the data
+    /// currently has less redundancy than configured, and an operator
+    /// should revive/resilver the missing replica.
+    DegradedMirror,
     /// Flushing failed permanently after retries. No new checkpoint was
     /// committed; the previous durable snapshot is untouched and the
     /// next checkpoint will be full.
@@ -94,6 +103,7 @@ impl CheckpointOutcome {
         match self {
             CheckpointOutcome::Committed => "committed",
             CheckpointOutcome::DegradedToFull => "degraded-to-full",
+            CheckpointOutcome::DegradedMirror => "degraded-mirror",
             CheckpointOutcome::Aborted => "aborted",
         }
     }

@@ -11,10 +11,75 @@
 use aurora_hw::LinkModel;
 use aurora_objstore::CkptId;
 use aurora_sim::error::{Error, Result};
+use aurora_sim::hash::fnv64;
+use aurora_sim::{Decoder, Encoder};
 
 use crate::metrics::RestoreBreakdown;
 use crate::restore::RestoreMode;
 use crate::{GroupId, Host};
+
+/// Magic of a sealed `sls send` image file: "SLSIMG01".
+pub const IMAGE_MAGIC: u64 = 0x534C_5349_4D47_3031;
+
+/// Format version of the image envelope. Bump on layout changes; the
+/// decoder rejects newer versions with a typed error instead of
+/// misparsing them.
+pub const IMAGE_VERSION: u16 = 1;
+
+/// Seals a checkpoint stream into the on-disk `sls send` image envelope:
+/// magic, format version, whole-image content digest, then the payload.
+///
+/// The digest covers every payload byte, so truncation and bit flips are
+/// detected before the stream parser ever runs — `sls recv` on a damaged
+/// file fails with a typed error instead of silently importing garbage.
+pub fn encode_image(payload: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::with_capacity(payload.len() + 32);
+    e.u64(IMAGE_MAGIC);
+    e.u16(IMAGE_VERSION);
+    e.u64(fnv64(payload));
+    e.bytes(payload);
+    e.into_vec()
+}
+
+/// Opens a sealed image envelope, returning the verified payload.
+///
+/// Typed failures, in check order:
+/// * [`aurora_sim::error::ErrorKind::BadImage`] — too short to hold the
+///   header, wrong magic (not an sls image at all), or truncated payload;
+/// * [`aurora_sim::error::ErrorKind::Unsupported`] — a format version
+///   newer than this binary writes (cross-version file);
+/// * [`aurora_sim::error::ErrorKind::Corrupt`] — the payload digest does
+///   not match (bit flip in transit or at rest).
+pub fn decode_image(bytes: &[u8]) -> Result<Vec<u8>> {
+    let mut d = Decoder::new(bytes);
+    let magic = d
+        .u64()
+        .map_err(|_| Error::bad_image("file too short to be an sls image"))?;
+    if magic != IMAGE_MAGIC {
+        return Err(Error::bad_image("not an sls image file (bad magic)"));
+    }
+    let version = d
+        .u16()
+        .map_err(|_| Error::bad_image("sls image truncated in the header"))?;
+    if version > IMAGE_VERSION {
+        return Err(Error::unsupported(format!(
+            "sls image format version {version} is newer than this binary \
+             supports (max {IMAGE_VERSION})"
+        )));
+    }
+    let digest = d
+        .u64()
+        .map_err(|_| Error::bad_image("sls image truncated in the header"))?;
+    let payload = d
+        .bytes()
+        .map_err(|_| Error::bad_image("sls image truncated: payload incomplete"))?;
+    if fnv64(payload) != digest {
+        return Err(Error::corrupt(
+            "sls image digest mismatch: the file was corrupted",
+        ));
+    }
+    Ok(payload.to_vec())
+}
 
 /// Statistics of one live migration.
 #[derive(Debug, Clone, Default)]
@@ -48,21 +113,30 @@ impl Host {
                     .last_checkpoint()
                     .ok_or_else(|| Error::invalid("group has no checkpoints"))?,
             };
-            (group.backends[0].store.clone(), ckpt, group.ns())
+            let backend = group
+                .backends
+                .first()
+                .ok_or_else(|| Error::invalid("group has no backends"))?;
+            (backend.store.clone(), ckpt, group.ns())
         };
         let prefix = format!("g{}/", gid.0);
         let stream = store.borrow_mut().export_checkpoint_filtered(
             ckpt,
             |oid| oid & !0xFFFF_FFFF_FFFF == ns,
             |key| key.starts_with(&prefix),
-        );
-        stream
+        )?;
+        Ok(encode_image(&stream))
     }
 
-    /// Imports a checkpoint stream into this host's primary store
+    /// Imports a sealed checkpoint image into this host's primary store
     /// (`sls recv`); returns the new checkpoint id, ready to restore.
-    pub fn recv_checkpoint(&mut self, stream: &[u8]) -> Result<CkptId> {
-        let (ckpt, durable) = self.sls.primary.borrow_mut().import_stream(stream)?;
+    ///
+    /// The envelope is verified first ([`decode_image`]): truncated,
+    /// bit-flipped, and newer-version files fail with typed errors
+    /// before any stream record is parsed.
+    pub fn recv_checkpoint(&mut self, image: &[u8]) -> Result<CkptId> {
+        let payload = decode_image(image)?;
+        let (ckpt, durable) = self.sls.primary.borrow_mut().import_stream(&payload)?;
         self.clock.advance_to(durable);
         Ok(ckpt)
     }
@@ -81,7 +155,14 @@ pub fn live_migrate(
     max_rounds: u32,
 ) -> Result<MigrationStats> {
     let mut stats = MigrationStats::default();
-    let store = src.sls.group_ref(gid)?.backends[0].store.clone();
+    let store = src
+        .sls
+        .group_ref(gid)?
+        .backends
+        .first()
+        .ok_or_else(|| Error::invalid("group has no backends"))?
+        .store
+        .clone();
 
     // Round 1: full image while the application runs.
     let breakdown = src.checkpoint(gid, true, Some("migrate-base"))?;
@@ -148,4 +229,62 @@ pub fn live_migrate(
     }
     stats.downtime = src.clock.now().since(t0);
     Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_sim::error::ErrorKind;
+
+    #[test]
+    fn image_envelope_roundtrips() {
+        for payload in [&b""[..], &b"x"[..], &[0u8; 4096][..], &[0xA5u8; 70_000][..]] {
+            let sealed = encode_image(payload);
+            assert_eq!(decode_image(&sealed).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn truncated_image_is_a_typed_error() {
+        let sealed = encode_image(b"the quick brown fox");
+        // Every possible truncation point fails loudly, never imports.
+        for len in 0..sealed.len() {
+            let err = decode_image(&sealed[..len]).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::BadImage, "truncated at {len}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_anywhere_in_the_payload_are_detected() {
+        let sealed = encode_image(&[0x3Cu8; 256]);
+        let header = sealed.len() - 256;
+        for (pos, bit) in [(header, 0), (header + 128, 7), (sealed.len() - 1, 3)] {
+            let mut bad = sealed.clone();
+            bad[pos] ^= 1 << bit;
+            let err = decode_image(&bad).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Corrupt, "flip at byte {pos} bit {bit}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_not_an_sls_image() {
+        let mut sealed = encode_image(b"payload");
+        sealed[0] ^= 0xFF;
+        let err = decode_image(&sealed).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::BadImage);
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn newer_format_version_is_rejected_not_misparsed() {
+        let payload = b"from the future";
+        let mut e = Encoder::new();
+        e.u64(IMAGE_MAGIC);
+        e.u16(IMAGE_VERSION + 1);
+        e.u64(fnv64(payload));
+        e.bytes(payload);
+        let err = decode_image(&e.into_vec()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Unsupported);
+        assert!(err.to_string().contains("version"), "{err}");
+    }
 }

@@ -24,6 +24,7 @@ use aurora_sim::time::{SimDuration, SimTime};
 use aurora_sim::SimClock;
 
 use crate::fault::{FaultAction, FaultPlan};
+use crate::mirror::MirrorDev;
 use crate::retry::{DevHealth, RetryStats};
 use crate::BLOCK_SIZE;
 
@@ -116,6 +117,18 @@ pub trait BlockDev {
     /// the extent while still consulting the fault plan once per block,
     /// so read faults land mid-extent exactly where they would on the
     /// serial path.
+    ///
+    /// # Partial-failure contract (all-or-error)
+    ///
+    /// On `Err`, **no buffer in `bufs` holds authoritative data** — a
+    /// mid-extent fault must not leave earlier buffers ambiguously
+    /// filled. [`ModelDev`] upholds this by consulting every per-block
+    /// fault before filling any buffer; the default per-block loop here
+    /// may partially fill `bufs` before erroring, so
+    /// [`crate::retry::ResilientDev`] (which every store-facing device
+    /// sits behind) re-establishes the contract by zeroing the buffers
+    /// on a failed extent. Callers must treat `bufs` as unspecified
+    /// after an error and never consume it.
     fn read_blocks(&mut self, lba: u64, bufs: &mut [Vec<u8>]) -> Result<()> {
         for (i, b) in bufs.iter_mut().enumerate() {
             self.read(lba + i as u64, b)?;
@@ -178,6 +191,32 @@ pub trait BlockDev {
     /// Default: all zero (bare devices do not retry).
     fn retry_stats(&self) -> RetryStats {
         RetryStats::default()
+    }
+
+    /// Attempts to repair block `lba` from redundancy: reads each stored
+    /// copy, and if one passes `verify`, rewrites the copies that do not
+    /// and returns the verified bytes.
+    ///
+    /// Default: `Ok(None)` — a single device has no twin to repair from.
+    /// [`MirrorDev`] implements real read-repair; the object store calls
+    /// this when a block fails content-hash verification, turning a
+    /// one-replica corruption into a rewrite instead of an error.
+    fn repair_block(
+        &mut self,
+        _lba: u64,
+        _verify: &mut dyn FnMut(&[u8]) -> bool,
+    ) -> Result<Option<Vec<u8>>> {
+        Ok(None)
+    }
+
+    /// The underlying [`MirrorDev`], if this device is (or wraps) one.
+    fn as_mirror(&self) -> Option<&MirrorDev> {
+        None
+    }
+
+    /// Mutable access to the underlying [`MirrorDev`], if any.
+    fn as_mirror_mut(&mut self) -> Option<&mut MirrorDev> {
+        None
     }
 }
 

@@ -18,6 +18,9 @@
 //!   `sls` CLI genuine persistence across invocations.
 //! * [`stripe`] — RAID-0 style striping across several devices (the
 //!   paper's four-Optane testbed and its aggregate-bandwidth argument).
+//! * [`mirror`] — N-way replication with read failover, read-repair from
+//!   a twin, and background resilver of a revived replica; the
+//!   self-healing layer under the object store.
 //!
 //! All devices implement [`dev::BlockDev`]. Reads are synchronous (they
 //! advance the virtual clock); writes may be *submitted* asynchronously,
@@ -28,12 +31,14 @@
 pub mod dev;
 pub mod fault;
 pub mod file_dev;
+pub mod mirror;
 pub mod net;
 pub mod retry;
 pub mod stripe;
 
 pub use dev::{BlockDev, DevInfo, DevStats, ModelDev};
 pub use fault::{FaultPlan, FaultRates};
+pub use mirror::{MirrorDev, MirrorStats, ReplicaState};
 pub use net::{LinkModel, RemoteDev};
 pub use retry::{classify, DevHealth, FaultClass, ResilientDev, RetryPolicy, RetryStats};
 pub use stripe::StripedDev;

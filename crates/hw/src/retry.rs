@@ -290,7 +290,20 @@ impl BlockDev for ResilientDev {
         // One retry scope per extent: the model device bounces a
         // transient extent atomically (nothing is filled), so
         // resubmitting the whole extent is idempotent.
-        self.with_retries(true, |d| d.read_blocks(lba, bufs))
+        //
+        // All-or-error contract (see `BlockDev::read_blocks`): a device
+        // behind this layer may not uphold it (the default trait loop
+        // fills buffers one block at a time before a mid-extent fault
+        // surfaces). Zero every buffer on failure so no caller can
+        // mistake a partially-filled extent for data — and so a mirror
+        // failing over to a twin starts from clean buffers.
+        let r = self.with_retries(true, |d| d.read_blocks(lba, bufs));
+        if r.is_err() {
+            for b in bufs.iter_mut() {
+                b.fill(0);
+            }
+        }
+        r
     }
 
     fn submit_write(&mut self, lba: u64, data: &[u8]) -> Result<SimTime> {
@@ -357,6 +370,24 @@ impl BlockDev for ResilientDev {
 
     fn retry_stats(&self) -> RetryStats {
         self.retry_stats
+    }
+
+    fn repair_block(
+        &mut self,
+        lba: u64,
+        verify: &mut dyn FnMut(&[u8]) -> bool,
+    ) -> Result<Option<Vec<u8>>> {
+        // No retry wrapper: a mirror underneath runs its own per-replica
+        // retries, and repair is already a recovery path.
+        self.inner.repair_block(lba, verify)
+    }
+
+    fn as_mirror(&self) -> Option<&crate::mirror::MirrorDev> {
+        self.inner.as_mirror()
+    }
+
+    fn as_mirror_mut(&mut self) -> Option<&mut crate::mirror::MirrorDev> {
+        self.inner.as_mirror_mut()
     }
 }
 
@@ -587,5 +618,55 @@ mod tests {
         // succeeds.
         assert!(ok >= 495, "only {ok}/500 writes succeeded");
         assert!(d.retry_stats().transient_absorbed > 0);
+    }
+
+    /// Writes 4 distinct blocks, flushes, and returns their contents.
+    fn seed_extent(d: &mut ResilientDev) -> Vec<Vec<u8>> {
+        let bufs: Vec<Vec<u8>> = (1..=4u8).map(|i| vec![i; BLOCK_SIZE]).collect();
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let done = d.write_blocks(0, &refs).unwrap();
+        d.clock().advance_to(done);
+        let flushed = d.flush().unwrap();
+        d.clock().advance_to(flushed);
+        bufs
+    }
+
+    #[test]
+    fn failed_extent_read_leaves_no_partial_buffers() {
+        // All-or-error contract: a mid-extent fault that exhausts the
+        // retry budget must not leave buffers 0..n-1 filled with real
+        // data — callers treat Err as "nothing was read".
+        let mut d = resilient(64);
+        seed_extent(&mut d);
+        // The 3rd per-block consultation bounces on every one of the 4
+        // attempts, so the whole extent fails after retries.
+        d.install_fault_plan(FaultPlan::transient_reads(3, 8));
+        let mut out = vec![vec![0x5Au8; BLOCK_SIZE]; 4];
+        assert!(d.read_blocks(0, &mut out).is_err());
+        for (i, b) in out.iter().enumerate() {
+            assert!(
+                b.iter().all(|&x| x == 0),
+                "buffer {i} holds data after a failed extent read"
+            );
+        }
+        assert!(d.retry_stats().failures_surfaced >= 1);
+    }
+
+    #[test]
+    fn power_cut_mid_extent_read_leaves_no_partial_buffers() {
+        let mut d = resilient(64);
+        seed_extent(&mut d);
+        // Power dies at the 2nd per-block consultation of the extent.
+        d.install_fault_plan(FaultPlan::power_cut_on_read(2));
+        let mut out = vec![vec![0xA5u8; BLOCK_SIZE]; 4];
+        let err = d.read_blocks(0, &mut out).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::DeviceDead);
+        assert_eq!(d.health(), DevHealth::Dead);
+        for (i, b) in out.iter().enumerate() {
+            assert!(
+                b.iter().all(|&x| x == 0),
+                "buffer {i} holds data after a power-cut extent read"
+            );
+        }
     }
 }

@@ -111,6 +111,16 @@ impl BlockAlloc {
         self.in_use
     }
 
+    /// Data-block indices with a nonzero refcount, ascending — the live
+    /// allocation map a resilver walks to rebuild a replica.
+    pub fn allocated(&self) -> impl Iterator<Item = u64> + '_ {
+        self.refs
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > 0)
+            .map(|(i, _)| i as u64)
+    }
+
     /// Total capacity.
     pub fn total(&self) -> u64 {
         self.total

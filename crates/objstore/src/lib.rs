@@ -39,8 +39,8 @@ pub mod stream;
 
 pub use checkpoint::{Checkpoint, CkptId};
 pub use store::{
-    ObjectStore, PageWrite, ReadOutcome, ReadPlan, StoreConfig, StoreStats, DEDUP_SHARDS,
-    DEFAULT_READ_CACHE_PAGES, EXTENT_BLOCKS,
+    ObjectStore, PageWrite, ReadOutcome, ReadPlan, ResilverReport, StoreConfig, StoreStats,
+    DEDUP_SHARDS, DEFAULT_READ_CACHE_PAGES, EXTENT_BLOCKS,
 };
 
 /// Identifier of a stored object.

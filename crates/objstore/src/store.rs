@@ -83,6 +83,20 @@ pub struct StoreStats {
     /// Hits served through the content index: the probed block's bytes
     /// were already resident under a different block id.
     pub read_cache_content_hits: u64,
+    /// Blocks healed by read-repair: a copy failed content-hash
+    /// verification and was rewritten from a good mirror twin.
+    pub read_repairs: u64,
+}
+
+/// Outcome of one [`ObjectStore::resilver`] pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResilverReport {
+    /// Extent batches copied to rebuilding replicas.
+    pub extents: u64,
+    /// Blocks carried by those extents (metadata region + live data).
+    pub blocks: u64,
+    /// Replicas promoted from `Rebuilding` to `Active` at the end.
+    pub replicas_promoted: usize,
 }
 
 /// One live object.
@@ -686,6 +700,12 @@ impl ObjectStore {
         self.dev.get_mut().as_mut()
     }
 
+    /// First LBA of the data region (page extents live at and above
+    /// this; everything below is superblocks, allocator and journal).
+    pub fn data_start(&self) -> u64 {
+        self.sb.data_start()
+    }
+
     /// Data blocks currently referenced.
     pub fn blocks_in_use(&self) -> u64 {
         self.alloc.in_use()
@@ -1135,11 +1155,14 @@ impl ObjectStore {
             if self.extent_hash_mismatch(run, &bufs) {
                 // Damaged bytes came back. One re-read gives transient
                 // electronics the benefit of the doubt; damaged media
-                // re-reads identically and the restore aborts while the
-                // committed store stays untouched.
+                // re-reads identically, and then a mirror twin gets a
+                // chance to heal the damaged copy (read-repair) before
+                // the restore aborts with the committed store untouched.
                 let mut again = vec![vec![0u8; BLOCK_SIZE]; run.len()];
                 self.dev.get_mut().read_blocks(lba, &mut again)?;
-                if self.extent_hash_mismatch(run, &again) {
+                if self.extent_hash_mismatch(run, &again)
+                    && !self.repair_extent(run, &mut again)?
+                {
                     return Err(Error::corrupt(format!(
                         "extent at block {start}: content hash mismatch on read"
                     )));
@@ -1181,6 +1204,44 @@ impl ObjectStore {
                 .charge_read_timing((run.len() * BLOCK_SIZE) as u64)?;
         }
         Ok(())
+    }
+
+    /// Read-repair: asks the device layer to heal every block in `run`
+    /// whose bytes in `bufs` fail content-hash verification, patching
+    /// the healed bytes back into `bufs`. Returns `true` only if every
+    /// damaged block was repaired from a verified twin copy (a device
+    /// without redundancy repairs nothing and returns `false`).
+    fn repair_extent(&mut self, run: &[u64], bufs: &mut [Vec<u8>]) -> Result<bool> {
+        // (position in run, block id, expected hash) of damaged blocks.
+        let damaged: Vec<(usize, u64, u64)> = {
+            let cache = self.cache.lock();
+            run.iter()
+                .zip(bufs.iter())
+                .enumerate()
+                .filter_map(|(i, (&b, buf))| {
+                    cache.block_hash.get(&b).and_then(|&h| {
+                        (PageData::from_bytes(buf).content_hash() != h).then_some((i, b, h))
+                    })
+                })
+                .collect()
+        };
+        for (i, b, expect) in damaged {
+            let lba = self.sb.data_start() + b;
+            let golden = self
+                .dev
+                .get_mut()
+                .repair_block(lba, &mut |bytes: &[u8]| {
+                    PageData::from_bytes(bytes).content_hash() == expect
+                })?;
+            let Some(golden) = golden else {
+                return Ok(false);
+            };
+            if let Some(slot) = bufs.get_mut(i) {
+                *slot = golden;
+            }
+            self.stats.read_repairs += 1;
+        }
+        Ok(true)
     }
 
     /// True if any block in `run` whose content hash is recorded came
@@ -1706,11 +1767,16 @@ impl ObjectStore {
                 }
                 let lba = self.sb.data_start() + ptr.0;
                 let mut buf = vec![0u8; BLOCK_SIZE];
-                match self.dev.borrow_mut().read(lba, &mut buf) {
+                // Bound the device borrow to the read itself: the repair
+                // arms below need to borrow the device again.
+                let read_result = self.dev.borrow_mut().read(lba, &mut buf);
+                match read_result {
                     Ok(()) => {
                         if let Some(expect) = expect {
                             let page = PageData::from_bytes(&buf);
-                            if page.content_hash() != expect {
+                            if page.content_hash() != expect
+                                && !self.try_repair(lba, expect)
+                            {
                                 problems.push(format!(
                                     "object {} page {idx}: block {} content hash mismatch",
                                     oid.0, ptr.0
@@ -1718,14 +1784,109 @@ impl ObjectStore {
                             }
                         }
                     }
-                    Err(e) => problems.push(format!(
-                        "object {} page {idx}: block {} unreadable: {e}",
-                        oid.0, ptr.0
-                    )),
+                    Err(e) => {
+                        // A dead preferred copy may still have a healthy
+                        // twin: repair before declaring the block lost.
+                        if expect.is_none_or(|h| !self.try_repair(lba, h)) {
+                            problems.push(format!(
+                                "object {} page {idx}: block {} unreadable: {e}",
+                                oid.0, ptr.0
+                            ));
+                        }
+                    }
                 }
             }
         }
         problems
+    }
+
+    /// Background resilver: rebuilds every `Rebuilding` mirror replica
+    /// from the live allocation maps, in extent-sized batches charged to
+    /// the virtual clock, then promotes the rebuilt replicas to active
+    /// behind a flush barrier.
+    ///
+    /// The walk covers the whole metadata region (superblocks plus both
+    /// journal halves — always real bytes on the medium) and every
+    /// allocated data block. Data extents move real bytes on
+    /// materialized stores and timing-only charges otherwise (the
+    /// authoritative contents live above the device). A crash at any
+    /// point is safe: the replica stays `Rebuilding` across the reboot
+    /// and a rerun repeats the idempotent copies.
+    ///
+    /// No-op (an empty report) on a device without a rebuilding mirror.
+    pub fn resilver(&mut self) -> Result<ResilverReport> {
+        let mut report = ResilverReport::default();
+        if !self
+            .dev
+            .get_mut()
+            .as_mirror()
+            .is_some_and(|m| m.needs_resilver())
+        {
+            return Ok(report);
+        }
+        // Metadata region: blocks 0..data_start, extent-sized batches.
+        let meta_end = self.sb.data_start();
+        let mut runs: Vec<(u64, usize, bool)> = Vec::new(); // (lba, count, real bytes)
+        let mut lba = 0u64;
+        while lba < meta_end {
+            let count = (meta_end - lba).min(EXTENT_BLOCKS as u64) as usize;
+            runs.push((lba, count, true));
+            lba += count as u64;
+        }
+        // Live data blocks, adjacent ids coalesced into extents.
+        let data_start = self.sb.data_start();
+        let materialized = self.config.materialize_data;
+        let mut pending: Option<(u64, usize)> = None;
+        for b in self.alloc.allocated() {
+            match pending {
+                Some((start, count))
+                    if b == start + count as u64 && count < EXTENT_BLOCKS =>
+                {
+                    pending = Some((start, count + 1));
+                }
+                Some((start, count)) => {
+                    runs.push((data_start + start, count, materialized));
+                    pending = Some((b, 1));
+                }
+                None => pending = Some((b, 1)),
+            }
+        }
+        if let Some((start, count)) = pending {
+            runs.push((data_start + start, count, materialized));
+        }
+        for (lba, count, real) in runs {
+            let dev = self.dev.get_mut();
+            let m = dev.as_mirror_mut().ok_or_else(|| {
+                Error::internal("resilver target vanished mid-walk")
+            })?;
+            let copied = if real {
+                m.resilver_extent(lba, count)?
+            } else {
+                m.resilver_extent_timing(count)?
+            };
+            report.blocks += copied;
+            report.extents += 1;
+        }
+        let dev = self.dev.get_mut();
+        let m = dev
+            .as_mirror_mut()
+            .ok_or_else(|| Error::internal("resilver target vanished mid-walk"))?;
+        report.replicas_promoted = m.promote_rebuilt()?;
+        Ok(report)
+    }
+
+    /// Scrub-path read-repair: asks the device layer to heal `lba` from
+    /// redundancy, accepting a copy whose content hash is `expect`.
+    /// Returns `true` if a verified copy now backs the block.
+    fn try_repair(&self, lba: u64, expect: u64) -> bool {
+        self.dev
+            .borrow_mut()
+            .repair_block(lba, &mut |bytes: &[u8]| {
+                PageData::from_bytes(bytes).content_hash() == expect
+            })
+            .ok()
+            .flatten()
+            .is_some()
     }
 
     /// Full offline-quality audit: [`ObjectStore::fsck`] invariants plus

@@ -471,6 +471,206 @@ fn transient_read_errors_absorbed_during_batched_restore() {
     assert!(rs.transient_absorbed > 0);
 }
 
+// ---------------------------------------------------------------------------
+// Mirrored store: read-repair, failover, resilver.
+
+use aurora::core::CheckpointOutcome;
+use aurora::hw::{BlockDev, MirrorDev, ReplicaState};
+
+/// Boots a host whose primary store sits on a `width`-way mirror of
+/// simulated NVMe devices, with page bytes materialized on the platter.
+fn boot_mirrored(width: usize) -> Host {
+    let clock = SimClock::new();
+    let members: Vec<Box<dyn BlockDev>> = (0..width)
+        .map(|i| {
+            Box::new(ModelDev::nvme(clock.clone(), &format!("nvme{i}"), 64 * 1024))
+                as Box<dyn BlockDev>
+        })
+        .collect();
+    Host::boot_mirrored(
+        "fault-mirror",
+        members,
+        StoreConfig {
+            journal_blocks: 512,
+            materialize_data: true,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Runs `f` on the primary store's mirror.
+fn mirror<T>(host: &Host, f: impl FnOnce(&mut MirrorDev) -> T) -> T {
+    let mut store = host.sls.primary.borrow_mut();
+    f(store.device_mut().as_mirror_mut().expect("mirrored host"))
+}
+
+const MPAGES: u64 = 96;
+
+/// Checkpoints a `MPAGES`-page workload while replica 0's platter
+/// silently corrupts every data-region write, so replica 0 holds damaged
+/// bytes at rest and replica 1 holds the truth. Returns (host, addr).
+fn boot_with_rotten_replica0() -> (Host, u64) {
+    let mut host = boot_mirrored(2);
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, MPAGES * 4096, false).unwrap();
+    for p in 0..MPAGES {
+        let body = format!("mirror-page-{p:04}");
+        host.kernel
+            .mem_write(pid, addr + p * 4096, body.as_bytes())
+            .unwrap();
+    }
+    let gid = host.persist("app", pid).unwrap();
+    let ds = host.sls.primary.borrow().data_start();
+    mirror(&host, |m| {
+        m.install_replica_fault_plan(0, FaultPlan::corrupt_blocks(ds, u64::MAX, 100, 3))
+    })
+    .unwrap();
+    let bd = host.checkpoint(gid, true, Some("base")).unwrap();
+    host.clock.advance_to(bd.durable_at);
+    // Electronics healthy again — but the damage is already at rest.
+    mirror(&host, |m| m.install_replica_fault_plan(0, FaultPlan::default())).unwrap();
+    host.sls.primary.borrow_mut().drop_caches().unwrap();
+    (host, addr)
+}
+
+/// Restores every page of the named baseline and checks its contents.
+fn verify_baseline(host: &mut Host, addr: u64) {
+    let store = host.sls.primary.clone();
+    let head = store.borrow().head().unwrap();
+    let r = host.restore(&store, head, RestoreMode::Eager).unwrap();
+    let np = r.root_pid().unwrap();
+    for p in 0..MPAGES {
+        let want = format!("mirror-page-{p:04}");
+        let mut buf = vec![0u8; want.len()];
+        host.kernel.mem_read(np, addr + p * 4096, &mut buf).unwrap();
+        assert_eq!(buf, want.into_bytes(), "page {p} damaged");
+    }
+    let _ = host.kernel.exit(np, 0);
+    host.kernel.procs.remove(&np);
+}
+
+/// At-rest corruption on the preferred replica is healed transparently
+/// by the restore's read path: every damaged block is rewritten from
+/// the twin, the restore sees only verified bytes, and afterwards the
+/// once-rotten replica alone can serve the whole store.
+#[test]
+fn at_rest_corruption_is_read_repaired_from_the_twin() {
+    let (mut host, addr) = boot_with_rotten_replica0();
+    verify_baseline(&mut host, addr);
+
+    let repairs = host.sls.primary.borrow().stats.read_repairs;
+    assert!(repairs > 0, "the restore must have repaired damaged blocks");
+    let ms = mirror(&host, |m| m.mirror_stats());
+    assert!(ms.read_repairs > 0, "repairs go through the mirror twin");
+
+    // The platter itself was healed, not just the returned bytes:
+    // detach the good twin and serve everything from replica 0.
+    mirror(&host, |m| m.kill_replica(1)).unwrap();
+    host.sls.primary.borrow_mut().drop_caches().unwrap();
+    assert!(
+        host.sls.primary.borrow_mut().scrub().is_empty(),
+        "healed replica must scrub clean on its own"
+    );
+    verify_baseline(&mut host, addr);
+}
+
+/// `scrub` performs the same read-repair: walking the checkpoints heals
+/// every damaged at-rest block from the twin instead of reporting it.
+#[test]
+fn scrub_heals_at_rest_corruption_via_the_mirror() {
+    let (mut host, addr) = boot_with_rotten_replica0();
+    let problems = host.sls.primary.borrow_mut().scrub();
+    assert!(
+        problems.is_empty(),
+        "scrub repairs from the twin instead of reporting: {problems:?}"
+    );
+    let ms = mirror(&host, |m| m.mirror_stats());
+    assert!(ms.read_repairs > 0, "scrub healed blocks through the mirror");
+
+    mirror(&host, |m| m.kill_replica(1)).unwrap();
+    host.sls.primary.borrow_mut().drop_caches().unwrap();
+    assert!(host.sls.primary.borrow_mut().scrub().is_empty());
+    verify_baseline(&mut host, addr);
+}
+
+/// Power cut in the middle of a read-repair rewrite: the half-repaired
+/// replica is detached, never read, and stays untrusted across a
+/// reboot; only a completed resilver readmits it.
+#[test]
+fn power_cut_during_read_repair_rewrite_never_trusts_the_torn_copy() {
+    let (mut host, addr) = boot_with_rotten_replica0();
+    // Replica 0 dies at its first write — which is the first repair
+    // rewrite, since restores issue no other writes.
+    mirror(&host, |m| m.install_replica_fault_plan(0, FaultPlan::power_cut(1))).unwrap();
+    verify_baseline(&mut host, addr);
+    assert_eq!(
+        mirror(&host, |m| m.replica_state(0)),
+        Some(ReplicaState::Detached),
+        "the replica that died mid-rewrite must be detached"
+    );
+
+    // The detachment survives the machine crashing and rebooting: the
+    // rotten, half-repaired copy is never authoritative.
+    mirror(&host, |m| m.install_replica_fault_plan(0, FaultPlan::default())).unwrap();
+    let mut host = host.crash_and_reboot().unwrap();
+    assert_eq!(
+        mirror(&host, |m| m.replica_state(0)),
+        Some(ReplicaState::Detached)
+    );
+    assert!(host.sls.primary.borrow_mut().scrub().is_empty());
+    verify_baseline(&mut host, addr);
+
+    // Readmission is only through a full resilver — after which the
+    // once-rotten replica alone serves the whole store.
+    mirror(&host, |m| m.revive_replica(0)).unwrap();
+    let report = host.resilver().unwrap();
+    assert_eq!(report.replicas_promoted, 1);
+    assert!(report.blocks > 0);
+    mirror(&host, |m| m.kill_replica(1)).unwrap();
+    host.sls.primary.borrow_mut().drop_caches().unwrap();
+    assert!(host.sls.primary.borrow_mut().scrub().is_empty());
+    verify_baseline(&mut host, addr);
+}
+
+/// Degraded-mode checkpoints keep flowing and say so: with a replica
+/// dead the outcome is `DegradedMirror` (still durable), the global
+/// counter ticks, and a completed resilver restores `Committed`.
+#[test]
+fn degraded_mirror_checkpoints_commit_and_report() {
+    let mut host = boot_mirrored(2);
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, 4 * 4096, false).unwrap();
+    host.kernel.mem_write(pid, addr, b"state-v1").unwrap();
+    let gid = host.persist("app", pid).unwrap();
+    let bd = host.checkpoint(gid, true, Some("v1")).unwrap();
+    assert_eq!(bd.outcome, CheckpointOutcome::Committed);
+    host.clock.advance_to(bd.durable_at);
+
+    mirror(&host, |m| m.kill_replica(1)).unwrap();
+    let before = aurora::core::metrics::global_counters().checkpoints_degraded_mirror;
+    host.kernel.mem_write(pid, addr, b"state-v2").unwrap();
+    let bd = host.checkpoint(gid, false, Some("v2")).unwrap();
+    assert_eq!(bd.outcome, CheckpointOutcome::DegradedMirror);
+    assert!(bd.outcome.committed(), "a degraded-mirror checkpoint is durable");
+    assert!(
+        bd.fault.as_deref().unwrap_or_default().contains("mirror degraded"),
+        "fault names the cause: {:?}",
+        bd.fault
+    );
+    assert_eq!(
+        aurora::core::metrics::global_counters().checkpoints_degraded_mirror,
+        before + 1
+    );
+    host.clock.advance_to(bd.durable_at);
+
+    mirror(&host, |m| m.revive_replica(1)).unwrap();
+    host.resilver().unwrap();
+    host.kernel.mem_write(pid, addr, b"state-v3").unwrap();
+    let bd = host.checkpoint(gid, false, Some("v3")).unwrap();
+    assert_eq!(bd.outcome, CheckpointOutcome::Committed, "healed mirror commits clean");
+}
+
 /// Damaged media during a batched restore: every read in the data
 /// region returns a flipped bit. The restore must refuse the data
 /// (content-hash mismatch) instead of wiring garbage — and because
