@@ -1,0 +1,370 @@
+//! Replication benchmark: what a hot standby costs and what a failover
+//! loses.
+//!
+//! Sweeps checkpoint period × link fault intensity. Each cell boots a
+//! primary with an attached standby, runs a fixed number of full-dirty
+//! checkpoint epochs shipping each one over the fault-modeled link, then
+//! kills the primary abruptly right after the last commit — with acks
+//! and retransmissions still in flight — and promotes the standby.
+//!
+//! Reported per cell:
+//!
+//! * **RPO** — epochs and payload bytes lost to the failover
+//!   (`shipped - promoted`, and the shipped-byte mass above the promoted
+//!   epoch). Clean links lose nothing because promote drains in-flight
+//!   frames; lossy links lose the epochs whose dropped frames the dead
+//!   primary never got to retransmit — shrinking as the checkpoint
+//!   period grows and retransmission catches up between epochs.
+//! * **RTO** — virtual time from the kill to the promoted standby
+//!   serving the image: drain + discard-partials + boot + eager restore
+//!   + every page touched.
+//!
+//! Everything is measured in **virtual time** (modeled NVMe and NIC
+//! latency charged to the simulation clock), so the numbers are
+//! deterministic and machine-independent. Emits
+//! `BENCH_replication.json`.
+//!
+//! Flags:
+//!
+//! * `--quick` — smaller image and fewer epochs (CI smoke).
+//! * `--gate` — exit non-zero unless every clean-link cell has zero RPO
+//!   and a verified promoted image, every cell has a positive RTO, and
+//!   the hostile link actually dropped frames.
+//! * `--out <path>` — output path (default `BENCH_replication.json`).
+
+use std::fmt::Write as _;
+
+use aurora_core::restore::RestoreMode;
+use aurora_core::{promote_to_host, Host, ReplConfig};
+use aurora_hw::{LinkFaultRates, ModelDev};
+use aurora_objstore::StoreConfig;
+use aurora_sim::time::SimDuration;
+use aurora_sim::SimClock;
+use criterion::wall_now;
+
+/// Virtual time between checkpoint epochs, in milliseconds. The sweep's
+/// x-axis: longer periods give retransmission more room to drain the
+/// unacked tail before the next epoch piles on.
+const PERIODS_MS: [u64; 3] = [2, 10, 50];
+
+/// Link fault intensities swept per period.
+const FAULTS: [(&str, fn() -> LinkFaultRates); 3] = [
+    ("clean", LinkFaultRates::clean),
+    ("lossy", LinkFaultRates::lossy),
+    ("hostile", LinkFaultRates::hostile),
+];
+
+/// Upper bound on the virtual time between link pumps. Must sit below
+/// the retransmit timeout (1 ms) or the coarse pumping itself would
+/// manufacture spurious retransmissions on a clean link.
+const PUMP_STEP_US: u64 = 250;
+
+struct BenchConfig {
+    /// Pages in the checkpointed image (all dirtied every epoch).
+    pages: u64,
+    /// Checkpoint epochs shipped before the kill.
+    epochs: u64,
+}
+
+impl BenchConfig {
+    fn standard() -> Self {
+        BenchConfig {
+            pages: 64,
+            epochs: 8,
+        }
+    }
+
+    fn quick() -> Self {
+        BenchConfig {
+            pages: 24,
+            epochs: 5,
+        }
+    }
+}
+
+/// Measured numbers for one (period, fault intensity) cell.
+struct CellResult {
+    period_ms: u64,
+    fault: &'static str,
+    shipped_epochs: u64,
+    acked_at_kill: u64,
+    promoted_epoch: u64,
+    rpo_epochs: u64,
+    rpo_bytes: u64,
+    rto_virtual_ms: f64,
+    frames_sent: u64,
+    frames_retransmitted: u64,
+    frames_dropped: u64,
+    promoted_verified: bool,
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        journal_blocks: 2048,
+        materialize_data: true,
+        ..StoreConfig::default()
+    }
+}
+
+/// One sweep cell: run the replicated workload, kill the primary after
+/// the last commit, promote the standby and time it back to serving.
+fn run_cell(cfg: &BenchConfig, period_ms: u64, fault: &'static str, rates: LinkFaultRates) -> CellResult {
+    let clock = SimClock::new();
+    let blocks = cfg.pages * 8 + 32 * 1024;
+    let dev = Box::new(ModelDev::nvme(clock, "nvme0", blocks));
+    let mut host = Host::boot("repl-bench", dev, store_config()).expect("host boot");
+    host.attach_standby(ReplConfig {
+        seed: 0xBE7C_0000 ^ (period_ms << 8) ^ fault.len() as u64,
+        rates,
+        max_lag_epochs: u64::MAX, // the bench reports lag, it doesn't police it
+        standby_blocks: blocks,
+        standby_store: store_config(),
+        ..ReplConfig::default()
+    })
+    .expect("attach standby");
+
+    let pid = host.kernel.spawn("image");
+    let addr = host
+        .kernel
+        .mmap_anon(pid, cfg.pages * 4096, false)
+        .expect("map");
+    let gid = host.persist("image", pid).expect("persist");
+
+    let period = SimDuration::from_millis(period_ms);
+    let step = SimDuration::from_micros(PUMP_STEP_US);
+    let pumps = period.as_nanos().div_ceil(step.as_nanos());
+    // Cumulative shipped payload bytes after each epoch, so the bytes
+    // above the promoted epoch can be priced exactly after the kill.
+    let mut shipped_cum: Vec<u64> = Vec::new();
+    for epoch in 0..cfg.epochs {
+        for p in 0..cfg.pages {
+            let body = [epoch as u8 + 1, (p % 250) as u8, 0xC4];
+            host.kernel
+                .mem_write(pid, addr + p * 4096, &body)
+                .expect("dirty");
+        }
+        let bd = host
+            .checkpoint(gid, epoch == 0, None)
+            .expect("checkpoint");
+        assert!(bd.outcome.committed(), "checkpoint must commit");
+        host.clock.advance_to(bd.durable_at);
+        shipped_cum.push(host.replication().expect("standby").stats.bytes_shipped);
+        // Let the inter-epoch period elapse in sub-steps so the link
+        // keeps moving: deliveries land, acks return, timers fire. The
+        // final epoch gets no grace period — the kill lands right on
+        // its heels, which is the failover that actually hurts.
+        if epoch + 1 < cfg.epochs {
+            for _ in 0..pumps {
+                let next = host.clock.now() + step;
+                host.clock.advance_to(next);
+                host.replication_pump();
+            }
+        }
+    }
+
+    // Abrupt kill: the primary vanishes with the last epoch's frames
+    // (and any retransmit backlog) still in flight.
+    let t_kill = host.clock.now();
+    let repl = host.detach_standby().expect("standby attached");
+    let acked_at_kill = repl.acked_epoch();
+    let shipped = repl.shipped_epoch();
+    let sent = repl.stats.frames_sent;
+    let retx = repl.stats.frames_retransmitted;
+    let dropped = repl.data_link_stats().dropped;
+    drop(host);
+
+    let (report, rto, verified) = match promote_to_host(repl, "standby") {
+        Ok((mut standby, report)) => {
+            let mut verified = false;
+            if report.promoted_epoch > 0 {
+                let store = standby.sls.primary.clone();
+                let head = store.borrow().head().expect("promoted head");
+                let r = standby
+                    .restore(&store, head, RestoreMode::Eager)
+                    .expect("restore");
+                let np = r.restored_pid(pid.0).expect("pid");
+                let mut buf = [0u8; 3];
+                verified = true;
+                for p in 0..cfg.pages {
+                    standby
+                        .kernel
+                        .mem_read(np, addr + p * 4096, &mut buf)
+                        .expect("touch");
+                    let want = [report.promoted_epoch as u8, (p % 250) as u8, 0xC4];
+                    verified &= buf == want;
+                }
+            }
+            let rto = standby.clock.now().since(t_kill).as_secs_f64() * 1e3;
+            (report, rto, verified)
+        }
+        Err(e) => panic!("promote failed: {e}"),
+    };
+
+    let total_bytes = shipped_cum.last().copied().unwrap_or(0);
+    let promoted_bytes = if report.promoted_epoch == 0 {
+        0
+    } else {
+        shipped_cum
+            .get(report.promoted_epoch as usize - 1)
+            .copied()
+            .unwrap_or(total_bytes)
+    };
+    CellResult {
+        period_ms,
+        fault,
+        shipped_epochs: shipped,
+        acked_at_kill,
+        promoted_epoch: report.promoted_epoch,
+        rpo_epochs: shipped.saturating_sub(report.promoted_epoch),
+        rpo_bytes: total_bytes.saturating_sub(promoted_bytes),
+        rto_virtual_ms: rto,
+        frames_sent: sent,
+        frames_retransmitted: retx,
+        frames_dropped: dropped,
+        promoted_verified: verified,
+    }
+}
+
+fn emit_json(cfg: &BenchConfig, rows: &[CellResult], harness_secs: f64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"replication\",");
+    let _ = writeln!(
+        s,
+        "  \"workload\": \"full_dirty_epochs_shipped_to_standby_then_abrupt_kill_and_promote\","
+    );
+    let _ = writeln!(s, "  \"time_domain\": \"virtual\",");
+    let _ = writeln!(s, "  \"image_pages\": {},", cfg.pages);
+    let _ = writeln!(s, "  \"epochs\": {},", cfg.epochs);
+    let _ = writeln!(s, "  \"harness_wall_secs\": {harness_secs:.3},");
+    let _ = writeln!(s, "  \"cells\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"period_ms\": {},", r.period_ms);
+        let _ = writeln!(s, "      \"fault\": \"{}\",", r.fault);
+        let _ = writeln!(s, "      \"shipped_epochs\": {},", r.shipped_epochs);
+        let _ = writeln!(s, "      \"acked_at_kill\": {},", r.acked_at_kill);
+        let _ = writeln!(s, "      \"promoted_epoch\": {},", r.promoted_epoch);
+        let _ = writeln!(s, "      \"rpo_epochs\": {},", r.rpo_epochs);
+        let _ = writeln!(s, "      \"rpo_bytes\": {},", r.rpo_bytes);
+        let _ = writeln!(s, "      \"rto_virtual_ms\": {:.3},", r.rto_virtual_ms);
+        let _ = writeln!(s, "      \"frames_sent\": {},", r.frames_sent);
+        let _ = writeln!(
+            s,
+            "      \"frames_retransmitted\": {},",
+            r.frames_retransmitted
+        );
+        let _ = writeln!(s, "      \"frames_dropped\": {},", r.frames_dropped);
+        let _ = writeln!(s, "      \"promoted_verified\": {}", r.promoted_verified);
+        let _ = write!(s, "    }}");
+        let _ = writeln!(s, "{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_replication.json".to_string());
+    let cfg = if quick {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::standard()
+    };
+
+    let t0 = wall_now();
+    let mut rows = Vec::new();
+    for period_ms in PERIODS_MS {
+        for (fault, rates) in FAULTS {
+            rows.push(run_cell(&cfg, period_ms, fault, rates()));
+        }
+    }
+    let harness_secs = t0.elapsed().as_secs_f64();
+    let json = emit_json(&cfg, &rows, harness_secs);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_replication: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    print!("{json}");
+
+    for r in &rows {
+        println!(
+            "period={}ms {}: shipped {} acked-at-kill {} promoted {} | \
+             RPO {} epochs / {} bytes | RTO {:.3} virtual ms | \
+             {} frames (+{} retx, {} dropped) verified={}",
+            r.period_ms,
+            r.fault,
+            r.shipped_epochs,
+            r.acked_at_kill,
+            r.promoted_epoch,
+            r.rpo_epochs,
+            r.rpo_bytes,
+            r.rto_virtual_ms,
+            r.frames_sent,
+            r.frames_retransmitted,
+            r.frames_dropped,
+            r.promoted_verified,
+        );
+    }
+
+    if gate {
+        let mut failed = false;
+        for r in &rows {
+            if r.fault == "clean" && r.rpo_epochs != 0 {
+                eprintln!(
+                    "bench_replication: GATE FAILED: clean link at {}ms lost {} epochs",
+                    r.period_ms, r.rpo_epochs
+                );
+                failed = true;
+            }
+            if r.fault == "clean" && !r.promoted_verified {
+                eprintln!(
+                    "bench_replication: GATE FAILED: clean link at {}ms promoted an \
+                     unverified image",
+                    r.period_ms
+                );
+                failed = true;
+            }
+            // RTO is undefined when nothing promoted (the standby has no
+            // image to serve); every real promote must take virtual time.
+            if r.promoted_epoch > 0 && r.rto_virtual_ms <= 0.0 {
+                eprintln!(
+                    "bench_replication: GATE FAILED: {} at {}ms reported a non-positive RTO",
+                    r.fault, r.period_ms
+                );
+                failed = true;
+            }
+            if r.promoted_epoch > 0 && !r.promoted_verified {
+                eprintln!(
+                    "bench_replication: GATE FAILED: {} at {}ms promoted epoch {} but the \
+                     restored image did not match it",
+                    r.fault, r.period_ms, r.promoted_epoch
+                );
+                failed = true;
+            }
+        }
+        if !rows
+            .iter()
+            .any(|r| r.fault == "hostile" && r.frames_dropped > 0)
+        {
+            eprintln!(
+                "bench_replication: GATE FAILED: the hostile link never dropped a frame"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "gate passed: clean links lose nothing and verify, every promote reaches \
+             serving in positive virtual time"
+        );
+    }
+}

@@ -26,9 +26,9 @@ use aurora_apps::hello::HelloApp;
 use aurora_apps::kv::{KvOp, KvServer, PersistMode};
 use aurora_core::restore::RestoreMode;
 use aurora_core::serialize::ManifestRec;
-use aurora_core::{BackendKind, GroupId, Host};
+use aurora_core::{BackendKind, GroupId, Host, ReplConfig};
 use aurora_hw::file_dev::FileDev;
-use aurora_hw::{BlockDev, MirrorDev, ReplicaState};
+use aurora_hw::{BlockDev, LinkFaultRates, MirrorDev, ReplicaState};
 use aurora_objstore::{CkptId, ObjectStore, StoreConfig};
 use aurora_posix::Pid;
 use aurora_sim::error::{Error, Result};
@@ -63,6 +63,15 @@ WORLD MANAGEMENT:
                                   hashes and report device health
   mirror [--kill I] [--revive I]  Show replica states; detach or readmit one
   resilver                        Rebuild rebuilding replicas from the live store
+
+REPLICATION (hot standby):
+  standby <name> [--epochs N] [--steps S] [--faults clean|lossy|hostile]
+                                  Advance an app N epochs, shipping every
+                                  checkpoint to the standby image over a
+                                  fault-modeled link (full sync, then deltas)
+  promote [--verify-only]         Fail over to the standby image: verify it
+                                  boots and restores, then make it the primary
+                                  (the old disk.img is kept as a backup)
 ";
 
 /// Runs one `sls` invocation; returns what should be printed.
@@ -100,6 +109,8 @@ pub fn run(args: &[&str]) -> Result<String> {
         "scrub" => cmd_scrub(&world),
         "mirror" => cmd_mirror(&world, opts),
         "resilver" => cmd_resilver(&world),
+        "standby" => cmd_standby(&world, opts),
+        "promote" => cmd_promote(&world, opts),
         other => Err(Error::invalid(format!("unknown command {other}; try --help"))),
     }
 }
@@ -737,6 +748,195 @@ fn cmd_resilver(world: &Path) -> Result<String> {
     ))
 }
 
+fn standby_path(world: &Path) -> PathBuf {
+    world.join("standby.img")
+}
+
+/// Finds the newest checkpoint carrying any application manifest.
+fn newest_app(host: &mut Host) -> Result<(CkptId, ManifestRec)> {
+    let store = host.sls.primary.clone();
+    let st = store.borrow_mut();
+    let ids: Vec<CkptId> = st.checkpoints().iter().map(|c| c.id).collect();
+    for id in ids.into_iter().rev() {
+        let keys = st.blob_keys_at(id, "g");
+        for key in keys.into_iter().filter(|k| k.ends_with("/manifest")) {
+            if let Some(blob) = st.get_blob(id, &key)? {
+                if let Ok(m) = ManifestRec::decode(&blob) {
+                    return Ok((id, m));
+                }
+            }
+        }
+    }
+    Err(Error::not_found("no application image in the standby"))
+}
+
+/// `sls standby`: advance an application for several checkpoint epochs,
+/// shipping each committed checkpoint to `standby.img` over a
+/// fault-modeled link. Every run re-syncs from scratch — a full export
+/// first, then per-epoch deltas — so the image always ends at the acked
+/// watermark regardless of what a previous run left behind.
+fn cmd_standby(world: &Path, opts: &[&str]) -> Result<String> {
+    let name = opts
+        .first()
+        .filter(|n| !n.starts_with("--"))
+        .ok_or_else(|| Error::invalid("standby needs an application name"))?;
+    let epochs: u64 = flag_value(opts, "--epochs")
+        .map(|v| v.parse().map_err(|_| Error::invalid("bad --epochs")))
+        .transpose()?
+        .unwrap_or(3);
+    let steps: u64 = flag_value(opts, "--steps")
+        .map(|v| v.parse().map_err(|_| Error::invalid("bad --steps")))
+        .transpose()?
+        .unwrap_or(10);
+    let rates = match flag_value(opts, "--faults").unwrap_or("lossy") {
+        "clean" => LinkFaultRates::clean(),
+        "lossy" => LinkFaultRates::lossy(),
+        "hostile" => LinkFaultRates::hostile(),
+        other => {
+            return Err(Error::invalid(format!(
+                "unknown fault level {other} (clean|lossy|hostile)"
+            )))
+        }
+    };
+    let mut host = open_host(world)?;
+    let (gid, pid) = revive(&mut host, world, name)?;
+
+    // A fresh standby image sized like the primary; the session starts
+    // with a full sync, so stale contents would only waste space.
+    let spath = standby_path(world);
+    if spath.exists() {
+        std::fs::remove_file(&spath).map_err(|e| Error::io(e.to_string()))?;
+    }
+    let blocks = std::fs::metadata(disk_path(world))
+        .map_err(|e| Error::io(e.to_string()))?
+        .len()
+        / 4096;
+    let sdev = Box::new(FileDev::open(host.clock.clone(), &spath, blocks)?);
+    let sstore = ObjectStore::format(sdev, store_config())?;
+    host.attach_standby_store(
+        ReplConfig {
+            rates,
+            ..ReplConfig::default()
+        },
+        std::rc::Rc::new(std::cell::RefCell::new(sstore)),
+    )?;
+
+    let mut out = String::new();
+    for e in 0..epochs {
+        let report = advance(&mut host, pid, steps)?;
+        let bd = host.checkpoint(gid, false, None)?;
+        host.wait_durable(gid)?;
+        // Drain the link between epochs: deliveries land, acks return,
+        // lost frames get retransmitted, the watermark advances.
+        if let Some(r) = host.replication_mut() {
+            r.run_until_idle(1_000_000);
+        }
+        writeln!(
+            out,
+            "  epoch {}: {report}; checkpoint {}{}",
+            e + 1,
+            bd.ckpt.map(|c| c.0).unwrap_or(0),
+            outcome_note(&bd),
+        )
+        .ok();
+    }
+    if let Some(old) = host.sls.group_ref(gid)?.supersedes {
+        host.prune_incarnation(old)?;
+    }
+    let repl = host
+        .detach_standby()
+        .ok_or_else(|| Error::corrupt("standby session vanished"))?;
+    let link = repl.data_link_stats();
+    writeln!(
+        out,
+        "standby synced to {}: {} epochs shipped, watermark {} acked, lag {} epochs / {} bytes",
+        spath.display(),
+        repl.shipped_epoch(),
+        repl.acked_epoch(),
+        repl.lag_epochs(),
+        repl.lag_bytes(),
+    )
+    .ok();
+    writeln!(
+        out,
+        "  link: {} frames sent (+{} retransmitted), {} dropped, {} duplicated, {} reordered; `sls promote` to fail over",
+        repl.stats.frames_sent,
+        repl.stats.frames_retransmitted,
+        link.dropped,
+        link.duplicated,
+        link.reordered,
+    )
+    .ok();
+    Ok(out)
+}
+
+/// `sls promote`: fail over to the standby image. Boots a host from
+/// `standby.img`, scrubs it, restores the newest application to prove
+/// the image serves, then (unless `--verify-only`) makes it the new
+/// primary — the old `disk.img` is kept as `disk.img.pre-promote`.
+fn cmd_promote(world: &Path, opts: &[&str]) -> Result<String> {
+    let verify_only = opts.contains(&"--verify-only");
+    let spath = standby_path(world);
+    if !spath.exists() {
+        return Err(Error::not_found(format!(
+            "no standby image at {} (run `sls standby` first)",
+            spath.display()
+        )));
+    }
+    if !verify_only && mirror_meta_path(world).exists() {
+        return Err(Error::unsupported(
+            "cannot promote over a mirrored world; use --verify-only to inspect the standby",
+        ));
+    }
+    let clock = SimClock::new();
+    let blocks = std::fs::metadata(&spath)
+        .map_err(|e| Error::io(e.to_string()))?
+        .len()
+        / 4096;
+    let dev = Box::new(FileDev::open(clock, &spath, blocks)?);
+    let mut host = Host::boot_existing("sls-standby", dev, store_config())?;
+    let problems = host.sls.primary.borrow_mut().scrub();
+    if !problems.is_empty() {
+        return Err(Error::corrupt(format!(
+            "standby image fails scrub, refusing to promote: {problems:?}"
+        )));
+    }
+    let (ckpt, manifest) = newest_app(&mut host)?;
+    let store = host.sls.primary.clone();
+    let r = host.restore(&store, ckpt, RestoreMode::Eager)?;
+    let pid = r
+        .root_pid()
+        .ok_or_else(|| Error::bad_image("standby image restored no process"))?;
+    let state = describe(&mut host, pid);
+    let name = manifest.name.clone();
+    drop(store);
+    drop(host);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "standby verified: {name} restored from checkpoint {} in {}\n  state: {state}",
+        ckpt.0, r.total,
+    )
+    .ok();
+    if verify_only {
+        writeln!(out, "verify only: the primary is unchanged").ok();
+        return Ok(out);
+    }
+    let primary = disk_path(world);
+    let backup = world.join("disk.img.pre-promote");
+    std::fs::rename(&primary, &backup).map_err(|e| Error::io(e.to_string()))?;
+    std::fs::copy(&spath, &primary).map_err(|e| Error::io(e.to_string()))?;
+    writeln!(
+        out,
+        "promoted: {} is now the primary (old primary kept at {})",
+        spath.display(),
+        backup.display(),
+    )
+    .ok();
+    Ok(out)
+}
+
 fn cmd_info(world: &Path) -> Result<String> {
     let host = open_host(world)?;
     let store = host.sls.primary.borrow();
@@ -774,8 +974,23 @@ fn cmd_info(world: &Path) -> Result<String> {
         .unwrap_or_default();
     let sls = &host.sls.stats;
     let m = aurora_core::metrics::global_counters();
+    let standby_note = match std::fs::metadata(standby_path(world)) {
+        Ok(meta) => format!("image present ({} bytes)", meta.len()),
+        Err(_) => "no image".to_string(),
+    };
+    let repl_note = format!(
+        "  standby: {standby_note}; session: {} frames sent (+{} retransmitted, {} dropped), {} acks, watermark {} epochs, lag {} epochs / {} bytes, {} degraded-replication commits\n",
+        m.repl_frames_sent,
+        m.repl_frames_retransmitted,
+        m.repl_frames_dropped,
+        m.repl_acks_received,
+        m.repl_epochs_acked,
+        m.repl_lag_epochs,
+        m.repl_lag_bytes,
+        m.checkpoints_degraded_replication,
+    );
     Ok(format!(
-        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n{mirror_note}  checkpoints this session: {} degraded, {} aborted\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n  restore pipeline: {} workers configured; {} pages hashed, {} extent reads\n  read cache: {} of {} pages resident, {} hits / {} misses ({} content hits), {} evictions\n",
+        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n{mirror_note}{repl_note}  checkpoints this session: {} degraded, {} aborted\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n  restore pipeline: {} workers configured; {} pages hashed, {} extent reads\n  read cache: {} of {} pages resident, {} hits / {} misses ({} content hits), {} evictions\n",
         world.display(),
         store.checkpoints().len(),
         store.blocks_in_use(),
@@ -863,4 +1078,59 @@ fn cmd_scrub(world: &Path) -> Result<String> {
         .ok();
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn world_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aurora-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk world");
+        dir
+    }
+
+    /// `sls standby` ships a world to the standby image over a lossy
+    /// link, and `sls promote` makes that image the new primary, which
+    /// then keeps serving and checkpointing.
+    #[test]
+    fn standby_then_promote_takes_over() {
+        let dir = world_dir("standby");
+        let w = dir.to_str().expect("utf8 path");
+        run(&["--world", w, "init", "--blocks", "8192"]).expect("init");
+        run(&["--world", w, "persist", "demo", "--app", "kv"]).expect("persist");
+        let out = run(&[
+            "--world", w, "standby", "demo", "--epochs", "2", "--faults", "lossy",
+        ])
+        .expect("standby");
+        assert!(out.contains("watermark 2 acked"), "{out}");
+        let out = run(&["--world", w, "promote"]).expect("promote");
+        assert!(out.contains("standby verified"), "{out}");
+        assert!(out.contains("promoted"), "{out}");
+        assert!(dir.join("disk.img.pre-promote").exists());
+        let out = run(&["--world", w, "run", "demo", "--steps", "3"]).expect("run after promote");
+        assert!(out.contains("executed 3 mutations"), "{out}");
+        let out = run(&["--world", w, "info"]).expect("info");
+        assert!(out.contains("standby: image present"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `--verify-only` inspects the standby without touching the
+    /// primary.
+    #[test]
+    fn promote_verify_only_leaves_primary_alone() {
+        let dir = world_dir("verify");
+        let w = dir.to_str().expect("utf8 path");
+        run(&["--world", w, "init", "--blocks", "8192"]).expect("init");
+        run(&["--world", w, "persist", "demo", "--app", "hello"]).expect("persist");
+        run(&["--world", w, "standby", "demo", "--epochs", "1", "--faults", "clean"])
+            .expect("standby");
+        let out = run(&["--world", w, "promote", "--verify-only"]).expect("verify");
+        assert!(out.contains("the primary is unchanged"), "{out}");
+        assert!(!dir.join("disk.img.pre-promote").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

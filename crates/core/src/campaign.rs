@@ -26,11 +26,14 @@
 
 use std::collections::HashMap;
 
-use aurora_hw::{BlockDev, DevHealth, FaultPlan, FaultRates, MirrorDev, ModelDev, ReplicaState};
+use aurora_hw::{
+    BlockDev, DevHealth, FaultPlan, FaultRates, LinkFaultRates, MirrorDev, ModelDev, ReplicaState,
+};
 use aurora_objstore::{CkptId, StoreConfig};
 use aurora_sim::error::{Error, Result};
 use aurora_sim::SimClock;
 
+use crate::replicate::{promote_to_host, ReplConfig};
 use crate::restore::RestoreMode;
 use crate::{CheckpointOutcome, Host};
 
@@ -213,6 +216,9 @@ fn run_schedule(cfg: &CampaignConfig, idx: u64, report: &mut CampaignReport) -> 
                         report.committed += 1;
                         report.degraded_mirror += 1;
                     }
+                    // No standby is attached on this path; the arm keeps
+                    // the match exhaustive.
+                    CheckpointOutcome::DegradedReplication => report.committed += 1,
                     CheckpointOutcome::Aborted => report.aborted += 1,
                 }
                 if bd.outcome.committed() {
@@ -755,6 +761,196 @@ fn run_resilver_cut_iteration(n: u64, width: usize, report: &mut CampaignReport)
 }
 
 /// Arms a single scheduled power cut at the `n`-th device write.
+/// Replication kill sweep: walk the primary's death through **every
+/// frame ordinal** of a continuously replicated run.
+///
+/// Iteration `n` attaches a hot standby behind a faulty link (drops,
+/// duplicates, reordering, transient partitions — all seeded), runs
+/// several checkpoint epochs, and kills the primary immediately after
+/// it offers its `n`-th replication frame (retransmissions count, so
+/// the cut also lands inside recovery traffic). Because epochs span
+/// multiple frames, sweeping `n` covers every epoch ordinal and every
+/// frame ordinal within an epoch, including mid-partition and
+/// mid-retransmit deaths. Iterations whose budget exceeds the run's
+/// frame count kill nobody and must converge completely.
+///
+/// After the kill the standby is promoted and three invariants checked:
+///
+/// 1. **No torn epoch** — the promoted store's head restores a state in
+///    which *every* page carries the same epoch's tag; a mix of epochs
+///    (or a partially applied epoch) is a violation.
+/// 2. **The watermark is honoured** — the promoted epoch is at least
+///    the acked watermark at death (promote may do better: frames
+///    already in flight still count), and zero only if nothing was
+///    ever acked.
+/// 3. **Zero corruption** — the promoted store scrubs clean and every
+///    standby-side import applied without error.
+pub fn run_replication_kill_sweep(kills: u64, rates: LinkFaultRates) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for n in 1..=kills {
+        if let Err(e) = run_replication_kill_iteration(n, rates, &mut report) {
+            report
+                .violations
+                .push(format!("repl-kill {n}: harness error: {e}"));
+        }
+        report.schedules += 1;
+    }
+    report
+}
+
+/// Pages in the replicated workload — small enough to keep the sweep
+/// fast, large enough that every epoch spans several frames.
+const REPL_SWEEP_PAGES: u64 = 6;
+
+/// Checkpoint epochs per sweep iteration.
+const REPL_SWEEP_ROUNDS: u32 = 4;
+
+/// One sweep iteration: kill the primary after replication frame `n`.
+fn run_replication_kill_iteration(
+    n: u64,
+    rates: LinkFaultRates,
+    report: &mut CampaignReport,
+) -> Result<()> {
+    let store_cfg = StoreConfig {
+        journal_blocks: 512,
+        materialize_data: true,
+        ..StoreConfig::default()
+    };
+    let mut host = boot_host_config(store_cfg.clone())?;
+    host.attach_standby(ReplConfig {
+        seed: 0xC0FF_EE00 ^ n.wrapping_mul(GOLDEN),
+        rates,
+        frame_bytes: 4096,
+        // The sweep measures watermark honesty, not lag policy: never
+        // degrade, so every checkpoint outcome stays Committed.
+        max_lag_epochs: u64::MAX,
+        kill_after_data_frames: Some(n),
+        standby_store: store_cfg,
+        ..ReplConfig::default()
+    })?;
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, REPL_SWEEP_PAGES * 4096, false)?;
+    let gid = host.persist("app", pid)?;
+
+    // epoch -> tag stamped into every page before that epoch's
+    // checkpoint. The no-torn-epoch check demands the promoted state be
+    // uniformly one of these.
+    let mut expected: HashMap<u64, String> = HashMap::new();
+    for round in 0..REPL_SWEEP_ROUNDS {
+        let epoch = u64::from(round) + 1;
+        let tag = format!("kill{n:04}-e{epoch:02}");
+        for p in 0..REPL_SWEEP_PAGES {
+            let body = format!("{tag}-p{p:02}");
+            host.kernel.mem_write(pid, addr + p * 4096, body.as_bytes())?;
+        }
+        expected.insert(epoch, tag);
+        let bd = host.checkpoint(gid, round == 0, Some(&format!("e{epoch}")))?;
+        if bd.outcome.committed() {
+            report.committed += 1;
+            host.clock.advance_to(bd.durable_at);
+        } else {
+            report.aborted += 1;
+        }
+        host.replication_pump();
+        if host.replication().is_some_and(|r| r.primary_dead()) {
+            break;
+        }
+    }
+
+    let survived = !host.replication().is_some_and(|r| r.primary_dead());
+    if survived {
+        // The kill budget exceeded the run: the session must converge.
+        if let Some(r) = host.replication_mut() {
+            if !r.run_until_idle(100_000) {
+                report.violations.push(format!(
+                    "repl-kill {n}: surviving session failed to converge"
+                ));
+            }
+        }
+    }
+    let (acked, shipped) = host
+        .replication()
+        .map(|r| (r.acked_epoch(), r.shipped_epoch()))
+        .unwrap_or((0, 0));
+    let repl = host
+        .detach_standby()
+        .ok_or_else(|| Error::internal("replication session vanished"))?;
+    report.crashes += 1; // the simulated loss of the primary machine
+
+    let (mut standby, pr) = promote_to_host(repl, "standby")?;
+    if pr.apply_errors > 0 {
+        report.violations.push(format!(
+            "repl-kill {n}: {} standby import error(s)",
+            pr.apply_errors
+        ));
+    }
+    if pr.promoted_epoch < acked {
+        report.violations.push(format!(
+            "repl-kill {n}: promoted epoch {} below acked watermark {acked}",
+            pr.promoted_epoch
+        ));
+    }
+    if survived && pr.promoted_epoch != shipped {
+        report.violations.push(format!(
+            "repl-kill {n}: converged standby promoted {} of {shipped} epochs",
+            pr.promoted_epoch
+        ));
+    }
+
+    // Invariant 3: zero corruption on the promoted store.
+    let store = standby.sls.primary.clone();
+    let problems = store.borrow().scrub();
+    if !problems.is_empty() {
+        report.violations.push(format!(
+            "repl-kill {n}: promoted store scrub found {} problem(s): {}",
+            problems.len(),
+            problems.join("; ")
+        ));
+    }
+
+    if pr.promoted_epoch == 0 {
+        // Nothing ever completed: an empty standby is only legitimate
+        // when nothing was acked — checked above via promoted >= acked.
+        return Ok(());
+    }
+
+    // Invariants 1 + 2: the head restores exactly the promoted epoch's
+    // state on every page — never a mix of epochs.
+    let Some(tag) = expected.get(&pr.promoted_epoch) else {
+        report.violations.push(format!(
+            "repl-kill {n}: promoted unknown epoch {}",
+            pr.promoted_epoch
+        ));
+        return Ok(());
+    };
+    let head = store
+        .borrow()
+        .head()
+        .ok_or_else(|| Error::internal("promoted store has no head"))?;
+    let r = standby.restore(&store, head, RestoreMode::Eager)?;
+    let np = r
+        .root_pid()
+        .ok_or_else(|| Error::internal("promoted restore returned no root pid"))?;
+    let mut clean = true;
+    for p in 0..REPL_SWEEP_PAGES {
+        let want = format!("{tag}-p{p:02}");
+        let mut buf = vec![0u8; want.len()];
+        standby.kernel.mem_read(np, addr + p * 4096, &mut buf)?;
+        if buf != want.as_bytes() {
+            clean = false;
+            report.violations.push(format!(
+                "repl-kill {n}: torn epoch — page {p} restored {:?}, expected {:?}",
+                String::from_utf8_lossy(&buf),
+                want
+            ));
+        }
+    }
+    if clean {
+        report.restores_verified += 1;
+    }
+    Ok(())
+}
+
 fn arm_faults_cut(host: &mut Host, n: u64) {
     host.sls
         .primary
@@ -948,6 +1144,34 @@ mod tests {
             report.restores_verified >= 16,
             "both rounds verify after reboot and again from the rebuilt replica alone"
         );
+    }
+
+    #[test]
+    fn replication_kill_sweep_never_promotes_torn_epoch() {
+        // Lossy link: drops, duplicates, reorders and partitions are all
+        // in play while the kill walks through the frame stream.
+        let report = run_replication_kill_sweep(24, LinkFaultRates::lossy());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.crashes, 24, "every iteration loses the primary");
+        assert!(
+            report.restores_verified > 0,
+            "later kills must leave promotable epochs"
+        );
+    }
+
+    #[test]
+    fn replication_kill_sweep_clean_link_converges_past_the_stream() {
+        let report = run_replication_kill_sweep(10, LinkFaultRates::clean());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn replication_kill_sweep_is_deterministic() {
+        let a = run_replication_kill_sweep(6, LinkFaultRates::lossy());
+        let b = run_replication_kill_sweep(6, LinkFaultRates::lossy());
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.restores_verified, b.restores_verified);
+        assert_eq!(a.violations, b.violations);
     }
 
     #[test]

@@ -245,6 +245,11 @@ impl Host {
             }
         }
 
+        // Ship this epoch to the hot standby (if one is attached) and
+        // drain any due acks. Never blocks the commit: a standby that
+        // falls behind degrades the outcome instead.
+        self.replicate_after_checkpoint(&mut breakdown);
+
         // History-window GC on every backend, then release holds whose
         // checkpoints already became durable.
         gc_history(&mut self.sls, gid)?;

@@ -44,6 +44,7 @@ pub mod metrics;
 pub mod migrate;
 pub mod ntlog;
 pub mod recrep;
+pub mod replicate;
 pub mod restore;
 pub mod serialize;
 pub mod spec;
@@ -62,6 +63,9 @@ use aurora_slsfs::{SlsFs, StoreHandle};
 
 pub use group::{Backend, BackendKind, Group, GroupId};
 pub use metrics::{CheckpointBreakdown, CheckpointOutcome, RestoreBreakdown};
+pub use replicate::{
+    promote_to_host, FramePayload, PromoteReport, ReplConfig, ReplFrame, ReplStats, Replicator,
+};
 // Lockdep moved down to `aurora-sim` so the object store's page-cache
 // lock can carry a rank; existing `aurora_core::lockdep` paths keep
 // working through this re-export.
@@ -116,6 +120,10 @@ pub struct Sls {
     /// Derived from the device at boot and carried across
     /// [`Host::crash_and_reboot`].
     pub mirror_width: usize,
+    /// Continuous checkpoint shipping to a hot standby, when attached
+    /// (see [`crate::replicate`]). A crash loses the session — the
+    /// promoted standby is the surviving half.
+    pub(crate) replicator: Option<Box<replicate::Replicator>>,
     /// Counters.
     pub stats: SlsStats,
 }
@@ -166,6 +174,7 @@ impl Host {
                 flush_workers: DEFAULT_FLUSH_WORKERS,
                 restore_workers: DEFAULT_RESTORE_WORKERS,
                 mirror_width,
+                replicator: None,
                 stats: SlsStats::default(),
             },
         })
@@ -209,6 +218,7 @@ impl Host {
                 flush_workers: DEFAULT_FLUSH_WORKERS,
                 restore_workers: DEFAULT_RESTORE_WORKERS,
                 mirror_width,
+                replicator: None,
                 stats: SlsStats::default(),
             },
         })
@@ -238,9 +248,14 @@ impl Host {
             flush_workers,
             restore_workers,
             mirror_width,
+            replicator,
             stats: _,
         } = sls;
         drop(groups);
+        // The replication session dies with the machine: its in-flight
+        // frames and standby store are only reachable through promote,
+        // which the operator drives from the surviving side.
+        drop(replicator);
         let store = Rc::try_unwrap(primary)
             .map_err(|_| Error::internal("store handle still shared at crash"))?
             .into_inner();
@@ -265,6 +280,7 @@ impl Host {
                 flush_workers,
                 restore_workers,
                 mirror_width,
+                replicator: None,
                 stats: SlsStats::default(),
             },
         })

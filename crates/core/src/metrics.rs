@@ -43,6 +43,24 @@ pub struct GlobalCounters {
     /// Checkpoints that committed while the mirror was degraded (a
     /// replica detached, rebuilding, or unhealthy).
     pub checkpoints_degraded_mirror: u64,
+    /// Checkpoints that committed while replication lag exceeded the
+    /// configured bound (standby falling behind the acked watermark).
+    pub checkpoints_degraded_replication: u64,
+    /// Replication data frames offered to the link (first transmissions).
+    pub repl_frames_sent: u64,
+    /// Replication data frames retransmitted after an ack timeout.
+    pub repl_frames_retransmitted: u64,
+    /// Replication frames the faulty link dropped (both directions,
+    /// including transient-partition losses).
+    pub repl_frames_dropped: u64,
+    /// Ack frames received by the primary.
+    pub repl_acks_received: u64,
+    /// Epochs fully acked by the standby (the watermark's advance count).
+    pub repl_epochs_acked: u64,
+    /// Current replication lag, in epochs (shipped minus acked).
+    pub repl_lag_epochs: u64,
+    /// Current replication lag, in unacked payload bytes.
+    pub repl_lag_bytes: u64,
 }
 
 /// The global counter registry. Innermost rank in the lock hierarchy,
@@ -64,6 +82,14 @@ pub static METRICS: OrderedMutex<GlobalCounters> =
         restore_cache_misses: 0,
         restore_extents: 0,
         checkpoints_degraded_mirror: 0,
+        checkpoints_degraded_replication: 0,
+        repl_frames_sent: 0,
+        repl_frames_retransmitted: 0,
+        repl_frames_dropped: 0,
+        repl_acks_received: 0,
+        repl_epochs_acked: 0,
+        repl_lag_epochs: 0,
+        repl_lag_bytes: 0,
     });
 
 /// Snapshot of the global counters.
@@ -91,6 +117,11 @@ pub enum CheckpointOutcome {
     /// currently has less redundancy than configured, and an operator
     /// should revive/resilver the missing replica.
     DegradedMirror,
+    /// Committed and durable locally, but the hot standby's acked-epoch
+    /// watermark has fallen more than the configured max-lag behind: a
+    /// failover now would lose more than the promised RPO. Commits are
+    /// never blocked on the standby — the degradation is advisory.
+    DegradedReplication,
     /// Flushing failed permanently after retries. No new checkpoint was
     /// committed; the previous durable snapshot is untouched and the
     /// next checkpoint will be full.
@@ -104,6 +135,7 @@ impl CheckpointOutcome {
             CheckpointOutcome::Committed => "committed",
             CheckpointOutcome::DegradedToFull => "degraded-to-full",
             CheckpointOutcome::DegradedMirror => "degraded-mirror",
+            CheckpointOutcome::DegradedReplication => "degraded-replication",
             CheckpointOutcome::Aborted => "aborted",
         }
     }

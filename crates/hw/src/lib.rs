@@ -39,7 +39,7 @@ pub mod stripe;
 pub use dev::{BlockDev, DevInfo, DevStats, ModelDev};
 pub use fault::{FaultPlan, FaultRates};
 pub use mirror::{MirrorDev, MirrorStats, ReplicaState};
-pub use net::{LinkModel, RemoteDev};
+pub use net::{Delivery, LinkFaultRates, LinkModel, LinkStats, RemoteDev, ReplLink};
 pub use retry::{classify, DevHealth, FaultClass, ResilientDev, RetryPolicy, RetryStats};
 pub use stripe::StripedDev;
 

@@ -109,7 +109,11 @@ impl Superblock {
         }
         let version = d.u16()?;
         if version != VERSION {
-            return Err(Error::bad_image(format!("unsupported store version {version}")));
+            // Name both sides so a store written by a newer build reads as
+            // "upgrade me", not as damage.
+            return Err(Error::unsupported(format!(
+                "store version {version} (this build reads version {VERSION})"
+            )));
         }
         Ok(Superblock {
             epoch: d.u64()?,
@@ -153,6 +157,26 @@ mod tests {
         assert!(Superblock::from_block(&block).is_err());
         // All-zero block (never written) is invalid too.
         assert!(Superblock::from_block(&[0u8; BLOCK_SIZE]).is_err());
+    }
+
+    #[test]
+    fn future_version_names_both_versions() {
+        // A structurally valid superblock from a "newer" build: bump the
+        // version field (offset 8, after the u64 magic) and re-seal the CRC
+        // so only the version check can object.
+        let mut block = sb().to_block();
+        let future = VERSION + 9;
+        block[8..10].copy_from_slice(&future.to_le_bytes());
+        let crc = crc32c(&block[..66]);
+        block[66..70].copy_from_slice(&crc.to_le_bytes());
+        let err = Superblock::from_block(&block).unwrap_err();
+        assert_eq!(err.kind(), aurora_sim::error::ErrorKind::Unsupported);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("version {future}"))
+                && msg.contains(&format!("version {VERSION}")),
+            "error must name the found and supported versions: {msg}"
+        );
     }
 
     #[test]
