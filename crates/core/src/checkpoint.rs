@@ -862,6 +862,10 @@ fn flush_capture(
     let mut durable = SimTime::ZERO;
     let mut extents = 0u64;
     let mut extent_blocks = 0u64;
+    let mut phase_seals = 0u64;
+    let mut phase_barriers = 0u64;
+    let mut phase_flips = 0u64;
+    let mut phase_repairs = 0u64;
     for backend in group.backends.iter_mut() {
         let mut store = backend.store.borrow_mut();
         for &(v, oid) in &captured.vmo_oid {
@@ -871,6 +875,10 @@ fn flush_capture(
         }
         let ext0 = store.stats.extents_coalesced;
         let blk0 = store.stats.blocks_coalesced;
+        let seals0 = store.stats.journal_seals;
+        let barriers0 = store.stats.extent_barriers;
+        let flips0 = store.stats.superblock_flips;
+        let repairs0 = store.stats.repair_path_entries.get();
         store.write_pages_coalesced(&writes)?;
         extents += store.stats.extents_coalesced - ext0;
         extent_blocks += store.stats.blocks_coalesced - blk0;
@@ -885,6 +893,10 @@ fn flush_capture(
         // through the checkpoint chain.
         store.put_blob("sls/host", sls_host_blob(next_group));
         let (ckpt, backend_durable) = store.commit(name)?;
+        phase_seals += store.stats.journal_seals - seals0;
+        phase_barriers += store.stats.extent_barriers - barriers0;
+        phase_flips += store.stats.superblock_flips - flips0;
+        phase_repairs += store.stats.repair_path_entries.get() - repairs0;
         backend.history.push(ckpt);
         if full {
             backend.needs_full = false;
@@ -907,6 +919,10 @@ fn flush_capture(
         m.flush_write_ns += flush_span.as_nanos();
         m.flush_extents += extents;
         m.flush_extent_blocks += extent_blocks;
+        m.commit_journal_seals += phase_seals;
+        m.commit_extent_barriers += phase_barriers;
+        m.commit_superblock_flips += phase_flips;
+        m.commit_repair_entries += phase_repairs;
     }
     Ok((
         durable,

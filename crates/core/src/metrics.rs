@@ -61,6 +61,18 @@ pub struct GlobalCounters {
     pub repl_lag_epochs: u64,
     /// Current replication lag, in unacked payload bytes.
     pub repl_lag_bytes: u64,
+    /// Commit-protocol phase transitions `DirtyTxn → JournalSealed`
+    /// (journal records submitted), summed across backend and standby
+    /// stores.
+    pub commit_journal_seals: u64,
+    /// Phase transitions `JournalSealed → ExtentsDurable` (flush
+    /// barriers).
+    pub commit_extent_barriers: u64,
+    /// Phase transitions `ExtentsDurable → Committed` (durable
+    /// superblock flips).
+    pub commit_superblock_flips: u64,
+    /// Entries into the repair path (read-repair / scrub healing).
+    pub commit_repair_entries: u64,
 }
 
 /// The global counter registry. Innermost rank in the lock hierarchy,
@@ -90,6 +102,10 @@ pub static METRICS: OrderedMutex<GlobalCounters> =
         repl_epochs_acked: 0,
         repl_lag_epochs: 0,
         repl_lag_bytes: 0,
+        commit_journal_seals: 0,
+        commit_extent_barriers: 0,
+        commit_superblock_flips: 0,
+        commit_repair_entries: 0,
     });
 
 /// Snapshot of the global counters.

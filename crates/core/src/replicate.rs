@@ -642,11 +642,29 @@ impl Replicator {
             for chunk in p.chunks.values() {
                 payload.extend_from_slice(chunk);
             }
+            // The standby apply runs the same typestate commit protocol
+            // as the primary; surface its phase transitions in the
+            // global counters so `sls info` reports both sides.
+            let (seals0, barriers0, flips0) = {
+                let s = self.standby.store.borrow();
+                (
+                    s.stats.journal_seals,
+                    s.stats.extent_barriers,
+                    s.stats.superblock_flips,
+                )
+            };
             let res = if p.full {
                 self.standby.store.borrow_mut().import_stream(&payload)
             } else {
                 self.standby.store.borrow_mut().import_delta(&payload)
             };
+            {
+                let s = self.standby.store.borrow();
+                let mut m = metrics::METRICS.lock();
+                m.commit_journal_seals += s.stats.journal_seals - seals0;
+                m.commit_extent_barriers += s.stats.extent_barriers - barriers0;
+                m.commit_superblock_flips += s.stats.superblock_flips - flips0;
+            }
             match res {
                 Ok(_) => self.standby.applied_epoch = next,
                 Err(_) => {

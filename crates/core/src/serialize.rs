@@ -318,8 +318,9 @@ impl ProcRec {
     /// Converts signal actions to the kernel representation.
     pub fn sig_actions_array(&self) -> [SigAction; NSIG] {
         let mut actions = [SigAction::Default; NSIG];
-        for (i, (tag, addr)) in self.sig_actions.iter().enumerate().take(NSIG) {
-            actions[i] = match tag {
+        // `zip` bounds the walk by both lengths, so no index can slip.
+        for (slot, (tag, addr)) in actions.iter_mut().zip(self.sig_actions.iter()) {
+            *slot = match tag {
                 1 => SigAction::Ignore,
                 2 => SigAction::Handler(*addr),
                 _ => SigAction::Default,

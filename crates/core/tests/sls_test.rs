@@ -991,3 +991,29 @@ fn listener_backlog_survives_checkpoint() {
     host.kernel.write(c2, cfd, b"fresh").unwrap();
     assert_eq!(host.kernel.read(ns2, conn2, 16).unwrap(), b"fresh");
 }
+
+#[test]
+fn checkpoint_advances_commit_phase_metrics() {
+    // The commit-phase counters feed the `sls info` line; a checkpoint
+    // must fold at least one seal/barrier/flip delta into the global
+    // metrics. METRICS is shared across the test binary, so assert
+    // growth, not absolute values.
+    let before = {
+        let m = aurora_core::metrics::METRICS.lock();
+        (
+            m.commit_journal_seals,
+            m.commit_extent_barriers,
+            m.commit_superblock_flips,
+        )
+    };
+    let mut host = new_host("phase-metrics");
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, 4096, false).unwrap();
+    host.kernel.mem_write(pid, addr, b"tick").unwrap();
+    let gid = host.persist("app", pid).unwrap();
+    host.checkpoint(gid, true, None).unwrap();
+    let m = aurora_core::metrics::METRICS.lock();
+    assert!(m.commit_journal_seals > before.0, "seals folded into METRICS");
+    assert!(m.commit_extent_barriers > before.1, "barriers folded into METRICS");
+    assert!(m.commit_superblock_flips > before.2, "flips folded into METRICS");
+}

@@ -38,7 +38,7 @@ pub mod stripe;
 
 pub use dev::{BlockDev, DevInfo, DevStats, ModelDev};
 pub use fault::{FaultPlan, FaultRates};
-pub use mirror::{MirrorDev, MirrorStats, ReplicaState};
+pub use mirror::{GoldenCopy, MirrorDev, MirrorStats, ReplicaState, ResilverBarrier};
 pub use net::{Delivery, LinkFaultRates, LinkModel, LinkStats, RemoteDev, ReplLink};
 pub use retry::{classify, DevHealth, FaultClass, ResilientDev, RetryPolicy, RetryStats};
 pub use stripe::StripedDev;

@@ -395,11 +395,22 @@ impl MirrorDev {
         Ok(count as u64)
     }
 
-    /// Promotes every rebuilding replica to active after a flush barrier
-    /// makes the copied data durable. Returns how many were promoted.
-    pub fn promote_rebuilt(&mut self) -> Result<usize> {
+    /// Runs the resilver durability barrier: flushes every attached
+    /// replica so the copied extents are on each platter, and mints the
+    /// token [`MirrorDev::promote_rebuilt`] demands. This is the *only*
+    /// constructor of [`ResilverBarrier`], so a promotion that skipped
+    /// the flush does not typecheck.
+    pub fn resilver_barrier(&mut self) -> Result<ResilverBarrier> {
         let done = self.fan_out(|r| r.flush())?;
         self.clock.advance_to(done);
+        Ok(ResilverBarrier { _sealed: () })
+    }
+
+    /// Promotes every rebuilding replica to active, consuming the proof
+    /// that a flush barrier made the copied data durable. Returns how
+    /// many were promoted.
+    pub fn promote_rebuilt(&mut self, barrier: ResilverBarrier) -> Result<usize> {
+        let ResilverBarrier { _sealed: () } = barrier;
         let mut promoted = 0;
         for (r, s) in self.replicas.iter_mut().zip(self.states.iter_mut()) {
             if *s == ReplicaState::Rebuilding && r.powered() {
@@ -410,47 +421,102 @@ impl MirrorDev {
         Ok(promoted)
     }
 
-    /// Reads every active replica's copy of block `lba` and, if any copy
-    /// passes `verify`, rewrites the replicas whose copies failed (a read
-    /// error or a verification failure) from that golden copy. Returns
-    /// the golden bytes, or `None` when no replica has a good copy.
-    pub fn repair_block_from_twin(
+    /// Reads every active replica's copy of block `lba` and verifies
+    /// each against `verify`. Returns the first passing copy as a
+    /// [`GoldenCopy`] — the only license to rewrite the failed replicas
+    /// — plus the indices whose copies failed (a read error or a
+    /// verification failure). `None` when no replica has a good copy.
+    fn acquire_golden(
         &mut self,
         lba: u64,
         verify: &mut dyn FnMut(&[u8]) -> bool,
-    ) -> Result<Option<Vec<u8>>> {
-        // (index, verified copy or None) for each active replica.
-        let mut copies: Vec<(usize, Option<Vec<u8>>)> = Vec::new();
+    ) -> Option<(GoldenCopy, Vec<usize>)> {
+        let mut golden: Option<GoldenCopy> = None;
+        let mut failed: Vec<usize> = Vec::new();
         for (i, (r, s)) in self.replicas.iter_mut().zip(self.states.iter()).enumerate() {
             if *s != ReplicaState::Active {
                 continue;
             }
             let mut buf = vec![0u8; BLOCK_SIZE];
             match r.read(lba, &mut buf) {
-                Ok(()) if verify(&buf) => copies.push((i, Some(buf))),
-                _ => copies.push((i, None)),
+                Ok(()) if verify(&buf) => {
+                    if golden.is_none() {
+                        golden = Some(GoldenCopy { lba, bytes: buf });
+                    }
+                }
+                _ => failed.push(i),
             }
         }
-        let golden = copies.iter().find_map(|(_, c)| c.clone());
-        let Some(golden) = golden else {
-            return Ok(None);
-        };
+        golden.map(|g| (g, failed))
+    }
+
+    /// Rewrites the replicas in `failed` from a verified golden copy,
+    /// consuming the token and returning its bytes. Replicas that
+    /// reject the rewrite are detached (they missed data).
+    fn rewrite_from_golden(&mut self, golden: GoldenCopy, failed: &[usize]) -> Vec<u8> {
+        let GoldenCopy { lba, bytes } = golden;
         let mut detach: Vec<usize> = Vec::new();
-        for (i, copy) in &copies {
-            if copy.is_some() {
-                continue;
-            }
-            let Some(r) = self.replicas.get_mut(*i) else {
+        for &i in failed {
+            let Some(r) = self.replicas.get_mut(i) else {
                 continue;
             };
-            match r.write(lba, &golden) {
+            match r.write(lba, &bytes) {
                 Ok(()) => self.mstats.read_repairs += 1,
-                Err(_) => detach.push(*i),
+                Err(_) => detach.push(i),
             }
         }
         self.detach_failed(&detach);
-        Ok(Some(golden))
+        bytes
     }
+
+    /// Read-repair entry point: if any active replica's copy of `lba`
+    /// passes `verify`, rewrites the replicas whose copies failed from
+    /// that golden copy. Returns the golden bytes, or `None` when no
+    /// replica has a good copy. The two phases are bridged by a
+    /// [`GoldenCopy`] token, so a rewrite without a verified source
+    /// does not typecheck.
+    pub fn repair_block_from_twin(
+        &mut self,
+        lba: u64,
+        verify: &mut dyn FnMut(&[u8]) -> bool,
+    ) -> Result<Option<Vec<u8>>> {
+        let Some((golden, failed)) = self.acquire_golden(lba, verify) else {
+            return Ok(None);
+        };
+        Ok(Some(self.rewrite_from_golden(golden, &failed)))
+    }
+}
+
+/// Proof that [`MirrorDev::resilver_barrier`] flushed every replica:
+/// the only value [`MirrorDev::promote_rebuilt`] accepts, consumed by
+/// value so one barrier licenses at most one promotion.
+///
+/// Cannot be forged (private field):
+///
+/// ```compile_fail
+/// let fake = aurora_hw::mirror::ResilverBarrier { _sealed: () };
+/// ```
+///
+/// And a promotion without the barrier does not typecheck:
+///
+/// ```compile_fail
+/// fn promote(m: &mut aurora_hw::MirrorDev) {
+///     let _ = m.promote_rebuilt(); // missing the `ResilverBarrier` argument
+/// }
+/// ```
+#[must_use = "the barrier token exists to be consumed by promote_rebuilt"]
+#[derive(Debug)]
+pub struct ResilverBarrier {
+    _sealed: (),
+}
+
+/// A block copy that passed content verification — the only source the
+/// read-repair rewrite phase accepts, so unverified bytes can never be
+/// written over a twin.
+#[derive(Debug)]
+pub struct GoldenCopy {
+    lba: u64,
+    bytes: Vec<u8>,
 }
 
 impl BlockDev for MirrorDev {
@@ -737,7 +803,8 @@ mod tests {
         assert_eq!(m.active_width(), 1);
         let copied = m.resilver_extent(0, 10).unwrap();
         assert_eq!(copied, 10);
-        assert_eq!(m.promote_rebuilt().unwrap(), 1);
+        let barrier = m.resilver_barrier().unwrap();
+        assert_eq!(m.promote_rebuilt(barrier).unwrap(), 1);
         assert_eq!(m.active_width(), 2);
         assert!(!m.needs_resilver());
         // Kill the twin: the rebuilt replica must now serve everything.

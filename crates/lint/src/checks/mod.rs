@@ -5,6 +5,7 @@
 //! suppression is applied centrally by [`crate::apply_allowlist`] so that
 //! unused allow entries can be detected and flagged.
 
+pub mod commit_phase;
 pub mod error_class;
 pub mod format;
 pub mod lock_order;

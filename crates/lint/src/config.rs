@@ -50,6 +50,10 @@ pub struct Config {
     pub roundtrip: BTreeMap<String, String>,
     /// Format-bearing files (workspace-relative).
     pub format_files: Vec<String>,
+    /// Crates whose production code the `commit-phase` check covers.
+    pub commit_phase_crates: Vec<String>,
+    /// Token-bearing functions licensed to issue raw device writes.
+    pub commit_phase_allow: Vec<String>,
 }
 
 /// A parsed TOML value (subset).
@@ -140,6 +144,12 @@ impl Config {
                         }
                         ("format", "files", Value::StrArray(a)) => {
                             cfg.format_files = a.clone();
+                        }
+                        ("commit-phase", "crates", Value::StrArray(a)) => {
+                            cfg.commit_phase_crates = a.clone();
+                        }
+                        ("commit-phase", "allow_in", Value::StrArray(a)) => {
+                            cfg.commit_phase_allow = a.clone();
                         }
                         (sec, _, _) => {
                             return Err(err(&format!("unknown key `{key}` in section [{sec}]")))
@@ -307,6 +317,10 @@ Checkpoint = "crates/objstore/src/checkpoint.rs"
 
 [format]
 files = ["crates/objstore/src/layout.rs"]
+
+[commit-phase]
+crates = ["objstore"]
+allow_in = ["seal_journal", "flip_superblock"]
 "#,
         )
         .unwrap();
@@ -319,6 +333,11 @@ files = ["crates/objstore/src/layout.rs"]
             "crates/objstore/src/checkpoint.rs"
         );
         assert_eq!(cfg.format_files.len(), 1);
+        assert_eq!(cfg.commit_phase_crates, vec!["objstore"]);
+        assert_eq!(
+            cfg.commit_phase_allow,
+            vec!["seal_journal", "flip_superblock"]
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! - [`checks::lock_order`] — locks are rank-declared and statically
 //!   ordered (the runtime half lives in `aurora_core::lockdep`);
 //! - [`checks::error_class`] — every `ErrorKind` is explicitly
-//!   transient or permanent.
+//!   transient or permanent;
+//! - [`checks::commit_phase`] — raw device writes only inside the
+//!   token-bearing functions of the typestate commit protocol.
 //!
 //! Suppressions live in `lint-allow.toml` at the workspace root; unused
 //! entries are violations themselves, so the allowlist only ratchets
@@ -37,6 +39,7 @@ pub fn run_checks(files: &[SourceFile], cfg: &Config, root: &Path) -> Vec<Violat
     out.extend(checks::format::check(files, cfg, root));
     out.extend(checks::lock_order::check(files, cfg));
     out.extend(checks::error_class::check(files));
+    out.extend(checks::commit_phase::check(files, cfg));
     out.sort_by(|a, b| (&a.path, a.line, a.check).cmp(&(&b.path, b.line, b.check)));
     out
 }

@@ -96,6 +96,28 @@ fn roundtrip_fixture() {
 }
 
 #[test]
+fn commit_phase_fixture() {
+    let violations = analyze("commit_phase");
+    assert_eq!(
+        keys(&violations),
+        vec![
+            ("commit-phase", "crates/demo/src/lib.rs", 10),
+            ("commit-phase", "crates/demo/src/lib.rs", 15),
+            ("commit-phase", "crates/demo/src/lib.rs", 20),
+        ],
+        "raw writes outside allowlisted fns flagged; the licensed \
+         `seal_journal` and test code exempt: {:?}",
+        violations.iter().map(|v| v.render()).collect::<Vec<_>>()
+    );
+    assert!(
+        violations[0].msg.contains("rogue_flip")
+            && violations[0].msg.contains("submit_write"),
+        "diagnostic names the function and the call: {}",
+        violations[0].msg
+    );
+}
+
+#[test]
 fn stale_allow_fixture() {
     let violations = analyze("stale_allow");
     assert_eq!(keys(&violations), vec![("stale-allow", "lint-allow.toml", 0)]);

@@ -36,6 +36,7 @@ pub mod journal;
 pub mod layout;
 pub mod store;
 pub mod stream;
+pub mod txn;
 
 pub use checkpoint::{Checkpoint, CkptId};
 pub use store::{

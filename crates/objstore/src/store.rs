@@ -8,7 +8,7 @@
 //! application execution. Anything not yet committed is discarded by
 //! [`ObjectStore::recover`], exactly like a real crash.
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 use std::collections::{BTreeMap, HashMap};
 
 use aurora_hw::{BlockDev, BLOCK_SIZE};
@@ -86,6 +86,19 @@ pub struct StoreStats {
     /// Blocks healed by read-repair: a copy failed content-hash
     /// verification and was rewritten from a good mirror twin.
     pub read_repairs: u64,
+    /// Commit-protocol phase transitions: `DirtyTxn → JournalSealed`
+    /// (journal records submitted).
+    pub journal_seals: u64,
+    /// Phase transitions `JournalSealed → ExtentsDurable` (flush
+    /// barriers covering the record and all prior data extents).
+    pub extent_barriers: u64,
+    /// Phase transitions `ExtentsDurable → Committed` (durable
+    /// alternating-superblock flips).
+    pub superblock_flips: u64,
+    /// Entries into the device-redundancy repair path (read-repair and
+    /// scrub healing). A `Cell` because scrub-path repair runs under
+    /// `&self`.
+    pub repair_path_entries: Cell<u64>,
 }
 
 /// Outcome of one [`ObjectStore::resilver`] pass.
@@ -127,7 +140,9 @@ fn fold_live(
         cur = ck.parent;
     }
     for id in chain.iter().rev() {
-        let ck = &ckpts[id];
+        let ck = ckpts
+            .get(id)
+            .ok_or_else(|| Error::corrupt(format!("checkpoint {id} vanished mid-fold")))?;
         for (oid, size) in &ck.new_objects {
             live.insert(
                 *oid,
@@ -545,9 +560,11 @@ pub struct ReadOutcome {
 
 /// The object store.
 pub struct ObjectStore {
-    dev: RefCell<Box<dyn BlockDev>>,
+    /// `pub(crate)` for `txn.rs`, the commit protocol's only licensed
+    /// journal/superblock writer.
+    pub(crate) dev: RefCell<Box<dyn BlockDev>>,
     config: StoreConfig,
-    sb: Superblock,
+    pub(crate) sb: Superblock,
     alloc: BlockAlloc,
     /// Committed checkpoints by id.
     ckpts: BTreeMap<u64, Checkpoint>,
@@ -584,8 +601,8 @@ impl ObjectStore {
             next_ckpt: 1,
             next_obj: 1,
         };
-        dev.write(0, &sb.to_block())?;
-        dev.write(1, &sb.to_block())?;
+        dev.submit_write(0, &sb.to_block())?;
+        dev.submit_write(1, &sb.to_block())?;
         let done = dev.flush()?;
         dev.clock().advance_to(done);
         let data_blocks = sb.data_blocks();
@@ -1227,6 +1244,9 @@ impl ObjectStore {
         };
         for (i, b, expect) in damaged {
             let lba = self.sb.data_start() + b;
+            self.stats
+                .repair_path_entries
+                .set(self.stats.repair_path_entries.get() + 1);
             let golden = self
                 .dev
                 .get_mut()
@@ -1403,6 +1423,19 @@ impl ObjectStore {
     /// the store exactly as it was — still consistent, still holding the
     /// staged delta — so the caller can retry or abandon it.
     pub fn commit(&mut self, name: Option<&str>) -> Result<(CkptId, SimTime)> {
+        let txn = self.begin_txn();
+        self.commit_txn(txn, name)
+    }
+
+    /// [`ObjectStore::commit`] with a caller-minted [`DirtyTxn`] — the
+    /// entry point for paths (stream import, replication apply) that
+    /// open the transaction before staging their writes, so the token
+    /// witnesses the whole mutation, not just its tail.
+    pub fn commit_txn(
+        &mut self,
+        txn: crate::txn::DirtyTxn,
+        name: Option<&str>,
+    ) -> Result<(CkptId, SimTime)> {
         let id = CkptId(self.sb.next_ckpt);
         let ck = Checkpoint {
             id,
@@ -1424,29 +1457,28 @@ impl ObjectStore {
             }
         }
         let lba = self.sb.journal_base + self.sb.journal_used / BLOCK_SIZE as u64;
-        self.dev.get_mut().submit_write(lba, &bytes)?;
-        self.dev.get_mut().flush()?;
+        let sealed = self.seal_journal(txn, &[(lba, &bytes)])?;
+        let barrier = self.extent_barrier(sealed)?;
         // The record is on the platter; account for it only now so a
         // failed attempt rewrites the same journal offset on retry.
         self.stats.bytes_journaled += bytes.len() as u64;
         self.sb.journal_used += bytes.len() as u64;
-
-        self.sb.epoch += 1;
         self.sb.next_ckpt += 1;
-        let slot = self.sb.epoch % 2;
-        match self.dev.get_mut().submit_write(slot, &self.sb.to_block()) {
-            Ok(_) => {}
-            Err(e) => {
-                // The record sits in the journal but no durable superblock
-                // covers it; roll the in-memory geometry back so a retried
-                // commit overwrites it.
-                self.sb.journal_used -= bytes.len() as u64;
-                self.sb.epoch -= 1;
-                self.sb.next_ckpt -= 1;
-                return Err(e);
+
+        let (_committed, durable) = match self.flip_superblock(barrier) {
+            Ok(done) => done,
+            Err(flip) => {
+                if !flip.submitted {
+                    // The record sits in the journal but no durable
+                    // superblock covers it; roll the in-memory geometry
+                    // back so a retried commit overwrites it.
+                    self.stats.bytes_journaled -= bytes.len() as u64;
+                    self.sb.journal_used -= bytes.len() as u64;
+                    self.sb.next_ckpt -= 1;
+                }
+                return Err(flip.error);
             }
-        }
-        let durable = self.dev.get_mut().flush()?;
+        };
 
         // Every write landed: consume the pending delta and publish.
         self.pending_new_objects.clear();
@@ -1474,6 +1506,7 @@ impl ObjectStore {
     /// journal — either the old records or the complete snapshot, never
     /// a half-overwritten mix.
     fn compact(&mut self) -> Result<()> {
+        let txn = self.begin_txn();
         let list: Vec<Checkpoint> = self.ckpts.values().cloned().collect();
         let bytes = journal::encode_record(&JournalRecord::Snapshot(list));
         let capacity = self.sb.journal_half_blocks() * BLOCK_SIZE as u64;
@@ -1482,18 +1515,28 @@ impl ObjectStore {
             return Err(Error::no_space("journal too small for metadata snapshot"));
         }
         let base = self.sb.journal_other_half();
-        self.dev.get_mut().submit_write(base, &bytes)?;
         // A zero guard block stops recovery from replaying stale records
         // that happen to align after the snapshot.
         let guard_lba = base + (bytes.len() / BLOCK_SIZE) as u64;
-        self.dev.get_mut().submit_write(guard_lba, &vec![0u8; BLOCK_SIZE])?;
-        self.dev.get_mut().flush()?;
-        self.sb.epoch += 1;
+        let guard = vec![0u8; BLOCK_SIZE];
+        let sealed = self.seal_journal(txn, &[(base, &bytes), (guard_lba, &guard)])?;
+        let barrier = self.extent_barrier(sealed)?;
+        let (old_base, old_used) = (self.sb.journal_base, self.sb.journal_used);
         self.sb.journal_base = base;
         self.sb.journal_used = bytes.len() as u64;
-        let slot = self.sb.epoch % 2;
-        self.dev.get_mut().submit_write(slot, &self.sb.to_block())?;
-        let done = self.dev.get_mut().flush()?;
+        let (_committed, done) = match self.flip_superblock(barrier) {
+            Ok(done) => done,
+            Err(flip) => {
+                if !flip.submitted {
+                    // The snapshot sits in the idle half but no durable
+                    // superblock points at it; keep describing the old
+                    // half so a retry rewrites the snapshot.
+                    self.sb.journal_base = old_base;
+                    self.sb.journal_used = old_used;
+                }
+                return Err(flip.error);
+            }
+        };
         self.dev.get_mut().clock().advance_to(done);
         self.stats.compactions += 1;
         Ok(())
@@ -1517,14 +1560,20 @@ impl ObjectStore {
             self.stats.gc_runs += 1;
             return Ok(());
         }
+        let txn = self.begin_txn();
         let lba = self.sb.journal_base + self.sb.journal_used / BLOCK_SIZE as u64;
-        self.dev.get_mut().submit_write(lba, &bytes)?;
+        let sealed = self.seal_journal(txn, &[(lba, &bytes)])?;
+        let barrier = self.extent_barrier(sealed)?;
         self.sb.journal_used += bytes.len() as u64;
-        self.dev.get_mut().flush()?;
-        self.sb.epoch += 1;
-        let slot = self.sb.epoch % 2;
-        self.dev.get_mut().submit_write(slot, &self.sb.to_block())?;
-        let done = self.dev.get_mut().flush()?;
+        let (_committed, done) = match self.flip_superblock(barrier) {
+            Ok(done) => done,
+            Err(flip) => {
+                if !flip.submitted {
+                    self.sb.journal_used -= bytes.len() as u64;
+                }
+                return Err(flip.error);
+            }
+        };
         self.dev.get_mut().clock().advance_to(done);
         self.stats.gc_runs += 1;
         Ok(())
@@ -1871,7 +1920,10 @@ impl ObjectStore {
         let m = dev
             .as_mirror_mut()
             .ok_or_else(|| Error::internal("resilver target vanished mid-walk"))?;
-        report.replicas_promoted = m.promote_rebuilt()?;
+        // The barrier token is the only license to promote: rustc
+        // rejects a promotion that skipped the durability flush.
+        let barrier = m.resilver_barrier()?;
+        report.replicas_promoted = m.promote_rebuilt(barrier)?;
         Ok(report)
     }
 
@@ -1879,6 +1931,9 @@ impl ObjectStore {
     /// redundancy, accepting a copy whose content hash is `expect`.
     /// Returns `true` if a verified copy now backs the block.
     fn try_repair(&self, lba: u64, expect: u64) -> bool {
+        self.stats
+            .repair_path_entries
+            .set(self.stats.repair_path_entries.get() + 1);
         self.dev
             .borrow_mut()
             .repair_block(lba, &mut |bytes: &[u8]| {

@@ -179,6 +179,9 @@ impl ObjectStore {
         if d.u64()? != STREAM_MAGIC ^ 1 {
             return Err(Error::bad_image("not an sls delta stream"));
         }
+        // Open the commit transaction before staging: the typestate
+        // token witnesses every write the apply makes.
+        let txn = self.begin_txn();
         let name = d.option(|d| d.str().map(str::to_string))?;
         let new_objects = d.seq(|d| {
             let oid = ObjId(d.u64()?);
@@ -217,7 +220,7 @@ impl ObjectStore {
             let v = d.bytes()?.to_vec();
             self.put_blob(&key, v);
         }
-        self.commit(name.as_deref())
+        self.commit_txn(txn, name.as_deref())
     }
 
     /// Imports a stream, creating its objects and committing a checkpoint.
@@ -230,6 +233,8 @@ impl ObjectStore {
         if d.u64()? != STREAM_MAGIC {
             return Err(Error::bad_image("not an sls stream"));
         }
+        // As in `import_delta`: the token spans the whole staged apply.
+        let txn = self.begin_txn();
         let name = d.option(|d| d.str().map(str::to_string))?;
         let nobjects = d.varint()? as usize;
         for _ in 0..nobjects {
@@ -249,7 +254,7 @@ impl ObjectStore {
             let v = d.bytes()?.to_vec();
             self.put_blob(&key, v);
         }
-        self.commit(name.as_deref())
+        self.commit_txn(txn, name.as_deref())
     }
 }
 

@@ -1,0 +1,230 @@
+//! Typestate tokens for the commit protocol.
+//!
+//! The store's durability contract hinges on one ordering: journal
+//! record → flush barrier → superblock flip → flush. Before this module
+//! that ordering was enforced by tests and review; now each phase yields
+//! a distinct zero-sized token whose only constructors are the
+//! phase-transition methods below, so *skipping or reordering a phase
+//! does not typecheck* (SquirrelFS's trick, applied to the Aurora
+//! commit path).
+//!
+//! The state machine (DESIGN.md §15):
+//!
+//! ```text
+//! DirtyTxn ──seal_journal──▶ JournalSealed ──extent_barrier──▶
+//!     ExtentsDurable ──flip_superblock──▶ Committed
+//! ```
+//!
+//! * [`DirtyTxn`] — staged mutations exist only in memory and in
+//!   unflushed device queues. Minted by [`ObjectStore::begin_txn`];
+//!   crashing here loses exactly the pending delta.
+//! * [`JournalSealed`] — the delta's journal record has been *submitted*
+//!   to the journal region (and nowhere else — the transition checks the
+//!   LBAs). Not yet durable: a cut here replays the old state.
+//! * [`ExtentsDurable`] — the flush barrier completed, so the journal
+//!   record **and every previously submitted data extent** are on the
+//!   platter. The superblock still points at the old journal length, so
+//!   recovery still serves the old head; a retried transaction rewrites
+//!   the same journal offset, which is what makes the flip idempotent.
+//! * [`Committed`] — the alternating superblock carrying the new epoch
+//!   is durable; recovery now replays the new record.
+//!
+//! Each token is consumed **by value** by the next transition, so a
+//! token can be used at most once, and only the transition that does the
+//! corresponding device I/O can mint the next one. The `commit_phase`
+//! lint (crates/lint) closes the remaining hole: raw `submit_write`/
+//! `write_blocks`/`repair_block` calls are forbidden outside the
+//! token-bearing functions allowlisted in `lint-allow.toml`.
+//!
+//! A valid sequence compiles and runs (this is `ObjectStore::commit`):
+//!
+//! ```
+//! use aurora_hw::ModelDev;
+//! use aurora_objstore::{ObjId, ObjectStore, StoreConfig};
+//! use aurora_sim::SimClock;
+//!
+//! let dev = Box::new(ModelDev::nvme(SimClock::new(), "nvme0", 64 * 1024));
+//! let mut s = ObjectStore::format(dev, StoreConfig::default()).unwrap();
+//! s.create_object(ObjId(1), 4).unwrap();
+//! s.write_page(ObjId(1), 0, &aurora_vm::PageData::Seeded(7)).unwrap();
+//! let txn = s.begin_txn();
+//! let (ckpt, _durable) = s.commit_txn(txn, Some("typed")).unwrap();
+//! assert_eq!(s.checkpoint_by_name("typed").unwrap().id, ckpt);
+//! ```
+//!
+//! Skipping the flush barrier is a type error — `flip_superblock` wants
+//! [`ExtentsDurable`], not [`JournalSealed`]:
+//!
+//! ```compile_fail
+//! use aurora_objstore::{txn::JournalSealed, ObjectStore};
+//!
+//! fn skip_barrier(s: &mut ObjectStore, sealed: JournalSealed) {
+//!     let _ = s.flip_superblock(sealed); // expected `ExtentsDurable`
+//! }
+//! ```
+//!
+//! Reordering — flipping the superblock straight from a dirty
+//! transaction — is equally rejected:
+//!
+//! ```compile_fail
+//! use aurora_objstore::ObjectStore;
+//!
+//! fn flip_first(s: &mut ObjectStore) {
+//!     let txn = s.begin_txn();
+//!     let _ = s.flip_superblock(txn); // expected `ExtentsDurable`, found `DirtyTxn`
+//! }
+//! ```
+//!
+//! Tokens cannot be forged outside this module (private field):
+//!
+//! ```compile_fail
+//! let fake = aurora_objstore::txn::ExtentsDurable { _sealed: () };
+//! ```
+//!
+//! And a consumed token cannot be replayed (moved value):
+//!
+//! ```compile_fail
+//! use aurora_objstore::{txn::ExtentsDurable, ObjectStore};
+//!
+//! fn double_flip(s: &mut ObjectStore, tok: ExtentsDurable) {
+//!     let _ = s.flip_superblock(tok);
+//!     let _ = s.flip_superblock(tok); // use of moved value
+//! }
+//! ```
+
+use aurora_hw::BLOCK_SIZE;
+use aurora_sim::error::{Error, Result};
+use aurora_sim::time::SimTime;
+
+use crate::layout::JOURNAL_START;
+use crate::store::ObjectStore;
+
+/// Phase 0: staged mutations, nothing journaled. See the module docs.
+#[must_use = "a transaction token does nothing until driven through the phases"]
+#[derive(Debug)]
+pub struct DirtyTxn {
+    _sealed: (),
+}
+
+/// Phase 1: the journal record is submitted (not yet durable).
+#[must_use = "a sealed journal is not durable until the extent barrier"]
+#[derive(Debug)]
+pub struct JournalSealed {
+    _sealed: (),
+}
+
+/// Phase 2: journal record and all prior data extents are on the
+/// platter; the superblock still points at the old state.
+#[must_use = "durable extents are invisible until the superblock flips"]
+#[derive(Debug)]
+pub struct ExtentsDurable {
+    _sealed: (),
+}
+
+/// Phase 3: the flipped superblock is durable — the transaction is the
+/// recovered state from here on.
+#[derive(Debug)]
+pub struct Committed {
+    _sealed: (),
+}
+
+/// A superblock flip that did not complete.
+///
+/// `submitted` distinguishes the two failure points: `false` means the
+/// superblock write never reached the device queue (the epoch was rolled
+/// back; the caller should roll back its own geometry so a retry rewrites
+/// the same journal offset), `true` means the write was queued but the
+/// final flush failed — indistinguishable from a crash, so nothing is
+/// unwound and recovery decides.
+#[derive(Debug)]
+pub struct FlipAbort {
+    /// The underlying device error.
+    pub error: Error,
+    /// Whether the superblock write was accepted before the failure.
+    pub submitted: bool,
+}
+
+impl ObjectStore {
+    /// Opens a commit transaction over the staged delta, minting the
+    /// phase-0 token. Purely a typestate operation — no I/O.
+    pub fn begin_txn(&mut self) -> DirtyTxn {
+        DirtyTxn { _sealed: () }
+    }
+
+    /// Phase transition `DirtyTxn → JournalSealed`: submits the
+    /// transaction's records to the journal region.
+    ///
+    /// Every write must target the journal (`JOURNAL_START ..
+    /// data_start`) — this transition is the only licensed journal
+    /// writer, so the check turns a stray LBA into an error instead of
+    /// a corrupted data block.
+    pub fn seal_journal(
+        &mut self,
+        txn: DirtyTxn,
+        writes: &[(u64, &[u8])],
+    ) -> Result<JournalSealed> {
+        let DirtyTxn { _sealed: () } = txn;
+        let journal_end = self.sb.data_start();
+        for &(lba, bytes) in writes {
+            let blocks = (bytes.len() as u64).div_ceil(BLOCK_SIZE as u64);
+            if lba < JOURNAL_START || lba + blocks > journal_end {
+                return Err(Error::internal(format!(
+                    "seal_journal write at lba {lba} (+{blocks} blocks) is outside \
+                     the journal region [{JOURNAL_START}, {journal_end})"
+                )));
+            }
+            self.dev.get_mut().submit_write(lba, bytes)?;
+        }
+        self.stats.journal_seals += 1;
+        Ok(JournalSealed { _sealed: () })
+    }
+
+    /// Phase transition `JournalSealed → ExtentsDurable`: the flush
+    /// barrier that makes the sealed record *and every data extent
+    /// submitted before it* durable.
+    pub fn extent_barrier(&mut self, sealed: JournalSealed) -> Result<ExtentsDurable> {
+        let JournalSealed { _sealed: () } = sealed;
+        self.dev.get_mut().flush()?;
+        self.stats.extent_barriers += 1;
+        Ok(ExtentsDurable { _sealed: () })
+    }
+
+    /// Phase transition `ExtentsDurable → Committed`: bumps the epoch,
+    /// writes the alternating superblock slot and flushes. Returns the
+    /// virtual instant at which the transaction is power-loss-safe (the
+    /// caller's clock is not advanced).
+    ///
+    /// Consumes the barrier evidence **by value** — there is no way to
+    /// flip the superblock twice from one barrier, or without one.
+    pub fn flip_superblock(
+        &mut self,
+        tok: ExtentsDurable,
+    ) -> std::result::Result<(Committed, SimTime), FlipAbort> {
+        let ExtentsDurable { _sealed: () } = tok;
+        self.sb.epoch += 1;
+        let slot = self.sb.epoch % 2;
+        let block = self.sb.to_block();
+        if let Err(error) = self.dev.get_mut().submit_write(slot, &block) {
+            // The flip never reached the queue: no durable superblock
+            // covers the sealed record. Roll the epoch back so a retried
+            // transaction reuses it; the caller unwinds its geometry.
+            self.sb.epoch -= 1;
+            return Err(FlipAbort {
+                error,
+                submitted: false,
+            });
+        }
+        match self.dev.get_mut().flush() {
+            Ok(durable) => {
+                self.stats.superblock_flips += 1;
+                Ok((Committed { _sealed: () }, durable))
+            }
+            // Queued but not durably flushed — a crash-equivalent state;
+            // recovery picks whichever superblock made it.
+            Err(error) => Err(FlipAbort {
+                error,
+                submitted: true,
+            }),
+        }
+    }
+}
