@@ -210,6 +210,12 @@ impl KvServer {
         })
     }
 
+    /// Base address of the server's data heap. External verifiers (the
+    /// delta-log bench) digest the whole arena through this.
+    pub fn heap_base(&self) -> u64 {
+        self.heap.base
+    }
+
     /// Number of keys stored.
     pub fn len(&self, host: &mut Host) -> Result<u64> {
         self.map.len(&mut host.kernel)

@@ -990,7 +990,7 @@ fn cmd_info(world: &Path) -> Result<String> {
         m.checkpoints_degraded_replication,
     );
     Ok(format!(
-        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n{mirror_note}{repl_note}  checkpoints this session: {} degraded, {} aborted\n  commit-phase: {} journal seals, {} extent barriers, {} superblock flips, {} repair-path entries this session\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n  restore pipeline: {} workers configured; {} pages hashed, {} extent reads\n  read cache: {} of {} pages resident, {} hits / {} misses ({} content hits), {} evictions\n",
+        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n{mirror_note}{repl_note}  checkpoints this session: {} degraded, {} aborted\n  commit-phase: {} journal seals, {} extent barriers, {} superblock flips, {} repair-path entries this session\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n  delta log: {} live records ({} bytes); session: {} delta records ({} bytes) flushed in place of full pages, {} chains folded, longest chain {}\n  restore pipeline: {} workers configured; {} pages hashed, {} extent reads\n  read cache: {} of {} pages resident, {} hits / {} misses ({} content hits), {} evictions\n",
         world.display(),
         store.checkpoints().len(),
         store.blocks_in_use(),
@@ -1016,6 +1016,12 @@ fn cmd_info(world: &Path) -> Result<String> {
         m.flush_write_ns as f64 / 1e6,
         m.flush_extents,
         m.flush_extent_blocks,
+        store.delta_log_len(),
+        store.delta_log_bytes(),
+        m.delta_records,
+        m.delta_bytes,
+        m.chains_compacted,
+        m.chain_len_max,
         host.sls.restore_workers,
         m.restore_pages_hashed,
         m.restore_extents,
@@ -1119,6 +1125,22 @@ mod tests {
         assert!(out.contains("executed 3 mutations"), "{out}");
         let out = run(&["--world", w, "info"]).expect("info");
         assert!(out.contains("standby: image present"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `sls info` surfaces the delta-log footprint next to the other
+    /// commit-phase and pipeline counters.
+    #[test]
+    fn info_reports_delta_log_counters() {
+        let dir = world_dir("deltainfo");
+        let w = dir.to_str().expect("utf8 path");
+        run(&["--world", w, "init", "--blocks", "8192"]).expect("init");
+        run(&["--world", w, "persist", "demo", "--app", "kv"]).expect("persist");
+        run(&["--world", w, "run", "demo", "--steps", "6"]).expect("run");
+        let out = run(&["--world", w, "info"]).expect("info");
+        assert!(out.contains("delta log:"), "{out}");
+        assert!(out.contains("chains folded"), "{out}");
+        assert!(out.contains("longest chain"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -442,6 +442,372 @@ fn run_restore_cut_iteration(n: u64, workers: usize, report: &mut CampaignReport
     Ok(())
 }
 
+/// Pages in the delta sweeps' working set — small on purpose: the point
+/// is many sub-page records per round, not extent width.
+const DELTA_SWEEP_PAGES: u64 = 24;
+
+/// Rounds per delta-sweep iteration: r0 is a full baseline, r1 a
+/// fault-free delta round (proving the path engages at all), r2 the
+/// delta round run under the armed power cut.
+const DELTA_ROUNDS: u32 = 3;
+
+/// Chain cap used by the compaction sweep: short enough that four delta
+/// rounds hit it and the final checkpoint triggers the auto-compactor.
+const COMPACT_CHAIN_CAP: u32 = 4;
+
+/// Rounds per compaction-sweep iteration: r0 base plus four delta
+/// rounds; the fourth reaches [`COMPACT_CHAIN_CAP`] and its checkpoint
+/// folds every chain while the cut is armed.
+const COMPACT_ROUNDS: u32 = 5;
+
+/// Boots a materialized host for the delta sweeps, optionally
+/// overriding the delta chain cap.
+fn delta_sweep_host(workers: usize, chain_cap: Option<u32>) -> Result<Host> {
+    let mut config = StoreConfig {
+        journal_blocks: 512,
+        materialize_data: true,
+        ..StoreConfig::default()
+    };
+    if let Some(cap) = chain_cap {
+        config.delta_max_chain = cap;
+    }
+    let mut host = boot_host_config(config)?;
+    host.sls.flush_workers = workers;
+    Ok(host)
+}
+
+/// Page-0-anchored body written to page `p` in round `round`. Round 0
+/// fills fresh pages (no committed base, so the full path applies);
+/// later rounds overwrite the same small prefix so every round stages
+/// one sub-page delta per page and chains grow by one per round.
+fn delta_page_body(tag: &str, round: u32, p: u64) -> String {
+    if round == 0 {
+        format!("{tag}-base-p{p:04}")
+    } else {
+        format!("{tag}-r{round}-p{p:02}")
+    }
+}
+
+/// Applies round `round` of the delta-sweep workload.
+fn delta_round_writes(
+    host: &mut Host,
+    pid: aurora_posix::Pid,
+    addr: u64,
+    round: u32,
+    tag: &str,
+) -> Result<()> {
+    for p in 0..DELTA_SWEEP_PAGES {
+        let body = delta_page_body(tag, round, p);
+        host.kernel.mem_write(pid, addr + p * 4096, body.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// FNV-1a over a byte slice (cheap content digest for twin comparison).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Restores checkpoint `id`, digests the whole restored memory region,
+/// and tears the restored process back down.
+fn restore_digest(host: &mut Host, id: CkptId, addr: u64, bytes: usize) -> Result<u64> {
+    let store = host.sls.primary.clone();
+    let r = host.restore(&store, id, RestoreMode::Eager)?;
+    let np = r
+        .root_pid()
+        .ok_or_else(|| Error::internal("restore returned no root pid"))?;
+    let mut buf = vec![0u8; bytes];
+    host.kernel.mem_read(np, addr, &mut buf)?;
+    let _ = host.kernel.exit(np, 0);
+    host.kernel.procs.remove(&np);
+    Ok(fnv1a(&buf))
+}
+
+/// Runs the delta workload on a fault-free twin host and returns the
+/// full-region digest of every workload checkpoint, keyed by name. The
+/// twin reboots before digesting so both sides of the comparison go
+/// through the same journal-replay recovery path.
+fn delta_twin_digests(
+    tag: &str,
+    workers: usize,
+    rounds: u32,
+    chain_cap: Option<u32>,
+    expect_compaction: bool,
+) -> Result<HashMap<String, u64>> {
+    let mut host = delta_sweep_host(workers, chain_cap)?;
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, DELTA_SWEEP_PAGES * 4096, false)?;
+    let gid = host.persist("app", pid)?;
+    for round in 0..rounds {
+        delta_round_writes(&mut host, pid, addr, round, tag)?;
+        let bd = host.checkpoint(gid, round == 0, Some(&format!("r{round}")))?;
+        host.clock.advance_to(bd.durable_at);
+    }
+    {
+        let store = host.sls.primary.borrow();
+        let stats = &store.stats;
+        if stats.delta_records == 0 {
+            return Err(Error::internal(
+                "fault-free twin never staged a delta record",
+            ));
+        }
+        if expect_compaction && stats.chains_compacted == 0 {
+            return Err(Error::internal(
+                "fault-free twin never triggered the chain compactor",
+            ));
+        }
+    }
+    let mut host = host.crash_and_reboot()?;
+    let named: Vec<(CkptId, String)> = host
+        .sls
+        .primary
+        .borrow()
+        .checkpoints()
+        .iter()
+        .filter_map(|c| c.name.clone().map(|n| (c.id, n)))
+        .collect();
+    let mut out = HashMap::new();
+    for (id, name) in named {
+        // Internal checkpoints (e.g. the compactor's) are not workload
+        // rounds; scrub validates them, the twin map skips them.
+        if !name.starts_with('r') {
+            continue;
+        }
+        let digest = restore_digest(&mut host, id, addr, (DELTA_SWEEP_PAGES * 4096) as usize)?;
+        out.insert(name, digest);
+    }
+    Ok(out)
+}
+
+/// Compares every surviving workload checkpoint of a freshly recovered
+/// host against the fault-free twin's digest of the same name: replay
+/// of the delta log after a cut must reconstruct byte-identical memory.
+fn verify_against_twin(
+    host: &mut Host,
+    twin: &HashMap<String, u64>,
+    addr: u64,
+    label: &str,
+    report: &mut CampaignReport,
+) {
+    let survivors: Vec<(CkptId, String)> = host
+        .sls
+        .primary
+        .borrow()
+        .checkpoints()
+        .iter()
+        .filter_map(|c| c.name.clone().map(|n| (c.id, n)))
+        .collect();
+    for (id, name) in survivors {
+        let Some(&want) = twin.get(&name) else {
+            continue;
+        };
+        match restore_digest(host, id, addr, (DELTA_SWEEP_PAGES * 4096) as usize) {
+            Ok(got) if got == want => report.restores_verified += 1,
+            Ok(got) => report.violations.push(format!(
+                "{label}: checkpoint {name} digest {got:#018x} diverges from fault-free twin {want:#018x}"
+            )),
+            Err(e) => report.violations.push(format!(
+                "{label}: digesting surviving checkpoint {name} failed: {e}"
+            )),
+        }
+    }
+}
+
+/// Power-cut sweep across the delta-log append path.
+///
+/// The flush sweep proves a cut inside a coalesced full-image write
+/// cannot tear the store; this sweep proves the same for the sub-page
+/// delta path, where a committed checkpoint's pages are reconstructed
+/// by replaying journal-resident delta records over a base image. Each
+/// iteration takes a full baseline, commits one fault-free delta round
+/// (and fails if the delta path never engaged), then arms a power cut
+/// at exactly the `n`-th device write of a second delta round. After
+/// the crash, recovery must scrub clean, every surviving checkpoint
+/// must restore to its recorded state, and every survivor's full
+/// restored-memory digest must match a fault-free twin run — replay
+/// equivalence, not just prefix equality.
+pub fn run_delta_power_cut_sweep(cuts: u64, workers: usize) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    let twin = match delta_twin_digests("delta", workers, DELTA_ROUNDS, None, false) {
+        Ok(t) => t,
+        Err(e) => {
+            report
+                .violations
+                .push(format!("delta-cut twin: harness error: {e}"));
+            return report;
+        }
+    };
+    for n in 1..=cuts {
+        if let Err(e) = run_delta_cut_iteration(n, workers, &twin, &mut report) {
+            report
+                .violations
+                .push(format!("delta-cut {n}: harness error: {e}"));
+        }
+        report.schedules += 1;
+    }
+    report
+}
+
+/// One sweep iteration: cut power at device write `n` mid-delta-flush.
+fn run_delta_cut_iteration(
+    n: u64,
+    workers: usize,
+    twin: &HashMap<String, u64>,
+    report: &mut CampaignReport,
+) -> Result<()> {
+    let mut host = delta_sweep_host(workers, None)?;
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, DELTA_SWEEP_PAGES * 4096, false)?;
+    let gid = host.persist("app", pid)?;
+
+    let mut expected: HashMap<String, Vec<u8>> = HashMap::new();
+    for round in 0..DELTA_ROUNDS {
+        delta_round_writes(&mut host, pid, addr, round, "delta")?;
+        let name = format!("r{round}");
+        expected.insert(name.clone(), delta_page_body("delta", round, 0).into_bytes());
+
+        if round + 1 == DELTA_ROUNDS {
+            arm_faults_cut(&mut host, n);
+        }
+        match host.checkpoint(gid, round == 0, Some(&name)) {
+            Ok(bd) => {
+                if bd.outcome.committed() {
+                    report.committed += 1;
+                    host.clock.advance_to(bd.durable_at);
+                } else {
+                    report.aborted += 1;
+                }
+            }
+            Err(e) => {
+                let dead = host.sls.primary.borrow().device().health() == DevHealth::Dead;
+                if !dead {
+                    report.violations.push(format!(
+                        "delta-cut {n}: checkpoint error on live device: {e}"
+                    ));
+                }
+                report.aborted += 1;
+            }
+        }
+        if round == 1 && host.sls.primary.borrow().stats.delta_records == 0 {
+            report.violations.push(format!(
+                "delta-cut {n}: fault-free delta round never staged a delta record"
+            ));
+        }
+    }
+
+    disarm_faults(&mut host);
+    let mut host = host.crash_and_reboot()?;
+    report.crashes += 1;
+    verify_recovered(&mut host, addr, &expected, n, report);
+    verify_against_twin(&mut host, twin, addr, &format!("delta-cut {n}"), report);
+    Ok(())
+}
+
+/// Power-cut sweep across the background chain compactor.
+///
+/// Compaction folds a delta chain back into a full base image through
+/// an ordinary committed checkpoint, so a cut anywhere inside it must
+/// leave either the old chain or the folded image — never a mix. Each
+/// iteration builds chains up to [`COMPACT_CHAIN_CAP`] over fault-free
+/// rounds, then arms a cut at device write `n` of the final round,
+/// whose checkpoint both commits the capping delta and auto-triggers
+/// the compactor: the ordinal walks the cut through the delta seal,
+/// the superblock flip, and every write of the fold itself. Recovery
+/// must scrub clean and every survivor must match the fault-free twin.
+pub fn run_compact_power_cut_sweep(cuts: u64, workers: usize) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    let twin = match delta_twin_digests(
+        "compact",
+        workers,
+        COMPACT_ROUNDS,
+        Some(COMPACT_CHAIN_CAP),
+        true,
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            report
+                .violations
+                .push(format!("compact-cut twin: harness error: {e}"));
+            return report;
+        }
+    };
+    for n in 1..=cuts {
+        if let Err(e) = run_compact_cut_iteration(n, workers, &twin, &mut report) {
+            report
+                .violations
+                .push(format!("compact-cut {n}: harness error: {e}"));
+        }
+        report.schedules += 1;
+    }
+    report
+}
+
+/// One sweep iteration: cut power at device write `n` while the final
+/// checkpoint commits the capping delta and folds every chain.
+fn run_compact_cut_iteration(
+    n: u64,
+    workers: usize,
+    twin: &HashMap<String, u64>,
+    report: &mut CampaignReport,
+) -> Result<()> {
+    let mut host = delta_sweep_host(workers, Some(COMPACT_CHAIN_CAP))?;
+    let pid = host.kernel.spawn("app");
+    let addr = host.kernel.mmap_anon(pid, DELTA_SWEEP_PAGES * 4096, false)?;
+    let gid = host.persist("app", pid)?;
+
+    let mut expected: HashMap<String, Vec<u8>> = HashMap::new();
+    for round in 0..COMPACT_ROUNDS {
+        delta_round_writes(&mut host, pid, addr, round, "compact")?;
+        let name = format!("r{round}");
+        expected.insert(name.clone(), delta_page_body("compact", round, 0).into_bytes());
+
+        if round + 1 == COMPACT_ROUNDS {
+            arm_faults_cut(&mut host, n);
+        }
+        match host.checkpoint(gid, round == 0, Some(&name)) {
+            Ok(bd) => {
+                if bd.outcome.committed() {
+                    report.committed += 1;
+                    host.clock.advance_to(bd.durable_at);
+                } else {
+                    report.aborted += 1;
+                }
+            }
+            Err(e) => {
+                let dead = host.sls.primary.borrow().device().health() == DevHealth::Dead;
+                if !dead {
+                    report.violations.push(format!(
+                        "compact-cut {n}: checkpoint error on live device: {e}"
+                    ));
+                }
+                report.aborted += 1;
+            }
+        }
+        if round + 2 == COMPACT_ROUNDS {
+            // The penultimate round ran fault-free: chains must be one
+            // short of the cap, poised for the final round to fold.
+            let high = host.sls.primary.borrow().stats.chain_len_max;
+            if high + 1 < u64::from(COMPACT_CHAIN_CAP) {
+                report.violations.push(format!(
+                    "compact-cut {n}: chains only reached {high} before the final round"
+                ));
+            }
+        }
+    }
+
+    disarm_faults(&mut host);
+    let mut host = host.crash_and_reboot()?;
+    report.crashes += 1;
+    verify_recovered(&mut host, addr, &expected, n, report);
+    verify_against_twin(&mut host, twin, addr, &format!("compact-cut {n}"), report);
+    Ok(())
+}
+
 /// Boots a campaign host whose primary store sits on a `width`-way
 /// mirror of simulated NVMe devices sharing one clock.
 fn boot_mirror_host(width: usize, config: StoreConfig) -> Result<Host> {
@@ -1096,6 +1462,36 @@ mod tests {
         assert_eq!(
             report.restores_verified, 12,
             "a read-side cut can never damage the baseline"
+        );
+    }
+
+    #[test]
+    fn delta_power_cut_sweep_replays_identically() {
+        let report = run_delta_power_cut_sweep(14, 4);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.crashes, 14, "every iteration ends in a crash");
+        assert!(
+            report.aborted > 0,
+            "some cuts must land inside the delta flush"
+        );
+        assert!(
+            report.restores_verified > 0,
+            "baselines must survive every cut"
+        );
+    }
+
+    #[test]
+    fn compaction_power_cut_sweep_never_tears_a_chain() {
+        let report = run_compact_power_cut_sweep(12, 4);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.crashes, 12, "every iteration ends in a crash");
+        assert!(
+            report.aborted > 0,
+            "some cuts must land inside the capping round or the fold"
+        );
+        assert!(
+            report.restores_verified > 0,
+            "baselines must survive every cut"
         );
     }
 

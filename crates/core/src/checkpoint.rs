@@ -14,7 +14,7 @@
 //! flushed to every attached backend and committed; the commit returns
 //! the durable instant, which gates external-consistency release.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use aurora_objstore::ObjId;
 use aurora_posix::fd::FileKind;
@@ -204,7 +204,7 @@ impl Host {
                 }
                 Err(e) => return Err(e),
             };
-        breakdown.flush_bytes = captured.plan.flush_bytes();
+        breakdown.flush_bytes = flush_report.flush_bytes;
         breakdown.flush_workers = flush_report.workers;
         breakdown.hash_stage = flush_report.hash_stage;
         breakdown.flush_span = flush_report.flush_span;
@@ -253,8 +253,48 @@ impl Host {
         // History-window GC on every backend, then release holds whose
         // checkpoints already became durable.
         gc_history(&mut self.sls, gid)?;
+        // Background chain compaction: a chain at the policy cap can
+        // never grow another delta (the next write takes the full-image
+        // path), but a *cold* page's capped chain would otherwise tax
+        // every future restore with replay. Fold those now.
+        self.compact_chains(gid)?;
         self.poll_durability();
         Ok(breakdown)
+    }
+
+    /// Folds every live delta chain that reached the policy cap back
+    /// into a full base image, on every backend of the group. Each
+    /// folding backend commits one `chain-compact` checkpoint through
+    /// the typestate protocol (recorded in its history, windowed out by
+    /// the next GC pass like any other). Returns the number of chains
+    /// folded across all backends.
+    pub fn compact_chains(&mut self, gid: GroupId) -> Result<u64> {
+        let group = self.sls.group_mut(gid)?;
+        let mut folded = 0u64;
+        for backend in group.backends.iter_mut() {
+            let mut store = backend.store.borrow_mut();
+            let (delta_max_bytes, delta_max_chain) = store.delta_policy();
+            if delta_max_bytes == 0 {
+                continue;
+            }
+            let n = store.compact_chains(delta_max_chain)? as u64;
+            if n > 0 {
+                folded += n;
+                if let Some(head) = store.head() {
+                    backend.history.push(head);
+                }
+            }
+        }
+        if folded > 0 {
+            group.history = group
+                .backends
+                .first()
+                .ok_or_else(|| Error::internal("group has no backends"))?
+                .history
+                .clone();
+            metrics::METRICS.lock().chains_compacted += folded;
+        }
+        Ok(folded)
     }
 
     /// Concludes a checkpoint whose flush failed permanently.
@@ -799,6 +839,10 @@ pub(crate) struct FlushReport {
     pub hash_stage: aurora_sim::time::SimDuration,
     /// Sim-time span from flush submission to the durable instant.
     pub flush_span: aurora_sim::time::SimDuration,
+    /// Bytes actually flushed on the widest backend: full 4 KiB images
+    /// plus encoded delta records (sub-page dirty extents make this far
+    /// smaller than `armed_pages * 4096`).
+    pub flush_bytes: u64,
 }
 
 /// Writes captured pages and records to every backend and commits;
@@ -848,6 +892,12 @@ fn flush_capture(
             .ok_or_else(|| Error::internal("flush page of uncaptured object"))?;
         plan.push((oid, fp.page_idx, kernel.vm.frames.data(fp.frame).clone()));
     }
+    // Dirty footprints keyed like the resolved plan: a page whose mask
+    // is a small set of runs is a delta candidate on every backend.
+    let mut masks: HashMap<(ObjId, u64), &aurora_vm::DirtyMask> = HashMap::new();
+    for (fp, (oid, idx, _)) in captured.plan.flush.iter().zip(plan.iter()) {
+        masks.insert((*oid, *idx), &fp.dirty);
+    }
     let flush_start = kernel.clock.now();
     let pages_hashed = plan.len() as u64;
     let hash_stage = aurora_sim::cost::hash_stage(pages_hashed, workers as u64);
@@ -866,6 +916,10 @@ fn flush_capture(
     let mut phase_barriers = 0u64;
     let mut phase_flips = 0u64;
     let mut phase_repairs = 0u64;
+    let mut flush_bytes = 0u64;
+    let mut delta_records = 0u64;
+    let mut delta_bytes = 0u64;
+    let mut chain_len_max = 0u64;
     for backend in group.backends.iter_mut() {
         let mut store = backend.store.borrow_mut();
         for &(v, oid) in &captured.vmo_oid {
@@ -879,7 +933,41 @@ fn flush_capture(
         let barriers0 = store.stats.extent_barriers;
         let flips0 = store.stats.superblock_flips;
         let repairs0 = store.stats.repair_path_entries.get();
-        store.write_pages_coalesced(&writes)?;
+        let drec0 = store.stats.delta_records;
+        let dbytes0 = store.stats.delta_bytes;
+        // Delta/full partition. A captured page appends a sub-page delta
+        // record when the flush is incremental, its dirty footprint is a
+        // small run set within the policy budget, and this backend holds
+        // a committed base whose chain has room; everything else — and
+        // every page of a full checkpoint — takes the coalesced
+        // full-image path, which doubles as chain truncation.
+        let (delta_max_bytes, delta_max_chain) = store.delta_policy();
+        let mut full_count = writes.len() as u64;
+        if full || delta_max_bytes == 0 {
+            store.write_pages_coalesced(&writes)?;
+        } else {
+            let mut images: Vec<aurora_objstore::PageWrite> = Vec::new();
+            for w in &writes {
+                let runs = masks
+                    .get(&(w.oid, w.idx))
+                    .and_then(|m| m.runs())
+                    .filter(|runs| {
+                        let bytes: u64 = runs.iter().map(|&(_, l)| l as u64).sum();
+                        bytes > 0 && bytes <= delta_max_bytes as u64
+                    })
+                    .filter(|_| {
+                        store
+                            .can_delta(w.oid, w.idx)
+                            .is_some_and(|len| len < delta_max_chain)
+                    });
+                match runs {
+                    Some(runs) => store.stage_delta(w.oid, w.idx, &w.page, runs)?,
+                    None => images.push(w.clone()),
+                }
+            }
+            full_count = images.len() as u64;
+            store.write_pages_coalesced(&images)?;
+        }
         extents += store.stats.extents_coalesced - ext0;
         extent_blocks += store.stats.blocks_coalesced - blk0;
         for (key, bytes) in &captured.blobs {
@@ -897,6 +985,14 @@ fn flush_capture(
         phase_barriers += store.stats.extent_barriers - barriers0;
         phase_flips += store.stats.superblock_flips - flips0;
         phase_repairs += store.stats.repair_path_entries.get() - repairs0;
+        // Real bytes this backend flushed for page data: full images plus
+        // the delta records the commit just made durable. The report
+        // carries the widest backend.
+        let backend_dbytes = store.stats.delta_bytes - dbytes0;
+        delta_records += store.stats.delta_records - drec0;
+        delta_bytes += backend_dbytes;
+        chain_len_max = chain_len_max.max(store.stats.chain_len_max);
+        flush_bytes = flush_bytes.max(full_count * aurora_vm::PAGE_SIZE as u64 + backend_dbytes);
         backend.history.push(ckpt);
         if full {
             backend.needs_full = false;
@@ -923,6 +1019,9 @@ fn flush_capture(
         m.commit_extent_barriers += phase_barriers;
         m.commit_superblock_flips += phase_flips;
         m.commit_repair_entries += phase_repairs;
+        m.delta_records += delta_records;
+        m.delta_bytes += delta_bytes;
+        m.chain_len_max = m.chain_len_max.max(chain_len_max);
     }
     Ok((
         durable,
@@ -930,6 +1029,7 @@ fn flush_capture(
             workers: workers as u64,
             hash_stage,
             flush_span,
+            flush_bytes,
         },
     ))
 }

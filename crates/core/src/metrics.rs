@@ -73,6 +73,17 @@ pub struct GlobalCounters {
     pub commit_superblock_flips: u64,
     /// Entries into the repair path (read-repair / scrub healing).
     pub commit_repair_entries: u64,
+    /// Sub-page delta records committed in place of full 4 KiB images,
+    /// summed across backend stores.
+    pub delta_records: u64,
+    /// Encoded bytes of those delta records (the flushed footprint the
+    /// full-image path would have charged 4096 bytes per page for).
+    pub delta_bytes: u64,
+    /// Delta chains folded back into base images by the background
+    /// compactor.
+    pub chains_compacted: u64,
+    /// Longest delta chain ever committed (high-water across stores).
+    pub chain_len_max: u64,
 }
 
 /// The global counter registry. Innermost rank in the lock hierarchy,
@@ -106,6 +117,10 @@ pub static METRICS: OrderedMutex<GlobalCounters> =
         commit_extent_barriers: 0,
         commit_superblock_flips: 0,
         commit_repair_entries: 0,
+        delta_records: 0,
+        delta_bytes: 0,
+        chains_compacted: 0,
+        chain_len_max: 0,
     });
 
 /// Snapshot of the global counters.

@@ -246,7 +246,7 @@ impl Host {
                 _ => force_eager.contains(&rec.oid),
             };
             if eager {
-                let map = store.borrow_mut().object_map_at(ckpt, ObjId(rec.oid));
+                let map = store.borrow_mut().object_refs_at(ckpt, ObjId(rec.oid));
                 targets.extend(map.into_iter().map(|(idx, _)| (v, rec.oid, idx)));
             } else if mode == RestoreMode::LazyPrefetch && !force_lazy.contains(&rec.oid) {
                 targets.extend(rec.hot.iter().map(|&idx| (v, rec.oid, idx)));
@@ -659,13 +659,32 @@ impl Host {
         store.borrow_mut().note_read_hashes(&pairs);
         breakdown.hash_stage += sw.lap();
 
-        // Pass 4: wire frames in serial target order.
+        // Pass 4: wire frames in serial target order. Delta-backed pages
+        // fetched their chain's *base* block through the plan; the chain
+        // replays over it here.
         for (i, &(v, oid, idx)) in fetch.iter().enumerate() {
+            let chain = plan.chains.get(i).copied().flatten();
             let data = match plan.resolved.get(i).copied().flatten() {
-                Some(ptr) => outcome.pages.get(&ptr.0).cloned().ok_or_else(|| {
-                    Error::internal(format!("planned block {} missing from read outcome", ptr.0))
-                })?,
-                None => PageData::Zero,
+                Some(ptr) => {
+                    let base = outcome.pages.get(&ptr.0).cloned().ok_or_else(|| {
+                        Error::internal(format!("planned block {} missing from read outcome", ptr.0))
+                    })?;
+                    match chain {
+                        Some(lsn) => store.borrow().apply_chain(&base, lsn)?,
+                        None => base,
+                    }
+                }
+                None => {
+                    // A chain head with no resolvable base means the log
+                    // lost records — zero-filling would hide corruption.
+                    if let Some(lsn) = chain {
+                        return Err(Error::corrupt(format!(
+                            "object {oid} page {idx}: delta chain at lsn {lsn} \
+                             has no resolvable base"
+                        )));
+                    }
+                    PageData::Zero
+                }
             };
             let frame = self.kernel.vm.frames.alloc(data);
             self.kernel.vm.image_cache_put(pager, oid, idx, frame);

@@ -6,7 +6,19 @@ use aurora_sim::codec::{Decoder, Encoder};
 use aurora_sim::error::Result;
 use aurora_sim::time::SimTime;
 
+use crate::deltalog::Lsn;
 use crate::{BlockPtr, ObjId};
+
+/// How a checkpoint resolves one page: a full image block, or the head
+/// of a delta chain in the store's delta log (materialized by replaying
+/// the chain over its base image).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageRef {
+    /// A full page image (refcounted data block).
+    Full(BlockPtr),
+    /// Head of a sub-page delta chain.
+    Delta(Lsn),
+}
 
 /// Identifier of a committed checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -27,6 +39,11 @@ pub struct Checkpoint {
     pub deleted_objects: Vec<ObjId>,
     /// Page-map changes: `(object, page) -> data block`.
     pub pages: HashMap<(ObjId, u64), BlockPtr>,
+    /// Sub-page delta heads: `(object, page) -> delta-chain head LSN`.
+    /// A fresh commit records a page in `pages` *or* `deltas`; after a
+    /// GC merge a checkpoint may carry both (the inherited chain base in
+    /// `pages`, the newer chain head in `deltas`) — `deltas` wins.
+    pub deltas: HashMap<(ObjId, u64), Lsn>,
     /// Metadata blobs written in this delta (kernel-object records).
     pub blobs: BTreeMap<String, Vec<u8>>,
     /// Virtual instant at which this checkpoint became power-loss-safe
@@ -40,6 +57,7 @@ impl Checkpoint {
         64 + self.new_objects.len() * 12
             + self.deleted_objects.len() * 9
             + self.pages.len() * 20
+            + self.deltas.len() * 24
             + self
                 .blobs
                 .iter()
@@ -71,6 +89,15 @@ impl Checkpoint {
             e.str(k);
             e.bytes(v);
         }
+        // Delta heads, sorted for deterministic images.
+        let mut deltas: Vec<(&(ObjId, u64), &Lsn)> = self.deltas.iter().collect();
+        deltas.sort();
+        e.varint(deltas.len() as u64);
+        for ((oid, idx), lsn) in deltas {
+            e.u64(oid.0);
+            e.varint(*idx);
+            e.varint(*lsn);
+        }
     }
 
     /// Decodes a delta from a journal payload.
@@ -99,6 +126,14 @@ impl Checkpoint {
             let v = d.bytes()?.to_vec();
             blobs.insert(k, v);
         }
+        let ndeltas = d.varint()? as usize;
+        let mut deltas = HashMap::with_capacity(ndeltas);
+        for _ in 0..ndeltas {
+            let oid = ObjId(d.u64()?);
+            let idx = d.varint()?;
+            let lsn = d.varint()?;
+            deltas.insert((oid, idx), lsn);
+        }
         Ok(Checkpoint {
             id,
             parent,
@@ -106,6 +141,7 @@ impl Checkpoint {
             new_objects,
             deleted_objects,
             pages,
+            deltas,
             blobs,
             durable_at: SimTime::ZERO,
         })
@@ -114,18 +150,22 @@ impl Checkpoint {
 
 /// Resolves a page through the checkpoint chain: the nearest delta at or
 /// above `from` that covers `(oid, idx)` wins; a deletion of the object
-/// masks older data.
-pub fn resolve_page(
+/// masks older data. Within one checkpoint a delta head outranks a page
+/// entry (the entry is then the chain's inherited base image).
+pub fn resolve_ref(
     ckpts: &BTreeMap<u64, Checkpoint>,
     from: CkptId,
     oid: ObjId,
     idx: u64,
-) -> Option<BlockPtr> {
+) -> Option<PageRef> {
     let mut cur = Some(from);
     while let Some(c) = cur {
         let ck = ckpts.get(&c.0)?;
+        if let Some(lsn) = ck.deltas.get(&(oid, idx)) {
+            return Some(PageRef::Delta(*lsn));
+        }
         if let Some(ptr) = ck.pages.get(&(oid, idx)) {
-            return Some(*ptr);
+            return Some(PageRef::Full(*ptr));
         }
         if ck.deleted_objects.contains(&oid) {
             return None;
@@ -137,6 +177,20 @@ pub fn resolve_page(
         cur = ck.parent;
     }
     None
+}
+
+/// Full-image-only page resolution. Returns `None` when the page is
+/// covered by a delta chain — delta-aware callers use [`resolve_ref`].
+pub fn resolve_page(
+    ckpts: &BTreeMap<u64, Checkpoint>,
+    from: CkptId,
+    oid: ObjId,
+    idx: u64,
+) -> Option<BlockPtr> {
+    match resolve_ref(ckpts, from, oid, idx) {
+        Some(PageRef::Full(ptr)) => Some(ptr),
+        _ => None,
+    }
 }
 
 /// Resolves a blob through the chain (latest write at or above `from`).
@@ -156,12 +210,13 @@ pub fn resolve_blob<'a>(
     None
 }
 
-/// The effective page map of one object at a checkpoint (chain-merged).
-pub fn effective_map(
+/// The effective page map of one object at a checkpoint (chain-merged),
+/// each page resolved to its full image or its delta-chain head.
+pub fn effective_refs(
     ckpts: &BTreeMap<u64, Checkpoint>,
     from: CkptId,
     oid: ObjId,
-) -> BTreeMap<u64, BlockPtr> {
+) -> BTreeMap<u64, PageRef> {
     // Walk root-ward collecting deltas, then apply oldest-first.
     let mut chain = Vec::new();
     let mut cur = Some(from);
@@ -183,9 +238,17 @@ pub fn effective_map(
             // this id belongs to the new incarnation.
             map.clear();
         }
+        // Pages first, then delta heads: within one checkpoint a delta
+        // outranks a page entry (the page entry is then the chain's
+        // inherited base image, kept only for its block ref).
         for ((o, idx), ptr) in &ck.pages {
             if *o == oid {
-                map.insert(*idx, *ptr);
+                map.insert(*idx, PageRef::Full(*ptr));
+            }
+        }
+        for ((o, idx), lsn) in &ck.deltas {
+            if *o == oid {
+                map.insert(*idx, PageRef::Delta(*lsn));
             }
         }
     }
@@ -204,6 +267,7 @@ mod tests {
             new_objects: Vec::new(),
             deleted_objects: Vec::new(),
             pages: HashMap::new(),
+            deltas: HashMap::new(),
             blobs: BTreeMap::new(),
             durable_at: SimTime::ZERO,
         }
@@ -217,6 +281,7 @@ mod tests {
         c.deleted_objects.push(ObjId(5));
         c.pages.insert((ObjId(7), 0), BlockPtr(100));
         c.pages.insert((ObjId(7), 3), BlockPtr(101));
+        c.deltas.insert((ObjId(7), 4), 17);
         c.blobs.insert("proc/1".into(), vec![1, 2, 3]);
         let mut e = Encoder::new();
         c.encode(&mut e);
@@ -226,6 +291,7 @@ mod tests {
         assert_eq!(d.parent, c.parent);
         assert_eq!(d.name, c.name);
         assert_eq!(d.pages, c.pages);
+        assert_eq!(d.deltas, c.deltas);
         assert_eq!(d.blobs, c.blobs);
         assert_eq!(d.new_objects, c.new_objects);
         assert_eq!(d.deleted_objects, c.deleted_objects);
@@ -252,9 +318,43 @@ mod tests {
         assert_eq!(resolve_blob(&ckpts, CkptId(2), "m").unwrap(), &[1]);
         assert_eq!(resolve_blob(&ckpts, CkptId(2), "nope"), None);
 
-        let eff = effective_map(&ckpts, CkptId(2), ObjId(1));
-        assert_eq!(eff.get(&0), Some(&BlockPtr(10)));
-        assert_eq!(eff.get(&1), Some(&BlockPtr(21)));
+        let eff = effective_refs(&ckpts, CkptId(2), ObjId(1));
+        assert_eq!(eff.get(&0), Some(&PageRef::Full(BlockPtr(10))));
+        assert_eq!(eff.get(&1), Some(&PageRef::Full(BlockPtr(21))));
+    }
+
+    #[test]
+    fn delta_head_outranks_page_entry() {
+        let mut ckpts = BTreeMap::new();
+        let mut c1 = ck(1, None);
+        c1.new_objects.push((ObjId(1), 8));
+        c1.pages.insert((ObjId(1), 0), BlockPtr(10));
+        let mut c2 = ck(2, Some(1));
+        c2.deltas.insert((ObjId(1), 0), 5);
+        ckpts.insert(1, c1);
+        ckpts.insert(2, c2);
+        assert_eq!(
+            resolve_ref(&ckpts, CkptId(2), ObjId(1), 0),
+            Some(PageRef::Delta(5))
+        );
+        // resolve_page is full-image-only.
+        assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 0), None);
+        assert_eq!(resolve_page(&ckpts, CkptId(1), ObjId(1), 0), Some(BlockPtr(10)));
+
+        // After a GC merge the child can carry both the inherited base
+        // (pages) and the newer chain head (deltas) — deltas wins.
+        let mut merged = ck(3, None);
+        merged.new_objects.push((ObjId(1), 8));
+        merged.pages.insert((ObjId(1), 0), BlockPtr(10));
+        merged.deltas.insert((ObjId(1), 0), 5);
+        let mut m = BTreeMap::new();
+        m.insert(3, merged);
+        assert_eq!(
+            resolve_ref(&m, CkptId(3), ObjId(1), 0),
+            Some(PageRef::Delta(5))
+        );
+        let eff = effective_refs(&m, CkptId(3), ObjId(1));
+        assert_eq!(eff.get(&0), Some(&PageRef::Delta(5)));
     }
 
     #[test]
@@ -269,7 +369,7 @@ mod tests {
         ckpts.insert(2, c2);
         assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 0), None);
         assert_eq!(resolve_page(&ckpts, CkptId(1), ObjId(1), 0), Some(BlockPtr(10)));
-        assert!(effective_map(&ckpts, CkptId(2), ObjId(1)).is_empty());
+        assert!(effective_refs(&ckpts, CkptId(2), ObjId(1)).is_empty());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use aurora_sim::error::{Error, Result};
 use aurora_hw::BLOCK_SIZE;
 
 use crate::checkpoint::{Checkpoint, CkptId};
+use crate::deltalog::{DeltaLog, DeltaRecord, Lsn};
 
 /// Journal record tags.
 pub const TAG_COMMIT: u16 = 1;
@@ -24,37 +25,62 @@ pub const TAG_DELETE: u16 = 2;
 /// Full checkpoint-table snapshot (compaction).
 pub const TAG_SNAPSHOT: u16 = 3;
 
-/// Record format version.
-pub const REC_VERSION: u16 = 1;
+/// Record format version. v2 added the delta-record sections (the
+/// sub-page delta log rides in the journal: a commit carries the records
+/// it appended, a snapshot carries every record still reachable).
+pub const REC_VERSION: u16 = 2;
 
 /// A decoded journal record.
 #[derive(Debug)]
 pub enum JournalRecord {
-    /// One committed checkpoint delta.
-    Commit(Checkpoint),
+    /// One committed checkpoint delta plus the sub-page delta records it
+    /// appended, in ascending LSN order.
+    Commit(Checkpoint, Vec<(Lsn, DeltaRecord)>),
     /// A checkpoint deletion (GC).
     Delete(CkptId),
-    /// A compaction snapshot of the whole checkpoint table.
-    Snapshot(Vec<Checkpoint>),
+    /// A compaction snapshot: the whole checkpoint table plus every
+    /// still-reachable delta record.
+    Snapshot(Vec<Checkpoint>, Vec<(Lsn, DeltaRecord)>),
+}
+
+fn encode_delta_section(e: &mut Encoder, records: &[(Lsn, DeltaRecord)]) {
+    e.varint(records.len() as u64);
+    for (lsn, rec) in records {
+        e.varint(*lsn);
+        rec.encode(e);
+    }
+}
+
+fn decode_delta_section(d: &mut Decoder<'_>) -> Result<Vec<(Lsn, DeltaRecord)>> {
+    let n = d.varint()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let lsn = d.varint()?;
+        let rec = DeltaRecord::decode(d)?;
+        out.push((lsn, rec));
+    }
+    Ok(out)
 }
 
 /// Encodes a record, padded to a whole number of blocks.
 pub fn encode_record(rec: &JournalRecord) -> Vec<u8> {
     let mut payload = Encoder::new();
     let tag = match rec {
-        JournalRecord::Commit(c) => {
+        JournalRecord::Commit(c, deltas) => {
             c.encode(&mut payload);
+            encode_delta_section(&mut payload, deltas);
             TAG_COMMIT
         }
         JournalRecord::Delete(id) => {
             payload.u64(id.0);
             TAG_DELETE
         }
-        JournalRecord::Snapshot(cks) => {
+        JournalRecord::Snapshot(cks, deltas) => {
             payload.varint(cks.len() as u64);
             for c in cks {
                 c.encode(&mut payload);
             }
+            encode_delta_section(&mut payload, deltas);
             TAG_SNAPSHOT
         }
     };
@@ -84,14 +110,23 @@ pub fn decode_records(journal: &[u8], used: u64) -> Vec<JournalRecord> {
         };
         let consumed = d.position();
         let parsed = match rec.tag {
-            TAG_COMMIT => Checkpoint::decode(&mut Decoder::new(rec.payload)).map(JournalRecord::Commit),
+            TAG_COMMIT => {
+                let mut pd = Decoder::new(rec.payload);
+                Checkpoint::decode(&mut pd).and_then(|c| {
+                    let deltas = decode_delta_section(&mut pd)?;
+                    Ok(JournalRecord::Commit(c, deltas))
+                })
+            }
             TAG_DELETE => {
                 let mut pd = Decoder::new(rec.payload);
                 pd.u64().map(|id| JournalRecord::Delete(CkptId(id)))
             }
             TAG_SNAPSHOT => {
                 let mut pd = Decoder::new(rec.payload);
-                pd.seq(Checkpoint::decode).map(JournalRecord::Snapshot)
+                pd.seq(Checkpoint::decode).and_then(|cks| {
+                    let deltas = decode_delta_section(&mut pd)?;
+                    Ok(JournalRecord::Snapshot(cks, deltas))
+                })
             }
             _ => break, // Unknown tag: stop conservatively.
         };
@@ -105,46 +140,62 @@ pub fn decode_records(journal: &[u8], used: u64) -> Vec<JournalRecord> {
     records
 }
 
-/// Replays records into a checkpoint table, applying deletions via the
-/// same merge logic the live GC path uses.
-pub fn replay(records: Vec<JournalRecord>) -> Result<BTreeMap<u64, Checkpoint>> {
+/// Replays records into a checkpoint table plus the delta-record log,
+/// applying deletions via the same merge logic the live GC path uses.
+pub fn replay(records: Vec<JournalRecord>) -> Result<(BTreeMap<u64, Checkpoint>, DeltaLog)> {
     let mut ckpts: BTreeMap<u64, Checkpoint> = BTreeMap::new();
+    let mut log = DeltaLog::default();
     for rec in records {
         match rec {
-            JournalRecord::Snapshot(list) => {
+            JournalRecord::Snapshot(list, deltas) => {
                 ckpts = list.into_iter().map(|c| (c.id.0, c)).collect();
+                log = DeltaLog::default();
+                for (lsn, d) in deltas {
+                    log.insert(lsn, d)?;
+                }
             }
-            JournalRecord::Commit(c) => {
+            JournalRecord::Commit(c, deltas) => {
                 ckpts.insert(c.id.0, c);
+                for (lsn, d) in deltas {
+                    log.insert(lsn, d)?;
+                }
             }
             JournalRecord::Delete(id) => {
                 apply_delete(&mut ckpts, id)?;
             }
         }
     }
-    Ok(ckpts)
+    Ok((ckpts, log))
 }
 
 /// Replay that tolerates stale records (recovery path): a delete of a
 /// checkpoint that is already gone is skipped rather than fatal. This can
 /// only arise from stale-but-CRC-valid tails after compaction, whose
 /// content was already folded into the snapshot.
-pub fn replay_lossy(records: Vec<JournalRecord>) -> BTreeMap<u64, Checkpoint> {
+pub fn replay_lossy(records: Vec<JournalRecord>) -> (BTreeMap<u64, Checkpoint>, DeltaLog) {
     let mut ckpts: BTreeMap<u64, Checkpoint> = BTreeMap::new();
+    let mut log = DeltaLog::default();
     for rec in records {
         match rec {
-            JournalRecord::Snapshot(list) => {
+            JournalRecord::Snapshot(list, deltas) => {
                 ckpts = list.into_iter().map(|c| (c.id.0, c)).collect();
+                log = DeltaLog::default();
+                for (lsn, d) in deltas {
+                    let _ = log.insert(lsn, d);
+                }
             }
-            JournalRecord::Commit(c) => {
+            JournalRecord::Commit(c, deltas) => {
                 ckpts.insert(c.id.0, c);
+                for (lsn, d) in deltas {
+                    let _ = log.insert(lsn, d);
+                }
             }
             JournalRecord::Delete(id) => {
                 let _ = apply_delete(&mut ckpts, id);
             }
         }
     }
-    ckpts
+    (ckpts, log)
 }
 
 /// Merges checkpoint `id` into its sole child and removes it.
@@ -183,6 +234,19 @@ pub fn apply_delete(
                 Error::internal(format!("checkpoint {child_id} vanished during delete"))
             })?;
             child.parent = victim.parent;
+            // Delta heads first: a head the child overrides (full page or
+            // newer head) is simply dropped — its records stay reachable
+            // through the child chain's back-pointers when still needed,
+            // and the caller prunes truly dead segments afterwards.
+            for (key, lsn) in victim.deltas {
+                let oid = key.0;
+                let masked = child.deleted_objects.contains(&oid)
+                    || child.new_objects.iter().any(|(o, _)| *o == oid);
+                if !masked && !child.pages.contains_key(&key) && !child.deltas.contains_key(&key)
+                {
+                    child.deltas.insert(key, lsn);
+                }
+            }
             for (key, ptr) in victim.pages {
                 // A child that deleted or re-created the object does not
                 // need the old pages.
@@ -206,6 +270,7 @@ pub fn apply_delete(
                     // never existed as far as later checkpoints care.
                     child.deleted_objects.retain(|&o| o != oid);
                     child.pages.retain(|(o, _), _| *o != oid);
+                    child.deltas.retain(|(o, _), _| *o != oid);
                 }
             }
             for oid in victim.deleted_objects {
@@ -234,8 +299,21 @@ mod tests {
             new_objects: Vec::new(),
             deleted_objects: Vec::new(),
             pages: HashMap::new(),
+            deltas: HashMap::new(),
             blobs: BTreeMap::new(),
             durable_at: SimTime::ZERO,
+        }
+    }
+
+    fn dr(oid: u64, idx: u64, prev: Option<Lsn>, chain_len: u32) -> DeltaRecord {
+        DeltaRecord {
+            oid: ObjId(oid),
+            idx,
+            epoch: 1,
+            base: BlockPtr(10),
+            prev,
+            chain_len,
+            extents: vec![(0, vec![chain_len as u8])],
         }
     }
 
@@ -243,7 +321,7 @@ mod tests {
     fn record_roundtrip_and_torn_tail() {
         let mut c1 = ck(1, None);
         c1.pages.insert((ObjId(1), 0), BlockPtr(5));
-        let bytes1 = encode_record(&JournalRecord::Commit(c1));
+        let bytes1 = encode_record(&JournalRecord::Commit(c1, Vec::new()));
         let bytes2 = encode_record(&JournalRecord::Delete(CkptId(1)));
         assert_eq!(bytes1.len() % BLOCK_SIZE, 0);
 
@@ -255,7 +333,7 @@ mod tests {
 
         let recs = decode_records(&journal, journal.len() as u64);
         assert_eq!(recs.len(), 2);
-        assert!(matches!(recs[0], JournalRecord::Commit(_)));
+        assert!(matches!(recs[0], JournalRecord::Commit(_, _)));
         assert!(matches!(recs[1], JournalRecord::Delete(CkptId(1))));
 
         // Truncated `used` hides the second record.
@@ -271,11 +349,84 @@ mod tests {
         let mut c2 = ck(2, Some(1));
         c2.pages.insert((ObjId(1), 0), BlockPtr(20));
         let mut journal = Vec::new();
-        journal.extend_from_slice(&encode_record(&JournalRecord::Snapshot(vec![c1])));
-        journal.extend_from_slice(&encode_record(&JournalRecord::Commit(c2)));
-        let ckpts = replay(decode_records(&journal, journal.len() as u64)).unwrap();
+        journal.extend_from_slice(&encode_record(&JournalRecord::Snapshot(vec![c1], Vec::new())));
+        journal.extend_from_slice(&encode_record(&JournalRecord::Commit(c2, Vec::new())));
+        let (ckpts, log) = replay(decode_records(&journal, journal.len() as u64)).unwrap();
         assert_eq!(ckpts.len(), 2);
+        assert!(log.is_empty());
         assert_eq!(resolve_page(&ckpts, CkptId(2), ObjId(1), 0), Some(BlockPtr(20)));
+    }
+
+    #[test]
+    fn replay_rebuilds_delta_log() {
+        let mut c1 = ck(1, None);
+        c1.new_objects.push((ObjId(1), 4));
+        c1.pages.insert((ObjId(1), 0), BlockPtr(10));
+        let mut c2 = ck(2, Some(1));
+        c2.deltas.insert((ObjId(1), 0), 1);
+        let mut c3 = ck(3, Some(2));
+        c3.deltas.insert((ObjId(1), 0), 2);
+        let mut journal = Vec::new();
+        journal.extend_from_slice(&encode_record(&JournalRecord::Commit(c1, Vec::new())));
+        journal.extend_from_slice(&encode_record(&JournalRecord::Commit(
+            c2,
+            vec![(1, dr(1, 0, None, 1))],
+        )));
+        journal.extend_from_slice(&encode_record(&JournalRecord::Commit(
+            c3,
+            vec![(2, dr(1, 0, Some(1), 2))],
+        )));
+        let (ckpts, log) = replay(decode_records(&journal, journal.len() as u64)).unwrap();
+        assert_eq!(ckpts.len(), 3);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.next_lsn(), 3);
+        assert_eq!(log.chain(2).unwrap().len(), 2);
+        use crate::checkpoint::{resolve_ref, PageRef};
+        assert_eq!(
+            resolve_ref(&ckpts, CkptId(3), ObjId(1), 0),
+            Some(PageRef::Delta(2))
+        );
+        // A compaction snapshot carries the records forward verbatim.
+        let snap = encode_record(&JournalRecord::Snapshot(
+            ckpts.values().cloned().collect(),
+            log.iter().map(|(l, r)| (l, r.clone())).collect(),
+        ));
+        let (ckpts2, log2) = replay(decode_records(&snap, snap.len() as u64)).unwrap();
+        assert_eq!(ckpts2.len(), 3);
+        assert_eq!(log2.len(), 2);
+        assert_eq!(log2.next_lsn(), 3);
+    }
+
+    #[test]
+    fn delete_merge_is_delta_aware() {
+        // c1 holds the base image; c2 a delta head; c3 a newer head.
+        let mut ckpts = BTreeMap::new();
+        let mut c1 = ck(1, None);
+        c1.new_objects.push((ObjId(1), 8));
+        c1.pages.insert((ObjId(1), 0), BlockPtr(10));
+        let mut c2 = ck(2, Some(1));
+        c2.deltas.insert((ObjId(1), 0), 1);
+        let mut c3 = ck(3, Some(2));
+        c3.deltas.insert((ObjId(1), 0), 2);
+        ckpts.insert(1, c1);
+        ckpts.insert(2, c2);
+        ckpts.insert(3, c3);
+
+        // Deleting c1 inherits the chain's base block into c2 — the base
+        // must NOT be released while a chain still replays over it.
+        let dropped = apply_delete(&mut ckpts, CkptId(1)).unwrap();
+        assert!(dropped.is_empty());
+        let c2 = ckpts.get(&2).unwrap();
+        assert_eq!(c2.pages.get(&(ObjId(1), 0)), Some(&BlockPtr(10)));
+        assert_eq!(c2.deltas.get(&(ObjId(1), 0)), Some(&1));
+
+        // Deleting c2 drops its (older) head: c3's chain still reaches
+        // lsn 1 through its back-pointer, and the base moves to c3.
+        let dropped = apply_delete(&mut ckpts, CkptId(2)).unwrap();
+        assert!(dropped.is_empty());
+        let c3 = ckpts.get(&3).unwrap();
+        assert_eq!(c3.pages.get(&(ObjId(1), 0)), Some(&BlockPtr(10)));
+        assert_eq!(c3.deltas.get(&(ObjId(1), 0)), Some(&2));
     }
 
     #[test]

@@ -20,8 +20,10 @@ use aurora_hw::BLOCK_SIZE;
 /// Magic number identifying an Aurora store ("AURORSLS").
 pub const MAGIC: u64 = 0x4155_524F_5253_4C53;
 
-/// On-disk format version.
-pub const VERSION: u16 = 2;
+/// On-disk format version. v3: journal record format v2 (checkpoints
+/// carry sub-page delta heads; commit/snapshot records carry delta-log
+/// sections). The superblock body is unchanged.
+pub const VERSION: u16 = 3;
 
 /// First journal block.
 pub const JOURNAL_START: u64 = 2;

@@ -19,6 +19,11 @@
 //!   already exists on disk just bumps a block refcount — this is what
 //!   makes a serverless function image a "small delta over the runtime
 //!   container's checkpoint".
+//! * **Delta log**: pages whose dirty footprint is a few bytes append
+//!   sub-page delta records (offset/len extents chained by `prev` LSN
+//!   back-pointers over a full base image) to the metadata journal
+//!   instead of rewriting a 4 KiB block — the log *is* the checkpoint
+//!   for small mutations (see `DESIGN.md` §16).
 //! * **Durability**: metadata (journal records + dual superblocks) is
 //!   written through the device with CRCs and recovered after crashes;
 //!   bulk page payloads charge real device time through the timing
@@ -32,13 +37,15 @@
 
 pub mod alloc;
 pub mod checkpoint;
+pub mod deltalog;
 pub mod journal;
 pub mod layout;
 pub mod store;
 pub mod stream;
 pub mod txn;
 
-pub use checkpoint::{Checkpoint, CkptId};
+pub use checkpoint::{Checkpoint, CkptId, PageRef};
+pub use deltalog::{DeltaLog, DeltaRecord, Lsn};
 pub use store::{
     ObjectStore, PageWrite, ReadOutcome, ReadPlan, ResilverReport, StoreConfig, StoreStats,
     DEDUP_SHARDS, DEFAULT_READ_CACHE_PAGES, EXTENT_BLOCKS,

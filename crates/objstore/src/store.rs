@@ -9,7 +9,7 @@
 //! [`ObjectStore::recover`], exactly like a real crash.
 
 use std::cell::{Cell, Ref, RefCell};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use aurora_hw::{BlockDev, BLOCK_SIZE};
 use aurora_sim::cost::RESTORE_CACHE_HIT_NS;
@@ -19,7 +19,8 @@ use aurora_sim::time::{SimDuration, SimTime};
 use aurora_vm::PageData;
 
 use crate::alloc::BlockAlloc;
-use crate::checkpoint::{self, Checkpoint, CkptId};
+use crate::checkpoint::{self, Checkpoint, CkptId, PageRef};
+use crate::deltalog::{DeltaLog, DeltaRecord, Lsn};
 use crate::journal::{self, JournalRecord};
 use crate::layout::{Superblock, JOURNAL_START};
 use crate::{BlockPtr, ObjId};
@@ -37,10 +38,24 @@ pub struct StoreConfig {
     pub materialize_data: bool,
     /// Capacity of the bounded read cache in pages (0 disables it).
     pub read_cache_pages: usize,
+    /// Largest dirty footprint (bytes per page) the flush pipeline may
+    /// record as a sub-page delta instead of a full image. 0 disables
+    /// the delta path entirely.
+    pub delta_max_bytes: u32,
+    /// Longest redo chain before a page must take the full-image path
+    /// (which truncates its chain).
+    pub delta_max_chain: u32,
 }
 
 /// Default bounded read-cache capacity: 4096 pages = 16 MiB of DRAM.
 pub const DEFAULT_READ_CACHE_PAGES: usize = 4096;
+
+/// Default delta-vs-full threshold: a quarter page. Above this, the
+/// record overhead stops paying for itself against a 4 KiB image.
+pub const DEFAULT_DELTA_MAX_BYTES: u32 = 1024;
+
+/// Default chain-length bound before full-image truncation.
+pub const DEFAULT_DELTA_MAX_CHAIN: u32 = 8;
 
 impl Default for StoreConfig {
     fn default() -> Self {
@@ -49,6 +64,8 @@ impl Default for StoreConfig {
             dedup: true,
             materialize_data: false,
             read_cache_pages: DEFAULT_READ_CACHE_PAGES,
+            delta_max_bytes: DEFAULT_DELTA_MAX_BYTES,
+            delta_max_chain: DEFAULT_DELTA_MAX_CHAIN,
         }
     }
 }
@@ -95,6 +112,15 @@ pub struct StoreStats {
     /// Phase transitions `ExtentsDurable → Committed` (durable
     /// alternating-superblock flips).
     pub superblock_flips: u64,
+    /// Sub-page delta records committed to the journal.
+    pub delta_records: u64,
+    /// Encoded journal bytes of those records (the flush-byte savings
+    /// baseline: each record stands in for a 4 KiB image).
+    pub delta_bytes: u64,
+    /// Redo chains folded back into full base images by the compactor.
+    pub chains_compacted: u64,
+    /// Longest redo chain ever committed (high-water mark).
+    pub chain_len_max: u64,
     /// Entries into the device-redundancy repair path (read-repair and
     /// scrub healing). A `Cell` because scrub-path repair runs under
     /// `&self`.
@@ -116,6 +142,11 @@ pub struct ResilverReport {
 #[derive(Debug, Default, Clone)]
 struct LiveObject {
     map: BTreeMap<u64, BlockPtr>,
+    /// Delta overlay: pages whose live contents are a redo chain over
+    /// the base image still held in `map`. A head here outranks the
+    /// `map` entry; a full write clears it (chain truncation). Entries
+    /// hold no block refs — the base's ref lives in `map`.
+    deltas: BTreeMap<u64, Lsn>,
     size_pages: u64,
 }
 
@@ -148,13 +179,23 @@ fn fold_live(
                 *oid,
                 LiveObject {
                     map: BTreeMap::new(),
+                    deltas: BTreeMap::new(),
                     size_pages: *size,
                 },
             );
         }
+        // Pages before delta heads: a full image truncates the chain,
+        // and a checkpoint carrying both for one key (post-GC-merge) has
+        // the chain's base in `pages` with the newer head in `deltas`.
         for ((oid, idx), ptr) in &ck.pages {
             if let Some(obj) = live.get_mut(oid) {
                 obj.map.insert(*idx, *ptr);
+                obj.deltas.remove(idx);
+            }
+        }
+        for ((oid, idx), lsn) in &ck.deltas {
+            if let Some(obj) = live.get_mut(oid) {
+                obj.deltas.insert(*idx, *lsn);
             }
         }
         for oid in &ck.deleted_objects {
@@ -529,7 +570,13 @@ pub struct PageWrite {
 pub struct ReadPlan {
     /// Per-target resolved block, aligned with the target slice handed
     /// to the planner; `None` is a hole (the page restores as zeros).
+    /// A target under a redo chain resolves to its chain's *base*
+    /// block — the batched device read fetches bases, and the entry in
+    /// [`ReadPlan::chains`] says which chain to replay on top.
     pub resolved: Vec<Option<BlockPtr>>,
+    /// Per-target delta-chain head, aligned with `resolved`; `None`
+    /// means the resolved block is the page's full image.
+    pub chains: Vec<Option<Lsn>>,
     /// Unique referenced blocks, ascending. Dedup-shared blocks appear
     /// once no matter how many targets they serve — they are read once
     /// and fanned out.
@@ -576,6 +623,12 @@ pub struct ObjectStore {
     pending_blobs: BTreeMap<String, Vec<u8>>,
     pending_new_objects: Vec<(ObjId, u64)>,
     pending_deleted: Vec<ObjId>,
+    /// Sub-page delta records staged this epoch, keyed by page. LSNs
+    /// are assigned at commit in key order; the records enter `delta`
+    /// only after the superblock flip succeeds.
+    pending_deltas: BTreeMap<(ObjId, u64), DeltaRecord>,
+    /// Committed delta records (rebuilt from the journal on recovery).
+    delta: DeltaLog,
     /// Page contents, the dedup index and the bounded read cache.
     cache: OrderedMutex<PageCache>,
     /// Counters.
@@ -619,6 +672,8 @@ impl ObjectStore {
             pending_blobs: BTreeMap::new(),
             pending_new_objects: Vec::new(),
             pending_deleted: Vec::new(),
+            pending_deltas: BTreeMap::new(),
+            delta: DeltaLog::default(),
             cache: OrderedMutex::new(RANK_PAGE_CACHE, "page_cache", cache),
             stats: StoreStats::default(),
         })
@@ -667,7 +722,14 @@ impl ObjectStore {
             dev.read(sb.journal_base, &mut journal_bytes)?;
         }
         let records = journal::decode_records(&journal_bytes, sb.journal_used);
-        let ckpts = journal::replay_lossy(records);
+        let (ckpts, mut delta) = journal::replay_lossy(records);
+        // Drop chain segments no committed checkpoint can reach (stale
+        // tails from GC merges folded into the replayed table).
+        let heads: Vec<Lsn> = ckpts
+            .values()
+            .flat_map(|c| c.deltas.values().copied())
+            .collect();
+        delta.prune(heads);
 
         // Rebuild live state by folding the chain from the head (the
         // newest checkpoint).
@@ -702,6 +764,8 @@ impl ObjectStore {
             pending_blobs: BTreeMap::new(),
             pending_new_objects: Vec::new(),
             pending_deleted: Vec::new(),
+            pending_deltas: BTreeMap::new(),
+            delta,
             cache: OrderedMutex::new(RANK_PAGE_CACHE, "page_cache", cache),
             stats: StoreStats::default(),
         })
@@ -739,6 +803,7 @@ impl ObjectStore {
             oid,
             LiveObject {
                 map: BTreeMap::new(),
+                deltas: BTreeMap::new(),
                 size_pages,
             },
         );
@@ -782,6 +847,7 @@ impl ObjectStore {
         // delta entries. If the object was also born this epoch, it never
         // existed as far as the next checkpoint is concerned.
         self.pending_pages.retain(|(o, _), _| *o != oid);
+        self.pending_deltas.retain(|(o, _), _| *o != oid);
         if let Some(pos) = self.pending_new_objects.iter().position(|(o, _)| *o == oid) {
             self.pending_new_objects.remove(pos);
         } else {
@@ -803,14 +869,34 @@ impl ObjectStore {
             .get(&src)
             .ok_or_else(|| Error::not_found(format!("object {}", src.0)))?
             .clone();
-        for ptr in src_obj.map.values() {
+        // Pages under a redo chain (committed overlay or staged this
+        // epoch) can't be pointer-shared — the share would lose the
+        // chain. Materialize those few into full pages for `dst`.
+        let mut chained: std::collections::BTreeSet<u64> =
+            src_obj.deltas.keys().copied().collect();
+        chained.extend(
+            self.pending_deltas
+                .keys()
+                .filter(|(o, _)| *o == src)
+                .map(|(_, i)| *i),
+        );
+        let mut shared = src_obj.clone();
+        shared.deltas.clear();
+        shared.map.retain(|i, _| !chained.contains(i));
+        for ptr in shared.map.values() {
             self.alloc.incref(*ptr);
         }
-        for ((_, idx), ptr) in src_obj.map.iter().map(|(i, p)| ((dst, *i), *p)) {
+        for (idx, ptr) in shared.map.iter().map(|(i, p)| (*i, *p)) {
             self.pending_pages.insert((dst, idx), ptr);
         }
         self.pending_new_objects.push((dst, src_obj.size_pages));
-        self.live.insert(dst, src_obj);
+        self.live.insert(dst, shared);
+        for idx in chained {
+            let page = self.read_page(src, idx)?.ok_or_else(|| {
+                Error::internal(format!("chained page {}/{idx} vanished during clone", src.0))
+            })?;
+            self.write_page(dst, idx, &page)?;
+        }
         Ok(())
     }
 
@@ -868,12 +954,14 @@ impl ObjectStore {
                 ptr
             }
         };
-        let old = self
+        let obj = self
             .live
             .get_mut(&oid)
-            .ok_or_else(|| Error::internal(format!("object {} vanished during write", oid.0)))?
-            .map
-            .insert(idx, ptr);
+            .ok_or_else(|| Error::internal(format!("object {} vanished during write", oid.0)))?;
+        let old = obj.map.insert(idx, ptr);
+        // A full image truncates the page's redo chain.
+        obj.deltas.remove(&idx);
+        self.pending_deltas.remove(&(oid, idx));
         if let Some(old) = old {
             self.release_block(old);
         }
@@ -919,14 +1007,16 @@ impl ObjectStore {
                     ptr
                 }
             };
-            let old = self
+            let obj = self
                 .live
                 .get_mut(&w.oid)
                 .ok_or_else(|| {
                     Error::internal(format!("object {} vanished during write", w.oid.0))
-                })?
-                .map
-                .insert(w.idx, ptr);
+                })?;
+            let old = obj.map.insert(w.idx, ptr);
+            // A full image truncates the page's redo chain.
+            obj.deltas.remove(&w.idx);
+            self.pending_deltas.remove(&(w.oid, w.idx));
             if let Some(old) = old {
                 self.release_block(old);
             }
@@ -1004,36 +1094,175 @@ impl ObjectStore {
         None
     }
 
+    /// The store's delta-vs-full policy: `(max dirty bytes, max chain
+    /// length)`. `max_bytes == 0` means the delta path is disabled.
+    pub fn delta_policy(&self) -> (u32, u32) {
+        (self.config.delta_max_bytes, self.config.delta_max_chain)
+    }
+
+    /// Committed delta records currently live in the journal.
+    pub fn delta_log_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Encoded journal bytes of the live delta records.
+    pub fn delta_log_bytes(&self) -> u64 {
+        self.delta.bytes()
+    }
+
+    /// Whether a delta record may be staged for `(oid, idx)`: requires
+    /// the delta path enabled and a live base image to chain onto.
+    /// Returns the page's current chain length (0 = no chain yet) so
+    /// the caller can apply the `delta_max_chain` bound.
+    pub fn can_delta(&self, oid: ObjId, idx: u64) -> Option<u32> {
+        if self.config.delta_max_bytes == 0 {
+            return None;
+        }
+        let obj = self.live.get(&oid)?;
+        if let Some(rec) = self.pending_deltas.get(&(oid, idx)) {
+            return Some(rec.chain_len);
+        }
+        if let Some(&head) = obj.deltas.get(&idx) {
+            return self.delta.chain_len(head).ok();
+        }
+        obj.map.get(&idx).map(|_| 0)
+    }
+
+    /// Stages a sub-page delta for the next commit: `runs` are the dirty
+    /// `(offset, len)` byte ranges of `page` (the page's complete new
+    /// contents). The record chains onto the page's current state —
+    /// caller must have checked [`ObjectStore::can_delta`].
+    ///
+    /// No device write happens here: the record rides in the commit's
+    /// journal payload, so its durability ordering is the sealed
+    /// journal's (the same typestate-checked path as the checkpoint
+    /// metadata itself).
+    pub fn stage_delta(
+        &mut self,
+        oid: ObjId,
+        idx: u64,
+        page: &PageData,
+        runs: &[(u32, u32)],
+    ) -> Result<()> {
+        let mut extents = Vec::with_capacity(runs.len());
+        for &(off, len) in runs {
+            if off as usize + len as usize > BLOCK_SIZE || len == 0 {
+                return Err(Error::invalid(format!(
+                    "dirty run {off}+{len} outside the page"
+                )));
+            }
+            let mut buf = vec![0u8; len as usize];
+            page.read(off as usize, &mut buf);
+            extents.push((off, buf));
+        }
+        self.stats.pages_written += 1;
+        // Fold into an already-staged record for this page: extents
+        // apply in order, so appending preserves last-writer-wins.
+        if let Some(rec) = self.pending_deltas.get_mut(&(oid, idx)) {
+            rec.extents.extend(extents);
+            return Ok(());
+        }
+        let obj = self
+            .live
+            .get(&oid)
+            .ok_or_else(|| Error::not_found(format!("object {}", oid.0)))?;
+        let (base, prev, chain_len) = if let Some(&head) = obj.deltas.get(&idx) {
+            let head_rec = self.delta.get(head).ok_or_else(|| {
+                Error::corrupt(format!("delta head {head} missing from log"))
+            })?;
+            (head_rec.base, Some(head), head_rec.chain_len + 1)
+        } else if let Some(&ptr) = obj.map.get(&idx) {
+            (ptr, None, 1)
+        } else {
+            return Err(Error::invalid(format!(
+                "delta for {}/{idx} without a base image",
+                oid.0
+            )));
+        };
+        self.pending_deltas.insert(
+            (oid, idx),
+            DeltaRecord {
+                oid,
+                idx,
+                epoch: self.sb.next_ckpt,
+                base,
+                prev,
+                chain_len,
+                extents,
+            },
+        );
+        Ok(())
+    }
+
+    /// Materializes a page by replaying the chain ending at `head` over
+    /// its base image. Charges one base-block read.
+    pub fn apply_chain(&self, base: &PageData, head: Lsn) -> Result<PageData> {
+        self.delta.materialize(base, head)
+    }
+
+    /// Materializes one resolved page reference.
+    pub(crate) fn materialize_ref(&self, r: PageRef) -> Result<PageData> {
+        match r {
+            PageRef::Full(ptr) => self.fetch_block(ptr),
+            PageRef::Delta(lsn) => {
+                let base = self
+                    .delta
+                    .get(lsn)
+                    .ok_or_else(|| {
+                        Error::corrupt(format!("delta head {lsn} missing from log"))
+                    })?
+                    .base;
+                let base_page = self.fetch_block(base)?;
+                self.delta.materialize(&base_page, lsn)
+            }
+        }
+    }
+
     /// Reads a page from the live state, charging device time.
     pub fn read_page(&self, oid: ObjId, idx: u64) -> Result<Option<PageData>> {
-        let ptr = match self.live.get(&oid) {
-            Some(obj) => obj.map.get(&idx).copied(),
-            None => return Err(Error::not_found(format!("object {}", oid.0))),
-        };
-        match ptr {
-            Some(p) => self.fetch_block(p).map(Some),
+        let obj = self
+            .live
+            .get(&oid)
+            .ok_or_else(|| Error::not_found(format!("object {}", oid.0)))?;
+        // A record staged this epoch is the newest state: its chain (if
+        // any) replays first, then its own extents.
+        if let Some(rec) = self.pending_deltas.get(&(oid, idx)) {
+            let base_page = self.fetch_block(rec.base)?;
+            let chained = match rec.prev {
+                Some(prev) => self.delta.materialize(&base_page, prev)?,
+                None => base_page,
+            };
+            return Ok(Some(rec.apply(&chained)));
+        }
+        if let Some(&head) = obj.deltas.get(&idx) {
+            return self.materialize_ref(PageRef::Delta(head)).map(Some);
+        }
+        match obj.map.get(&idx) {
+            Some(&p) => self.fetch_block(p).map(Some),
             None => Ok(None),
         }
     }
 
-    /// Reads a page as of a checkpoint, charging device time.
+    /// Reads a page as of a checkpoint, charging device time. Pages
+    /// under a redo chain are materialized (base image + chain replay).
     pub fn read_page_at(&self, ckpt: CkptId, oid: ObjId, idx: u64) -> Result<Option<PageData>> {
-        match checkpoint::resolve_page(&self.ckpts, ckpt, oid, idx) {
-            Some(ptr) => self.fetch_block(ptr).map(Some),
+        match checkpoint::resolve_ref(&self.ckpts, ckpt, oid, idx) {
+            Some(r) => self.materialize_ref(r).map(Some),
             None => Ok(None),
         }
     }
 
     /// True if the live state holds a page at `(oid, idx)` (no charge).
     pub fn has_page(&self, oid: ObjId, idx: u64) -> bool {
-        self.live
-            .get(&oid)
-            .is_some_and(|obj| obj.map.contains_key(&idx))
+        self.pending_deltas.contains_key(&(oid, idx))
+            || self.live.get(&oid).is_some_and(|obj| {
+                obj.map.contains_key(&idx) || obj.deltas.contains_key(&idx)
+            })
     }
 
     /// True if checkpoint `ckpt` resolves a page at `(oid, idx)`.
     pub fn has_page_at(&self, ckpt: CkptId, oid: ObjId, idx: u64) -> bool {
-        checkpoint::resolve_page(&self.ckpts, ckpt, oid, idx).is_some()
+        checkpoint::resolve_ref(&self.ckpts, ckpt, oid, idx).is_some()
     }
 
     fn fetch_block(&self, ptr: BlockPtr) -> Result<PageData> {
@@ -1074,13 +1303,25 @@ impl ObjectStore {
     /// blocks coalesced into extents of at most [`EXTENT_BLOCKS`].
     pub fn plan_reads_at(&self, ckpt: CkptId, targets: &[(ObjId, u64)]) -> ReadPlan {
         let mut resolved = Vec::with_capacity(targets.len());
+        let mut chains = Vec::with_capacity(targets.len());
         let mut uniq = std::collections::BTreeSet::new();
         for &(oid, idx) in targets {
-            let ptr = checkpoint::resolve_page(&self.ckpts, ckpt, oid, idx);
+            // A chained page plans a read of its *base* block — chain
+            // replay happens after the batched fetch, and twin bases
+            // are still read once and fanned out.
+            let (ptr, head) = match checkpoint::resolve_ref(&self.ckpts, ckpt, oid, idx) {
+                Some(PageRef::Full(p)) => (Some(p), None),
+                Some(PageRef::Delta(lsn)) => (
+                    self.delta.get(lsn).map(|rec| rec.base),
+                    Some(lsn),
+                ),
+                None => (None, None),
+            };
             if let Some(p) = ptr {
                 uniq.insert(p.0);
             }
             resolved.push(ptr);
+            chains.push(head);
         }
         let blocks: Vec<u64> = uniq.into_iter().collect();
         let mut extents = Vec::new();
@@ -1097,6 +1338,7 @@ impl ObjectStore {
         }
         ReadPlan {
             resolved,
+            chains,
             blocks,
             extents,
         }
@@ -1350,9 +1592,11 @@ impl ObjectStore {
             .collect())
     }
 
-    /// The effective page map of an object at a checkpoint.
-    pub fn object_map_at(&self, ckpt: CkptId, oid: ObjId) -> Vec<(u64, BlockPtr)> {
-        checkpoint::effective_map(&self.ckpts, ckpt, oid)
+    /// The effective page map of an object at a checkpoint, each page a
+    /// full image or a delta-chain head (materialize the latter with
+    /// [`ObjectStore::read_page_at`] or [`ObjectStore::apply_chain`]).
+    pub fn object_refs_at(&self, ckpt: CkptId, oid: ObjId) -> Vec<(u64, PageRef)> {
+        checkpoint::effective_refs(&self.ckpts, ckpt, oid)
             .into_iter()
             .collect()
     }
@@ -1437,6 +1681,17 @@ impl ObjectStore {
         name: Option<&str>,
     ) -> Result<(CkptId, SimTime)> {
         let id = CkptId(self.sb.next_ckpt);
+        // Assign LSNs to the staged delta records in key order (the
+        // staging map is a BTreeMap, so the order — and therefore the
+        // journal image — is deterministic across worker counts).
+        let mut new_records: Vec<(Lsn, DeltaRecord)> = Vec::new();
+        let mut delta_heads: HashMap<(ObjId, u64), Lsn> = HashMap::new();
+        let mut lsn = self.delta.next_lsn();
+        for (&key, rec) in &self.pending_deltas {
+            delta_heads.insert(key, lsn);
+            new_records.push((lsn, rec.clone()));
+            lsn += 1;
+        }
         let ck = Checkpoint {
             id,
             parent: self.head,
@@ -1444,11 +1699,12 @@ impl ObjectStore {
             new_objects: self.pending_new_objects.clone(),
             deleted_objects: self.pending_deleted.clone(),
             pages: self.pending_pages.clone(),
+            deltas: delta_heads,
             blobs: self.pending_blobs.clone(),
             durable_at: SimTime::ZERO,
         };
 
-        let bytes = journal::encode_record(&JournalRecord::Commit(ck.clone()));
+        let bytes = journal::encode_record(&JournalRecord::Commit(ck.clone(), new_records.clone()));
         let journal_capacity = self.sb.journal_half_blocks() * BLOCK_SIZE as u64;
         if self.sb.journal_used + bytes.len() as u64 > journal_capacity {
             self.compact()?;
@@ -1485,9 +1741,22 @@ impl ObjectStore {
         self.pending_deleted.clear();
         self.pending_pages.clear();
         self.pending_blobs.clear();
+        self.pending_deltas.clear();
         // Checkpoint references on every delta block.
         for ptr in ck.pages.values() {
             self.alloc.incref(*ptr);
+        }
+        // The sealed journal record is durable: the delta records are
+        // committed, and the live overlay now reads through them.
+        for (l, rec) in new_records {
+            self.stats.delta_records += 1;
+            self.stats.delta_bytes += rec.encoded_len() as u64;
+            self.stats.chain_len_max = self.stats.chain_len_max.max(rec.chain_len as u64);
+            let key_idx = (rec.oid, rec.idx);
+            self.delta.insert(l, rec)?;
+            if let Some(obj) = self.live.get_mut(&key_idx.0) {
+                obj.deltas.insert(key_idx.1, l);
+            }
         }
         let mut ck = ck;
         ck.durable_at = durable;
@@ -1508,7 +1777,12 @@ impl ObjectStore {
     fn compact(&mut self) -> Result<()> {
         let txn = self.begin_txn();
         let list: Vec<Checkpoint> = self.ckpts.values().cloned().collect();
-        let bytes = journal::encode_record(&JournalRecord::Snapshot(list));
+        // The snapshot carries every still-reachable delta record: "the
+        // log is the checkpoint", so compaction must not orphan chains
+        // that committed checkpoints still replay through.
+        let records: Vec<(Lsn, DeltaRecord)> =
+            self.delta.iter().map(|(l, r)| (l, r.clone())).collect();
+        let bytes = journal::encode_record(&JournalRecord::Snapshot(list, records));
         let capacity = self.sb.journal_half_blocks() * BLOCK_SIZE as u64;
         // Snapshot + one guard block + room to grow.
         if bytes.len() as u64 + BLOCK_SIZE as u64 > capacity {
@@ -1552,6 +1826,20 @@ impl ObjectStore {
         for ptr in dropped {
             self.release_block(ptr);
         }
+        // The merge may have dropped delta heads; chain segments no
+        // surviving head reaches are dead. Prune before any compaction
+        // below snapshots the log.
+        let mut heads: Vec<Lsn> = self
+            .ckpts
+            .values()
+            .flat_map(|c| c.deltas.values().copied())
+            .collect();
+        // Live overlay heads are always covered by a committed
+        // checkpoint's heads, but root the walk on them too so a
+        // bookkeeping slip can only leak, never dangle.
+        heads.extend(self.live.values().flat_map(|o| o.deltas.values().copied()));
+        heads.extend(self.pending_deltas.values().filter_map(|r| r.prev));
+        self.delta.prune(heads);
         let bytes = journal::encode_record(&JournalRecord::Delete(id));
         let capacity = self.sb.journal_half_blocks() * BLOCK_SIZE as u64;
         if self.sb.journal_used + bytes.len() as u64 > capacity {
@@ -1646,7 +1934,7 @@ impl ObjectStore {
     pub fn logical_size(&self, ckpt: CkptId) -> Result<u64> {
         let mut total = 0u64;
         for oid in self.objects_at(ckpt)? {
-            total += self.object_map_at(ckpt, oid).len() as u64 * BLOCK_SIZE as u64;
+            total += self.object_refs_at(ckpt, oid).len() as u64 * BLOCK_SIZE as u64;
         }
         for key in self.blob_keys_at(ckpt, "") {
             if let Some(v) = checkpoint::resolve_blob(&self.ckpts, ckpt, &key) {
@@ -1656,10 +1944,17 @@ impl ObjectStore {
         Ok(total)
     }
 
-    /// Logical size of one checkpoint's *delta* alone.
+    /// Logical size of one checkpoint's *delta* alone. A delta-chained
+    /// page counts a full 4 KiB: materialized, that is what crosses a
+    /// wire (a key in both maps — post-GC-merge — counts once).
     pub fn delta_logical_size(&self, ckpt: CkptId) -> Result<u64> {
         let ck = self.checkpoint(ckpt)?;
-        Ok(ck.pages.len() as u64 * BLOCK_SIZE as u64
+        let chained_only = ck
+            .deltas
+            .keys()
+            .filter(|k| !ck.pages.contains_key(k))
+            .count() as u64;
+        Ok((ck.pages.len() as u64 + chained_only) * BLOCK_SIZE as u64
             + ck.blobs.values().map(|v| v.len() as u64).sum::<u64>())
     }
 
@@ -1714,6 +2009,56 @@ impl ObjectStore {
                 expected.len()
             ));
         }
+        // Delta-log invariants: every head a checkpoint or live overlay
+        // names must walk to its base without a dangling prev link, each
+        // chain's base block must itself be reachable, and no record may
+        // survive in the log without a head rooting it (a log leak).
+        let mut reachable: HashSet<Lsn> = HashSet::new();
+        let heads = self
+            .ckpts
+            .values()
+            .flat_map(|c| c.deltas.iter().map(|(k, l)| (*k, *l)))
+            .chain(self.live.iter().flat_map(|(&oid, o)| {
+                o.deltas.iter().map(move |(&idx, &l)| ((oid, idx), l))
+            }));
+        for ((oid, idx), head) in heads {
+            match self.delta.chain(head) {
+                Ok(chain) => {
+                    for rec in &chain {
+                        if rec.oid != oid || rec.idx != idx {
+                            problems.push(format!(
+                                "delta lsn {head}: chain record keyed ({}, {}), \
+                                 head keyed ({}, {idx})",
+                                rec.oid.0, rec.idx, oid.0
+                            ));
+                        }
+                    }
+                    if let Some(base) = chain.first() {
+                        if !expected.contains_key(&base.base.0) {
+                            problems.push(format!(
+                                "object {} page {idx}: delta chain base block {} \
+                                 not referenced by any checkpoint or live map",
+                                oid.0, base.base.0
+                            ));
+                        }
+                    }
+                    let mut cur = Some(head);
+                    while let Some(l) = cur {
+                        reachable.insert(l);
+                        cur = self.delta.get(l).and_then(|r| r.prev);
+                    }
+                }
+                Err(e) => problems.push(format!(
+                    "object {} page {idx}: delta chain at lsn {head} broken: {e}",
+                    oid.0
+                )),
+            }
+        }
+        for (lsn, _) in self.delta.iter() {
+            if !reachable.contains(&lsn) {
+                problems.push(format!("delta log leak: lsn {lsn} unreachable"));
+            }
+        }
         problems
     }
 
@@ -1724,6 +2069,7 @@ impl ObjectStore {
             || !self.pending_blobs.is_empty()
             || !self.pending_new_objects.is_empty()
             || !self.pending_deleted.is_empty()
+            || !self.pending_deltas.is_empty()
     }
 
     /// Discards the staged (uncommitted) delta and rebuilds live maps,
@@ -1742,6 +2088,7 @@ impl ObjectStore {
         self.pending_blobs.clear();
         self.pending_new_objects.clear();
         self.pending_deleted.clear();
+        self.pending_deltas.clear();
         let live = fold_live(&self.ckpts, self.head)?;
         let refs = committed_refs(&self.ckpts, &live);
         let mut alloc = BlockAlloc::new(self.sb.data_blocks());
@@ -1759,6 +2106,48 @@ impl ObjectStore {
         }
         self.live = live;
         Ok(())
+    }
+
+    /// Background chain compactor: folds every live delta chain of at
+    /// least `min_len` records back into a full base image, committed
+    /// through the typestate protocol as its own checkpoint
+    /// (`chain-compact`). The full write truncates the chain — later
+    /// incremental flushes start a fresh chain from the new base — while
+    /// older checkpoints keep reading the folded records until GC drops
+    /// them.
+    ///
+    /// Returns the number of chains folded (0 = nothing to do, no
+    /// checkpoint committed). Refuses to run with a staged delta
+    /// pending: the compaction commit must not smuggle unrelated
+    /// uncommitted work into its checkpoint.
+    pub fn compact_chains(&mut self, min_len: u32) -> Result<usize> {
+        if self.has_pending() {
+            return Err(Error::invalid(
+                "cannot compact chains with a staged delta pending",
+            ));
+        }
+        let min_len = min_len.max(1);
+        let mut victims: Vec<(ObjId, u64, Lsn)> = Vec::new();
+        for (&oid, obj) in &self.live {
+            for (&idx, &head) in &obj.deltas {
+                if self.delta.chain_len(head)? >= min_len {
+                    victims.push((oid, idx, head));
+                }
+            }
+        }
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        let folded = victims.len();
+        for (oid, idx, head) in victims {
+            let page = self.materialize_ref(PageRef::Delta(head))?;
+            // A full write truncates the chain: write_page drops the
+            // live overlay entry for the key.
+            self.write_page(oid, idx, &page)?;
+        }
+        self.commit(Some("chain-compact"))?;
+        self.stats.chains_compacted += folded as u64;
+        Ok(folded)
     }
 
     /// Verifies that one committed checkpoint is fully restorable:
@@ -1792,7 +2181,31 @@ impl ObjectStore {
             }
         };
         for oid in objects {
-            for (idx, ptr) in self.object_map_at(ckpt, oid) {
+            for (idx, page_ref) in self.object_refs_at(ckpt, oid) {
+                // A delta-backed page is restorable when every record in
+                // its chain is present and the chain's base block passes
+                // the same recoverability checks as a full image.
+                let ptr = match page_ref {
+                    PageRef::Full(ptr) => ptr,
+                    PageRef::Delta(lsn) => match self
+                        .delta
+                        .chain(lsn)
+                        .and_then(|chain| {
+                            chain.first().map(|r| r.base).ok_or_else(|| {
+                                Error::corrupt(format!("delta chain at lsn {lsn} is empty"))
+                            })
+                        }) {
+                        Ok(base) => base,
+                        Err(e) => {
+                            problems.push(format!(
+                                "object {} page {idx}: delta chain at lsn {lsn} \
+                                 broken: {e}",
+                                oid.0
+                            ));
+                            continue;
+                        }
+                    },
+                };
                 // Materialized stores verify the platter copy even when a
                 // clean copy is cached in memory: a write-time corruption
                 // would otherwise hide until the cache is dropped. One
@@ -1959,11 +2372,6 @@ impl ObjectStore {
         problems.sort();
         problems.dedup();
         problems
-    }
-
-    /// Internal: contents of a block (export path).
-    pub(crate) fn block_content(&self, ptr: BlockPtr) -> Result<PageData> {
-        self.fetch_block(ptr)
     }
 
     /// Internal: the checkpoint table (export path).

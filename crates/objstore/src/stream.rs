@@ -12,7 +12,7 @@ use aurora_sim::error::{Error, Result};
 use aurora_sim::time::SimTime;
 use aurora_vm::PageData;
 
-use crate::checkpoint::{self, CkptId};
+use crate::checkpoint::{self, CkptId, PageRef};
 use crate::store::ObjectStore;
 use crate::ObjId;
 
@@ -105,10 +105,12 @@ impl ObjectStore {
         for (oid, size) in &objects {
             e.u64(oid.0);
             e.varint(*size);
-            let map = self.object_map_at(ckpt, *oid);
+            let map = self.object_refs_at(ckpt, *oid);
             e.varint(map.len() as u64);
-            for (idx, ptr) in map {
-                let page = self.block_content(ptr)?;
+            for (idx, r) in map {
+                // Delta-backed pages ship materialized: the stream stays
+                // self-contained and the receiver never needs our log.
+                let page = self.materialize_ref(r)?;
                 e.varint(idx);
                 encode_page(&mut e, &page);
             }
@@ -138,9 +140,18 @@ impl ObjectStore {
     pub fn export_delta(&self, ckpt: CkptId) -> Result<Vec<u8>> {
         let (new_objects, deleted, pages, blobs, name) = {
             let ck = self.checkpoint(ckpt)?;
-            let mut pages: Vec<((ObjId, u64), crate::BlockPtr)> =
-                ck.pages.iter().map(|(k, v)| (*k, *v)).collect();
-            pages.sort();
+            // A key present in both maps is a delta head over an
+            // inherited base (GC merge): the delta entry is the page's
+            // content at this checkpoint, so the base image must not
+            // shadow it in the stream.
+            let mut pages: Vec<((ObjId, u64), PageRef)> = ck
+                .pages
+                .iter()
+                .filter(|(k, _)| !ck.deltas.contains_key(k))
+                .map(|(k, v)| (*k, PageRef::Full(*v)))
+                .chain(ck.deltas.iter().map(|(k, l)| (*k, PageRef::Delta(*l))))
+                .collect();
+            pages.sort_by_key(|(k, _)| *k);
             (
                 ck.new_objects.clone(),
                 ck.deleted_objects.clone(),
@@ -158,8 +169,8 @@ impl ObjectStore {
         });
         e.seq(&deleted, |e, oid| e.u64(oid.0));
         e.varint(pages.len() as u64);
-        for ((oid, idx), ptr) in pages {
-            let page = self.block_content(ptr)?;
+        for ((oid, idx), r) in pages {
+            let page = self.materialize_ref(r)?;
             e.u64(oid.0);
             e.varint(idx);
             encode_page(&mut e, &page);

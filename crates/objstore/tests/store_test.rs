@@ -451,7 +451,7 @@ fn delete_then_recreate_in_one_epoch() {
     assert!(s.read_page_at(head, ObjId(4), 0).unwrap().is_none());
     assert!(s.read_page_at(head, ObjId(4), 5).unwrap().is_none());
     assert!(s.read_page_at(head, ObjId(4), 3).unwrap().is_some());
-    let map = s.object_map_at(head, ObjId(4));
+    let map = s.object_refs_at(head, ObjId(4));
     assert_eq!(map.len(), 1, "only the new incarnation's page");
     assert_eq!(map[0].0, 3);
 

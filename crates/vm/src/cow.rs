@@ -23,12 +23,12 @@ use aurora_sim::time::SimDuration;
 
 use crate::frame::FrameId;
 use crate::map::VmMap;
-use crate::object::VmoId;
+use crate::object::{DirtyMask, VmoId};
 use crate::page::PAGE_SIZE;
 use crate::Vm;
 
 /// One frozen page awaiting flush.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FlushPage {
     /// The object the page belongs to.
     pub object: VmoId,
@@ -36,6 +36,11 @@ pub struct FlushPage {
     pub page_idx: u64,
     /// The frozen frame (holds one reference owned by the plan).
     pub frame: FrameId,
+    /// Dirty footprint since the page's previous capture, snapshotted
+    /// (and cleared) at arm time. `Full` when unknown or for a full
+    /// capture; `Runs` lets the flusher append a sub-page delta record
+    /// instead of a 4 KiB image.
+    pub dirty: DirtyMask,
 }
 
 /// The result of arming a checkpoint epoch.
@@ -122,6 +127,15 @@ fn arm_object(vm: &mut Vm, oid: VmoId, capture: Capture, plan: &mut EpochPlan) {
     };
     for (idx, frame) in selected {
         vm.frames.ref_frame(frame);
+        // Consume the page's dirty mask: the frozen frame is about to be
+        // made durable, so the next epoch's footprint starts empty. A
+        // full capture flushes whole images regardless of the mask, and a
+        // page with no recorded mask is conservatively fully dirty.
+        let mask = vm.object_mut(oid).dirty.remove(&idx);
+        let dirty = match capture {
+            Capture::Full => DirtyMask::Full,
+            Capture::DirtySince(_) => mask.unwrap_or(DirtyMask::Full),
+        };
         let page = vm
             .object_mut(oid)
             .pages
@@ -133,6 +147,7 @@ fn arm_object(vm: &mut Vm, oid: VmoId, capture: Capture, plan: &mut EpochPlan) {
             object: oid,
             page_idx: idx,
             frame,
+            dirty,
         });
     }
 }

@@ -24,7 +24,7 @@ use aurora_sim::time::SimDuration;
 
 use crate::frame::FrameId;
 use crate::map::VmMap;
-use crate::object::{ResidentPage, VmoId, VmoKind};
+use crate::object::{DirtyMask, ResidentPage, VmoId, VmoKind};
 use crate::page::{PageData, PAGE_SIZE};
 use crate::Vm;
 
@@ -42,7 +42,23 @@ impl Vm {
     ///
     /// Charges the virtual cost of whatever work was needed (possibly
     /// none, for a resident unshared page — the hardware-TLB case).
+    ///
+    /// A raw write fault has no byte-range information, so it marks the
+    /// page's whole [`DirtyMask`] dirty; `copyout` goes through the
+    /// tracked variant to record its precise extent instead.
     pub fn fault(&mut self, map: &mut VmMap, addr: u64, access: Access) -> Result<FrameId> {
+        self.fault_tracked(map, addr, access, None)
+    }
+
+    /// [`Vm::fault`] with an optional precise dirty extent
+    /// (`page_offset`, `len`) recorded on a write.
+    fn fault_tracked(
+        &mut self,
+        map: &mut VmMap,
+        addr: u64,
+        access: Access,
+        extent: Option<(u32, u32)>,
+    ) -> Result<FrameId> {
         let entry = map
             .find_mut(addr)
             .ok_or_else(|| Error::fault(format!("no mapping at {addr:#x}")))?;
@@ -140,7 +156,7 @@ impl Vm {
             }
         };
 
-        match (found, access) {
+        let resolved: Result<FrameId> = match (found, access) {
             (None, _) => {
                 // Zero-fill into the top object.
                 let frame = self.frames.alloc(PageData::Zero);
@@ -240,7 +256,19 @@ impl Vm {
                     Ok(new)
                 }
             }
+        };
+        let frame = resolved?;
+        if access == Access::Write {
+            // The write always lands in the top object (every COW arm
+            // installs its copy there); record its footprint for the
+            // flusher's delta/full decision.
+            let mask = self.object_mut(top).dirty.entry(idx).or_default();
+            match extent {
+                Some((off, len)) => mask.note(off, len),
+                None => *mask = DirtyMask::Full,
+            }
         }
+        Ok(frame)
     }
 
     /// Writes `data` into the address space at `addr` (kernel copyout).
@@ -250,7 +278,8 @@ impl Vm {
             let cur = addr + off as u64;
             let page_off = (cur % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - page_off).min(data.len() - off);
-            let frame = self.fault(map, cur, Access::Write)?;
+            let frame =
+                self.fault_tracked(map, cur, Access::Write, Some((page_off as u32, n as u32)))?;
             // The fault guaranteed exclusivity (refs == 1) for writes.
             let new_data = self.frames.data(frame).write(page_off, &data[off..off + n]);
             self.frames.set_data(frame, new_data);
@@ -478,6 +507,35 @@ mod tests {
         vm.copyout(&mut map, a + P, b"2").unwrap();
         assert_eq!(vm.object(obj).page(0).unwrap().write_epoch, 1);
         assert_eq!(vm.object(obj).page(1).unwrap().write_epoch, 5);
+    }
+
+    #[test]
+    fn copyout_records_sub_page_dirty_extent() {
+        // A 64-byte kernel write must report a dirty footprint of at most
+        // 128 bytes — the heart of the delta-checkpoint optimization.
+        let (mut vm, mut map, a) = setup();
+        vm.copyout(&mut map, a + 256, &[0xAB; 64]).unwrap();
+        let obj = map.find(a).unwrap().object;
+        let mask = vm.object(obj).dirty.get(&0).expect("mask recorded");
+        assert_eq!(mask.runs().unwrap(), &[(256, 64)]);
+        assert!(mask.bytes().unwrap() <= 128);
+
+        // A raw write fault on another page is conservatively full.
+        vm.fault(&mut map, a + P, Access::Write).unwrap();
+        let mask = vm.object(obj).dirty.get(&1).expect("mask recorded");
+        assert!(mask.runs().is_none(), "untracked write marks the whole page");
+    }
+
+    #[test]
+    fn copyout_straddling_pages_tracks_both_masks() {
+        let (mut vm, mut map, a) = setup();
+        // 100 bytes starting 30 bytes before a page boundary.
+        vm.copyout(&mut map, a + P - 30, &[7u8; 100]).unwrap();
+        let obj = map.find(a).unwrap().object;
+        let m0 = vm.object(obj).dirty.get(&0).unwrap();
+        assert_eq!(m0.runs().unwrap(), &[(PAGE_SIZE as u32 - 30, 30)]);
+        let m1 = vm.object(obj).dirty.get(&1).unwrap();
+        assert_eq!(m1.runs().unwrap(), &[(0, 70)]);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use aurora_sim::SimClock;
 
 pub use frame::{FrameId, FrameTable};
 pub use map::{MapEntry, Prot, SlsPolicy, VmMap};
-pub use object::{VmObject, VmoId, VmoKind};
+pub use object::{DirtyMask, VmObject, VmoId, VmoKind, MAX_DIRTY_RUNS};
 pub use page::{PageData, PAGE_SIZE};
 pub use pager::{Pager, PagerId};
 

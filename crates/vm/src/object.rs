@@ -45,6 +45,77 @@ pub enum VmoKind {
     },
 }
 
+/// Maximum dirty runs tracked per page before the mask collapses to
+/// [`DirtyMask::Full`]. Scattered writes past this point would cost more
+/// in delta-record framing than the extents save.
+pub const MAX_DIRTY_RUNS: usize = 16;
+
+/// Sub-page dirty footprint of one resident page since its last capture.
+///
+/// Precise byte ranges come from `copyout` (the kernel knows exactly what
+/// it wrote); raw write faults and seeded touches conservatively mark the
+/// whole page. The flusher uses `Runs` to stage compact delta records
+/// instead of rewriting 4 KiB images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirtyMask {
+    /// The whole page must be treated as dirty.
+    Full,
+    /// Sorted, coalesced `(offset, len)` byte runs within the page.
+    Runs(Vec<(u32, u32)>),
+}
+
+impl Default for DirtyMask {
+    fn default() -> Self {
+        DirtyMask::Runs(Vec::new())
+    }
+}
+
+impl DirtyMask {
+    /// Records a write of `len` bytes at `off`, coalescing overlapping
+    /// and adjacent runs. Collapses to `Full` past [`MAX_DIRTY_RUNS`].
+    pub fn note(&mut self, off: u32, len: u32) {
+        let DirtyMask::Runs(runs) = self else {
+            return;
+        };
+        if len == 0 {
+            return;
+        }
+        runs.push((off, len));
+        runs.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(runs.len());
+        for &(o, l) in runs.iter() {
+            match merged.last_mut() {
+                Some((po, pl)) if o <= *po + *pl => {
+                    *pl = (*pl).max(o + l - *po);
+                }
+                _ => merged.push((o, l)),
+            }
+        }
+        if merged.len() > MAX_DIRTY_RUNS {
+            *self = DirtyMask::Full;
+        } else {
+            *runs = merged;
+        }
+    }
+
+    /// Total dirty bytes (`None` for a full page — the caller compares
+    /// against the page size itself).
+    pub fn bytes(&self) -> Option<u64> {
+        match self {
+            DirtyMask::Full => None,
+            DirtyMask::Runs(runs) => Some(runs.iter().map(|&(_, l)| l as u64).sum()),
+        }
+    }
+
+    /// The runs, or `None` for a full page.
+    pub fn runs(&self) -> Option<&[(u32, u32)]> {
+        match self {
+            DirtyMask::Full => None,
+            DirtyMask::Runs(runs) => Some(runs),
+        }
+    }
+}
+
 /// A page resident in an object.
 #[derive(Debug, Clone, Copy)]
 pub struct ResidentPage {
@@ -92,6 +163,11 @@ pub struct VmObject {
     pub pager: Option<(PagerId, u64)>,
     /// Frames frozen by an in-flight checkpoint, not yet flushed.
     pub frozen: Vec<FrozenPage>,
+    /// Sub-page dirty footprints since each page's last capture. A page
+    /// written through an untracked path simply has no entry, which the
+    /// flusher reads as [`DirtyMask::Full`] — precision is an
+    /// optimization, never a correctness requirement.
+    pub dirty: BTreeMap<u64, DirtyMask>,
 }
 
 impl VmObject {
@@ -107,6 +183,7 @@ impl VmObject {
             size_pages,
             pager: None,
             frozen: Vec::new(),
+            dirty: BTreeMap::new(),
         }
     }
 
@@ -161,6 +238,32 @@ mod tests {
         assert_eq!(dirty, vec![1, 2]);
         assert_eq!(o.dirty_since(6).count(), 0);
         assert_eq!(o.dirty_since(0).count(), 3);
+    }
+
+    #[test]
+    fn dirty_mask_coalesces_adjacent_and_overlapping_runs() {
+        let mut m = DirtyMask::default();
+        m.note(100, 50);
+        m.note(150, 50); // Adjacent: merges.
+        m.note(120, 10); // Contained: absorbed.
+        assert_eq!(m.runs().unwrap(), &[(100, 100)]);
+        assert_eq!(m.bytes(), Some(100));
+        m.note(300, 8); // Disjoint: second run.
+        assert_eq!(m.runs().unwrap().len(), 2);
+        assert_eq!(m.bytes(), Some(108));
+    }
+
+    #[test]
+    fn dirty_mask_collapses_to_full_past_run_cap() {
+        let mut m = DirtyMask::default();
+        for i in 0..(MAX_DIRTY_RUNS as u32 + 1) {
+            m.note(i * 100, 1); // All disjoint.
+        }
+        assert_eq!(m, DirtyMask::Full);
+        assert_eq!(m.bytes(), None);
+        // Full is absorbing.
+        m.note(0, 1);
+        assert_eq!(m, DirtyMask::Full);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! The campaign size defaults to 200 schedules per profile and scales
 //! through `AURORA_CRASH_ITERS` (CI nightly runs set it much higher).
 
-use aurora::core::campaign::{run_campaign, schedules_from_env, CampaignConfig};
+use aurora::core::campaign::{
+    run_campaign, run_compact_power_cut_sweep, run_delta_power_cut_sweep, schedules_from_env,
+    CampaignConfig,
+};
 use aurora::hw::FaultRates;
 
 #[test]
@@ -52,6 +55,37 @@ fn campaign_hostile_device() {
         report.violations.join("\n")
     );
     assert!(report.aborted > 0);
+    assert!(report.restores_verified > 0);
+}
+
+#[test]
+fn campaign_delta_append_power_cut_sweep() {
+    // Walks a power cut through every device-write ordinal of a delta
+    // flush: each survivor must scrub clean and restore to the same
+    // memory digest as a fault-free twin run.
+    let report = run_delta_power_cut_sweep(18, 4);
+    assert!(
+        report.passed(),
+        "delta sweep violations:\n{}",
+        report.violations.join("\n")
+    );
+    assert_eq!(report.crashes, 18);
+    assert!(report.aborted > 0, "no cut landed inside the delta flush");
+    assert!(report.restores_verified > 0);
+}
+
+#[test]
+fn campaign_chain_compaction_power_cut_sweep() {
+    // Same walk through the checkpoint that commits the capping delta
+    // and auto-folds every chain back into base images.
+    let report = run_compact_power_cut_sweep(14, 4);
+    assert!(
+        report.passed(),
+        "compaction sweep violations:\n{}",
+        report.violations.join("\n")
+    );
+    assert_eq!(report.crashes, 14);
+    assert!(report.aborted > 0, "no cut landed inside the fold");
     assert!(report.restores_verified > 0);
 }
 
