@@ -13,13 +13,14 @@
 //! must be captured exactly once, restored as one object, and re-attached
 //! to every restored process — not duplicated per process.
 
-use aurora_core::Host;
+use aurora_core::{CheckpointBreakdown, GroupId, Host};
 use aurora_posix::Pid;
 use aurora_sim::error::{Error, Result};
 
 use crate::heap::SimHeap;
-use crate::kv::KvOp;
+use crate::kv::{KvOp, KvServer, PersistMode};
 use crate::shmap::SimMap;
+use crate::workload::{KeyDist, TenantActivity, Workload};
 
 /// Register holding the shared segment's attach address.
 const REG_SHM: usize = 0;
@@ -147,6 +148,211 @@ impl KvPool {
     }
 }
 
+/// Per-tenant seed: mixes the fleet seed with the tenant's *global*
+/// index, so tenant `i`'s op stream is identical whether it runs in an
+/// interleaved fleet or alone on an isolated host (the differential
+/// proptest depends on exactly this).
+pub fn tenant_seed(seed: u64, index: usize) -> u64 {
+    aurora_sim::rng::mix64(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1))
+}
+
+/// FNV-1a over a byte slice (cheap content digest for comparisons).
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of a KV server's visible state over key indices `0..keys`.
+fn kv_digest(host: &mut Host, server: &mut KvServer, keys: u64) -> Result<u64> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for idx in 0..keys {
+        let key = format!("key{idx:012}").into_bytes();
+        h = fnv1a(h, &key);
+        match server.exec(host, &KvOp::Get(key))? {
+            Some(v) => h = fnv1a(h, &v),
+            None => h = fnv1a(h, b"<absent>"),
+        }
+    }
+    Ok(h)
+}
+
+/// One tenant of a [`TenantFleet`].
+pub struct FleetTenant {
+    /// Global tenant index (stable across subset construction).
+    pub index: usize,
+    /// The tenant's server, transparently persisted in its own group.
+    pub server: KvServer,
+    /// The tenant's private seeded op stream.
+    pub workload: Workload,
+    /// The tenant's persistence group.
+    pub gid: GroupId,
+    /// Name of this tenant's most recent checkpoint.
+    pub last_ckpt: String,
+}
+
+/// A fleet of independent KV tenants, one persistence group each —
+/// the serverless density scenario the fleet scheduler exists for.
+///
+/// Tenant activity follows [`TenantActivity`] (zipfian over the fleet);
+/// each tenant's key popularity and values follow its own seeded
+/// [`Workload`]. `checkpoint_wave` drives the pipelined scheduler, so
+/// one tenant's flush overlaps the next tenant's capture.
+pub struct TenantFleet {
+    /// The tenants, in construction order.
+    pub tenants: Vec<FleetTenant>,
+    activity: TenantActivity,
+    keys: u64,
+}
+
+impl TenantFleet {
+    /// Starts `n` tenants (global indices `0..n`).
+    pub fn start(
+        host: &mut Host,
+        n: usize,
+        seed: u64,
+        heap_bytes: u64,
+        keys: u64,
+        value_len: usize,
+    ) -> Result<TenantFleet> {
+        let indices: Vec<usize> = (0..n).collect();
+        TenantFleet::start_subset(host, seed, &indices, heap_bytes, keys, value_len)
+    }
+
+    /// Starts only the tenants with the given *global* indices — an
+    /// isolated single-tenant host for the differential proptest uses a
+    /// one-element subset and gets the identical op stream the tenant
+    /// would see inside the full interleaved fleet.
+    pub fn start_subset(
+        host: &mut Host,
+        seed: u64,
+        indices: &[usize],
+        heap_bytes: u64,
+        keys: u64,
+        value_len: usize,
+    ) -> Result<TenantFleet> {
+        // Open-addressing map: leave headroom so the workload never
+        // fills the table.
+        let buckets = (keys * 2).next_power_of_two().max(64);
+        let mut tenants = Vec::with_capacity(indices.len());
+        for &index in indices {
+            let mut server =
+                KvServer::start(host, PersistMode::AuroraTransparent, heap_bytes, buckets)?;
+            let gid = server
+                .gid
+                .ok_or_else(|| Error::internal("transparent tenant has no group"))?;
+            let mut workload = Workload::new(
+                tenant_seed(seed, index),
+                keys,
+                value_len,
+                0.0,
+                KeyDist::Zipfian { theta: 0.99 },
+            );
+            for op in workload.load_ops() {
+                server.exec(host, &op)?;
+            }
+            // Cover the loaded state so an untouched tenant still
+            // restores to what its digest reports.
+            let name = format!("t{index}-base");
+            let bd = host.checkpoint(gid, false, Some(&name))?;
+            host.clock.advance_to(bd.durable_at);
+            tenants.push(FleetTenant {
+                index,
+                server,
+                workload,
+                gid,
+                last_ckpt: name,
+            });
+        }
+        Ok(TenantFleet {
+            tenants,
+            activity: TenantActivity::new(seed, indices.len(), 0.99),
+            keys,
+        })
+    }
+
+    /// Draws a wave of `k` distinct active tenant positions.
+    pub fn wave(&mut self, k: usize) -> Vec<usize> {
+        self.activity.wave(k)
+    }
+
+    /// Runs `ops` operations from tenant position `t`'s own stream.
+    pub fn touch(&mut self, host: &mut Host, t: usize, ops: usize) -> Result<()> {
+        let tenant = self
+            .tenants
+            .get_mut(t)
+            .ok_or_else(|| Error::not_found(format!("tenant {t}")))?;
+        for _ in 0..ops {
+            let op = tenant.workload.next_op();
+            tenant.server.exec(host, &op)?;
+        }
+        Ok(())
+    }
+
+    /// Pipelined incremental checkpoints of a wave, named
+    /// `t<index>-r<round>` so survivors are identifiable after a crash.
+    pub fn checkpoint_wave(
+        &mut self,
+        host: &mut Host,
+        wave: &[usize],
+        round: u32,
+    ) -> Result<Vec<CheckpointBreakdown>> {
+        let mut out = Vec::with_capacity(wave.len());
+        for &t in wave {
+            let tenant = self
+                .tenants
+                .get_mut(t)
+                .ok_or_else(|| Error::not_found(format!("tenant {t}")))?;
+            let name = format!("t{}-r{round}", tenant.index);
+            let bd = host.checkpoint_pipelined(tenant.gid, false, Some(&name))?;
+            if bd.outcome.committed() {
+                tenant.last_ckpt = name;
+            }
+            out.push(bd);
+        }
+        Ok(out)
+    }
+
+    /// Digest of tenant position `t`'s live KV state.
+    pub fn digest(&mut self, host: &mut Host, t: usize) -> Result<u64> {
+        let tenant = self
+            .tenants
+            .get_mut(t)
+            .ok_or_else(|| Error::not_found(format!("tenant {t}")))?;
+        kv_digest(host, &mut tenant.server, self.keys)
+    }
+
+    /// Restores tenant position `t`'s most recent checkpoint on a
+    /// (typically rebooted) host, digests the restored KV state, and
+    /// tears the restored process back down.
+    pub fn restore_tenant(&self, host: &mut Host, t: usize) -> Result<u64> {
+        let tenant = self
+            .tenants
+            .get(t)
+            .ok_or_else(|| Error::not_found(format!("tenant {t}")))?;
+        let store = host.sls.primary.clone();
+        let ckpt = store
+            .borrow()
+            .checkpoints()
+            .iter()
+            .find(|c| c.name.as_deref() == Some(tenant.last_ckpt.as_str()))
+            .map(|c| c.id)
+            .ok_or_else(|| Error::not_found(format!("checkpoint {}", tenant.last_ckpt)))?;
+        let r = host.restore(&store, ckpt, aurora_core::restore::RestoreMode::Eager)?;
+        let pid = r
+            .root_pid()
+            .ok_or_else(|| Error::internal("restore returned no root pid"))?;
+        let mut server = KvServer::attach(host, pid, PersistMode::AuroraTransparent)?;
+        let digest = kv_digest(host, &mut server, self.keys);
+        let _ = host.kernel.exit(pid, 0);
+        host.kernel.procs.remove(&pid);
+        digest
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +443,32 @@ mod tests {
             .exec_on(&mut host, restored.leader, &KvOp::Get(b"post".to_vec()))
             .unwrap();
         assert_eq!(v.unwrap(), b"restore");
+    }
+
+    #[test]
+    fn fleet_waves_interleave_and_survive_a_crash() {
+        let mut host = boot();
+        let mut fleet = TenantFleet::start(&mut host, 6, 0xf1ee7, 256 * 1024, 24, 48).unwrap();
+        // A few zipfian waves of activity + pipelined checkpoints.
+        for round in 0..3u32 {
+            let wave = fleet.wave(4);
+            for &t in &wave {
+                fleet.touch(&mut host, t, 8).unwrap();
+            }
+            fleet.checkpoint_wave(&mut host, &wave, round).unwrap();
+        }
+        host.fleet_drain();
+        assert!(host.sls.fleet.stats.overlapped > 0, "waves never overlapped");
+        let want: Vec<u64> = (0..6)
+            .map(|t| fleet.digest(&mut host, t).unwrap())
+            .collect();
+        let mut host = host.crash_and_reboot().unwrap();
+        for t in 0..6usize {
+            let got = fleet.restore_tenant(&mut host, t).unwrap();
+            assert_eq!(
+                got, want[t],
+                "tenant {t} restored to a different KV digest"
+            );
+        }
     }
 }

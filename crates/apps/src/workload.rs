@@ -110,6 +110,79 @@ impl Workload {
     }
 }
 
+/// Which tenants of a fleet are active in each scheduling wave.
+///
+/// Tenant popularity is Zipfian over the fleet — a few tenants are hot,
+/// the long tail wakes rarely — which is the activity shape the
+/// serverless warm-start story assumes. Seeded and deterministic, so
+/// the fleet bench and the interleaved-vs-isolated proptest replay the
+/// same activity from the same seed.
+pub struct TenantActivity {
+    rng: Xoshiro256,
+    tenants: usize,
+    /// Precomputed Zipf normalization constant over the tenant ranks.
+    zeta: f64,
+    theta: f64,
+}
+
+impl TenantActivity {
+    /// Creates a generator over `tenants` tenants with skew `theta`
+    /// (0.99 is the YCSB default; 0 degrades to uniform).
+    pub fn new(seed: u64, tenants: usize, theta: f64) -> Self {
+        let zeta = (1..=tenants as u64)
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
+        TenantActivity {
+            rng: Xoshiro256::seed_from(seed),
+            tenants: tenants.max(1),
+            zeta,
+            theta,
+        }
+    }
+
+    /// Draws one active tenant index.
+    pub fn next_tenant(&mut self) -> usize {
+        // Inverse-CDF walk, same as `Workload::next_key`; fleet sizes
+        // here are small enough that the linear walk is fine.
+        let target = self.rng.next_f64() * self.zeta;
+        let mut acc = 0.0;
+        for i in 1..=self.tenants as u64 {
+            acc += 1.0 / (i as f64).powf(self.theta);
+            if acc >= target {
+                return (i - 1) as usize;
+            }
+        }
+        self.tenants - 1
+    }
+
+    /// Draws a wave of `k` *distinct* active tenants (at most the fleet
+    /// size), hot tenants first in draw order. This is the set the
+    /// scheduler checkpoints in one pipelined pass.
+    pub fn wave(&mut self, k: usize) -> Vec<usize> {
+        let k = k.min(self.tenants);
+        let mut out = Vec::with_capacity(k);
+        // Bounded rejection loop: after too many repeats of already-
+        // drawn hot tenants, sweep the remainder in rank order so the
+        // wave always fills deterministically.
+        let mut budget = 64 * self.tenants.max(k);
+        while out.len() < k && budget > 0 {
+            budget -= 1;
+            let t = self.next_tenant();
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        let mut next = 0;
+        while out.len() < k {
+            if !out.contains(&next) {
+                out.push(next);
+            }
+            next += 1;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +228,43 @@ mod tests {
             .filter(|_| matches!(w.next_op(), KvOp::Get(_)))
             .count();
         assert!((800..=980).contains(&reads), "got {reads} reads");
+    }
+
+    #[test]
+    fn tenant_activity_is_deterministic() {
+        let mut a = TenantActivity::new(42, 64, 0.99);
+        let mut b = TenantActivity::new(42, 64, 0.99);
+        for _ in 0..20 {
+            assert_eq!(a.wave(8), b.wave(8));
+        }
+    }
+
+    #[test]
+    fn tenant_activity_is_skewed() {
+        let mut t = TenantActivity::new(5, 256, 0.99);
+        let mut counts = vec![0u32; 256];
+        for _ in 0..5000 {
+            counts[t.next_tenant()] += 1;
+        }
+        let head: u32 = counts[..8].iter().sum();
+        let tail: u32 = counts[128..136].iter().sum();
+        assert!(
+            head > tail * 5,
+            "hot tenants should dominate: head {head} tail {tail}"
+        );
+    }
+
+    #[test]
+    fn waves_are_distinct_and_fill() {
+        let mut t = TenantActivity::new(9, 16, 0.99);
+        for _ in 0..50 {
+            let w = t.wave(16);
+            let mut sorted = w.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 16, "wave must cover distinct tenants: {w:?}");
+        }
+        // k larger than the fleet clamps.
+        assert_eq!(t.wave(99).len(), 16);
     }
 }

@@ -990,7 +990,7 @@ fn cmd_info(world: &Path) -> Result<String> {
         m.checkpoints_degraded_replication,
     );
     Ok(format!(
-        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n{mirror_note}{repl_note}  checkpoints this session: {} degraded, {} aborted\n  commit-phase: {} journal seals, {} extent barriers, {} superblock flips, {} repair-path entries this session\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n  delta log: {} live records ({} bytes); session: {} delta records ({} bytes) flushed in place of full pages, {} chains folded, longest chain {}\n  restore pipeline: {} workers configured; {} pages hashed, {} extent reads\n  read cache: {} of {} pages resident, {} hits / {} misses ({} content hits), {} evictions\n",
+        "world: {}\n  checkpoints: {}\n  blocks in use: {}\n  pages written: {} (dedup hits {})\n  commits: {}, compactions: {}, GC runs: {}\n  fsck: {}\n  device: {} ({} writes retried, {} transient errors absorbed, {} failures surfaced)\n{mirror_note}{repl_note}  checkpoints this session: {} degraded, {} aborted\n  commit-phase: {} journal seals, {} extent barriers, {} superblock flips, {} repair-path entries this session\n  flush pipeline: {} workers configured; {} pages hashed (hash {:.2}ms, flush {:.2}ms), {} extents / {} blocks coalesced\n  delta log: {} live records ({} bytes); session: {} delta records ({} bytes) flushed in place of full pages, {} chains folded, longest chain {}\n  restore pipeline: {} workers configured; {} pages hashed, {} extent reads\n  fleet: {} pipelined cycles ({} overlapped), queue depth max {}, {} admission stalls, stop p99 {:.1}us\n  read cache: {} of {} pages resident, {} hits / {} misses ({} content hits), {} evictions\n",
         world.display(),
         store.checkpoints().len(),
         store.blocks_in_use(),
@@ -1025,6 +1025,11 @@ fn cmd_info(world: &Path) -> Result<String> {
         host.sls.restore_workers,
         m.restore_pages_hashed,
         m.restore_extents,
+        m.fleet_cycles_pipelined,
+        m.fleet_overlapped_cycles,
+        m.fleet_queue_depth_max,
+        m.fleet_queue_stalls,
+        m.fleet_stop_p99_ns as f64 / 1e3,
         store.read_cache_len(),
         store.read_cache_capacity(),
         stats.read_cache_hits,

@@ -35,7 +35,7 @@ use aurora_sim::SimClock;
 
 use crate::replicate::{promote_to_host, ReplConfig};
 use crate::restore::RestoreMode;
-use crate::{CheckpointOutcome, Host};
+use crate::{CheckpointOutcome, GroupId, Host};
 
 /// Golden-ratio multiplier for deriving per-schedule seeds.
 const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -808,6 +808,213 @@ fn run_compact_cut_iteration(
     Ok(())
 }
 
+/// Rounds per fleet-sweep iteration: r0 is a serialized full baseline
+/// for both tenants, r1 a fault-free pipelined round (proving cycles
+/// actually overlap), r2 the pipelined round run under the armed cut.
+const FLEET_ROUNDS: u32 = 3;
+
+/// Spawns the two fleet-sweep tenants on `host`, each with its own
+/// persisted group and a [`DELTA_SWEEP_PAGES`]-page arena. Both arenas
+/// land at the same per-process virtual address (fresh address spaces),
+/// which lets the single-address verification helpers serve both
+/// tenants.
+fn fleet_tenant_setup(host: &mut Host) -> Result<((aurora_posix::Pid, GroupId), (aurora_posix::Pid, GroupId), u64)> {
+    let pid_a = host.kernel.spawn("tenant-a");
+    let addr_a = host.kernel.mmap_anon(pid_a, DELTA_SWEEP_PAGES * 4096, false)?;
+    let gid_a = host.persist("tenant-a", pid_a)?;
+    let pid_b = host.kernel.spawn("tenant-b");
+    let addr_b = host.kernel.mmap_anon(pid_b, DELTA_SWEEP_PAGES * 4096, false)?;
+    let gid_b = host.persist("tenant-b", pid_b)?;
+    if addr_a != addr_b {
+        return Err(Error::internal(
+            "fleet sweep tenants mapped their arenas at different addresses",
+        ));
+    }
+    Ok(((pid_a, gid_a), (pid_b, gid_b), addr_a))
+}
+
+/// Runs the two-tenant fleet workload fault-free and returns the
+/// full-region digest of every tenant checkpoint, keyed by name. Like
+/// [`delta_twin_digests`], the twin reboots before digesting so both
+/// sides of the comparison recover through journal replay.
+fn fleet_twin_digests(workers: usize) -> Result<HashMap<String, u64>> {
+    let mut host = delta_sweep_host(workers, None)?;
+    let ((pid_a, gid_a), (pid_b, gid_b), addr) = fleet_tenant_setup(&mut host)?;
+    for round in 0..FLEET_ROUNDS {
+        delta_round_writes(&mut host, pid_a, addr, round, "a")?;
+        delta_round_writes(&mut host, pid_b, addr, round, "b")?;
+        if round == 0 {
+            for (gid, name) in [(gid_a, "a-r0"), (gid_b, "b-r0")] {
+                let bd = host.checkpoint(gid, true, Some(name))?;
+                host.clock.advance_to(bd.durable_at);
+            }
+        } else {
+            host.checkpoint_pipelined(gid_a, false, Some(&format!("a-r{round}")))?;
+            host.checkpoint_pipelined(gid_b, false, Some(&format!("b-r{round}")))?;
+            host.fleet_drain();
+        }
+    }
+    if host.sls.primary.borrow().stats.delta_records == 0 {
+        return Err(Error::internal(
+            "fleet twin never staged a delta record",
+        ));
+    }
+    if host.sls.fleet.stats.overlapped == 0 {
+        return Err(Error::internal(
+            "fleet twin never overlapped two tenants' cycles",
+        ));
+    }
+    let mut host = host.crash_and_reboot()?;
+    let named: Vec<(CkptId, String)> = host
+        .sls
+        .primary
+        .borrow()
+        .checkpoints()
+        .iter()
+        .filter_map(|c| c.name.clone().map(|n| (c.id, n)))
+        .collect();
+    let mut out = HashMap::new();
+    for (id, name) in named {
+        // Only the tenants' own rounds belong in the twin map.
+        if !name.starts_with("a-") && !name.starts_with("b-") {
+            continue;
+        }
+        let digest = restore_digest(&mut host, id, addr, (DELTA_SWEEP_PAGES * 4096) as usize)?;
+        out.insert(name, digest);
+    }
+    Ok(out)
+}
+
+/// Records the outcome of one fleet-sweep checkpoint attempt, treating
+/// an error on a dead device as an expected abort (the cut landed).
+fn fleet_ckpt_attempt(
+    host: &mut Host,
+    gid: GroupId,
+    full: bool,
+    name: &str,
+    pipelined: bool,
+    label: &str,
+    report: &mut CampaignReport,
+) {
+    let res = if pipelined {
+        host.checkpoint_pipelined(gid, full, Some(name))
+    } else {
+        host.checkpoint(gid, full, Some(name))
+    };
+    match res {
+        Ok(bd) => {
+            if bd.outcome.committed() {
+                report.committed += 1;
+                if !pipelined {
+                    host.clock.advance_to(bd.durable_at);
+                }
+            } else {
+                report.aborted += 1;
+            }
+        }
+        Err(e) => {
+            let dead = host.sls.primary.borrow().device().health() == DevHealth::Dead;
+            if !dead {
+                report
+                    .violations
+                    .push(format!("{label}: checkpoint error on live device: {e}"));
+            }
+            report.aborted += 1;
+        }
+    }
+}
+
+/// Power-cut sweep across two tenants' interleaved checkpoint cycles.
+///
+/// The delta sweep proves a cut inside one tenant's flush cannot tear
+/// the store; this sweep proves the same while the fleet scheduler
+/// pipelines two tenants. Each iteration takes serialized full
+/// baselines, runs one fault-free pipelined round (and fails if the
+/// scheduler never overlapped the two cycles), then arms a power cut
+/// at exactly the `n`-th device write of a final pipelined round —
+/// the ordinal walks the cut through tenant A's capture and flush and
+/// on into tenant B's, so some iterations die while A flushes and B's
+/// capture is queued behind A's commit. After the crash, recovery must
+/// scrub clean, every surviving checkpoint of either tenant must
+/// restore to its recorded state, and every survivor's full digest
+/// must match a fault-free twin run of the same interleaving.
+pub fn run_fleet_power_cut_sweep(cuts: u64, workers: usize) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    let twin = match fleet_twin_digests(workers) {
+        Ok(t) => t,
+        Err(e) => {
+            report
+                .violations
+                .push(format!("fleet-cut twin: harness error: {e}"));
+            return report;
+        }
+    };
+    for n in 1..=cuts {
+        if let Err(e) = run_fleet_cut_iteration(n, workers, &twin, &mut report) {
+            report
+                .violations
+                .push(format!("fleet-cut {n}: harness error: {e}"));
+        }
+        report.schedules += 1;
+    }
+    report
+}
+
+/// One sweep iteration: cut power at device write `n` while the two
+/// tenants' final cycles interleave.
+fn run_fleet_cut_iteration(
+    n: u64,
+    workers: usize,
+    twin: &HashMap<String, u64>,
+    report: &mut CampaignReport,
+) -> Result<()> {
+    let mut host = delta_sweep_host(workers, None)?;
+    let ((pid_a, gid_a), (pid_b, gid_b), addr) = fleet_tenant_setup(&mut host)?;
+
+    let mut expected: HashMap<String, Vec<u8>> = HashMap::new();
+    let label = format!("fleet-cut {n}");
+    for round in 0..FLEET_ROUNDS {
+        delta_round_writes(&mut host, pid_a, addr, round, "a")?;
+        delta_round_writes(&mut host, pid_b, addr, round, "b")?;
+        for tag in ["a", "b"] {
+            expected.insert(
+                format!("{tag}-r{round}"),
+                delta_page_body(tag, round, 0).into_bytes(),
+            );
+        }
+
+        let cut_round = round + 1 == FLEET_ROUNDS;
+        if cut_round {
+            arm_faults_cut(&mut host, n);
+        }
+        let pipelined = round > 0;
+        let name_a = format!("a-r{round}");
+        let name_b = format!("b-r{round}");
+        fleet_ckpt_attempt(&mut host, gid_a, round == 0, &name_a, pipelined, &label, report);
+        fleet_ckpt_attempt(&mut host, gid_b, round == 0, &name_b, pipelined, &label, report);
+        if pipelined && !cut_round {
+            host.fleet_drain();
+            if host.sls.fleet.stats.overlapped == 0 {
+                report.violations.push(format!(
+                    "{label}: fault-free round never overlapped the two tenants' cycles"
+                ));
+            }
+        }
+        if round == 1 && host.sls.primary.borrow().stats.delta_records == 0 {
+            report.violations.push(format!(
+                "{label}: fault-free rounds never staged a delta record"
+            ));
+        }
+    }
+
+    disarm_faults(&mut host);
+    let mut host = host.crash_and_reboot()?;
+    report.crashes += 1;
+    verify_recovered(&mut host, addr, &expected, n, report);
+    verify_against_twin(&mut host, twin, addr, &label, report);
+    Ok(())
+}
+
 /// Boots a campaign host whose primary store sits on a `width`-way
 /// mirror of simulated NVMe devices sharing one clock.
 fn boot_mirror_host(width: usize, config: StoreConfig) -> Result<Host> {
@@ -1477,6 +1684,21 @@ mod tests {
         assert!(
             report.restores_verified > 0,
             "baselines must survive every cut"
+        );
+    }
+
+    #[test]
+    fn fleet_power_cut_sweep_recovers_both_tenants() {
+        let report = run_fleet_power_cut_sweep(8, 4);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.crashes, 8, "every iteration ends in a crash");
+        assert!(
+            report.aborted > 0,
+            "some cuts must land inside the interleaved cycles"
+        );
+        assert!(
+            report.restores_verified > 0,
+            "both tenants' baselines must survive every cut"
         );
     }
 

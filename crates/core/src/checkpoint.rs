@@ -27,8 +27,9 @@ use aurora_sim::time::SimTime;
 use aurora_vm::cow::{self, Capture};
 use aurora_vm::VmoId;
 
+use crate::fleet::FlushMode;
 use crate::group::{Group, GroupId};
-use crate::lockdep::{OrderedMutex, RANK_CKPT_BARRIER};
+use crate::lockdep::OrderedMutex;
 use crate::metrics::{self, CheckpointBreakdown, CheckpointOutcome};
 use crate::serialize::*;
 use crate::{Host, Sls};
@@ -46,13 +47,6 @@ fn aborts_checkpoint(e: &Error) -> bool {
             | ErrorKind::WouldBlock
     )
 }
-
-/// Serializes whole checkpoint cycles: the capture/flush pipeline
-/// mutates per-group COW epochs and backend chains that would interleave
-/// incoherently if two cycles overlapped. Outermost rank in the lock
-/// hierarchy — nothing may be held when a cycle begins.
-pub(crate) static CKPT_BARRIER: OrderedMutex<()> =
-    OrderedMutex::new(RANK_CKPT_BARRIER, "ckpt_barrier", ());
 
 /// Everything captured at the barrier, ready to flush.
 pub(crate) struct CapturedState {
@@ -76,6 +70,19 @@ impl Host {
         full: bool,
         name: Option<&str>,
     ) -> Result<CheckpointBreakdown> {
+        self.checkpoint_mode(gid, full, name, FlushMode::Inline)
+    }
+
+    /// The checkpoint cycle behind both [`Host::checkpoint`] (inline
+    /// flush accounting) and [`Host::checkpoint_pipelined`] (the fleet
+    /// scheduler's overlapped accounting; see `crate::fleet`).
+    pub(crate) fn checkpoint_mode(
+        &mut self,
+        gid: GroupId,
+        full: bool,
+        name: Option<&str>,
+        mode: FlushMode,
+    ) -> Result<CheckpointBreakdown> {
         let members = self.group_members(gid);
         if members.is_empty() {
             return Err(Error::invalid(format!(
@@ -83,7 +90,17 @@ impl Host {
                 gid.0
             )));
         }
-        let _cycle = CKPT_BARRIER.lock();
+        // Resolve each backend's commit lock before entering the group
+        // barrier: the fleet registry ranks outermost, so lookups happen
+        // with nothing held.
+        let commit_locks = crate::fleet::commit_locks_for(self.sls.group_ref(gid)?);
+        // Per-group serialization: only cycles of the *same* group
+        // exclude each other. The capture/flush pipeline mutates this
+        // group's COW epochs and backend chains, which would interleave
+        // incoherently if two of its cycles overlapped — but unrelated
+        // tenants pipeline freely (the per-store commit locks below keep
+        // shared backends coherent).
+        let _cycle = crate::fleet::enter_group(gid.0);
         let requested_full = full;
         let mut full = requested_full
             || self
@@ -196,14 +213,22 @@ impl Host {
             barrier_entry + breakdown.metadata_copy + breakdown.lazy_data_copy + resume;
 
         // --- Background flush to every backend. ------------------------------
-        let (durable, flush_report) =
-            match flush_capture(&mut self.kernel, &mut self.sls, gid, &captured, full, name) {
-                Ok(d) => d,
-                Err(e) if aborts_checkpoint(&e) => {
-                    return self.abort_checkpoint(gid, &captured, breakdown, e);
-                }
-                Err(e) => return Err(e),
-            };
+        let (durable, flush_report) = match flush_capture(
+            &mut self.kernel,
+            &mut self.sls,
+            gid,
+            &captured,
+            full,
+            name,
+            mode,
+            &commit_locks,
+        ) {
+            Ok(d) => d,
+            Err(e) if aborts_checkpoint(&e) => {
+                return self.abort_checkpoint(gid, &captured, breakdown, e);
+            }
+            Err(e) => return Err(e),
+        };
         breakdown.flush_bytes = flush_report.flush_bytes;
         breakdown.flush_workers = flush_report.workers;
         breakdown.hash_stage = flush_report.hash_stage;
@@ -866,6 +891,7 @@ pub(crate) struct FlushReport {
 /// Any error propagates without committing; `abort_checkpoint` then
 /// forces the next checkpoint full, so a partially-applied plan on one
 /// backend is never extended incrementally.
+#[allow(clippy::too_many_arguments)]
 fn flush_capture(
     kernel: &mut Kernel,
     sls: &mut Sls,
@@ -873,13 +899,11 @@ fn flush_capture(
     captured: &CapturedState,
     full: bool,
     name: Option<&str>,
+    mode: FlushMode,
+    commit_locks: &[&'static OrderedMutex<()>],
 ) -> Result<(SimTime, FlushReport)> {
     let next_group = sls.next_group_value();
     let workers = sls.flush_workers.max(1);
-    let group = sls
-        .groups
-        .get_mut(&gid.0)
-        .ok_or_else(|| Error::not_found(format!("persistence group {}", gid.0)))?;
 
     // --- Stage 1: resolve the plan and hash it on the worker pool. ----
     let mut plan: Vec<crate::flush::PlanPage> = Vec::with_capacity(captured.plan.flush.len());
@@ -901,12 +925,30 @@ fn flush_capture(
     let flush_start = kernel.clock.now();
     let pages_hashed = plan.len() as u64;
     let hash_stage = aurora_sim::cost::hash_stage(pages_hashed, workers as u64);
-    // The hash stage is charged to the virtual clock at its modeled
-    // per-core bandwidth divided by the worker count, so checkpoint
-    // latency and the flush span reflect the configured parallelism
-    // regardless of how many physical CPUs the harness happens to have.
-    kernel.clock.charge(hash_stage);
+    let hash_done = match mode {
+        // The hash stage is charged to the virtual clock at its modeled
+        // per-core bandwidth divided by the worker count, so checkpoint
+        // latency and the flush span reflect the configured parallelism
+        // regardless of how many physical CPUs the harness happens to
+        // have.
+        FlushMode::Inline => {
+            kernel.clock.charge(hash_stage);
+            kernel.clock.now()
+        }
+        // Pipelined cycles hash on the fleet scheduler's lane horizons
+        // instead: the driving thread returns to the next tenant's
+        // capture while this flush's hash occupies an idle lane, and the
+        // durable instant below waits for the lane to finish.
+        FlushMode::Pipelined => sls.fleet.hash_slot(flush_start, hash_stage),
+    };
     let writes = crate::flush::hash_plan(plan, workers);
+    let group = sls
+        .groups
+        .get_mut(&gid.0)
+        .ok_or_else(|| Error::not_found(format!("persistence group {}", gid.0)))?;
+    if commit_locks.len() != group.backends.len() {
+        return Err(Error::internal("commit locks out of step with backends"));
+    }
 
     // --- Stages 2+3: coalesced write and commit, per backend. ---------
     let mut durable = SimTime::ZERO;
@@ -920,7 +962,7 @@ fn flush_capture(
     let mut delta_records = 0u64;
     let mut delta_bytes = 0u64;
     let mut chain_len_max = 0u64;
-    for backend in group.backends.iter_mut() {
+    for (backend, &store_commit) in group.backends.iter_mut().zip(commit_locks) {
         let mut store = backend.store.borrow_mut();
         for &(v, oid) in &captured.vmo_oid {
             if !store.object_exists(oid) {
@@ -980,7 +1022,13 @@ fn flush_capture(
         // namespace, and colliding object ids would leak stale pages
         // through the checkpoint chain.
         store.put_blob("sls/host", sls_host_blob(next_group));
-        let (ckpt, backend_durable) = store.commit(name)?;
+        // One typestate commit per store at a time: a store shared by
+        // several groups sees whole seal → barrier → flip sequences even
+        // when unrelated cycles overlap under their own group barriers.
+        let (ckpt, backend_durable) = {
+            let _commit = store_commit.lock();
+            store.commit(name)?
+        };
         phase_seals += store.stats.journal_seals - seals0;
         phase_barriers += store.stats.extent_barriers - barriers0;
         phase_flips += store.stats.superblock_flips - flips0;
@@ -999,6 +1047,10 @@ fn flush_capture(
         }
         durable = durable.max(backend_durable);
     }
+    // A pipelined flush is not durable before its hash lane finishes
+    // (inline mode already advanced the clock past the hash, so this is
+    // a no-op there).
+    durable = durable.max(hash_done);
     group.history = group
         .backends
         .first()

@@ -1,0 +1,402 @@
+//! Fleet-scale tenant scheduler: pipelined per-group checkpoint cycles.
+//!
+//! The serverless warm-start story (§4 of the paper) runs thousands of
+//! tenants, each checkpointed at high rate. A single global barrier
+//! serializes the whole fleet on one cycle at a time, so the sharded
+//! hash/dedup/coalesce pipeline and the delta log idle while unrelated
+//! tenants queue — the aggregation bottleneck stdchk identifies for
+//! checkpoint storage. This module narrows the serialization to what
+//! correctness actually needs:
+//!
+//! * a **per-group barrier** ([`enter_group`]) — one group's cycles
+//!   still exclude each other (its COW epochs and backend chains would
+//!   interleave incoherently), but tenant A's flush overlaps tenant B's
+//!   capture;
+//! * a **per-store commit lock** ([`commit_locks_for`]) — a store
+//!   shared by several groups sees one typestate commit
+//!   (seal → barrier → flip) at a time, preserving per-backend commit
+//!   ordering;
+//! * a [`FleetScheduler`] — a bounded run queue of in-flight flushes
+//!   plus a set of hash-lane horizons. Admission retires the oldest
+//!   flush when the queue is full; a pipelined flush's hash stage
+//!   occupies the earliest-free lane instead of charging the driving
+//!   thread's clock, which is exactly the idle capacity the serialized
+//!   fleet wastes.
+//!
+//! Commit-ordering argument: within one group, the per-group barrier
+//! serializes cycles end-to-end, so its backends' chains grow in cycle
+//! order. Across groups sharing a store, the commit lock makes the
+//! store's journal/superblock sequence a clean interleaving of whole
+//! commits; each group's own chain is still ordered by its barrier.
+//! Durability is per-cycle (`durable_at` = max over backends and the
+//! hash lane), so external-consistency release never observes another
+//! tenant's cycle.
+//!
+//! Barriers and commit locks are minted once per group / store and
+//! deliberately leaked: they are `'static` for lockdep, bounded by the
+//! number of groups and stores a process ever creates, and a group id
+//! is never reused across reboots.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use aurora_sim::error::Result;
+use aurora_sim::lockdep::{
+    OrderedMutex, RANK_FLEET_REGISTRY, RANK_GROUP_BARRIER, RANK_STORE_COMMIT,
+};
+use aurora_sim::stats::LogHistogram;
+use aurora_sim::time::{SimDuration, SimTime};
+use aurora_sim::SimClock;
+
+use crate::group::{Group, GroupId};
+use crate::metrics::{self, CheckpointBreakdown};
+use crate::Host;
+
+/// How `flush_capture` accounts for the hash stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlushMode {
+    /// Charge the hash stage to the driving thread's clock (the classic
+    /// serialized cycle: capture, hash, flush, commit, one after the
+    /// other).
+    Inline,
+    /// Book the hash stage on a fleet-scheduler lane horizon; the
+    /// driving thread moves on to the next tenant and the cycle's
+    /// durable instant waits for the lane.
+    Pipelined,
+}
+
+/// Lock registry: per-group barriers and per-store commit locks, keyed
+/// by group id and store pointer. Entries are leaked `'static` lock
+/// instances (see the module docs for why that is bounded).
+struct Registry {
+    groups: BTreeMap<u32, &'static OrderedMutex<()>>,
+    stores: BTreeMap<usize, &'static OrderedMutex<()>>,
+}
+
+/// Held only for lookups, and always with nothing else held (it ranks
+/// outermost): callers resolve their locks *before* entering a barrier.
+static REGISTRY: OrderedMutex<Registry> = OrderedMutex::new(
+    RANK_FLEET_REGISTRY,
+    "fleet_registry",
+    Registry {
+        groups: BTreeMap::new(),
+        stores: BTreeMap::new(),
+    },
+);
+
+/// The barrier instance serializing group `gid`'s cycles.
+pub(crate) fn barrier_for(gid: u32) -> &'static OrderedMutex<()> {
+    let mut reg = REGISTRY.lock();
+    if let Some(&b) = reg.groups.get(&gid) {
+        return b;
+    }
+    let minted: &'static OrderedMutex<()> = Box::leak(Box::new(OrderedMutex::new(
+        RANK_GROUP_BARRIER,
+        "group_barrier",
+        (),
+    )));
+    reg.groups.insert(gid, minted);
+    minted
+}
+
+/// Guard for one group's checkpoint/restore cycle.
+pub(crate) struct GroupCycleGuard {
+    _guard: aurora_sim::lockdep::OrderedMutexGuard<'static, ()>,
+}
+
+/// Enters group `gid`'s cycle: takes its per-group barrier. Cycles of
+/// different groups pipeline; two cycles of the same group exclude each
+/// other.
+pub(crate) fn enter_group(gid: u32) -> GroupCycleGuard {
+    let group_barrier = barrier_for(gid);
+    GroupCycleGuard {
+        _guard: group_barrier.lock(),
+    }
+}
+
+/// Resolves the commit lock of every backend of `group`, in backend
+/// order. A store is keyed by its handle's pointer identity: two
+/// backends (of any groups) sharing a `StoreHandle` share the lock. A
+/// pointer reused after a store is dropped aliases the old lock, which
+/// only serializes a little coarser — never less.
+pub(crate) fn commit_locks_for(group: &Group) -> Vec<&'static OrderedMutex<()>> {
+    let mut reg = REGISTRY.lock();
+    group
+        .backends
+        .iter()
+        .map(|b| {
+            let key = Rc::as_ptr(&b.store) as usize;
+            if let Some(&l) = reg.stores.get(&key) {
+                return l;
+            }
+            let minted: &'static OrderedMutex<()> = Box::leak(Box::new(OrderedMutex::new(
+                RANK_STORE_COMMIT,
+                "store_commit",
+                (),
+            )));
+            reg.stores.insert(key, minted);
+            minted
+        })
+        .collect()
+}
+
+/// Telemetry of the fleet scheduler (surfaced by `sls info`).
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Cycles admitted through the pipelined path.
+    pub admitted: u64,
+    /// Admitted cycles that overlapped at least one in-flight flush.
+    pub overlapped: u64,
+    /// Admissions that stalled on a full run queue (the oldest flush
+    /// had to retire first).
+    pub queue_stalls: u64,
+    /// High-water mark of the in-flight queue depth.
+    pub queue_depth_max: u64,
+    /// Per-tenant stop times of pipelined cycles, in sim ns.
+    pub stop_hist: LogHistogram,
+}
+
+/// Pipelines checkpoint cycles across tenants.
+///
+/// The scheduler holds two pieces of virtual-time state: the bounded
+/// queue of in-flight flushes (group id, durable instant) and the
+/// per-lane horizons of the hash stage. It is rebuilt empty on reboot —
+/// in-flight flushes die with the machine like any other undurable
+/// state.
+#[derive(Debug, Clone)]
+pub struct FleetScheduler {
+    /// In-flight flushes the run queue admits before stalling a
+    /// capture on the oldest drain.
+    pub queue_cap: usize,
+    /// Hash lanes available to overlapped flushes: the idle cores a
+    /// serialized fleet leaves unused while one tenant's cycle runs.
+    pub hash_lanes: usize,
+    /// Busy-until horizon per hash lane.
+    lanes: Vec<SimTime>,
+    /// In-flight flushes, oldest first: `(group id, durable instant)`.
+    inflight: VecDeque<(u32, SimTime)>,
+    /// Counters.
+    pub stats: FleetStats,
+}
+
+/// Default bound on in-flight flushes.
+pub const DEFAULT_FLEET_QUEUE_CAP: usize = 32;
+
+/// Default hash-lane count for overlapped flushes.
+pub const DEFAULT_HASH_LANES: usize = 4;
+
+impl Default for FleetScheduler {
+    fn default() -> Self {
+        FleetScheduler::new()
+    }
+}
+
+impl FleetScheduler {
+    /// A scheduler with the default queue bound and lane count.
+    pub fn new() -> FleetScheduler {
+        FleetScheduler {
+            queue_cap: DEFAULT_FLEET_QUEUE_CAP,
+            hash_lanes: DEFAULT_HASH_LANES,
+            lanes: Vec::new(),
+            inflight: VecDeque::new(),
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// A fresh scheduler carrying this one's configuration (reboot:
+    /// runtime state is lost, tuning survives).
+    pub(crate) fn fresh_config(&self) -> FleetScheduler {
+        FleetScheduler {
+            queue_cap: self.queue_cap,
+            hash_lanes: self.hash_lanes,
+            ..FleetScheduler::new()
+        }
+    }
+
+    /// Current in-flight flush count.
+    pub fn queue_depth(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Admits a capture: retires already-durable flushes for free, then
+    /// — if the queue is still full — advances the clock to the oldest
+    /// flush's durable instant and retires it.
+    pub(crate) fn admit(&mut self, clock: &SimClock) {
+        let now = clock.now();
+        while matches!(self.inflight.front(), Some(&(_, at)) if at <= now) {
+            self.inflight.pop_front();
+        }
+        while self.inflight.len() >= self.queue_cap.max(1) {
+            if let Some((_, at)) = self.inflight.pop_front() {
+                clock.advance_to(at);
+                self.stats.queue_stalls += 1;
+            }
+        }
+        self.stats.admitted += 1;
+        if !self.inflight.is_empty() {
+            self.stats.overlapped += 1;
+        }
+    }
+
+    /// Books `cost` on the earliest-free hash lane at or after `now`;
+    /// returns the lane's completion instant.
+    pub(crate) fn hash_slot(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        self.lanes.resize(self.hash_lanes.max(1), SimTime::ZERO);
+        let lane = match self
+            .lanes
+            .iter_mut()
+            .min_by_key(|horizon| horizon.as_nanos())
+        {
+            Some(l) => l,
+            // Unreachable: resize above guarantees at least one lane.
+            None => return now + cost,
+        };
+        let start = now.max(*lane);
+        let done = start + cost;
+        *lane = done;
+        done
+    }
+
+    /// Records a committed pipelined cycle.
+    pub(crate) fn complete(&mut self, gid: u32, durable: SimTime, stop: SimDuration) {
+        self.inflight.push_back((gid, durable));
+        self.stats.queue_depth_max = self.stats.queue_depth_max.max(self.inflight.len() as u64);
+        self.stats.stop_hist.record_duration(stop);
+    }
+
+    /// Advances the clock past every in-flight flush and empties the
+    /// queue.
+    pub(crate) fn drain(&mut self, clock: &SimClock) {
+        if let Some(at) = self.inflight.iter().map(|&(_, at)| at).max() {
+            clock.advance_to(at);
+        }
+        self.inflight.clear();
+    }
+}
+
+impl Host {
+    /// Takes a pipelined checkpoint of one tenant: admission through the
+    /// fleet scheduler's run queue, capture under the per-group barrier,
+    /// hash on a scheduler lane, commit under the per-store locks. The
+    /// returned breakdown's `durable_at` gates this cycle exactly like
+    /// the serialized path; use [`Host::fleet_drain`] (or
+    /// [`Host::wait_durable`]) to wait it out.
+    pub fn checkpoint_pipelined(
+        &mut self,
+        gid: GroupId,
+        full: bool,
+        name: Option<&str>,
+    ) -> Result<CheckpointBreakdown> {
+        let (overlapped0, stalls0) = {
+            let s = &self.sls.fleet.stats;
+            (s.overlapped, s.queue_stalls)
+        };
+        self.sls.fleet.admit(&self.clock);
+        let breakdown = self.checkpoint_mode(gid, full, name, FlushMode::Pipelined)?;
+        if breakdown.outcome.committed() {
+            self.sls
+                .fleet
+                .complete(gid.0, breakdown.durable_at, breakdown.stop_time);
+        }
+        {
+            let s = &self.sls.fleet.stats;
+            let mut m = metrics::METRICS.lock();
+            m.fleet_cycles_pipelined += 1;
+            m.fleet_overlapped_cycles += s.overlapped - overlapped0;
+            m.fleet_queue_stalls += s.queue_stalls - stalls0;
+            m.fleet_queue_depth_max = m.fleet_queue_depth_max.max(s.queue_depth_max);
+            m.fleet_stop_p99_ns = s.stop_hist.p99();
+        }
+        Ok(breakdown)
+    }
+
+    /// Checkpoints a wave of tenants through the scheduler, incremental
+    /// by default (`full` forces full captures). Captures interleave
+    /// with earlier tenants' flushes; nothing waits for global
+    /// durability — drain explicitly when the wave must be on disk.
+    pub fn checkpoint_all(
+        &mut self,
+        gids: &[GroupId],
+        full: bool,
+    ) -> Result<Vec<CheckpointBreakdown>> {
+        let mut out = Vec::with_capacity(gids.len());
+        for &gid in gids {
+            out.push(self.checkpoint_pipelined(gid, full, None)?);
+        }
+        Ok(out)
+    }
+
+    /// Periodic pipelined driver: checkpoints `gid` when its period
+    /// elapsed, through the scheduler. Returns `None` when not yet due.
+    pub fn fleet_tick(&mut self, gid: GroupId) -> Result<Option<CheckpointBreakdown>> {
+        let now = self.clock.now();
+        let due = {
+            let group = self.sls.group_ref(gid)?;
+            now >= group.next_due
+        };
+        if !due {
+            self.poll_durability();
+            return Ok(None);
+        }
+        let breakdown = self.checkpoint_pipelined(gid, false, None)?;
+        let group = self.sls.group_mut(gid)?;
+        group.next_due = now + group.period;
+        Ok(Some(breakdown))
+    }
+
+    /// Waits (advances the virtual clock) until every in-flight
+    /// pipelined flush is durable, then releases external-consistency
+    /// holds.
+    pub fn fleet_drain(&mut self) {
+        let clock = self.clock.clone();
+        self.sls.fleet.drain(&clock);
+        self.poll_durability();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_lanes_overlap_in_virtual_time() {
+        let mut f = FleetScheduler::new();
+        f.hash_lanes = 2;
+        let t0 = SimTime::ZERO;
+        let c = SimDuration::from_micros(10);
+        // Two flushes at t0 land on distinct lanes: both end at t0+c.
+        assert_eq!(f.hash_slot(t0, c), t0 + c);
+        assert_eq!(f.hash_slot(t0, c), t0 + c);
+        // The third queues behind the earliest lane.
+        assert_eq!(f.hash_slot(t0, c), t0 + c + c);
+    }
+
+    #[test]
+    fn admit_bounds_the_queue() {
+        let clock = SimClock::new();
+        let mut f = FleetScheduler::new();
+        f.queue_cap = 2;
+        f.admit(&clock);
+        f.complete(1, SimTime::from_nanos(1_000), SimDuration::from_nanos(10));
+        f.admit(&clock);
+        f.complete(2, SimTime::from_nanos(2_000), SimDuration::from_nanos(10));
+        assert_eq!(f.queue_depth(), 2);
+        // The queue is full: the third admission advances the clock to
+        // the oldest durable instant and retires it.
+        f.admit(&clock);
+        assert_eq!(f.queue_depth(), 1);
+        assert!(clock.now() >= SimTime::from_nanos(1_000));
+        assert_eq!(f.stats.queue_stalls, 1);
+        assert_eq!(f.stats.admitted, 3);
+        assert_eq!(f.stats.overlapped, 2);
+    }
+
+    #[test]
+    fn same_group_barrier_instance_is_reused() {
+        let a = barrier_for(90_001);
+        let b = barrier_for(90_001);
+        let c = barrier_for(90_002);
+        assert!(std::ptr::eq(a, b));
+        assert!(!std::ptr::eq(a, c));
+    }
+}

@@ -26,8 +26,10 @@ use crate::lockdep::{OrderedMutex, RANK_FLUSH_SHARD};
 pub const PARALLEL_THRESHOLD: usize = 64;
 
 /// Collector for hashed shards: workers push `(shard index, hashes)`
-/// pairs as they finish. The checkpoint barrier serializes whole
-/// cycles, so at most one hash stage uses this at a time.
+/// pairs as they finish. The single driving thread runs one hash stage
+/// at a time (under the owning group's barrier), so at most one stage
+/// uses this collector at once even though unrelated tenants' cycles
+/// pipeline.
 static FLUSH_SHARD: OrderedMutex<Vec<(usize, Vec<u64>)>> =
     OrderedMutex::new(RANK_FLUSH_SHARD, "flush_shard", Vec::new());
 

@@ -38,6 +38,7 @@ pub mod api;
 pub mod campaign;
 pub mod checkpoint;
 pub mod debug;
+pub mod fleet;
 pub mod flush;
 pub mod group;
 pub mod metrics;
@@ -124,6 +125,10 @@ pub struct Sls {
     /// (see [`crate::replicate`]). A crash loses the session — the
     /// promoted standby is the surviving half.
     pub(crate) replicator: Option<Box<replicate::Replicator>>,
+    /// The tenant scheduler pipelining per-group checkpoint cycles (see
+    /// [`crate::fleet`]). Tuning survives a reboot; in-flight state does
+    /// not.
+    pub fleet: fleet::FleetScheduler,
     /// Counters.
     pub stats: SlsStats,
 }
@@ -175,6 +180,7 @@ impl Host {
                 restore_workers: DEFAULT_RESTORE_WORKERS,
                 mirror_width,
                 replicator: None,
+                fleet: fleet::FleetScheduler::new(),
                 stats: SlsStats::default(),
             },
         })
@@ -219,6 +225,7 @@ impl Host {
                 restore_workers: DEFAULT_RESTORE_WORKERS,
                 mirror_width,
                 replicator: None,
+                fleet: fleet::FleetScheduler::new(),
                 stats: SlsStats::default(),
             },
         })
@@ -249,6 +256,7 @@ impl Host {
             restore_workers,
             mirror_width,
             replicator,
+            fleet,
             stats: _,
         } = sls;
         drop(groups);
@@ -281,6 +289,9 @@ impl Host {
                 restore_workers,
                 mirror_width,
                 replicator: None,
+                // In-flight pipelined flushes died with the machine;
+                // the scheduler's tuning survives.
+                fleet: fleet.fresh_config(),
                 stats: SlsStats::default(),
             },
         })

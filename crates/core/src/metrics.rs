@@ -84,6 +84,20 @@ pub struct GlobalCounters {
     pub chains_compacted: u64,
     /// Longest delta chain ever committed (high-water across stores).
     pub chain_len_max: u64,
+    /// Checkpoint cycles run through the fleet scheduler's pipelined
+    /// path (capture admitted while earlier flushes drain).
+    pub fleet_cycles_pipelined: u64,
+    /// Pipelined cycles whose capture overlapped at least one other
+    /// tenant's still-draining flush.
+    pub fleet_overlapped_cycles: u64,
+    /// Admissions that had to retire the oldest in-flight flush first
+    /// because the scheduler's run queue was full.
+    pub fleet_queue_stalls: u64,
+    /// High-water mark of the scheduler's in-flight flush queue.
+    pub fleet_queue_depth_max: u64,
+    /// p99 per-tenant stop time of the most recent fleet scheduler's
+    /// pipelined cycles (sim ns).
+    pub fleet_stop_p99_ns: u64,
 }
 
 /// The global counter registry. Innermost rank in the lock hierarchy,
@@ -121,6 +135,11 @@ pub static METRICS: OrderedMutex<GlobalCounters> =
         delta_bytes: 0,
         chains_compacted: 0,
         chain_len_max: 0,
+        fleet_cycles_pipelined: 0,
+        fleet_overlapped_cycles: 0,
+        fleet_queue_stalls: 0,
+        fleet_queue_depth_max: 0,
+        fleet_stop_p99_ns: 0,
     });
 
 /// Snapshot of the global counters.

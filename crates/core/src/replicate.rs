@@ -909,6 +909,7 @@ impl Host {
                 restore_workers: DEFAULT_RESTORE_WORKERS,
                 mirror_width,
                 replicator: None,
+                fleet: crate::fleet::FleetScheduler::new(),
                 stats: SlsStats::default(),
             },
         })

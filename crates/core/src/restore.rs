@@ -258,7 +258,15 @@ impl Host {
                 breakdown.pages_prefetched += self.page_in_image(v, pager_id, oid, idx)?;
             }
         } else {
-            self.batched_page_in(store, ckpt, pager_id, &targets, workers, &mut breakdown)?;
+            self.batched_page_in(
+                manifest.gid,
+                store,
+                ckpt,
+                pager_id,
+                &targets,
+                workers,
+                &mut breakdown,
+            )?;
         }
         breakdown.memory_state = sw.lap();
 
@@ -579,8 +587,10 @@ impl Host {
     /// same order the serial loop would — so the resulting memory image
     /// is byte-identical for any worker count (the differential test in
     /// `tests/parallel_restore_diff.rs` checks exactly this).
+    #[allow(clippy::too_many_arguments)]
     fn batched_page_in(
         &mut self,
+        gid: u32,
         store: &StoreHandle,
         ckpt: CkptId,
         pager: aurora_vm::PagerId,
@@ -643,15 +653,18 @@ impl Host {
 
         // Pass 3: content-hash the freshly fetched pages in parallel.
         // The hashes feed the store's content index (warm twin blocks)
-        // and the cost is divided across the workers. The checkpoint
-        // barrier serializes use of the shard collector.
+        // and the cost is divided across the workers. The target group's
+        // own barrier serializes use of the shard collector — restores
+        // of unrelated tenants pipeline with checkpoints, exactly like
+        // the flush path.
         let fetched: Vec<(u64, PageData)> = outcome
             .fetched
             .iter()
             .filter_map(|b| outcome.pages.get(b).map(|p| (*b, p.clone())))
             .collect();
         let pairs = {
-            let _cycle = crate::checkpoint::CKPT_BARRIER.lock();
+            let group_barrier = crate::fleet::barrier_for(gid);
+            let _cycle = group_barrier.lock();
             hash_fetched(&fetched, workers)
         };
         self.clock
@@ -828,9 +841,10 @@ impl Host {
 }
 
 /// Collector for the restore hash stage: workers push
-/// `(shard index, hashes)` pairs as they finish. The checkpoint barrier
-/// serializes whole batched restores against flush cycles, so at most
-/// one hash stage uses this at a time.
+/// `(shard index, hashes)` pairs as they finish. The single driving
+/// thread runs one hash stage at a time (under the target group's
+/// barrier), so at most one stage uses this collector at once even
+/// though unrelated tenants' cycles pipeline.
 static RESTORE_SHARD: OrderedMutex<Vec<(usize, Vec<u64>)>> =
     OrderedMutex::new(RANK_RESTORE_SHARD, "restore_shard", Vec::new());
 

@@ -6,9 +6,9 @@
 //!
 //! ```toml
 //! [locks]
-//! order = ["ckpt_barrier", "group_table", "metrics"]   # outermost first
+//! order = ["group_barrier", "group_table", "metrics"]   # outermost first
 //! [locks.sites]
-//! CKPT_BARRIER = "ckpt_barrier"
+//! group_barrier = "group_barrier"
 //! ```
 //!
 //! Three rules:

@@ -23,31 +23,49 @@ use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 /// Ranks for the declared hierarchy, outermost first. These mirror the
 /// index of each name in `lint-allow.toml [locks] order`; `aurora-lint`
 /// cross-checks the static nesting against the same table.
-pub const RANK_CKPT_BARRIER: u32 = 0;
+/// Rank of the fleet scheduler's barrier/commit-lock registry. Held
+/// only long enough to look up (or mint) a group's barrier or a
+/// store's commit lock, never across a capture or a flush — but the
+/// lookup happens before the per-group barrier is taken, so it must
+/// rank outermost.
+pub const RANK_FLEET_REGISTRY: u32 = 0;
+/// Rank of a per-group checkpoint barrier. One instance exists per
+/// `GroupId`; it covers only the stop-the-group capture and the
+/// group's own flush/restore bookkeeping, so cycles of *different*
+/// groups pipeline instead of serializing on a global lock. All
+/// instances share this rank (same-rank acquisitions are sibling
+/// instances, never re-entry on one lock).
+pub const RANK_GROUP_BARRIER: u32 = 1;
+/// Rank of a per-store commit lock. Taken inside a group barrier for
+/// the duration of one typestate commit, so a store shared by several
+/// groups still sees exactly one `seal → barrier → flip` sequence at a
+/// time even when their cycles overlap.
+pub const RANK_STORE_COMMIT: u32 = 2;
 /// Rank of the persistence-group table.
-pub const RANK_GROUP_TABLE: u32 = 1;
+pub const RANK_GROUP_TABLE: u32 = 3;
 /// Rank of the parallel flush pipeline's shard-result collector. The
-/// driving thread holds `ckpt_barrier` while it gathers hashed shards,
-/// so this must rank inside the barrier; workers take it with nothing
-/// else held.
-pub const RANK_FLUSH_SHARD: u32 = 2;
+/// driving thread holds its group's `group_barrier` while it gathers
+/// hashed shards, so this must rank inside the barrier; workers take
+/// it with nothing else held.
+pub const RANK_FLUSH_SHARD: u32 = 4;
 /// Rank of the parallel restore pipeline's shard-result collector.
 /// Mirrors `flush_shard`: the driving thread serializes batched
-/// restores on `ckpt_barrier`, workers take this with nothing held.
-pub const RANK_RESTORE_SHARD: u32 = 3;
+/// restores on the target group's `group_barrier`, workers take this
+/// with nothing held.
+pub const RANK_RESTORE_SHARD: u32 = 5;
 /// Rank of per-store metadata.
-pub const RANK_STORE_META: u32 = 4;
+pub const RANK_STORE_META: u32 = 6;
 /// Rank of the object store's shared page cache. The restore read
 /// pipeline takes it while the barrier is held; nothing below it but
 /// the device queue and metrics may nest inside.
-pub const RANK_PAGE_CACHE: u32 = 5;
+pub const RANK_PAGE_CACHE: u32 = 7;
 /// Rank of the journal append buffer.
-pub const RANK_JOURNAL_BUF: u32 = 6;
+pub const RANK_JOURNAL_BUF: u32 = 8;
 /// Rank of a device submission queue.
-pub const RANK_DEV_QUEUE: u32 = 7;
+pub const RANK_DEV_QUEUE: u32 = 9;
 /// Rank of the global metrics registry (innermost: any path may record
 /// counters while holding anything else).
-pub const RANK_METRICS: u32 = 8;
+pub const RANK_METRICS: u32 = 10;
 
 /// A mutex that participates in lock-order verification.
 pub struct OrderedMutex<T> {
@@ -377,14 +395,36 @@ mod tests {
 
     #[test]
     fn real_hierarchy_registers_cleanly() {
-        // The production descent: barrier outermost, metrics innermost.
+        // The production descent: registry outermost, then a group
+        // barrier, a store commit lock, metrics innermost.
+        static REGISTRY: OrderedMutex<()> =
+            OrderedMutex::new(RANK_FLEET_REGISTRY, "fleet_registry", ());
         static BARRIER: OrderedMutex<()> =
-            OrderedMutex::new(RANK_CKPT_BARRIER, "ckpt_barrier", ());
+            OrderedMutex::new(RANK_GROUP_BARRIER, "group_barrier", ());
+        static COMMIT: OrderedMutex<()> =
+            OrderedMutex::new(RANK_STORE_COMMIT, "store_commit", ());
         static METRICS: OrderedMutex<u64> = OrderedMutex::new(RANK_METRICS, "metrics", 0);
+        {
+            let _r = REGISTRY.lock();
+        }
         let _b = BARRIER.lock();
+        let _c = COMMIT.lock();
         let mut m = METRICS.lock();
         *m += 1;
-        assert_eq!(BARRIER.rank(), 0);
+        assert_eq!(REGISTRY.rank(), 0);
+        assert_eq!(BARRIER.rank(), 1);
+        assert_eq!(COMMIT.rank(), 2);
         assert_eq!(METRICS.name(), "metrics");
+    }
+
+    #[test]
+    fn sibling_instances_share_a_rank_cleanly() {
+        // Two distinct per-group barriers carry the same rank; holding
+        // one while a *different* group's cycle runs must not trip the
+        // checker (same-rank pairs record no edge).
+        static GA: OrderedMutex<()> = OrderedMutex::new(RANK_GROUP_BARRIER, "group_barrier", ());
+        static GB: OrderedMutex<()> = OrderedMutex::new(RANK_GROUP_BARRIER, "group_barrier", ());
+        let _a = GA.lock();
+        let _b = GB.lock();
     }
 }

@@ -103,6 +103,7 @@ fn full_cli_lifecycle() {
     assert!(out.contains("checkpoints:"));
     assert!(out.contains("flush pipeline:"), "info flush stage: {out}");
     assert!(out.contains("workers configured"), "info workers: {out}");
+    assert!(out.contains("fleet:"), "info fleet telemetry: {out}");
 }
 
 #[test]

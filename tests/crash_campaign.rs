@@ -8,8 +8,8 @@
 //! through `AURORA_CRASH_ITERS` (CI nightly runs set it much higher).
 
 use aurora::core::campaign::{
-    run_campaign, run_compact_power_cut_sweep, run_delta_power_cut_sweep, schedules_from_env,
-    CampaignConfig,
+    run_campaign, run_compact_power_cut_sweep, run_delta_power_cut_sweep,
+    run_fleet_power_cut_sweep, schedules_from_env, CampaignConfig,
 };
 use aurora::hw::FaultRates;
 
@@ -86,6 +86,28 @@ fn campaign_chain_compaction_power_cut_sweep() {
     );
     assert_eq!(report.crashes, 14);
     assert!(report.aborted > 0, "no cut landed inside the fold");
+    assert!(report.restores_verified > 0);
+}
+
+#[test]
+fn campaign_fleet_interleave_power_cut_sweep() {
+    // Walks a power cut through every device-write ordinal of a round
+    // where two tenants' checkpoint cycles pipeline through the fleet
+    // scheduler — the cut lands while tenant A flushes and tenant B's
+    // cycle queues behind A's commit. Both tenants must recover scrub-
+    // clean, and every survivor must digest-match a fault-free twin of
+    // the same interleaving.
+    let report = run_fleet_power_cut_sweep(16, 4);
+    assert!(
+        report.passed(),
+        "fleet sweep violations:\n{}",
+        report.violations.join("\n")
+    );
+    assert_eq!(report.crashes, 16);
+    assert!(
+        report.aborted > 0,
+        "no cut landed inside the interleaved cycles"
+    );
     assert!(report.restores_verified > 0);
 }
 
