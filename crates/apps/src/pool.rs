@@ -13,9 +13,16 @@
 //! must be captured exactly once, restored as one object, and re-attached
 //! to every restored process — not duplicated per process.
 
-use aurora_core::{CheckpointBreakdown, GroupId, Host};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aurora_core::fleet::TenantCycle;
+use aurora_core::{GroupId, Host};
+use aurora_hw::{BlockDev, ModelDev, ResilientDev};
+use aurora_objstore::{ObjectStore, StoreConfig};
 use aurora_posix::Pid;
 use aurora_sim::error::{Error, Result};
+use aurora_slsfs::StoreHandle;
 
 use crate::heap::SimHeap;
 use crate::kv::{KvOp, KvServer, PersistMode};
@@ -192,6 +199,10 @@ pub struct FleetTenant {
     pub gid: GroupId,
     /// Name of this tenant's most recent checkpoint.
     pub last_ckpt: String,
+    /// The tenant's private store when the fleet is isolated
+    /// ([`TenantFleet::isolate`]); `None` means the host's shared
+    /// primary.
+    pub store: Option<StoreHandle>,
 }
 
 /// A fleet of independent KV tenants, one persistence group each —
@@ -265,6 +276,7 @@ impl TenantFleet {
                 workload,
                 gid,
                 last_ckpt: name,
+                store: None,
             });
         }
         Ok(TenantFleet {
@@ -272,6 +284,37 @@ impl TenantFleet {
             activity: TenantActivity::new(seed, indices.len(), 0.99),
             keys,
         })
+    }
+
+    /// Rehomes every tenant onto its own freshly formatted store, so
+    /// each tenant is its own fault domain: a device fault (or the
+    /// quarantine it triggers) is confined to one tenant while the rest
+    /// of the fleet keeps checkpointing. Each tenant takes a fresh full
+    /// base on its new store so an untouched tenant still restores.
+    pub fn isolate(&mut self, host: &mut Host) -> Result<()> {
+        for tenant in &mut self.tenants {
+            let dev = Box::new(ModelDev::nvme(
+                host.clock.clone(),
+                &format!("tenant{}", tenant.index),
+                64 * 1024,
+            ));
+            let dev: Box<dyn BlockDev> = Box::new(ResilientDev::with_defaults(dev));
+            let store: StoreHandle = Rc::new(RefCell::new(ObjectStore::format(
+                dev,
+                StoreConfig {
+                    journal_blocks: 512,
+                    materialize_data: true,
+                    ..StoreConfig::default()
+                },
+            )?));
+            host.rehome_group(tenant.gid, store.clone())?;
+            let name = format!("t{}-isolated-base", tenant.index);
+            let bd = host.checkpoint(tenant.gid, true, Some(&name))?;
+            host.clock.advance_to(bd.durable_at);
+            tenant.last_ckpt = name;
+            tenant.store = Some(store);
+        }
+        Ok(())
     }
 
     /// Draws a wave of `k` distinct active tenant positions.
@@ -294,12 +337,18 @@ impl TenantFleet {
 
     /// Pipelined incremental checkpoints of a wave, named
     /// `t<index>-r<round>` so survivors are identifiable after a crash.
+    ///
+    /// One tenant's failure never aborts the wave: each entry carries
+    /// that tenant's own outcome (committed breakdown, quarantine skip,
+    /// or hard error), mirroring [`Host::checkpoint_all`]. The outer
+    /// `Result` only reports harness errors (an unknown tenant
+    /// position).
     pub fn checkpoint_wave(
         &mut self,
         host: &mut Host,
         wave: &[usize],
         round: u32,
-    ) -> Result<Vec<CheckpointBreakdown>> {
+    ) -> Result<Vec<TenantCycle>> {
         let mut out = Vec::with_capacity(wave.len());
         for &t in wave {
             let tenant = self
@@ -307,11 +356,16 @@ impl TenantFleet {
                 .get_mut(t)
                 .ok_or_else(|| Error::not_found(format!("tenant {t}")))?;
             let name = format!("t{}-r{round}", tenant.index);
-            let bd = host.checkpoint_pipelined(tenant.gid, false, Some(&name))?;
-            if bd.outcome.committed() {
-                tenant.last_ckpt = name;
+            let result = host.checkpoint_pipelined(tenant.gid, false, Some(&name));
+            if let Ok(bd) = &result {
+                if bd.outcome.committed() {
+                    tenant.last_ckpt = name;
+                }
             }
-            out.push(bd);
+            out.push(TenantCycle {
+                gid: tenant.gid,
+                result,
+            });
         }
         Ok(out)
     }
@@ -333,7 +387,10 @@ impl TenantFleet {
             .tenants
             .get(t)
             .ok_or_else(|| Error::not_found(format!("tenant {t}")))?;
-        let store = host.sls.primary.clone();
+        let store = tenant
+            .store
+            .clone()
+            .unwrap_or_else(|| host.sls.primary.clone());
         let ckpt = store
             .borrow()
             .checkpoints()
@@ -443,6 +500,71 @@ mod tests {
             .exec_on(&mut host, restored.leader, &KvOp::Get(b"post".to_vec()))
             .unwrap();
         assert_eq!(v.unwrap(), b"restore");
+    }
+
+    #[test]
+    fn isolated_fleet_confines_a_dead_tenant_device() {
+        use aurora_core::fleet::{TenantHealth, QUARANTINE_AFTER};
+        use aurora_core::CheckpointOutcome;
+        use aurora_hw::FaultPlan;
+
+        let mut host = boot();
+        let mut fleet = TenantFleet::start(&mut host, 4, 0xdead, 256 * 1024, 24, 48).unwrap();
+        fleet.isolate(&mut host).unwrap();
+
+        // Kill tenant 0's private device on its next write.
+        fleet
+            .tenants
+            .first()
+            .and_then(|t| t.store.clone())
+            .expect("isolated tenant has a store")
+            .borrow_mut()
+            .device_mut()
+            .install_fault_plan(FaultPlan::power_cut(1));
+        let gid0 = fleet.tenants.first().unwrap().gid;
+
+        // Enough all-tenant waves to walk tenant 0 into quarantine.
+        let all: Vec<usize> = (0..4).collect();
+        for round in 0..(QUARANTINE_AFTER + 1) {
+            for &t in &all {
+                fleet.touch(&mut host, t, 4).unwrap();
+            }
+            let cycles = fleet.checkpoint_wave(&mut host, &all, round).unwrap();
+            // Healthy tenants commit every round, poisoned or not.
+            for (t, cycle) in all.iter().zip(&cycles).skip(1) {
+                match &cycle.result {
+                    Ok(bd) if bd.outcome.committed() => {}
+                    other => panic!("healthy tenant {t} failed round {round}: {other:?}"),
+                }
+            }
+            host.fleet_drain();
+        }
+        assert_eq!(
+            host.tenant_domain(gid0).health,
+            TenantHealth::Quarantined,
+            "poisoned tenant never quarantined"
+        );
+        // A quarantined tenant's wave entry is a skip, not an error.
+        let cycles = fleet
+            .checkpoint_wave(&mut host, &all, QUARANTINE_AFTER + 1)
+            .unwrap();
+        let first = cycles.first().expect("wave has tenant 0");
+        assert!(
+            matches!(&first.result, Ok(bd) if bd.outcome == CheckpointOutcome::Quarantined),
+            "expected a quarantine skip, got {:?}",
+            first.result
+        );
+        host.fleet_drain();
+
+        // The healthy tenants' checkpoints restore from their own
+        // stores, unharmed by the dead neighbor.
+        let want: Vec<u64> = (1..4)
+            .map(|t| fleet.digest(&mut host, t).unwrap())
+            .collect();
+        for (i, t) in (1..4usize).enumerate() {
+            let got = fleet.restore_tenant(&mut host, t).unwrap();
+            assert_eq!(got, want[i], "tenant {t} restored differently");
+        }
     }
 
     #[test]

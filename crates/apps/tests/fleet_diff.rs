@@ -14,6 +14,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use aurora_apps::pool::TenantFleet;
+use aurora_core::fleet::TenantHealth;
 use aurora_core::Host;
 use aurora_hw::ModelDev;
 use aurora_objstore::StoreConfig;
@@ -101,6 +102,114 @@ proptest! {
             prop_assert_eq!(
                 *digest, isolated,
                 "tenant {} diverged between interleaved and isolated runs", t
+            );
+        }
+    }
+}
+
+/// Rounds in the quarantine scenario: two healthy, two skipped under
+/// quarantine, a re-admission probe, one healthy tail round.
+const Q_ROUNDS: u32 = 6;
+
+/// Runs a full-width fleet where tenant 0 is operator-quarantined
+/// before round 2 and re-admitted at round 4 (the clock is advanced to
+/// its probe window; the shared store is healthy, so the probe commits
+/// on time). Touches land every round for every tenant — the
+/// quarantined rounds' writes simply ride along in the re-admission
+/// checkpoint. Returns the post-crash restored digests plus each
+/// tenant's committed-checkpoint rounds for the isolated replay.
+fn run_quarantined_interleaved(
+    seed: u64,
+    tenants: usize,
+    ops: usize,
+) -> (Vec<u64>, Vec<Vec<u32>>) {
+    let mut host = new_host();
+    let mut fleet = TenantFleet::start(&mut host, tenants, seed, HEAP, KEYS, VALUE_LEN).unwrap();
+    let gid0 = fleet.tenants[0].gid;
+    let mut committed: Vec<Vec<u32>> = vec![Vec::new(); tenants];
+    let mut skips = 0u32;
+    for round in 0..Q_ROUNDS {
+        if round == 2 {
+            let now = host.clock.now();
+            host.sls.fleet.quarantine(gid0.0, now, "fleet-diff round-trip");
+        }
+        if round == 4 {
+            let probe_at = host.tenant_domain(gid0).next_probe;
+            host.clock.advance_to(probe_at);
+        }
+        let wave: Vec<usize> = (0..tenants).collect();
+        for &t in &wave {
+            fleet.touch(&mut host, t, ops).unwrap();
+        }
+        let cycles = fleet.checkpoint_wave(&mut host, &wave, round).unwrap();
+        for (i, cycle) in cycles.iter().enumerate() {
+            match &cycle.result {
+                Ok(bd) if bd.outcome.committed() => committed[wave[i]].push(round),
+                Ok(_) => skips += 1,
+                Err(e) => panic!("healthy-store cycle failed: {e}"),
+            }
+        }
+    }
+    assert!(skips >= 1, "quarantine never skipped a cycle");
+    let d = host.tenant_domain(gid0);
+    assert_eq!(
+        d.health,
+        TenantHealth::Healthy,
+        "tenant 0 was not re-admitted"
+    );
+    assert!(d.readmissions >= 1);
+    host.fleet_drain();
+    let mut host = host.crash_and_reboot().unwrap();
+    let digests = (0..tenants)
+        .map(|t| fleet.restore_tenant(&mut host, t).unwrap())
+        .collect();
+    (digests, committed)
+}
+
+/// Replays one tenant alone, touching every round but checkpointing
+/// only at the rounds where the interleaved run committed — exactly
+/// the schedule a quarantined tenant experiences.
+fn run_isolated_sparse(seed: u64, index: usize, ckpts: &[u32], ops: usize) -> u64 {
+    let mut host = new_host();
+    let mut fleet =
+        TenantFleet::start_subset(&mut host, seed, &[index], HEAP, KEYS, VALUE_LEN).unwrap();
+    for round in 0..Q_ROUNDS {
+        fleet.touch(&mut host, 0, ops).unwrap();
+        if ckpts.contains(&round) {
+            fleet.checkpoint_wave(&mut host, &[0], round).unwrap();
+            host.fleet_drain();
+        }
+    }
+    let mut host = host.crash_and_reboot().unwrap();
+    fleet.restore_tenant(&mut host, 0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Quarantine → re-admission round-trips keep digest equality: a
+    /// tenant that lost cycles to quarantine restores to exactly the
+    /// state of an isolated run that only checkpointed at the committed
+    /// rounds, and the healthy tenants never lose a round.
+    #[test]
+    fn quarantine_roundtrip_keeps_digest_equality(
+        seed in any::<u64>(),
+        tenants in 2usize..5,
+        ops in 1usize..8,
+    ) {
+        let (digests, committed) = run_quarantined_interleaved(seed, tenants, ops);
+        prop_assert!(
+            committed[0].len() < Q_ROUNDS as usize,
+            "tenant 0 never lost a round to quarantine"
+        );
+        for t in 1..tenants {
+            prop_assert_eq!(committed[t].len(), Q_ROUNDS as usize);
+        }
+        for t in 0..tenants {
+            let isolated = run_isolated_sparse(seed, t, &committed[t], ops);
+            prop_assert_eq!(
+                digests[t], isolated,
+                "tenant {} diverged across the quarantine round-trip", t
             );
         }
     }

@@ -21,17 +21,30 @@
 //!
 //! * `--quick` — smaller workload and fewer rounds (CI smoke).
 //! * `--gate <min>` — exit non-zero unless (a) pipelined/serialized
-//!   aggregate throughput at 16 tenants ≥ min and (b) the pipelined
+//!   aggregate throughput at 16 tenants ≥ min, (b) the pipelined
 //!   16-tenant p99 stop time stays within 10% of the single-tenant
-//!   serialized p99 (pipelining must not stretch the stop window).
+//!   serialized p99 (pipelining must not stretch the stop window), and
+//!   (c) the blast-radius run's healthy-tenant stop p99 with one
+//!   poisoned tenant stays within 25% of the all-healthy baseline
+//!   (quarantine must confine the damage).
 //! * `--out <path>` — output path (default `BENCH_fleet.json`).
+//!
+//! The **blast-radius** pair runs a pipelined fleet on isolated
+//! per-tenant stores twice: once all-healthy, once with tenant 0's
+//! device poisoned by latency spikes that bust every cycle deadline.
+//! Both runs measure stop-time percentiles over the *healthy* tenants
+//! only (tenant 0 is excluded from the histogram in both runs, so the
+//! comparison is apples-to-apples); the poisoned run additionally
+//! reports the quarantine counters.
 
 use std::fmt::Write as _;
 
 use aurora_apps::pool::TenantFleet;
 use aurora_bench::bench_host;
+use aurora_core::fleet::QUARANTINE_AFTER;
 use aurora_core::restore::RestoreMode;
 use aurora_core::Host;
+use aurora_hw::FaultPlan;
 use aurora_sim::stats::LogHistogram;
 use criterion::wall_now;
 
@@ -167,6 +180,82 @@ fn run_fleet(cfg: &BenchConfig, n: usize, pipelined: bool) -> ModeResult {
     }
 }
 
+/// Tenants in each blast-radius run.
+const BLAST_TENANTS: usize = 8;
+
+/// Healthy-tenant numbers from one blast-radius run.
+struct BlastResult {
+    healthy_checkpoints: u64,
+    healthy_stop_p50_us: f64,
+    healthy_stop_p99_us: f64,
+    quarantines: u64,
+    readmissions: u64,
+    cycles_skipped: u64,
+}
+
+/// Runs `BLAST_TENANTS` tenants on isolated per-tenant stores through
+/// pipelined full-checkpoint waves. With `poison`, tenant 0's device
+/// stalls every write past the cycle deadline, so it degrades and
+/// quarantines; the histogram covers only tenants `1..n` in both runs.
+fn run_blast(cfg: &BenchConfig, poison: bool) -> BlastResult {
+    let n = BLAST_TENANTS;
+    // Enough rounds to cross the quarantine threshold and then skip.
+    let rounds = cfg.rounds.max(QUARANTINE_AFTER + 2);
+    let mut host = bench_host(512 * 1024);
+    let mut fleet =
+        TenantFleet::start(&mut host, n, SEED, cfg.heap, cfg.keys, cfg.val).expect("fleet");
+    fleet.isolate(&mut host).expect("isolate");
+    let gid0 = fleet.tenants[0].gid;
+    if poison {
+        let store0 = fleet.tenants[0].store.clone().expect("isolated store");
+        let deadline = host.sls.fleet.cycle_deadline;
+        store0
+            .borrow_mut()
+            .device_mut()
+            .install_fault_plan(FaultPlan::latency_spike(
+                1,
+                1_000_000,
+                deadline.as_nanos() * 4,
+            ));
+    }
+
+    let mut stop = LogHistogram::new();
+    let mut healthy_checkpoints = 0u64;
+    for round in 0..rounds {
+        let wave: Vec<usize> = (0..n).collect();
+        for &t in &wave {
+            fleet.touch(&mut host, t, cfg.ops_per_wake).expect("touch");
+        }
+        for &t in &wave {
+            let name = format!("bt{}-r{round}", fleet.tenants[t].index);
+            let gid = fleet.tenants[t].gid;
+            let result = host.checkpoint_pipelined(gid, true, Some(&name));
+            if t == 0 {
+                // The poisoned tenant's outcome (miss, quarantine skip)
+                // is tracked by its fault domain, not the histogram.
+                continue;
+            }
+            let bd = result.expect("healthy tenant checkpoint");
+            assert!(bd.outcome.committed(), "healthy tenant must commit");
+            stop.record_duration(bd.stop_time);
+            healthy_checkpoints += 1;
+        }
+    }
+    host.fleet_drain();
+    let d = host.tenant_domain(gid0);
+    if poison {
+        assert!(d.quarantines > 0, "poisoned tenant must quarantine");
+    }
+    BlastResult {
+        healthy_checkpoints,
+        healthy_stop_p50_us: stop.p50() as f64 / 1_000.0,
+        healthy_stop_p99_us: stop.p99() as f64 / 1_000.0,
+        quarantines: d.quarantines,
+        readmissions: d.readmissions,
+        cycles_skipped: d.cycles_skipped,
+    }
+}
+
 /// Restores tenant `t`'s most recent checkpoint and returns the
 /// restored root pid (the caller tears it down).
 fn restore_last(host: &mut Host, fleet: &TenantFleet, t: usize) -> aurora_posix::Pid {
@@ -197,7 +286,31 @@ fn emit_mode(s: &mut String, label: &str, r: &ModeResult, trailing_comma: bool) 
     let _ = writeln!(s, "      }}{}", if trailing_comma { "," } else { "" });
 }
 
-fn emit_json(results: &[(usize, ModeResult, ModeResult)], harness_secs: f64) -> String {
+fn emit_blast(s: &mut String, label: &str, r: &BlastResult, trailing_comma: bool) {
+    let _ = writeln!(s, "    \"{label}\": {{");
+    let _ = writeln!(s, "      \"healthy_checkpoints\": {},", r.healthy_checkpoints);
+    let _ = writeln!(s, "      \"healthy_stop_p50_us\": {:.1},", r.healthy_stop_p50_us);
+    let _ = writeln!(s, "      \"healthy_stop_p99_us\": {:.1},", r.healthy_stop_p99_us);
+    let _ = writeln!(s, "      \"quarantines\": {},", r.quarantines);
+    let _ = writeln!(s, "      \"readmissions\": {},", r.readmissions);
+    let _ = writeln!(s, "      \"cycles_skipped\": {}", r.cycles_skipped);
+    let _ = writeln!(s, "    }}{}", if trailing_comma { "," } else { "" });
+}
+
+/// Healthy-tenant p99 ratio of the poisoned run over the baseline.
+fn blast_ratio(baseline: &BlastResult, poisoned: &BlastResult) -> f64 {
+    if baseline.healthy_stop_p99_us > 0.0 {
+        poisoned.healthy_stop_p99_us / baseline.healthy_stop_p99_us
+    } else {
+        0.0
+    }
+}
+
+fn emit_json(
+    results: &[(usize, ModeResult, ModeResult)],
+    blast: &(BlastResult, BlastResult),
+    harness_secs: f64,
+) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"fleet_scheduler\",");
@@ -219,7 +332,18 @@ fn emit_json(results: &[(usize, ModeResult, ModeResult)], harness_secs: f64) -> 
         let _ = write!(s, "    }}");
         let _ = writeln!(s, "{}", if i + 1 < results.len() { "," } else { "" });
     }
-    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "  ],");
+    let (baseline, poisoned) = blast;
+    let _ = writeln!(s, "  \"blast_radius\": {{");
+    let _ = writeln!(s, "    \"tenants\": {BLAST_TENANTS},");
+    let _ = writeln!(
+        s,
+        "    \"healthy_p99_ratio\": {:.3},",
+        blast_ratio(baseline, poisoned)
+    );
+    emit_blast(&mut s, "baseline", baseline, true);
+    emit_blast(&mut s, "poisoned", poisoned, false);
+    let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     s
 }
@@ -251,9 +375,10 @@ fn main() {
             (n, ser, pipe)
         })
         .collect();
+    let blast = (run_blast(&cfg, false), run_blast(&cfg, true));
     let harness_secs = t0.elapsed().as_secs_f64();
 
-    let json = emit_json(&results, harness_secs);
+    let json = emit_json(&results, &blast, harness_secs);
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_fleet: cannot write {out}: {e}");
         std::process::exit(2);
@@ -277,6 +402,17 @@ fn main() {
             pipe.overlapped,
         );
     }
+    println!(
+        "blast radius ({} tenants, 1 poisoned): healthy stop p99 {:.1}us baseline -> {:.1}us \
+         poisoned ({:.3}x); poisoned tenant: {} quarantines, {} re-admissions, {} skipped",
+        BLAST_TENANTS,
+        blast.0.healthy_stop_p99_us,
+        blast.1.healthy_stop_p99_us,
+        blast_ratio(&blast.0, &blast.1),
+        blast.1.quarantines,
+        blast.1.readmissions,
+        blast.1.cycles_skipped,
+    );
 
     if let Some(min) = gate {
         let single_serial_p99 = results
@@ -306,8 +442,19 @@ fn main() {
             );
             std::process::exit(1);
         }
+        let ratio = blast_ratio(&blast.0, &blast.1);
+        if ratio > 1.25 {
+            eprintln!(
+                "bench_fleet: GATE FAILED: healthy-tenant stop p99 with a poisoned tenant \
+                 ({:.1}us) exceeds the all-healthy baseline ({:.1}us) by more than 25% \
+                 ({ratio:.3}x)",
+                blast.1.healthy_stop_p99_us, blast.0.healthy_stop_p99_us
+            );
+            std::process::exit(1);
+        }
         println!(
-            "gate passed: 16-tenant speedup {speedup:.3} >= {min}, stop p99 {:.1}us <= {:.1}us",
+            "gate passed: 16-tenant speedup {speedup:.3} >= {min}, stop p99 {:.1}us <= {:.1}us, \
+             blast-radius healthy p99 ratio {ratio:.3} <= 1.25",
             pipe16.stop_p99_us, p99_cap
         );
     }

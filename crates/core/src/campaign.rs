@@ -24,15 +24,21 @@
 //! before each simulated reboot so recovery and verification execute on
 //! healthy hardware (the model for "the operator replaced the cable").
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use aurora_hw::{
     BlockDev, DevHealth, FaultPlan, FaultRates, LinkFaultRates, MirrorDev, ModelDev, ReplicaState,
+    ResilientDev,
 };
-use aurora_objstore::{CkptId, StoreConfig};
+use aurora_objstore::{CkptId, ObjectStore, StoreConfig};
 use aurora_sim::error::{Error, Result};
+use aurora_sim::time::SimDuration;
 use aurora_sim::SimClock;
+use aurora_slsfs::StoreHandle;
 
+use crate::fleet::TenantHealth;
 use crate::replicate::{promote_to_host, ReplConfig};
 use crate::restore::RestoreMode;
 use crate::{CheckpointOutcome, GroupId, Host};
@@ -220,6 +226,10 @@ fn run_schedule(cfg: &CampaignConfig, idx: u64, report: &mut CampaignReport) -> 
                     // the match exhaustive.
                     CheckpointOutcome::DegradedReplication => report.committed += 1,
                     CheckpointOutcome::Aborted => report.aborted += 1,
+                    // This path drives `Host::checkpoint` directly, not
+                    // the fleet scheduler, so quarantine never fires;
+                    // the arm keeps the match exhaustive.
+                    CheckpointOutcome::Quarantined => report.aborted += 1,
                 }
                 if bd.outcome.committed() {
                     host.clock.advance_to(bd.durable_at);
@@ -513,11 +523,23 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Restores checkpoint `id`, digests the whole restored memory region,
-/// and tears the restored process back down.
+/// Restores checkpoint `id` from the primary store, digests the whole
+/// restored memory region, and tears the restored process back down.
 fn restore_digest(host: &mut Host, id: CkptId, addr: u64, bytes: usize) -> Result<u64> {
     let store = host.sls.primary.clone();
-    let r = host.restore(&store, id, RestoreMode::Eager)?;
+    restore_digest_on(host, &store, id, addr, bytes)
+}
+
+/// Like [`restore_digest`] but restores from an explicit store — the
+/// fault-domain sweep's tenants each checkpoint to their own store.
+fn restore_digest_on(
+    host: &mut Host,
+    store: &StoreHandle,
+    id: CkptId,
+    addr: u64,
+    bytes: usize,
+) -> Result<u64> {
+    let r = host.restore(store, id, RestoreMode::Eager)?;
     let np = r
         .root_pid()
         .ok_or_else(|| Error::internal("restore returned no root pid"))?;
@@ -1013,6 +1035,450 @@ fn run_fleet_cut_iteration(
     verify_recovered(&mut host, addr, &expected, n, report);
     verify_against_twin(&mut host, twin, addr, &label, report);
     Ok(())
+}
+
+/// Tenants in the fault-domain sweep. Tenant 0 is the poisoned one;
+/// the other three prove the blast radius stays contained.
+const FD_TENANTS: usize = 4;
+
+/// Rounds per fault-domain iteration: r0 pipelined full baselines, r1 a
+/// fault-free incremental round (the fleet must overlap), r2..r4 under
+/// tenant 0's hostile fault plan (three consecutive failures quarantine
+/// it), r5 while quarantined (the healthy fleet proceeds on schedule;
+/// tenant 0's cycle is skipped), r6 and r7 after revival. A probe right
+/// after revival may legitimately still fail — a latency-poisoned
+/// device is draining its stalled queue — which doubles the backoff;
+/// by r7 the retried probe must land and re-admit the tenant.
+const FD_ROUNDS: u32 = 8;
+
+/// First round run under the armed fault plan.
+const FD_FAULT_ROUND: u32 = 2;
+
+/// Round at whose start tenant 0's hardware is revived.
+const FD_REVIVE_ROUND: u32 = 6;
+
+/// The hostile per-tenant fault plans the sweep walks through.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TenantFault {
+    /// Power is cut on the tenant store's next write and never
+    /// restored: every cycle aborts until the device is replaced.
+    DeadDevice,
+    /// Every write stalls far past the fleet's cycle deadline: cycles
+    /// commit but chronically late.
+    LatencySpike,
+    /// Every read from the store's data region returns a flipped bit:
+    /// the incremental pre-pass sees a damaged base each cycle.
+    ReadCorruption,
+}
+
+impl TenantFault {
+    fn label(self) -> &'static str {
+        match self {
+            TenantFault::DeadDevice => "dead-device",
+            TenantFault::LatencySpike => "latency-spike",
+            TenantFault::ReadCorruption => "read-corruption",
+        }
+    }
+}
+
+/// One fault-domain tenant: its process, its persistence group, and the
+/// private store the group was rehomed onto.
+struct FdTenant {
+    pid: aurora_posix::Pid,
+    gid: GroupId,
+    store: StoreHandle,
+}
+
+/// Formats a private store for fault-domain tenant `i` on its own
+/// simulated NVMe device (sharing the host's clock).
+fn fd_tenant_store(host: &Host, i: usize) -> Result<StoreHandle> {
+    let dev = Box::new(ModelDev::nvme(
+        host.clock.clone(),
+        &format!("tenant{i}"),
+        64 * 1024,
+    ));
+    let dev: Box<dyn BlockDev> = Box::new(ResilientDev::with_defaults(dev));
+    let store = ObjectStore::format(
+        dev,
+        StoreConfig {
+            journal_blocks: 512,
+            materialize_data: true,
+            ..StoreConfig::default()
+        },
+    )?;
+    Ok(Rc::new(RefCell::new(store)))
+}
+
+/// Spawns the fault-domain tenants, each persisted and rehomed onto its
+/// own store so a device fault is confined to one tenant. All arenas
+/// land at the same per-process virtual address (fresh address spaces).
+fn fd_setup(host: &mut Host) -> Result<(Vec<FdTenant>, u64)> {
+    let mut tenants = Vec::new();
+    let mut arena = None;
+    for i in 0..FD_TENANTS {
+        let name = format!("tenant-{i}");
+        let pid = host.kernel.spawn(&name);
+        let addr = host.kernel.mmap_anon(pid, DELTA_SWEEP_PAGES * 4096, false)?;
+        let gid = host.persist(&name, pid)?;
+        let store = fd_tenant_store(host, i)?;
+        host.rehome_group(gid, store.clone())?;
+        match arena {
+            None => arena = Some(addr),
+            Some(a) if a != addr => {
+                return Err(Error::internal(
+                    "fault-domain tenants mapped their arenas at different addresses",
+                ));
+            }
+            Some(_) => {}
+        }
+        tenants.push(FdTenant { pid, gid, store });
+    }
+    let addr = arena.ok_or_else(|| Error::internal("no fault-domain tenants"))?;
+    Ok((tenants, addr))
+}
+
+/// Runs the fault-domain workload fault-free and returns the digest of
+/// every tenant checkpoint (keyed by name) plus the longest observed
+/// admission-to-durable cycle span — the poisoned runs derive their
+/// per-cycle deadline from it so healthy tenants never miss.
+fn fd_twin_digests(workers: usize) -> Result<(HashMap<String, u64>, SimDuration)> {
+    let mut host = delta_sweep_host(workers, None)?;
+    let (tenants, addr) = fd_setup(&mut host)?;
+    let mut max_span = SimDuration::ZERO;
+    for round in 0..FD_ROUNDS {
+        for (i, t) in tenants.iter().enumerate() {
+            delta_round_writes(&mut host, t.pid, addr, round, &format!("t{i}"))?;
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            let before = host.clock.now();
+            let name = format!("t{i}-r{round}");
+            let bd = host.checkpoint_pipelined(t.gid, round == 0, Some(&name))?;
+            if !bd.outcome.committed() {
+                return Err(Error::internal(format!(
+                    "fault-domain twin cycle {name} did not commit: {:?}",
+                    bd.fault
+                )));
+            }
+            max_span = max_span.max(bd.durable_at - before);
+        }
+        host.fleet_drain();
+    }
+    if host.sls.fleet.stats.overlapped == 0 {
+        return Err(Error::internal(
+            "fault-domain twin never overlapped two tenants' cycles",
+        ));
+    }
+    let mut out = HashMap::new();
+    for (i, t) in tenants.iter().enumerate() {
+        let named: Vec<(CkptId, String)> = t
+            .store
+            .borrow()
+            .checkpoints()
+            .iter()
+            .filter_map(|c| c.name.clone().map(|n| (c.id, n)))
+            .collect();
+        let store = t.store.clone();
+        for (id, name) in named {
+            if !name.starts_with(&format!("t{i}-")) {
+                continue;
+            }
+            let digest =
+                restore_digest_on(&mut host, &store, id, addr, (DELTA_SWEEP_PAGES * 4096) as usize)?;
+            out.insert(name, digest);
+        }
+    }
+    Ok((out, max_span))
+}
+
+/// Per-tenant fault-domain sweep: quarantine, deadlines, blast radius.
+///
+/// Each iteration runs an [`FD_TENANTS`]-tenant pipelined fleet where
+/// every tenant checkpoints to its own store, then poisons tenant 0
+/// with one hostile [`TenantFault`] plan. The poisoned tenant must walk
+/// `Healthy → Degraded → Quarantined` within [`QUARANTINE_AFTER`]
+/// failed cycles and be re-admitted by a probe after its hardware is
+/// revived — committing or aborting without ever damaging its store —
+/// while the healthy tenants' cycles commit on schedule every round,
+/// record zero failures, and restore digest-equal to a fault-free twin
+/// of the same interleaving. Any fault attributed to a healthy tenant
+/// is a blast-radius violation.
+///
+/// [`QUARANTINE_AFTER`]: crate::fleet::QUARANTINE_AFTER
+pub fn run_fleet_fault_domain_sweep(workers: usize) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    let (twin, max_span) = match fd_twin_digests(workers) {
+        Ok(t) => t,
+        Err(e) => {
+            report
+                .violations
+                .push(format!("fleet-domain twin: harness error: {e}"));
+            return report;
+        }
+    };
+    for fault in [
+        TenantFault::DeadDevice,
+        TenantFault::LatencySpike,
+        TenantFault::ReadCorruption,
+    ] {
+        if let Err(e) = run_fd_iteration(fault, workers, &twin, max_span, &mut report) {
+            report.violations.push(format!(
+                "fleet-domain {}: harness error: {e}",
+                fault.label()
+            ));
+        }
+        report.schedules += 1;
+    }
+    report
+}
+
+/// Revives tenant 0's hardware before the probe round. A dead device is
+/// "replaced": the store is remounted through journal-replay recovery
+/// (the group rehomed onto the remounted handle); for the other plans
+/// clearing the fault plan models the repaired fabric.
+fn fd_revive(host: &mut Host, tenants: &mut [FdTenant], fault: TenantFault) -> Result<()> {
+    let t0 = tenants
+        .first_mut()
+        .ok_or_else(|| Error::internal("no poisoned tenant"))?;
+    if fault != TenantFault::DeadDevice {
+        t0.store
+            .borrow_mut()
+            .device_mut()
+            .install_fault_plan(FaultPlan::default());
+        return Ok(());
+    }
+    // Release the group's handle first so the store can be unwrapped
+    // and taken through recovery.
+    let placeholder = host.sls.primary.clone();
+    host.rehome_group(t0.gid, placeholder)?;
+    let old = std::mem::replace(&mut t0.store, host.sls.primary.clone());
+    let inner = Rc::try_unwrap(old)
+        .map_err(|_| Error::internal("tenant store still shared at remount"))?
+        .into_inner();
+    let mut recovered = inner.recover()?;
+    recovered.device_mut().install_fault_plan(FaultPlan::default());
+    let fresh: StoreHandle = Rc::new(RefCell::new(recovered));
+    host.rehome_group(t0.gid, fresh.clone())?;
+    t0.store = fresh;
+    Ok(())
+}
+
+/// One fault-domain iteration: poison tenant 0 with `fault`, drive the
+/// fleet through quarantine and re-admission, verify blast radius and
+/// digest equality against the twin.
+fn run_fd_iteration(
+    fault: TenantFault,
+    workers: usize,
+    twin: &HashMap<String, u64>,
+    max_span: SimDuration,
+    report: &mut CampaignReport,
+) -> Result<()> {
+    let mut host = delta_sweep_host(workers, None)?;
+    let (mut tenants, addr) = fd_setup(&mut host)?;
+    let label = format!("fleet-domain {}", fault.label());
+    let gid0 = tenants
+        .first()
+        .map(|t| t.gid)
+        .ok_or_else(|| Error::internal("no poisoned tenant"))?;
+
+    // Deadline calibrated from the twin's slowest fault-free cycle:
+    // generous headroom for healthy tenants, far under the spike.
+    let deadline = (max_span * 8).max(SimDuration::from_millis(1));
+    host.sls.fleet.cycle_deadline = deadline;
+
+    for round in 0..FD_ROUNDS {
+        if round == FD_REVIVE_ROUND {
+            fd_revive(&mut host, &mut tenants, fault)?;
+        }
+        // Once the hardware is revived, let each round's probe actually
+        // fire: idle between rounds until the backoff elapses.
+        if round >= FD_REVIVE_ROUND
+            && host.tenant_domain(gid0).health == TenantHealth::Quarantined
+        {
+            let probe_at = host.tenant_domain(gid0).next_probe;
+            if host.clock.now() < probe_at {
+                host.clock.advance_to(probe_at);
+            }
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            delta_round_writes(&mut host, t.pid, addr, round, &format!("t{i}"))?;
+        }
+        if round == FD_FAULT_ROUND {
+            let plan = match fault {
+                TenantFault::DeadDevice => FaultPlan::power_cut(1),
+                TenantFault::LatencySpike => {
+                    FaultPlan::latency_spike(1, 1_000_000, deadline.as_nanos() * 4)
+                }
+                // The data region starts right past the journal
+                // (JOURNAL_START + 512 journal blocks = LBA 514); every
+                // read from it lies. Superblock and journal reads stay
+                // clean so recovery itself is never the victim.
+                TenantFault::ReadCorruption => {
+                    FaultPlan::corrupt_read_blocks(514, 64 * 1024, 11, 2)
+                }
+            };
+            if let Some(t0) = tenants.first() {
+                t0.store.borrow_mut().device_mut().install_fault_plan(plan);
+            }
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            let name = format!("t{i}-r{round}");
+            match host.checkpoint_pipelined(t.gid, round == 0, Some(&name)) {
+                Ok(bd) if bd.outcome == CheckpointOutcome::Quarantined => {
+                    report.aborted += 1;
+                    if i != 0 {
+                        report.violations.push(format!(
+                            "{label}: healthy tenant cycle {name} was quarantine-skipped"
+                        ));
+                    }
+                }
+                Ok(bd) if bd.outcome.committed() => report.committed += 1,
+                Ok(_) => {
+                    report.aborted += 1;
+                    if i != 0 {
+                        report
+                            .violations
+                            .push(format!("{label}: healthy tenant cycle {name} aborted"));
+                    }
+                }
+                Err(e) => {
+                    report.aborted += 1;
+                    let dead = t.store.borrow().device().health() == DevHealth::Dead;
+                    if i != 0 || !dead {
+                        report.violations.push(format!(
+                            "{label}: cycle {name} error on live device: {e}"
+                        ));
+                    }
+                }
+            }
+        }
+        // Every fault the sweep surfaced must belong to the poisoned
+        // tenant: a fault attributed to anyone else escaped its domain.
+        for (g, f) in host.fleet_drain() {
+            if g != gid0.0 {
+                report.violations.push(format!(
+                    "{label}: blast radius: fault recorded for healthy tenant {g}: {f}"
+                ));
+            }
+        }
+        let health0 = host.tenant_domain(gid0).health;
+        if round >= FD_FAULT_ROUND + 2 && round < FD_REVIVE_ROUND
+            && health0 != TenantHealth::Quarantined
+        {
+            report.violations.push(format!(
+                "{label}: poisoned tenant not quarantined after round {round} ({})",
+                health0.as_str()
+            ));
+        }
+    }
+
+    fd_verify(&mut host, &tenants, fault, twin, addr, &label, report);
+    Ok(())
+}
+
+/// End-of-iteration checks: health outcomes, per-tenant store
+/// consistency, and digest equality against the fault-free twin.
+fn fd_verify(
+    host: &mut Host,
+    tenants: &[FdTenant],
+    fault: TenantFault,
+    twin: &HashMap<String, u64>,
+    addr: u64,
+    label: &str,
+    report: &mut CampaignReport,
+) {
+    let d0 = tenants
+        .first()
+        .map(|t| host.tenant_domain(t.gid))
+        .unwrap_or_default();
+    if d0.health != TenantHealth::Healthy {
+        report.violations.push(format!(
+            "{label}: poisoned tenant not re-admitted: {}",
+            d0.health.as_str()
+        ));
+    }
+    if d0.quarantines == 0 || d0.readmissions == 0 {
+        report.violations.push(format!(
+            "{label}: expected a quarantine and a re-admission, saw {} / {}",
+            d0.quarantines, d0.readmissions
+        ));
+    }
+    if fault == TenantFault::DeadDevice && d0.cycles_skipped == 0 {
+        report.violations.push(format!(
+            "{label}: no cycle was skipped while the tenant sat quarantined"
+        ));
+    }
+    for (i, t) in tenants.iter().enumerate().skip(1) {
+        let d = host.tenant_domain(t.gid);
+        if d.health != TenantHealth::Healthy
+            || d.failures != 0
+            || d.deadline_misses != 0
+            || d.cycles_skipped != 0
+        {
+            report.violations.push(format!(
+                "{label}: healthy tenant {i} damaged: health {} failures {} \
+                 deadline misses {} skipped {}",
+                d.health.as_str(),
+                d.failures,
+                d.deadline_misses,
+                d.cycles_skipped
+            ));
+        }
+    }
+    for (i, t) in tenants.iter().enumerate() {
+        let problems = t.store.borrow_mut().scrub();
+        if !problems.is_empty() {
+            report.violations.push(format!(
+                "{label}: tenant {i} store scrub: {}",
+                problems.join("; ")
+            ));
+        }
+        let named: Vec<(CkptId, String)> = t
+            .store
+            .borrow()
+            .checkpoints()
+            .iter()
+            .filter_map(|c| c.name.clone().map(|n| (c.id, n)))
+            .collect();
+        let mut present: Vec<String> = Vec::new();
+        let store = t.store.clone();
+        for (id, name) in named {
+            if !name.starts_with(&format!("t{i}-")) {
+                continue;
+            }
+            match restore_digest_on(host, &store, id, addr, (DELTA_SWEEP_PAGES * 4096) as usize) {
+                Ok(d) => match twin.get(&name) {
+                    Some(&td) if td == d => {}
+                    Some(_) => report.violations.push(format!(
+                        "{label}: checkpoint {name} diverged from the fault-free twin"
+                    )),
+                    None => report.violations.push(format!(
+                        "{label}: checkpoint {name} has no twin digest"
+                    )),
+                },
+                Err(e) => report
+                    .violations
+                    .push(format!("{label}: restore of {name} failed: {e}")),
+            }
+            present.push(name);
+        }
+        // Healthy tenants keep every round; the poisoned tenant must at
+        // least keep its pre-fault checkpoints and its post-re-admission
+        // one (whether the first post-revival probe landed is
+        // plan-dependent).
+        let required: Vec<u32> = if i == 0 {
+            vec![0, 1, FD_ROUNDS - 1]
+        } else {
+            (0..FD_ROUNDS).collect()
+        };
+        for r in required {
+            let name = format!("t{i}-r{r}");
+            if !present.contains(&name) {
+                report
+                    .violations
+                    .push(format!("{label}: required checkpoint {name} missing"));
+            }
+        }
+    }
 }
 
 /// Boots a campaign host whose primary store sits on a `width`-way
@@ -1684,6 +2150,21 @@ mod tests {
         assert!(
             report.restores_verified > 0,
             "baselines must survive every cut"
+        );
+    }
+
+    #[test]
+    fn fleet_fault_domain_sweep_contains_the_blast() {
+        let report = run_fleet_fault_domain_sweep(4);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.schedules, 3, "one iteration per fault plan");
+        assert!(
+            report.aborted > 0,
+            "the poisoned tenant must abort or skip some cycles"
+        );
+        assert!(
+            report.committed > 0,
+            "healthy tenants must keep committing throughout"
         );
     }
 

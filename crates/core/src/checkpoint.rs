@@ -124,6 +124,7 @@ impl Host {
         // blocks, every later incremental would be unrestorable too.
         // Degrade to a full checkpoint, which rewrites the whole working
         // set and does not depend on the damaged base.
+        let mut base_damaged = false;
         if !full {
             let group = self.sls.group_ref(gid)?;
             for backend in &group.backends {
@@ -133,6 +134,7 @@ impl Host {
                 if let Some(p) = problems.first() {
                     fault = Some(format!("incremental base damaged: {p}"));
                     full = true;
+                    base_damaged = true;
                     break;
                 }
             }
@@ -143,6 +145,7 @@ impl Host {
 
         let mut breakdown = CheckpointBreakdown {
             full,
+            base_damaged,
             outcome: if fault.is_some() {
                 CheckpointOutcome::DegradedToFull
             } else {

@@ -360,6 +360,24 @@ impl Host {
         Ok(())
     }
 
+    /// Rehomes a group's primary backend onto its own store, giving the
+    /// tenant a private fault domain: a device fault on this store can
+    /// abort or quarantine only this tenant. The group's checkpoint
+    /// history starts over on the new store (the next capture is a full
+    /// base).
+    pub fn rehome_group(&mut self, gid: GroupId, store: StoreHandle) -> Result<()> {
+        let group = self.sls.group_mut(gid)?;
+        let primary = group
+            .backends
+            .first_mut()
+            .ok_or_else(|| Error::invalid("group has no primary backend"))?;
+        primary.store = store;
+        primary.needs_full = true;
+        primary.history.clear();
+        group.history.clear();
+        Ok(())
+    }
+
     /// Detaches a backend by index (`sls detach`). The primary disk
     /// backend (index 0) cannot be detached.
     pub fn detach_backend(&mut self, gid: GroupId, index: usize) -> Result<()> {

@@ -98,6 +98,18 @@ pub struct GlobalCounters {
     /// p99 per-tenant stop time of the most recent fleet scheduler's
     /// pipelined cycles (sim ns).
     pub fleet_stop_p99_ns: u64,
+    /// Pipelined cycles skipped because the tenant was quarantined
+    /// (its group barrier was never taken).
+    pub fleet_cycles_skipped: u64,
+    /// Tenants moved into quarantine by the health state machine.
+    pub fleet_quarantines: u64,
+    /// Quarantined tenants re-admitted after a successful probe cycle.
+    pub fleet_readmissions: u64,
+    /// Pipelined cycles that blew their virtual-clock deadline.
+    pub fleet_deadline_misses: u64,
+    /// Pipelined cycles that failed (aborted outcome, damaged base, or
+    /// a hard error) and were charged to the tenant's fault domain.
+    pub fleet_cycle_errors: u64,
 }
 
 /// The global counter registry. Innermost rank in the lock hierarchy,
@@ -140,6 +152,11 @@ pub static METRICS: OrderedMutex<GlobalCounters> =
         fleet_queue_stalls: 0,
         fleet_queue_depth_max: 0,
         fleet_stop_p99_ns: 0,
+        fleet_cycles_skipped: 0,
+        fleet_quarantines: 0,
+        fleet_readmissions: 0,
+        fleet_deadline_misses: 0,
+        fleet_cycle_errors: 0,
     });
 
 /// Snapshot of the global counters.
@@ -176,6 +193,11 @@ pub enum CheckpointOutcome {
     /// committed; the previous durable snapshot is untouched and the
     /// next checkpoint will be full.
     Aborted,
+    /// The cycle never ran: the tenant's fault domain is quarantined
+    /// and its group barrier was not taken. The previous durable
+    /// snapshot is untouched; `fault` names the next re-admission
+    /// probe instant.
+    Quarantined,
 }
 
 impl CheckpointOutcome {
@@ -187,12 +209,16 @@ impl CheckpointOutcome {
             CheckpointOutcome::DegradedMirror => "degraded-mirror",
             CheckpointOutcome::DegradedReplication => "degraded-replication",
             CheckpointOutcome::Aborted => "aborted",
+            CheckpointOutcome::Quarantined => "quarantined",
         }
     }
 
     /// True when a new durable checkpoint exists after the call.
     pub fn committed(self) -> bool {
-        self != CheckpointOutcome::Aborted
+        !matches!(
+            self,
+            CheckpointOutcome::Aborted | CheckpointOutcome::Quarantined
+        )
     }
 }
 
@@ -229,6 +255,11 @@ pub struct CheckpointBreakdown {
     pub hash_stage: SimDuration,
     /// Sim-time span from flush submission to the durable instant.
     pub flush_span: SimDuration,
+    /// The incremental pre-pass found the base chain damaged
+    /// (unreadable or corrupt blocks) and degraded to full. Committed
+    /// cycles with this set still signal a sick backend: the fleet's
+    /// health machine counts them against the tenant's fault domain.
+    pub base_damaged: bool,
 }
 
 /// Restore-time breakdown (the rows of Table 4).

@@ -1017,3 +1017,32 @@ fn checkpoint_advances_commit_phase_metrics() {
     assert!(m.commit_extent_barriers > before.1, "barriers folded into METRICS");
     assert!(m.commit_superblock_flips > before.2, "flips folded into METRICS");
 }
+
+#[test]
+fn fleet_sweep_survives_one_tenant_hard_error() {
+    // Regression: `checkpoint_all` used to abort the remaining tenants
+    // when one cycle returned a hard error. A sweep over two live
+    // groups with a nonexistent group wedged between them must still
+    // checkpoint both live tenants and report the error per-tenant.
+    let mut host = new_host("sweep");
+    let mut gids = Vec::new();
+    for name in ["alpha", "omega"] {
+        let pid = host.kernel.spawn(name);
+        let addr = host.kernel.mmap_anon(pid, 4096, false).unwrap();
+        host.kernel.mem_write(pid, addr, name.as_bytes()).unwrap();
+        gids.push(host.persist(name, pid).unwrap());
+    }
+    let bogus = aurora_core::GroupId(9_999);
+    let sweep = host.checkpoint_all(&[gids[0], bogus, gids[1]], true);
+    assert_eq!(sweep.cycles.len(), 3);
+    assert_eq!(sweep.committed(), 2, "live tenants must still checkpoint");
+    assert_eq!(sweep.skipped(), 0);
+    let errors = sweep.errors();
+    assert_eq!(errors.len(), 1);
+    assert_eq!(errors[0].0, bogus);
+    // The sweep order is the request order: the error sits between the
+    // two commits, proving the first error did not end the loop.
+    assert!(sweep.cycles[0].result.is_ok());
+    assert!(sweep.cycles[1].result.is_err());
+    assert!(sweep.cycles[2].result.is_ok());
+}

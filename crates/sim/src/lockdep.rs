@@ -29,43 +29,50 @@ use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 /// lookup happens before the per-group barrier is taken, so it must
 /// rank outermost.
 pub const RANK_FLEET_REGISTRY: u32 = 0;
+/// Rank of the fleet scheduler's per-tenant health table (fault
+/// domains: health state, failure counters, re-admission probes). The
+/// admission gate consults it *before* a cycle takes its group
+/// barrier, and cycle verdicts are recorded after the barrier is
+/// released, so it ranks between the registry and the barriers and is
+/// never held across a capture or flush.
+pub const RANK_TENANT_HEALTH: u32 = 1;
 /// Rank of a per-group checkpoint barrier. One instance exists per
 /// `GroupId`; it covers only the stop-the-group capture and the
 /// group's own flush/restore bookkeeping, so cycles of *different*
 /// groups pipeline instead of serializing on a global lock. All
 /// instances share this rank (same-rank acquisitions are sibling
 /// instances, never re-entry on one lock).
-pub const RANK_GROUP_BARRIER: u32 = 1;
+pub const RANK_GROUP_BARRIER: u32 = 2;
 /// Rank of a per-store commit lock. Taken inside a group barrier for
 /// the duration of one typestate commit, so a store shared by several
 /// groups still sees exactly one `seal → barrier → flip` sequence at a
 /// time even when their cycles overlap.
-pub const RANK_STORE_COMMIT: u32 = 2;
+pub const RANK_STORE_COMMIT: u32 = 3;
 /// Rank of the persistence-group table.
-pub const RANK_GROUP_TABLE: u32 = 3;
+pub const RANK_GROUP_TABLE: u32 = 4;
 /// Rank of the parallel flush pipeline's shard-result collector. The
 /// driving thread holds its group's `group_barrier` while it gathers
 /// hashed shards, so this must rank inside the barrier; workers take
 /// it with nothing else held.
-pub const RANK_FLUSH_SHARD: u32 = 4;
+pub const RANK_FLUSH_SHARD: u32 = 5;
 /// Rank of the parallel restore pipeline's shard-result collector.
 /// Mirrors `flush_shard`: the driving thread serializes batched
 /// restores on the target group's `group_barrier`, workers take this
 /// with nothing held.
-pub const RANK_RESTORE_SHARD: u32 = 5;
+pub const RANK_RESTORE_SHARD: u32 = 6;
 /// Rank of per-store metadata.
-pub const RANK_STORE_META: u32 = 6;
+pub const RANK_STORE_META: u32 = 7;
 /// Rank of the object store's shared page cache. The restore read
 /// pipeline takes it while the barrier is held; nothing below it but
 /// the device queue and metrics may nest inside.
-pub const RANK_PAGE_CACHE: u32 = 7;
+pub const RANK_PAGE_CACHE: u32 = 8;
 /// Rank of the journal append buffer.
-pub const RANK_JOURNAL_BUF: u32 = 8;
+pub const RANK_JOURNAL_BUF: u32 = 9;
 /// Rank of a device submission queue.
-pub const RANK_DEV_QUEUE: u32 = 9;
+pub const RANK_DEV_QUEUE: u32 = 10;
 /// Rank of the global metrics registry (innermost: any path may record
 /// counters while holding anything else).
-pub const RANK_METRICS: u32 = 10;
+pub const RANK_METRICS: u32 = 11;
 
 /// A mutex that participates in lock-order verification.
 pub struct OrderedMutex<T> {
@@ -120,6 +127,17 @@ impl<T> OrderedMutex<T> {
             Ok(v) => v,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+}
+
+impl<T> std::fmt::Debug for OrderedMutex<T> {
+    /// Name and rank only: printing never acquires the lock, so a
+    /// `Debug` dump can never deadlock or perturb the edge graph.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("rank", &self.rank)
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -412,8 +430,8 @@ mod tests {
         let mut m = METRICS.lock();
         *m += 1;
         assert_eq!(REGISTRY.rank(), 0);
-        assert_eq!(BARRIER.rank(), 1);
-        assert_eq!(COMMIT.rank(), 2);
+        assert_eq!(BARRIER.rank(), 2);
+        assert_eq!(COMMIT.rank(), 3);
         assert_eq!(METRICS.name(), "metrics");
     }
 
